@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  Each
+test (a) runs the experiment once under ``benchmark.pedantic`` so
+pytest-benchmark reports the harness cost, and (b) writes the rendered
+table/series to ``results/<artifact>.txt`` — the files EXPERIMENTS.md is
+built from.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)

@@ -1,0 +1,59 @@
+"""Ablation: block size B.
+
+Section VI says the asymptotic overhead of Enhanced is (2K+2)/BK — halving
+with every doubling of B at K=1 — while MAGMA's choice of B is set by the
+GPU generation (256 Fermi, 512 Kepler).  This ablation sweeps B at fixed n
+and checks both the simulated overhead trend and its agreement with the
+analytic law.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.core import AbftConfig
+from repro.experiments.common import baseline_time, relative_overhead, scheme_time
+from repro.models.overhead import enhanced_overall_relative
+from repro.util.formatting import render_table
+
+N = 12288
+BLOCKS = (128, 256, 512, 1024)
+
+
+def sweep(machine_name: str):
+    rows = []
+    for b in BLOCKS:
+        base = baseline_time(machine_name, N, block_size=b)
+        t = scheme_time(machine_name, "enhanced", N, AbftConfig(), block_size=b)
+        rows.append((b, relative_overhead(t, base), enhanced_overall_relative(N, b)))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def tardis_rows():
+    return sweep("tardis")
+
+
+def test_regenerate_blocksize_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(sweep, args=("tardis",), rounds=1, iterations=1)
+    save_artifact(
+        results_dir,
+        "ablation_blocksize_tardis.txt",
+        render_table(
+            ["B", "measured overhead", "analytic (Table VI)"],
+            [(b, f"{m:.4f}", f"{a:.4f}") for b, m, a in rows],
+            title=f"block-size ablation — tardis, n={N}, K=1",
+        ),
+    )
+
+
+def test_overhead_falls_with_block_size(tardis_rows):
+    measured = [m for _, m, _ in tardis_rows]
+    assert measured == sorted(measured, reverse=True)
+
+
+def test_roughly_tracks_inverse_b(tardis_rows):
+    """Doubling B should roughly halve the overhead (the 1/B law), within
+    the slack the bandwidth-bound recalc pricing introduces."""
+    by_b = {b: m for b, m, _ in tardis_rows}
+    ratio = by_b[256] / by_b[512]
+    assert 1.3 < ratio < 3.0

@@ -1,0 +1,43 @@
+"""Ablation: future-GPU scaling of the Enhanced overhead.
+
+Compute grows faster than memory bandwidth across GPU generations; the
+checksum recalculation is bandwidth-bound, so at a fixed block size the
+relative overhead balloons — and growing B with the hardware (exactly what
+MAGMA did from Fermi's 256 to Kepler's 512) contains it.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import gpu_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return gpu_scaling.run("tardis", 20480)
+
+
+def test_regenerate_scaling_table(benchmark, results_dir):
+    res = benchmark.pedantic(
+        gpu_scaling.run, args=("tardis", 20480), rounds=1, iterations=1
+    )
+    save_artifact(
+        results_dir, "ablation_gpu_scaling.txt",
+        res.render("future-GPU scaling — tardis-derived, n=20480"),
+    )
+
+
+def test_fixed_block_overhead_balloons(result):
+    overheads = [p.overhead for p in result.fixed_b]
+    assert overheads == sorted(overheads)
+    assert overheads[-1] > 3 * overheads[0]
+
+
+def test_scaling_block_contains_overhead(result):
+    assert result.scaled_b[-1].overhead < 0.06
+    assert result.scaled_b[-1].overhead < result.fixed_b[-1].overhead / 3
+
+
+def test_baseline_speeds_up_with_compute(result):
+    times = [p.baseline_seconds for p in result.fixed_b]
+    assert times == sorted(times, reverse=True)

@@ -1,0 +1,57 @@
+"""Ablation: verification interval K versus system fault rate.
+
+The paper's Optimization 3 guidance, quantified: expected completion time
+E[T] = T(K)/(1 − P[restart]) over a grid of fault rates and K values; the
+optimal K shrinks as the fault rate grows.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import kpolicy
+
+RATES = (1e-6, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return kpolicy.run("tardis", 20480, rates=RATES)
+
+
+def test_regenerate_kpolicy_table(benchmark, results_dir):
+    res = benchmark.pedantic(
+        kpolicy.run, args=("tardis", 20480), kwargs={"rates": RATES},
+        rounds=1, iterations=1,
+    )
+    save_artifact(
+        results_dir, "ablation_kpolicy_tardis.txt",
+        res.render("optimal K vs fault rate — tardis, n=20480"),
+    )
+
+
+def test_optimal_k_nonincreasing_in_rate(result):
+    ks = [result.optimal_k(rate) for rate in RATES]
+    for a, b in zip(ks, ks[1:]):
+        assert b <= a
+
+
+def test_low_rate_prefers_large_k(result):
+    assert result.optimal_k(1e-6) >= 8
+
+
+def test_high_rate_forces_k1(result):
+    assert result.optimal_k(1.0) == 1
+
+
+def test_runtime_decreases_with_k(result):
+    points = result.by_rate[1e-6]
+    times = [p.run_seconds for p in points]
+    for a, b in zip(times, times[1:]):
+        assert b <= a + 1e-9
+
+
+def test_restart_probability_increases_with_k(result):
+    points = result.by_rate[1e-1]
+    probs = [p.p_restart for p in points]
+    for a, b in zip(probs, probs[1:]):
+        assert b >= a - 1e-12

@@ -1,0 +1,48 @@
+"""Ablation: detection latency — how long corruption survives per scheme.
+
+Quantifies Section III's argument: Offline leaves a storage error live for
+the rest of the run; Online notices at the corrupted tile's next use but
+can only restart; Enhanced notices at the next use and corrects in place.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import latency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return latency.run("tardis", 8192)
+
+
+def test_regenerate_latency_table(benchmark, results_dir):
+    res = benchmark.pedantic(latency.run, args=("tardis", 8192), rounds=1, iterations=1)
+    save_artifact(
+        results_dir, "ablation_latency_tardis.txt",
+        res.render("detection latency — tardis, n=8192, mid-run storage fault"),
+    )
+
+
+def test_offline_exposed_until_the_end(result):
+    by_scheme = {p.scheme: p for p in result.points}
+    nb = result.n // result.block_size
+    assert by_scheme["offline"].exposure_iterations >= nb // 3
+
+
+def test_online_and_enhanced_detect_next_read(result):
+    by_scheme = {p.scheme: p for p in result.points}
+    assert by_scheme["online"].exposure_iterations == 1
+    assert by_scheme["enhanced"].exposure_iterations == 1
+
+
+def test_only_enhanced_corrects_in_place(result):
+    by_scheme = {p.scheme: p for p in result.points}
+    assert by_scheme["enhanced"].corrected_in_place
+    assert not by_scheme["online"].corrected_in_place
+    assert not by_scheme["offline"].corrected_in_place
+
+
+def test_offline_exposure_dwarfs_enhanced(result):
+    by_scheme = {p.scheme: p for p in result.points}
+    assert by_scheme["offline"].exposure_seconds > 5 * by_scheme["enhanced"].exposure_seconds

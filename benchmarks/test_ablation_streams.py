@@ -1,0 +1,71 @@
+"""Ablation: number of recalculation streams (Optimization 1's knob).
+
+The paper "just creates N CUDA streams" with N the designed concurrency.
+This ablation sweeps the stream count and shows where the gains saturate:
+on the Fermi machine at its ~2-way effective concurrency, on the Kepler
+machine at the point the co-running GEMVs exhaust the modeled capacity.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.core import AbftConfig
+from repro.experiments.common import baseline_time, relative_overhead, scheme_time
+from repro.util.formatting import render_table
+
+N = 12288
+STREAMS = (1, 2, 4, 8, 16, 32)
+
+
+def sweep(machine_name: str):
+    base = baseline_time(machine_name, N)
+    rows = []
+    for s in STREAMS:
+        t = scheme_time(
+            machine_name, "enhanced", N,
+            AbftConfig(recalc_streams=s, updating_placement="gpu_main"),
+        )
+        rows.append((s, relative_overhead(t, base)))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def tardis_rows():
+    return sweep("tardis")
+
+
+@pytest.fixture(scope="module")
+def bulldozer_rows():
+    return sweep("bulldozer64")
+
+
+def test_regenerate_stream_ablation(benchmark, results_dir):
+    rows_t = benchmark.pedantic(sweep, args=("tardis",), rounds=1, iterations=1)
+    rows_b = sweep("bulldozer64")
+    text = render_table(
+        ["streams", "tardis overhead", "bulldozer64 overhead"],
+        [
+            (s, f"{ot:.4f}", f"{ob:.4f}")
+            for (s, ot), (_, ob) in zip(rows_t, rows_b)
+        ],
+        title=f"recalc-stream ablation — n={N}",
+    )
+    save_artifact(results_dir, "ablation_streams.txt", text)
+
+
+def test_monotone_nonincreasing(tardis_rows, bulldozer_rows):
+    for rows in (tardis_rows, bulldozer_rows):
+        overheads = [o for _, o in rows]
+        for a, b in zip(overheads, overheads[1:]):
+            assert b <= a + 1e-9
+
+
+def test_fermi_saturates_early(tardis_rows):
+    """Beyond 2 streams Fermi gains nothing (single hardware work queue)."""
+    by_s = dict(tardis_rows)
+    assert by_s[2] == pytest.approx(by_s[32], rel=0.02)
+
+
+def test_kepler_keeps_gaining_past_two(bulldozer_rows):
+    by_s = dict(bulldozer_rows)
+    assert by_s[8] < by_s[2] * 0.9

@@ -1,0 +1,50 @@
+"""Figures 12/13: Optimization 3 (verification interval K = 1, 3, 5).
+
+Paper: "the relative overhead of our Enhanced Online-ABFT has reduced
+significantly as we adjust K."
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import opt3
+
+
+@pytest.fixture(scope="module")
+def tardis_result():
+    return opt3.run("tardis")
+
+
+@pytest.fixture(scope="module")
+def bulldozer_result():
+    return opt3.run("bulldozer64")
+
+
+def test_regenerate_fig12(benchmark, results_dir):
+    res = benchmark.pedantic(opt3.run, args=("tardis",), rounds=1, iterations=1)
+    save_artifact(
+        results_dir, "fig12_opt3_tardis.txt",
+        res.render("Figure 12 — Opt3 (K=1,3,5) on Tardis"),
+    )
+
+
+def test_regenerate_fig13(benchmark, results_dir):
+    res = benchmark.pedantic(opt3.run, args=("bulldozer64",), rounds=1, iterations=1)
+    save_artifact(
+        results_dir, "fig13_opt3_bulldozer.txt",
+        res.render("Figure 13 — Opt3 (K=1,3,5) on Bulldozer64"),
+    )
+
+
+@pytest.mark.parametrize("fixture_name", ["tardis_result", "bulldozer_result"])
+def test_k_monotonically_reduces_overhead(fixture_name, request):
+    res = request.getfixturevalue(fixture_name)
+    for i in range(len(res.sizes)):
+        o1, o3, o5 = (res.overheads[k][i] for k in (1, 3, 5))
+        assert o1 >= o3 >= o5
+
+
+def test_diminishing_returns(tardis_result):
+    """K=1→3 saves more than K=3→5 (the deferrable cost scales as 1/K)."""
+    at_largest = {k: tardis_result.overheads[k][-1] for k in (1, 3, 5)}
+    assert (at_largest[1] - at_largest[3]) > (at_largest[3] - at_largest[5])

@@ -1,0 +1,62 @@
+"""Figures 16/17: performance (GFLOPS) of MAGMA, CULA and the ABFT schemes.
+
+Paper: "even with both computation error and memory error tolerance
+capability, our Enhanced Online-ABFT is still faster than CULA on both
+systems."
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import performance
+
+
+@pytest.fixture(scope="module")
+def tardis_result():
+    return performance.run("tardis")
+
+
+@pytest.fixture(scope="module")
+def bulldozer_result():
+    return performance.run("bulldozer64")
+
+
+def test_regenerate_fig16(benchmark, results_dir):
+    res = benchmark.pedantic(performance.run, args=("tardis",), rounds=1, iterations=1)
+    save_artifact(
+        results_dir, "fig16_performance_tardis.txt",
+        res.render("Figure 16 — GFLOPS on Tardis"),
+    )
+
+
+def test_regenerate_fig17(benchmark, results_dir):
+    res = benchmark.pedantic(
+        performance.run, args=("bulldozer64",), rounds=1, iterations=1
+    )
+    save_artifact(
+        results_dir, "fig17_performance_bulldozer.txt",
+        res.render("Figure 17 — GFLOPS on Bulldozer64"),
+    )
+
+
+@pytest.mark.parametrize("fixture_name", ["tardis_result", "bulldozer_result"])
+def test_enhanced_beats_cula_everywhere(fixture_name, request):
+    res = request.getfixturevalue(fixture_name)
+    for e, c in zip(res.gflops["enhanced"], res.gflops["cula"]):
+        assert e > c
+
+
+@pytest.mark.parametrize("fixture_name", ["tardis_result", "bulldozer_result"])
+def test_ft_schemes_close_to_magma(fixture_name, request):
+    res = request.getfixturevalue(fixture_name)
+    for scheme in ("offline", "online", "enhanced"):
+        assert res.gflops[scheme][-1] > 0.9 * res.gflops["magma"][-1]
+
+
+def test_sustained_rates_near_paper(tardis_result, bulldozer_result):
+    """Paper-implied sustained rates: ≈270-300 GFLOPS on Tardis at n=20480,
+    ≈1100-1200 GFLOPS on Bulldozer64 at n=30720."""
+    idx_t = tardis_result.sizes.index(20480)
+    assert 250 < tardis_result.gflops["magma"][idx_t] < 330
+    idx_b = bulldozer_result.sizes.index(30720)
+    assert 1000 < bulldozer_result.gflops["magma"][idx_b] < 1250

@@ -1,0 +1,28 @@
+"""Tables I-VI: the analytic models, rendered and benchmarked."""
+
+from conftest import save_artifact
+
+from repro.experiments import analytic
+from repro.models.overhead import overhead_breakdown
+
+
+def test_table1_verification_comparison(benchmark, results_dir):
+    out = benchmark(analytic.render_table1)
+    save_artifact(results_dir, "table1_verification.txt", out)
+    assert "B, C, D" in out
+
+
+def test_verified_tile_totals(benchmark, results_dir):
+    out = benchmark(analytic.render_verified_tile_counts, 80)
+    save_artifact(results_dir, "table1_exact_counts.txt", out)
+
+
+def test_table6_overall_overhead(benchmark, results_dir):
+    out = benchmark(analytic.render_table6)
+    save_artifact(results_dir, "table6_overall_overhead.txt", out)
+    assert "enhanced total" in out
+
+
+def test_overhead_breakdown_evaluation(benchmark):
+    o = benchmark(overhead_breakdown, 20480, 256, 1)
+    assert o.enhanced_total > o.online_total > 0

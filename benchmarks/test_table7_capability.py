@@ -1,0 +1,52 @@
+"""Table VII: fault-tolerance capability on Tardis, 20480×20480.
+
+Paper (seconds):             no error   computing   memory
+    Enhanced Online-ABFT     10.6572    10.6614     10.6678
+    Online-ABFT              10.5067    10.5244     22.625
+    Offline-ABFT             10.4489    21.3942     21.2631
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import capability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return capability.run_table7()
+
+
+def test_regenerate_table7(benchmark, results_dir):
+    res = benchmark.pedantic(capability.run_table7, rounds=1, iterations=1)
+    save_artifact(
+        results_dir, "table7_capability_tardis.txt",
+        res.render("Table VII — Tardis, 20480x20480 (simulated)"),
+    )
+
+
+def test_no_error_near_paper(result):
+    assert result.times["enhanced"]["no_error"] == pytest.approx(10.66, rel=0.08)
+    assert result.times["offline"]["no_error"] == pytest.approx(10.45, rel=0.08)
+
+
+def test_error_patterns_match_paper(result):
+    # computing error: only offline re-runs
+    assert result.restarts["offline"]["computing_error"] == 1
+    assert result.restarts["online"]["computing_error"] == 0
+    assert result.restarts["enhanced"]["computing_error"] == 0
+    # memory error: offline and online re-run, enhanced corrects
+    assert result.restarts["offline"]["memory_error"] == 1
+    assert result.restarts["online"]["memory_error"] == 1
+    assert result.restarts["enhanced"]["memory_error"] == 0
+
+
+def test_restart_costs_roughly_double(result):
+    for scheme, scenario in (("offline", "computing_error"), ("online", "memory_error")):
+        ratio = result.times[scheme][scenario] / result.times[scheme]["no_error"]
+        assert 1.8 < ratio < 2.3
+
+
+def test_enhanced_unaffected_by_errors(result):
+    base = result.times["enhanced"]["no_error"]
+    assert result.times["enhanced"]["memory_error"] == pytest.approx(base, rel=0.01)

@@ -1,0 +1,45 @@
+"""Table VIII: fault-tolerance capability on Bulldozer64, 30720×30720.
+
+Paper (seconds):             no error   computing   memory
+    Enhanced Online-ABFT     8.84598    8.92538     8.91492
+    Online-ABFT              8.64649    8.69622     21.4162
+    Offline-ABFT             8.64265    21.4472     21.3511
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import capability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return capability.run_table8()
+
+
+def test_regenerate_table8(benchmark, results_dir):
+    res = benchmark.pedantic(capability.run_table8, rounds=1, iterations=1)
+    save_artifact(
+        results_dir, "table8_capability_bulldozer.txt",
+        res.render("Table VIII — Bulldozer64, 30720x30720 (simulated)"),
+    )
+
+
+def test_no_error_near_paper(result):
+    assert result.times["enhanced"]["no_error"] == pytest.approx(8.85, rel=0.08)
+    assert result.times["online"]["no_error"] == pytest.approx(8.65, rel=0.08)
+    assert result.times["offline"]["no_error"] == pytest.approx(8.64, rel=0.08)
+
+
+def test_error_patterns_match_paper(result):
+    assert result.restarts["offline"]["computing_error"] == 1
+    assert result.restarts["online"]["memory_error"] == 1
+    assert result.restarts["enhanced"]["memory_error"] == 0
+
+
+def test_enhanced_overhead_over_online_small(result):
+    """Enhanced pays only a few percent over Online for the extra coverage."""
+    gap = (
+        result.times["enhanced"]["no_error"] / result.times["online"]["no_error"] - 1
+    )
+    assert gap < 0.06

@@ -1,0 +1,66 @@
+"""Random fault campaign: sampled robustness of the three schemes.
+
+Runs dozens of factorizations, each with one random storage bit flip
+(random tile, coordinate, bit, strike iteration), and tabulates outcomes
+per scheme: corrected in place, recovered by restart, or silently wrong.
+This generalizes Tables VII/VIII from three hand-picked scenarios to a
+sampled distribution — and shows Online-ABFT's silent-corruption mode that
+motivated the paper.
+
+Run:  python examples/fault_campaign.py
+"""
+
+import warnings
+
+from repro import Machine, enhanced_potrf, offline_potrf, online_potrf
+from repro.blas.spd import random_spd
+from repro.faults.campaign import CampaignSpec, run_campaign
+from repro.magma.host import factorization_residual
+from repro.util.formatting import render_table
+
+N, BS, RUNS = 512, 64, 24
+
+
+def main() -> None:
+    machine = Machine.preset("tardis")
+    a = random_spd(N, rng=11)
+    spec = CampaignSpec(nb=N // BS, kind="storage")
+
+    rows = []
+    for name, potrf in (
+        ("offline", offline_potrf),
+        ("online", online_potrf),
+        ("enhanced", enhanced_potrf),
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            out = run_campaign(
+                potrf,
+                machine,
+                a,
+                block_size=BS,
+                spec=spec,
+                n_runs=RUNS,
+                rng=5,
+                residual_fn=factorization_residual,
+            )
+        silent_bad = sum(1 for r in out.records if not (r["residual"] < 1e-6))
+        rows.append(
+            (name, out.runs, out.corrected, out.restarted, out.failed, silent_bad)
+        )
+
+    print(
+        render_table(
+            ["scheme", "runs", "corrected", "restarted", "failed", "silently wrong"],
+            rows,
+            title=f"{RUNS} random storage bit flips, {N}x{N}, B={BS}",
+        )
+    )
+    print(
+        "\n-> 'silently wrong' counts runs that finished without complaint "
+        "but returned a corrupted factor — the window Enhanced closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Fault-tolerant correlated Monte Carlo — another workload the paper cites.
+
+Prices a basket option by sampling correlated asset returns.  Correlated
+normals need the Cholesky factor of the covariance matrix; a storage error
+striking that factorization would silently skew every sample drawn from it.
+We factor under each of the three ABFT schemes with an identical injected
+bit flip and compare the resulting price estimates against ground truth.
+
+Run:  python examples/monte_carlo.py
+"""
+
+import numpy as np
+
+from repro import Machine, enhanced_potrf, offline_potrf, online_potrf
+from repro.blas.spd import random_spd
+from repro.core import AbftConfig
+from repro.faults.injector import single_storage_fault
+from repro.util.exceptions import ReproError
+
+
+N_ASSETS = 128
+N_PATHS = 20_000
+
+
+def covariance() -> np.ndarray:
+    """A realistic dense covariance: random SPD, scaled to ~20% vols."""
+    c = random_spd(N_ASSETS, rng=3)
+    vol = 0.2 / np.sqrt(np.diag(c))
+    return c * np.outer(vol, vol)
+
+
+def price_with(ell: np.ndarray) -> float:
+    """Basket call price from a factor of the covariance."""
+    rng = np.random.default_rng(42)
+    z = rng.standard_normal((N_PATHS, N_ASSETS))
+    returns = z @ ell.T - 0.5 * np.diag(ell @ ell.T)  # log-normal drift fix
+    basket = np.exp(returns).mean(axis=1)
+    return float(np.maximum(basket - 1.0, 0.0).mean())
+
+
+def main() -> None:
+    machine = Machine.preset("bulldozer64")
+    cov = covariance()
+    truth_price = price_with(np.linalg.cholesky(cov))
+    injector_factory = lambda: single_storage_fault(  # noqa: E731
+        block=(3, 1), coord=(10, 20), iteration=1, bit=56
+    )
+
+    print(f"basket of {N_ASSETS} assets, {N_PATHS} paths")
+    print(f"ground-truth price (LAPACK factor): {truth_price:.6f}\n")
+
+    for name, potrf in (
+        ("offline ", offline_potrf),
+        ("online  ", online_potrf),
+        ("enhanced", enhanced_potrf),
+    ):
+        work = cov.copy()
+        try:
+            res = potrf(
+                machine,
+                a=work,
+                block_size=32,
+                injector=injector_factory(),
+                config=AbftConfig(max_restarts=1),
+            )
+        except ReproError as exc:
+            print(f"{name}: failed outright ({exc})")
+            continue
+        price = price_with(res.factor)
+        print(
+            f"{name}: price={price:.6f}  |err|={abs(price - truth_price):.2e}  "
+            f"restarts={res.restarts}  corrections={res.stats.data_corrections}"
+        )
+
+    print(
+        "\n-> enhanced corrects the flip in place; offline/online recover "
+        "only by re-running (double cost on the simulated clock)"
+    )
+
+
+if __name__ == "__main__":
+    main()

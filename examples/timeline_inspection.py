@@ -1,0 +1,61 @@
+"""Inspect the simulated machine's schedule — see the paper's claims.
+
+Renders nvprof-style rollups and an ASCII Gantt chart for a plain MAGMA
+factorization and for Enhanced Online-ABFT, so the scheduling structure
+the paper argues about is visible:
+
+- POTF2 (CPU lane) hides under the panel GEMM (GPU lane);
+- with Optimization 1, recalculation batches co-run on the GPU;
+- with Optimization 2's CPU placement, checksum updating moves to the CPU
+  lane and L-row transfers appear on the d2h lane.
+
+Run:  python examples/timeline_inspection.py
+"""
+
+from repro import AbftConfig, Machine, enhanced_potrf, magma_potrf
+
+
+def main() -> None:
+    machine = Machine.preset("tardis")
+    n = 4096
+
+    plain = magma_potrf(machine, n=n, numerics="shadow")
+    print("plain MAGMA hybrid Cholesky")
+    print(plain.timeline.render_summary("per-kind rollup (nvprof-style)"))
+    print()
+    print(plain.timeline.render_gantt(width=96))
+
+    print("\n" + "=" * 100 + "\n")
+
+    enhanced = enhanced_potrf(
+        machine,
+        n=n,
+        config=AbftConfig(updating_placement="cpu", recalc_streams=16),
+        numerics="shadow",
+    )
+    print("Enhanced Online-ABFT (Opt1 streams + Opt2 CPU updating)")
+    print(enhanced.timeline.render_summary("per-kind rollup"))
+    print()
+    print(enhanced.timeline.render_gantt(width=96))
+
+    gpu_busy = enhanced.timeline.busy_time("gpu")
+    cpu_busy = enhanced.timeline.busy_time("cpu")
+    print(
+        f"\nGPU busy {gpu_busy / enhanced.makespan:5.1%} of the run, "
+        f"CPU busy {cpu_busy / enhanced.makespan:5.1%} "
+        f"(the otherwise-idle CPU absorbing checksum updating)"
+    )
+
+    # Export the schedule for interactive inspection in Perfetto / Chrome.
+    import json
+    import pathlib
+
+    out = pathlib.Path(__file__).resolve().parent.parent / "results"
+    out.mkdir(exist_ok=True)
+    trace_path = out / "enhanced_timeline.chrometrace.json"
+    trace_path.write_text(json.dumps(enhanced.timeline.to_chrome_trace()))
+    print(f"chrome trace written to {trace_path} (open in ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — Enhanced Online-ABFT Cholesky on (simulated) heterogeneous systems.
+
+A full reproduction of Chen, Liang & Chen, *Online Algorithm-Based Fault
+Tolerance for Cholesky Decomposition on Heterogeneous Systems with GPUs*
+(IPDPS 2016): the three ABFT schemes (Offline, Online, Enhanced Online),
+the checksum machinery, all three overhead optimizations, the analytic
+overhead model, and a discrete-event simulated CPU+GPU machine standing in
+for the paper's Fermi/Kepler testbeds.
+
+Quick start::
+
+    import numpy as np
+    from repro import enhanced_potrf, Machine
+    from repro.blas import random_spd
+
+    a = random_spd(1024, rng=0)
+    result = enhanced_potrf(Machine.preset("tardis"), a=a.copy(), block_size=128)
+    L = result.factor
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    AbftConfig,
+    FtPotrfResult,
+    enhanced_potrf,
+    offline_potrf,
+    online_potrf,
+)
+from repro.hetero import BULLDOZER64, TARDIS, Machine
+from repro.magma import magma_potrf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbftConfig",
+    "FtPotrfResult",
+    "enhanced_potrf",
+    "offline_potrf",
+    "online_potrf",
+    "BULLDOZER64",
+    "TARDIS",
+    "Machine",
+    "magma_potrf",
+    "__version__",
+]

@@ -1,0 +1,225 @@
+"""DMR and TMR Cholesky: the paper's Introduction baselines, executable.
+
+Both drivers replicate the *whole* factorization on the simulated machine
+(replicas run back-to-back on the same GPU, the transient-error deployment
+the paper describes: "on the same hardware platform but replicated ...
+for tolerating transient errors").
+
+- **DMR** runs twice and compares.  A mismatch only *detects* — recovery
+  is a full re-run of both replicas (so a single transient costs ≈4× the
+  plain time, against ABFT's ≈1×).
+- **TMR** runs three times and votes element-wise; a single corrupted
+  replica is outvoted.  Two corrupted replicas that disagree leave no
+  majority → re-run.
+
+The compare/vote step is priced as the device-bandwidth pass it is
+(2 or 3 full-matrix reads), which is why its cost is visible but small
+next to the replicated O(n³).
+
+Fault injection: the injector is bound per replica; a fired plan corrupts
+only the replica executing when its hook matches — exactly a transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blas.flops import potrf_flops
+from repro.faults.injector import FaultInjector, no_faults
+from repro.hetero.machine import Machine
+from repro.magma.potrf import factorization_loop
+from repro.util.exceptions import RestartExhaustedError, SingularBlockError
+from repro.util.validation import check_block_size, check_square, require
+
+_DOUBLE = 8
+
+
+@dataclass
+class ModularResult:
+    """Outcome of a DMR/TMR run."""
+
+    kind: str  # "dmr" | "tmr"
+    machine: str
+    n: int
+    block_size: int
+    makespan: float  # total simulated seconds, re-runs included
+    replicas_run: int
+    reruns: int
+    mismatch_detected: bool
+    voted_corrections: int
+    factor: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def gflops(self) -> float:
+        """Useful-flop rate: one factorization's flops over total time."""
+        return potrf_flops(self.n) / self.makespan / 1e9
+
+
+def _run_replica(
+    machine: Machine,
+    a: np.ndarray | None,
+    n: int,
+    block_size: int,
+    numerics: str,
+    injector: FaultInjector,
+):
+    """One full factorization attempt; returns (factor|None, seconds)."""
+    ctx = machine.context(numerics=numerics)
+    work = a.copy() if numerics == "real" else None
+    matrix = ctx.alloc_matrix(n, block_size, data=work)
+    injector.bind("matrix", matrix)
+    try:
+        factorization_loop(ctx, matrix, injector=injector)
+    except SingularBlockError:
+        # A corrupted replica may fail-stop; it counts as a mismatch.
+        sim = ctx.simulate()
+        return None, sim.makespan
+    sim = ctx.simulate()
+    factor = np.tril(work) if numerics == "real" else None
+    return factor, sim.makespan
+
+
+def _compare_time(machine: Machine, n: int, replicas: int) -> float:
+    """Streaming compare/vote over *replicas* full matrices."""
+    nbytes = replicas * n * n * _DOUBLE
+    gpu = machine.spec.gpu
+    return nbytes / (0.8 * gpu.mem_bandwidth_gbs * 1e9)
+
+
+def dmr_potrf(
+    machine: Machine,
+    a: np.ndarray | None = None,
+    n: int | None = None,
+    block_size: int | None = None,
+    injector: FaultInjector | None = None,
+    numerics: str = "real",
+    max_reruns: int = 1,
+    rtol: float = 1e-12,
+) -> ModularResult:
+    """Double modular redundancy: run twice, compare, re-run on mismatch."""
+    return _modular(
+        "dmr", 2, machine, a, n, block_size, injector, numerics, max_reruns, rtol
+    )
+
+
+def tmr_potrf(
+    machine: Machine,
+    a: np.ndarray | None = None,
+    n: int | None = None,
+    block_size: int | None = None,
+    injector: FaultInjector | None = None,
+    numerics: str = "real",
+    max_reruns: int = 1,
+    rtol: float = 1e-12,
+) -> ModularResult:
+    """Triple modular redundancy: run thrice, majority-vote element-wise."""
+    return _modular(
+        "tmr", 3, machine, a, n, block_size, injector, numerics, max_reruns, rtol
+    )
+
+
+def _modular(
+    kind: str,
+    replicas: int,
+    machine: Machine,
+    a: np.ndarray | None,
+    n: int | None,
+    block_size: int | None,
+    injector: FaultInjector | None,
+    numerics: str,
+    max_reruns: int,
+    rtol: float,
+) -> ModularResult:
+    if numerics == "real":
+        require(a is not None, "real mode requires the matrix a")
+        n = check_square("a", a)
+    else:
+        require(n is not None, "shadow mode requires n")
+    bs = block_size if block_size is not None else machine.default_block_size
+    check_block_size(n, bs)
+    inj = injector if injector is not None else no_faults()
+
+    total = 0.0
+    replicas_run = 0
+    reruns = 0
+    mismatch_ever = False
+    for attempt in range(max_reruns + 1):
+        factors: list[np.ndarray | None] = []
+        for _ in range(replicas):
+            factor, seconds = _run_replica(machine, a, n, bs, numerics, inj)
+            factors.append(factor)
+            total += seconds
+            replicas_run += 1
+        total += _compare_time(machine, n, replicas)
+
+        if numerics == "shadow":
+            # Shadow semantics: a fired fault corrupted exactly one replica.
+            corrupted = inj.fired and attempt == 0
+            if not corrupted:
+                return ModularResult(
+                    kind, machine.name, n, bs, total, replicas_run, reruns,
+                    mismatch_detected=mismatch_ever, voted_corrections=0,
+                )
+            mismatch_ever = True
+            if kind == "tmr":
+                # two clean replicas outvote the corrupted one
+                return ModularResult(
+                    kind, machine.name, n, bs, total, replicas_run, reruns,
+                    mismatch_detected=True, voted_corrections=1,
+                )
+            inj.disarm()
+            reruns += 1
+            continue
+
+        outcome = _resolve_real(kind, factors, rtol)
+        if outcome is not None:
+            factor, voted = outcome
+            return ModularResult(
+                kind, machine.name, n, bs, total, replicas_run, reruns,
+                mismatch_detected=mismatch_ever or voted > 0,
+                voted_corrections=voted, factor=factor,
+            )
+        mismatch_ever = True
+        inj.disarm()
+        reruns += 1
+    raise RestartExhaustedError(f"{kind}: no agreement after {max_reruns} re-run(s)")
+
+
+def _resolve_real(
+    kind: str, factors: list[np.ndarray | None], rtol: float
+) -> tuple[np.ndarray, int] | None:
+    """Compare/vote replica factors; None means no resolution (re-run)."""
+    live = [f for f in factors if f is not None]
+    if len(live) < 2:
+        return None  # not enough survivors to compare
+    scale = np.abs(live[0]).max() or 1.0
+    tol = rtol * scale
+
+    if kind == "dmr":
+        if len(live) < 2 or len(factors) != len(live):
+            return None  # a replica fail-stopped: detection, re-run
+        if np.allclose(factors[0], factors[1], rtol=0.0, atol=tol):
+            return factors[0], 0
+        return None
+
+    if len(live) == 2:
+        # One replica fail-stopped; the two survivors form the majority.
+        if np.allclose(live[0], live[1], rtol=0.0, atol=tol):
+            return live[0], 1
+        return None
+    factors = live
+
+    # TMR: element-wise majority of three
+    a01 = np.isclose(factors[0], factors[1], rtol=0.0, atol=tol)
+    a02 = np.isclose(factors[0], factors[2], rtol=0.0, atol=tol)
+    a12 = np.isclose(factors[1], factors[2], rtol=0.0, atol=tol)
+    if a01.all() and a02.all():
+        return factors[0], 0
+    no_majority = ~(a01 | a02 | a12)
+    if no_majority.any():
+        return None
+    voted = np.where(a01 | a02, factors[0], factors[1])
+    corrections = int((~(a01 & a02)).sum() > 0)
+    return voted, corrections

@@ -1,0 +1,44 @@
+"""Dense BLAS/LAPACK-style kernels, FLOP accounting and tile layouts.
+
+This subpackage is the numerical substrate standing in for cuBLAS + ACML:
+
+- :mod:`repro.blas.dense` — the double-precision kernels the hybrid Cholesky
+  driver issues (GEMM, SYRK, TRSM, POTF2, GEMV), implemented on NumPy with
+  in-place output semantics matching the BLAS convention.
+- :mod:`repro.blas.flops` — exact floating-point-operation counts for each
+  kernel, used both by the analytic overhead model and by the simulated
+  machine's cost model.
+- :mod:`repro.blas.blocked` — :class:`BlockedMatrix`, the tile container the
+  MAGMA-style driver and the ABFT schemes operate on.
+- :mod:`repro.blas.spd` — generators for well-conditioned symmetric
+  positive-definite test matrices.
+"""
+
+from repro.blas.blocked import BlockedMatrix
+from repro.blas.dense import gemm_update, gemv, potf2, syrk_update, trsm_right_lt
+from repro.blas.flops import (
+    gemm_flops,
+    gemv_flops,
+    potf2_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+)
+from repro.blas.spd import random_spd, tridiag_spd
+
+__all__ = [
+    "BlockedMatrix",
+    "gemm_update",
+    "gemv",
+    "potf2",
+    "syrk_update",
+    "trsm_right_lt",
+    "gemm_flops",
+    "gemv_flops",
+    "potf2_flops",
+    "potrf_flops",
+    "syrk_flops",
+    "trsm_flops",
+    "random_spd",
+    "tridiag_spd",
+]

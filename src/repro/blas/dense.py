@@ -1,0 +1,119 @@
+"""Double-precision dense kernels with BLAS in-place output semantics.
+
+Each function mirrors the operation the MAGMA driver (Algorithm 1 in the
+paper) issues to cuBLAS or to the host LAPACK:
+
+====================  =======================================================
+:func:`syrk_update`   ``C -= A @ A^T``            (cublasDsyrk, lower)
+:func:`gemm_update`   ``C -= A @ B^T``            (cublasDgemm, trans-B)
+:func:`potf2`         unblocked Cholesky           (LAPACK dpotf2 on the CPU)
+:func:`trsm_right_lt` ``X · L^T = B`` in place     (cublasDtrsm, right/lower/T)
+:func:`gemv`          ``v^T A`` row-vector product (cublasDgemv, checksums)
+====================  =======================================================
+
+All kernels write into caller-provided output arrays (views into the blocked
+matrix) so no hidden copies are made — the guides' "views, not copies" rule,
+and also what makes fault injection into live storage meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.exceptions import SingularBlockError
+from repro.util.validation import check_dtype, check_square, require
+
+
+def syrk_update(c: np.ndarray, a: np.ndarray) -> None:
+    """Symmetric rank-k update ``C -= A @ A^T`` (in place, full storage).
+
+    *c* is n×n, *a* is n×k.  The real cublasDsyrk only touches the lower
+    triangle; we update the full square because the checksum relation
+    ``chk(C') = chk(C) - chk(A)·A^T`` spans all columns.  The factorization
+    itself only ever reads the lower triangle.
+    """
+    n = check_square("c", c)
+    check_dtype("c", c)
+    check_dtype("a", a)
+    require(a.ndim == 2 and a.shape[0] == n, f"a must be {n}×k, got {a.shape}")
+    c -= a @ a.T
+
+
+def gemm_update(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+    """General update ``C -= A @ B^T`` (in place).
+
+    *c* is m×n, *a* is m×k, *b* is n×k — the trailing-panel update of
+    Algorithm 1 line 4 with A = LD and B = LC.
+    """
+    check_dtype("c", c)
+    check_dtype("a", a)
+    check_dtype("b", b)
+    m, n = c.shape
+    require(a.shape[0] == m, f"a has {a.shape[0]} rows, c has {m}")
+    require(b.shape[0] == n, f"b has {b.shape[0]} rows, c has {n} columns")
+    require(a.shape[1] == b.shape[1], f"inner dims differ: {a.shape} vs {b.shape}")
+    c -= a @ b.T
+
+
+def potf2(a: np.ndarray, block_index: int = -1) -> None:
+    """Unblocked lower Cholesky of *a*, in place (LAPACK ``dpotf2``).
+
+    On exit the lower triangle of *a* holds L and the strict upper triangle
+    is zeroed (MAGMA leaves garbage there; zeroing makes the column-checksum
+    relation of the *stored* block exact, which the ABFT layer relies on).
+
+    Raises :class:`SingularBlockError` if a pivot is not positive — the
+    fail-stop outcome a storage error can force, per Section III.
+
+    Implemented as the classic scalar j-loop but with the trailing update
+    vectorized per column; for the small B used by blocked Cholesky this is
+    plenty, and an explicit loop keeps the numerics identical to dpotf2
+    (so error propagation behaves like the real routine).
+    """
+    n = check_square("a", a)
+    check_dtype("a", a)
+    for j in range(n):
+        pivot = a[j, j]
+        if not pivot > 0.0 or not np.isfinite(pivot):
+            raise SingularBlockError(block_index, j, float(pivot))
+        ljj = np.sqrt(pivot)
+        a[j, j] = ljj
+        if j + 1 < n:
+            a[j + 1 :, j] /= ljj
+            # Trailing submatrix update: A[j+1:, j+1:] -= l_j l_j^T, done
+            # column-by-column on the lower triangle only (dpotf2 order).
+            col = a[j + 1 :, j]
+            a[j + 1 :, j + 1 :] -= np.outer(col, col)
+        a[j, j + 1 :] = 0.0
+
+
+def trsm_right_lt(b: np.ndarray, ell: np.ndarray) -> None:
+    """Solve ``X · L^T = B`` in place: ``B ← B · L^{-T}`` (right, lower, trans).
+
+    *b* is m×n, *ell* is the n×n lower-triangular Cholesky factor.  This is
+    the panel solve of Algorithm 1 line 7, and — applied to a 2×B checksum
+    strip — also the checksum updates for TRSM and POTF2 (Algorithm 2 in the
+    paper reduces to exactly this solve).
+
+    Forward substitution over columns: column j of X depends only on columns
+    0..j-1, since (X L^T)[:, j] = Σ_{k<=j} X[:,k] · L[j,k].
+    """
+    check_dtype("b", b)
+    n = check_square("ell", ell)
+    require(b.shape[1] == n, f"b has {b.shape[1]} columns, ell is {n}×{n}")
+    for j in range(n):
+        if j > 0:
+            b[:, j] -= b[:, :j] @ ell[j, :j]
+        b[:, j] /= ell[j, j]
+
+
+def gemv(v: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Row-vector product ``v^T A`` — the checksum (re)calculation kernel.
+
+    Returns a fresh 1-D array of length ``a.shape[1]``.  On the GPU this is
+    the BLAS-2 kernel whose poor solo utilization motivates Optimization 1.
+    """
+    check_dtype("a", a)
+    check_dtype("v", v)
+    require(v.ndim == 1 and v.shape[0] == a.shape[0], "v length must match rows of a")
+    return v @ a

@@ -1,0 +1,76 @@
+"""Floating-point operation counts for the kernels in :mod:`repro.blas.dense`.
+
+These follow the standard LAPACK working-note conventions (one multiply +
+one add = 2 flops) and are used in three places:
+
+1. the simulated machine's roofline cost model (``repro.hetero.costmodel``),
+2. the Section VI analytic overhead model (``repro.models.overhead``),
+3. GFLOPS reporting in the performance experiments (Figures 16/17).
+
+Counting is exact rather than leading-order so that small-block operations
+(POTF2, per-block checksum GEMVs) are priced fairly relative to the large
+GEMMs.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """``C -= A @ B^T`` with A (m×k), B (n×k): 2·m·n·k flops."""
+    check_positive("m", m)
+    check_positive("n", n)
+    check_positive("k", k)
+    return 2 * m * n * k
+
+
+def syrk_flops(n: int, k: int) -> int:
+    """Symmetric rank-k update of an n×n block: n·(n+1)·k flops.
+
+    Only the lower triangle is computed, so this is half of the equivalent
+    GEMM plus the diagonal.
+    """
+    check_positive("n", n)
+    check_positive("k", k)
+    return n * (n + 1) * k
+
+
+def trsm_flops(m: int, n: int) -> int:
+    """Triangular solve ``X · L^T = B`` with B (m×n), L (n×n): m·n² flops."""
+    check_positive("m", m)
+    check_positive("n", n)
+    return m * n * n
+
+
+def potf2_flops(n: int) -> int:
+    """Unblocked Cholesky of an n×n block: n³/3 + n²/2 + n/6 flops."""
+    check_positive("n", n)
+    return (n**3) // 3 + (n**2) // 2 + n // 6
+
+
+def potrf_flops(n: int) -> int:
+    """Full Cholesky of an n×n matrix (leading-order n³/3).
+
+    Used as the denominator of every relative-overhead figure, matching the
+    paper's ``N_Cho = n³/3``.
+    """
+    check_positive("n", n)
+    return potf2_flops(n)
+
+
+def gemv_flops(m: int, n: int) -> int:
+    """Dense matrix-vector product of an m×n matrix: 2·m·n flops."""
+    check_positive("m", m)
+    check_positive("n", n)
+    return 2 * m * n
+
+
+def checksum_recalc_flops(block_size: int, n_vectors: int = 2) -> int:
+    """Recomputing *n_vectors* weighted column checksums of one B×B block.
+
+    Each checksum is a GEMV ``v^T A`` → 2·B² flops; the paper's scheme uses
+    two weight vectors, giving the ``4B²`` per-block count behind the
+    ``O_encode = 2n²`` total of Section VI.
+    """
+    return n_vectors * gemv_flops(block_size, block_size)

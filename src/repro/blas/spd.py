@@ -1,0 +1,77 @@
+"""Generators for symmetric positive-definite test matrices.
+
+Cholesky input must be SPD; both generators return well-conditioned
+matrices so that checksum rounding thresholds stay far below any injected
+fault magnitude, making detection tests deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_positive
+
+
+def random_spd(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    diag_boost: float | None = None,
+) -> np.ndarray:
+    """A dense random SPD matrix of order *n*.
+
+    Built as ``G G^T / n + d·I`` with G standard normal; dividing by n keeps
+    entries O(1) regardless of size, and the diagonal boost (default 2.0)
+    bounds the condition number so the factorization is numerically benign.
+    """
+    check_positive("n", n)
+    gen = resolve_rng(rng)
+    g = gen.standard_normal((n, n))
+    a = (g @ g.T) / n
+    boost = 2.0 if diag_boost is None else diag_boost
+    a[np.diag_indices_from(a)] += boost
+    # Symmetrize exactly: G@G.T is symmetric in exact arithmetic but the
+    # BLAS may produce asymmetric rounding; Cholesky checksum tests want
+    # bitwise symmetry.
+    return (a + a.T) / 2.0
+
+
+def ill_conditioned_spd(
+    n: int,
+    condition: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A dense SPD matrix with (approximately) the given condition number.
+
+    Built as ``Q·diag(λ)·Qᵀ`` with log-spaced eigenvalues in
+    [1/√cond, √cond] and a Haar-random Q.  Used to stress-test the
+    checksum detection thresholds: rounding in the factorization grows
+    with conditioning, and the verifier must neither false-positive on it
+    nor lose real faults under it.
+    """
+    check_positive("n", n)
+    if not condition >= 1.0:
+        raise ValueError("condition number must be >= 1")
+    gen = resolve_rng(rng)
+    q, _ = np.linalg.qr(gen.standard_normal((n, n)))
+    half = np.sqrt(condition)
+    lam = np.logspace(np.log10(1.0 / half), np.log10(half), n)
+    a = (q * lam) @ q.T
+    return (a + a.T) / 2.0
+
+
+def tridiag_spd(n: int, diag: float = 4.0, off: float = -1.0) -> np.ndarray:
+    """The classic 1-D Poisson-style tridiagonal SPD matrix.
+
+    Deterministic (no RNG), strictly diagonally dominant for |off|·2 < diag.
+    Useful for exact-ish regression tests and the quickstart example.
+    """
+    check_positive("n", n)
+    if not abs(diag) > 2 * abs(off):
+        raise ValueError("need |diag| > 2|off| for guaranteed positive definiteness")
+    a = np.zeros((n, n), dtype=np.float64)
+    idx = np.arange(n)
+    a[idx, idx] = diag
+    a[idx[:-1], idx[:-1] + 1] = off
+    a[idx[:-1] + 1, idx[:-1]] = off
+    return a

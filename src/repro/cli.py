@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+``info``
+    List the machine presets and their calibrated specs.
+``factor``
+    Run one fault-tolerant factorization (real or shadow mode), optionally
+    with an injected fault, and print the run report.
+``capability``
+    Regenerate a Table VII/VIII-style capability table for a machine/size.
+``overhead``
+    Sweep relative overhead of a scheme across the paper's sizes.
+(Regenerating every paper figure is ``python examples/paper_figures.py``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.blas.spd import random_spd
+from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.experiments import capability
+from repro.experiments.common import overhead_sweep, sweep_for
+from repro.faults.injector import no_faults, single_computing_fault, single_storage_fault
+from repro.hetero.machine import Machine
+from repro.hetero.spec import PRESETS
+from repro.magma.host import factorization_residual
+from repro.util.formatting import render_series, render_table
+
+_SCHEMES = {
+    "offline": offline_potrf,
+    "online": online_potrf,
+    "enhanced": enhanced_potrf,
+}
+
+
+def _parse_injection(text: str | None):
+    """Parse ``storage:i,j@it`` / ``computing:i,j@it`` fault specs."""
+    if text is None:
+        return no_faults()
+    try:
+        kind, rest = text.split(":", 1)
+        coords, iteration = rest.split("@", 1)
+        i, j = (int(v) for v in coords.split(","))
+        it = int(iteration)
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad --inject spec {text!r}; expected kind:i,j@iteration"
+        ) from exc
+    if kind == "storage":
+        return single_storage_fault(block=(i, j), iteration=it)
+    if kind == "computing":
+        return single_computing_fault(block=(i, j), iteration=it)
+    raise SystemExit(f"unknown fault kind {kind!r} (storage|computing)")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine", default="tardis", choices=sorted(PRESETS), help="testbed preset"
+    )
+    parser.add_argument("--block-size", type=int, default=None)
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    rows = []
+    for spec in PRESETS.values():
+        rows.append(
+            (
+                spec.name,
+                spec.gpu.name,
+                f"{spec.gpu.peak_gflops:.0f}",
+                spec.gpu.max_concurrent_kernels,
+                spec.cpu.name,
+                f"{spec.link.bandwidth_gbs:.0f} GB/s",
+                spec.default_block_size,
+            )
+        )
+    print(
+        render_table(
+            ["machine", "gpu", "peak GF", "queues", "cpu", "pcie", "B"],
+            rows,
+            title="machine presets (calibrated to the paper's testbeds)",
+        )
+    )
+    return 0
+
+
+def cmd_factor(args: argparse.Namespace) -> int:
+    machine = Machine.preset(args.machine)
+    potrf = _SCHEMES[args.scheme]
+    config = AbftConfig(
+        verify_interval=args.k,
+        recalc_streams=args.streams,
+        updating_placement=args.placement,
+    )
+    injector = _parse_injection(args.inject)
+    if args.shadow:
+        res = potrf(
+            machine,
+            n=args.n,
+            block_size=args.block_size,
+            config=config,
+            injector=injector,
+            numerics="shadow",
+        )
+        residual = None
+    else:
+        a = random_spd(args.n, rng=args.seed)
+        pristine = a.copy()
+        res = potrf(
+            machine,
+            a=a,
+            block_size=args.block_size,
+            config=config,
+            injector=injector,
+        )
+        residual = factorization_residual(pristine, res.factor)
+
+    print(f"scheme={res.scheme} machine={res.machine} n={res.n} B={res.block_size}")
+    print(f"simulated time : {res.makespan:.6f} s  ({res.gflops:.1f} GFLOPS)")
+    print(f"restarts       : {res.restarts}")
+    print(f"placement      : {res.placement}")
+    print(
+        f"verification   : {res.stats.tiles_verified} tiles, "
+        f"{res.stats.data_corrections} data corrections, "
+        f"{res.stats.checksum_corrections} checksum repairs"
+    )
+    if residual is not None:
+        print(f"residual       : {residual:.3e}")
+    return 0
+
+
+def cmd_capability(args: argparse.Namespace) -> int:
+    res = capability.run(args.machine, args.n, block_size=args.block_size)
+    print(res.render(f"capability — {args.machine}, n={args.n}"))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    config = AbftConfig(verify_interval=args.k)
+    sizes = tuple(args.sizes) if args.sizes else sweep_for(args.machine)
+    series = {}
+    for scheme in args.schemes:
+        _, ys = overhead_sweep(args.machine, scheme, config, sizes)
+        series[scheme] = ys
+    print(
+        render_series(
+            "n",
+            list(sizes),
+            series,
+            title=f"relative overhead — {args.machine}, K={args.k}",
+        )
+    )
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from repro.experiments import latency
+
+    res = latency.run(args.machine, args.n, block_size=args.block_size)
+    print(res.render(f"detection latency — {args.machine}, n={args.n}"))
+    return 0
+
+
+def cmd_kpolicy(args: argparse.Namespace) -> int:
+    from repro.experiments import kpolicy
+
+    res = kpolicy.run(args.machine, args.n, rates=tuple(args.rates))
+    print(res.render(f"optimal K vs fault rate — {args.machine}, n={args.n}"))
+    for rate in args.rates:
+        print(f"rate {rate:g} faults/GB/s -> K = {res.optimal_k(rate)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    path = write_report(path=args.out, quick=not args.full)
+    print(f"report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Enhanced Online-ABFT Cholesky reproduction (IPDPS 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list machine presets").set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("factor", help="run one fault-tolerant factorization")
+    _add_common(p)
+    p.add_argument("--n", type=int, default=2048)
+    p.add_argument("--scheme", default="enhanced", choices=sorted(_SCHEMES))
+    p.add_argument("--k", type=int, default=1, help="verification interval K")
+    p.add_argument("--streams", type=int, default=None, help="recalc streams")
+    p.add_argument(
+        "--placement",
+        default="auto",
+        choices=["auto", "gpu_main", "gpu_stream", "cpu"],
+    )
+    p.add_argument("--shadow", action="store_true", help="paper-scale shadow mode")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--inject",
+        default=None,
+        metavar="KIND:I,J@IT",
+        help="inject one fault, e.g. storage:4,2@3",
+    )
+    p.set_defaults(fn=cmd_factor)
+
+    p = sub.add_parser("capability", help="regenerate a capability table")
+    _add_common(p)
+    p.add_argument("--n", type=int, default=20480)
+    p.set_defaults(fn=cmd_capability)
+
+    p = sub.add_parser("overhead", help="overhead sweep")
+    _add_common(p)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument(
+        "--schemes", nargs="+", default=["offline", "online", "enhanced"],
+        choices=sorted(_SCHEMES),
+    )
+    p.add_argument("--sizes", nargs="*", type=int, default=None)
+    p.set_defaults(fn=cmd_overhead)
+
+    p = sub.add_parser("latency", help="corruption exposure time per scheme")
+    _add_common(p)
+    p.add_argument("--n", type=int, default=8192)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("kpolicy", help="optimal K for a fault rate")
+    _add_common(p)
+    p.add_argument("--n", type=int, default=20480)
+    p.add_argument(
+        "--rates", nargs="+", type=float, default=[1e-6, 1e-3, 1e-1, 1.0]
+    )
+    p.set_defaults(fn=cmd_kpolicy)
+
+    p = sub.add_parser("report", help="consolidated evaluation report")
+    p.add_argument("--full", action="store_true", help="full paper sweeps")
+    p.add_argument("--out", default=None, help="output path (default results/report.txt)")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(linewidth=120)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Checksum recalculation, error detection, location and correction.
+
+This is the verification half of the ABFT machinery (Section IV-C):
+
+1. recompute the two column checksums of each tile to be checked
+   (BLAS-2 GEMV kernels — the expensive, critical-path operation that
+   Optimization 1 accelerates with concurrent kernel execution);
+2. compare against the maintained strips, column by column;
+3. classify each mismatching column:
+
+   ====================================  ===================================
+   δ₁ ≠ 0, δ₂ ≠ 0, δ₂/δ₁ ≈ r ∈ [1, B]    one data error at row r: subtract
+                                         δ₁ from ``tile[r-1, col]``
+   δ₁ ≠ 0, δ₂ ≈ 0                        checksum row 1 itself corrupted
+                                         (storage error in the checksum):
+                                         refresh it from the data
+   δ₁ ≈ 0, δ₂ ≠ 0                        checksum row 2 corrupted: refresh
+   anything else                         uncorrectable → restart
+   ====================================  ===================================
+
+   A genuine single data error always moves *both* checksums (δ₂ = r·δ₁
+   with r ≥ 1), so the classification is unambiguous up to rounding.
+
+Shadow mode answers the same question from taint states instead of
+numerics, using :meth:`repro.faults.taint.TaintState.correctable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.multierror import MultiErrorCodec, vandermonde_weights
+from repro.desim.task import Task
+from repro.hetero.context import ExecutionContext
+from repro.hetero.costmodel import KernelCost
+from repro.hetero.memory import DeviceChecksums, DeviceMatrix
+from repro.hetero.stream import Stream
+from repro.util.exceptions import UnrecoverableError
+from repro.util.validation import check_positive, require
+
+#: Tolerated deviation of the row locator δ₂/δ₁ from an integer.
+_LOCATOR_SLACK = 0.05
+
+
+@dataclass
+class VerifyStats:
+    """Counters accumulated over one factorization run."""
+
+    batches: int = 0
+    tiles_verified: int = 0
+    data_corrections: int = 0
+    checksum_corrections: int = 0
+    columns_flagged: int = 0
+    corrected_sites: list[tuple[tuple[int, int], int, int]] = field(
+        default_factory=list
+    )  # (tile, row, col)
+
+
+class Verifier:
+    """Issues verification batches and performs detection/correction.
+
+    Parameters
+    ----------
+    ctx, matrix, chk:
+        The run's execution context and device buffers.
+    n_streams:
+        Number of CUDA streams for the recalculation kernels.  1 disables
+        Optimization 1 (every kernel serialized); the paper uses the GPU's
+        designed concurrent-kernel count.
+    rtol / atol:
+        Detection threshold: a column is flagged when
+        ``|δ| > rtol · (W · |tile|) + atol`` — i.e. relative to the same
+        weighted sum of magnitudes that produced the checksum, which keeps
+        the threshold rounding-aware for any data scaling.
+    strips_on_host:
+        True when checksum updating runs on the CPU (Optimization 2's CPU
+        placement): each batch then pays an extra host→device strip
+        transfer, the "verification related transfer" of Section VI.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        matrix: DeviceMatrix,
+        chk: DeviceChecksums,
+        n_streams: int = 1,
+        rtol: float = 1e-9,
+        atol: float = 1e-12,
+        strips_on_host: bool = False,
+        stats: VerifyStats | None = None,
+    ) -> None:
+        check_positive("n_streams", n_streams)
+        self.ctx = ctx
+        self.matrix = matrix
+        self.chk = chk
+        self.rtol = rtol
+        self.atol = atol
+        self.strips_on_host = strips_on_host
+        self.stats = stats if stats is not None else VerifyStats()
+        self.streams = [ctx.stream(f"recalc{i}") for i in range(n_streams)]
+        self.n_checksums = chk.rows_per_tile
+        self._weights = vandermonde_weights(matrix.block_size, self.n_checksums)
+        # For r > 2 checksums, detection/correction delegates to the
+        # generalized Prony decoder; the r = 2 fast path below additionally
+        # repairs corrupted checksum rows, which the paper's scheme needs.
+        self._codec = (
+            MultiErrorCodec(
+                matrix.block_size, n_checksums=self.n_checksums, rtol=rtol, atol=atol
+            )
+            if self.n_checksums > 2
+            else None
+        )
+
+    # ------------------------------------------------------------------ batch
+
+    def verify_batch(
+        self,
+        keys: list[tuple[int, int]],
+        label: str,
+        after: list[Task] | None = None,
+    ) -> Task | None:
+        """Verify (and correct) the tiles in *keys* before they are used.
+
+        Issues the recalculation kernels across the verifier's streams,
+        returns a barrier task the caller must order the dependent
+        operation after (it is the pre-access synchronization point of the
+        Enhanced scheme).  Raises :class:`UnrecoverableError` when any tile
+        is corrupted beyond the two-checksum code's reach.
+        """
+        if not keys:
+            return None
+        deps = list(after or [])
+        if self.strips_on_host:
+            # The maintained strips live in host memory; stage them onto the
+            # device for the comparison (Section VI 6(c), Enhanced variant).
+            strip_bytes = 2 * self.matrix.block_size * 8 * len(keys)
+            deps.append(
+                self.ctx.transfer_h2d(
+                    strip_bytes, name=f"strips_h2d[{label}]", deps=deps or None
+                )
+            )
+        cost = self.ctx.cost.gemv_recalc(
+            self.matrix.block_size, self.matrix.block_size, n_vectors=self.n_checksums
+        )
+        shares: dict[str, int] = {}
+        for idx in range(len(keys)):
+            s = self.streams[idx % len(self.streams)]
+            shares[s.name] = shares.get(s.name, 0) + 1
+        tails: list[Task] = []
+        for s in self.streams:
+            count = shares.get(s.name, 0)
+            if count == 0:
+                continue
+            tails.append(
+                self.ctx.launch_gpu(
+                    f"recalc[{label}]@{s.name}",
+                    kind="recalc",
+                    cost=KernelCost(duration=cost.duration * count, util=cost.util),
+                    stream=s,
+                    deps=deps,
+                    tiles=count,
+                )
+            )
+        barrier = self.ctx.graph.barrier(f"verified[{label}]", tails)
+        self.stats.batches += 1
+        self.stats.tiles_verified += len(keys)
+        for key in keys:
+            if self.ctx.real:
+                self._check_tile_real(key)
+            else:
+                self._check_tile_shadow(key)
+        return barrier
+
+    # ------------------------------------------------------------------ real
+
+    def _check_tile_real(self, key: tuple[int, int]) -> None:
+        tile = self.matrix.tile_view(key)
+        strip = self.chk.tile_view(key)
+        if self._codec is not None:
+            try:
+                corrections = self._codec.verify_and_correct(tile, strip)
+            except UnrecoverableError as exc:
+                raise UnrecoverableError(str(exc), block=key) from exc
+            for corr in corrections:
+                self.stats.data_corrections += len(corr.rows)
+                self.stats.columns_flagged += 1
+                for row in corr.rows:
+                    self.stats.corrected_sites.append((key, row, corr.column))
+            return
+        fresh = self._weights @ tile
+        tol = self.rtol * (self._weights @ np.abs(tile)) + self.atol
+        delta = fresh - strip
+        bad = np.abs(delta) > tol
+        if not bad.any():
+            return
+        cols = np.nonzero(bad.any(axis=0))[0]
+        self.stats.columns_flagged += len(cols)
+        for col in cols:
+            self._fix_column(key, tile, strip, fresh, tol, int(col))
+        # Confirm: the tile must now satisfy both checksums.  The tolerance
+        # is recomputed from the *corrected* tile: a flip that produced an
+        # astronomically large value inflates the pre-correction tolerance,
+        # and subtracting δ₁ back out loses the true value to cancellation —
+        # the fresh tolerance catches that and escalates to a restart.
+        fresh2 = self._weights @ tile
+        tol2 = self.rtol * (self._weights @ np.abs(tile)) + self.atol
+        if (np.abs(fresh2 - strip) > tol2).any():
+            raise UnrecoverableError(
+                f"tile {key}: corruption persists after correction", block=key
+            )
+
+    def _fix_column(
+        self,
+        key: tuple[int, int],
+        tile: np.ndarray,
+        strip: np.ndarray,
+        fresh: np.ndarray,
+        tol: np.ndarray,
+        col: int,
+    ) -> None:
+        b = tile.shape[0]
+        d1 = fresh[0, col] - strip[0, col]
+        d2 = fresh[1, col] - strip[1, col]
+        bad1 = abs(d1) > tol[0, col]
+        bad2 = abs(d2) > tol[1, col]
+        if bad1 and bad2:
+            ratio = d2 / d1
+            row = round(ratio)
+            if abs(ratio - row) > _LOCATOR_SLACK or not 1 <= row <= b:
+                raise UnrecoverableError(
+                    f"tile {key} column {col}: locator {ratio:.3f} is not a "
+                    "valid row — more than one error in this column",
+                    block=key,
+                )
+            # Reconstruct rather than subtract δ₁: the stored checksum minus
+            # the exact sum of the *other* (clean) column elements recovers
+            # the true value with no cancellation even when the corruption
+            # is astronomically larger than the data (e.g. a top-exponent
+            # bit flip) — subtracting δ₁ would lose the value to rounding.
+            others = np.delete(tile[:, col], row - 1)
+            tile[row - 1, col] = strip[0, col] - others.sum()
+            self.stats.data_corrections += 1
+            self.stats.corrected_sites.append((key, row - 1, col))
+        elif bad1:
+            # δ₂ consistent but δ₁ off: checksum row 1 itself was hit.
+            strip[0, col] = fresh[0, col]
+            self.stats.checksum_corrections += 1
+        else:
+            strip[1, col] = fresh[1, col]
+            self.stats.checksum_corrections += 1
+
+    # ------------------------------------------------------------------ shadow
+
+    def _check_tile_shadow(self, key: tuple[int, int]) -> None:
+        data_taint = self.matrix.taint_of(key)
+        chk_taint = self.chk.taint_of(key)
+        if data_taint.is_clean() and chk_taint.is_clean():
+            return
+        if data_taint.is_clean():
+            # Data verifies clean against recomputation; refresh the strip.
+            chk_taint.clear()
+            self.stats.checksum_corrections += 1
+            return
+        if not chk_taint.is_clean():
+            raise UnrecoverableError(
+                f"tile {key}: both data and checksum corrupted", block=key
+            )
+        capacity = max(1, self.n_checksums // 2)
+        if data_taint.correctable(capacity):
+            self.stats.data_corrections += len(data_taint.points) or 1
+            data_taint.clear()
+            return
+        raise UnrecoverableError(
+            f"tile {key}: propagated corruption exceeds the "
+            f"{self.n_checksums}-checksum code's per-column capacity "
+            f"({capacity})",
+            block=key,
+        )
+
+    # ------------------------------------------------------------------ misc
+
+    def lower_keys(self) -> list[tuple[int, int]]:
+        """All lower-triangle tile keys (the offline final sweep)."""
+        nb = self.matrix.nb
+        return [(i, j) for j in range(nb) for i in range(j, nb)]
+
+
+def require_consistent(verifier: Verifier, keys: list[tuple[int, int]]) -> None:
+    """Assert-style full verification with no correction budget (tests)."""
+    require(verifier.ctx.real, "require_consistent needs real numerics")
+    for key in keys:
+        tile = verifier.matrix.tile_view(key)
+        strip = verifier.chk.tile_view(key)
+        fresh = verifier._weights @ tile
+        tol = verifier.rtol * (verifier._weights @ np.abs(tile)) + verifier.atol
+        if (np.abs(fresh - strip) > tol).any():
+            raise UnrecoverableError(f"tile {key} inconsistent", block=key)

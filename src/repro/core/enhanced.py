@@ -1,0 +1,131 @@
+"""Enhanced Online-ABFT Cholesky — the paper's contribution.
+
+Tiles are verified immediately **before** each operation reads them
+(the 4-step loop of Section III: recalculate inputs → detect/correct →
+update → checksum update), so both computing errors from the previous
+operation *and* storage errors accumulated while the tile sat in memory
+are corrected before they can propagate.
+
+Per iteration j (Table I's verification sets):
+
+- **SYRK** inputs: the diagonal tile (j,j) and the whole finished block
+  row L[j, 0:j] — verified *every* iteration, because an error entering
+  SYRK lands in the diagonal as a row+column cross (uncorrectable) and can
+  fail-stop inside POTF2;
+- **GEMM** inputs: the trailing panel A[j+1:, j] and the LD blocks
+  L[j+1:, 0:j] — the O(n²)-tile set that makes Enhanced more expensive
+  than Online, and exactly the set Optimization 3 verifies only every K
+  iterations (errors there stay one-per-column correctable);
+- **POTF2** input: the diagonal tile again (catches SYRK computing errors);
+- **TRSM** inputs: L[j,j] always, the panel every K iterations.
+
+A final sweep verifies the finished factor, closing the window after each
+tile's last update (Offline's sweep, reused; costs O(n²)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import FtPotrfResult, SchemeRun, run_with_recovery
+from repro.core.config import AbftConfig
+from repro.faults.injector import FaultInjector, Hook
+from repro.hetero.machine import Machine
+from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
+
+
+def _enhanced_loop(run: SchemeRun) -> None:
+    ctx, matrix, upd, verifier = run.ctx, run.matrix, run.updater, run.verifier
+    main = run.main
+    nb = run.nb
+    run.encode()
+    for j in range(nb):
+        due = run.policy.due(j)
+        upd.begin_iteration(j)
+        panel = [(i, j) for i in range(j + 1, nb)]
+
+        # -- SYRK: verify its inputs (never deferred), then update ---------
+        syrk_keys = [(j, j)] + [(j, k) for k in range(j)]
+        run.chain_main(
+            verifier.verify_batch(
+                syrk_keys, f"pre_syrk[{j}]", after=[upd.last_task] if upd.last_task else None
+            )
+        )
+        syrk_op(ctx, matrix, j, main)
+        run.fire(Hook.AFTER_SYRK, j)
+        upd.update_syrk(j)
+
+        # -- POTF2's input: verify the updated diagonal tile right after
+        # SYRK (never deferred), *before* the GEMM is issued — the verified
+        # tile then ships to the host and POTF2 overlaps the GEMM exactly
+        # as in the unprotected driver.
+        run.chain_main(
+            verifier.verify_batch(
+                [(j, j)], f"pre_potf2[{j}]", after=[upd.last_task] if upd.last_task else None
+            )
+        )
+        ev_diag = ctx.record_event(main)
+        d2h = ctx.transfer_d2h(
+            run.tile_bytes, name=f"d2h_diag[{j}]", deps=[ev_diag.marker], iteration=j
+        )
+
+        # -- GEMM: verify LD and the trailing panel every K iterations -----
+        if j > 0 and panel:
+            if due:
+                gemm_keys = [
+                    (i, k) for i in range(j + 1, nb) for k in range(j)
+                ] + panel
+                run.chain_main(
+                    verifier.verify_batch(
+                        gemm_keys, f"pre_gemm[{j}]", after=[upd.last_task]
+                    )
+                )
+            gemm_op(ctx, matrix, j, main)
+            run.fire(Hook.AFTER_GEMM, j)
+            upd.update_gemm(j)
+
+        potf2 = potf2_op(ctx, matrix, j, deps=[d2h])
+        run.fire(Hook.AFTER_POTF2, j)
+        h2d = ctx.transfer_h2d(
+            run.tile_bytes, name=f"h2d_diag[{j}]", deps=[potf2], iteration=j
+        )
+        potf2_upd = upd.update_potf2(
+            j, deps=[potf2 if upd.placement == "cpu" else h2d]
+        )
+
+        # -- TRSM: verify L[j,j] always, the panel every K iterations -------
+        if panel:
+            trsm_keys = [(j, j)] + (panel if due else [])
+            run.chain_main(
+                verifier.verify_batch(trsm_keys, f"pre_trsm[{j}]", after=[potf2_upd])
+            )
+            run.chain_main(h2d)
+            trsm_op(ctx, matrix, j, main)
+            run.fire(Hook.AFTER_TRSM, j)
+            upd.update_trsm(j)
+        else:
+            run.chain_main(h2d)
+
+        run.fire(Hook.STORAGE_WINDOW, j)
+
+    if run.config.final_sweep:
+        run.verifier.verify_batch(
+            run.verifier.lower_keys(),
+            "final",
+            after=[upd.last_task] if upd.last_task else None,
+        )
+
+
+def enhanced_potrf(
+    machine: Machine,
+    a: np.ndarray | None = None,
+    n: int | None = None,
+    block_size: int | None = None,
+    config: AbftConfig | None = None,
+    injector: FaultInjector | None = None,
+    numerics: str = "real",
+) -> FtPotrfResult:
+    """Factor with Enhanced Online-ABFT (pre-access verification)."""
+    return run_with_recovery(
+        "enhanced", _enhanced_loop, machine, a, n, block_size, config, injector, numerics
+    )

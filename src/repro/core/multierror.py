@@ -1,0 +1,255 @@
+"""Generalized weighted checksums: the paper's "m+1 checksums" extension.
+
+Section IV-A notes that "generally, m+1 column/row checksums could locate
+and correct up to m errors per column/row" before settling on m=1.  This
+module implements the general code and makes its real information-theoretic
+limits explicit:
+
+- with m+1 checksums, up to **m errors at known rows** (erasures — e.g.
+  a row flagged corrupt by a neighbouring tile's diagnosis) are corrected
+  by solving a Vandermonde system;
+- up to **⌊(m+1)/2⌋ errors at unknown rows** are located and corrected by
+  Prony/Reed-Solomon-style syndrome decoding (2t syndromes are needed for
+  t unknown locations — the paper's m=1 case, one error from two
+  checksums, is exactly t=1, 2t=2);
+- anything beyond is *detected* (the syndromes are not explainable) and
+  escalates to a restart rather than a guess.
+
+**Encoding.**  Weight vectors are Vandermonde rows ``v_t = [1ᵗ, 2ᵗ, …, Bᵗ]``
+for t = 0..m; for m=1 this reduces exactly to the paper's v₁ = 1,
+v₂ = 1..B.  For a column holding errors e_i at (1-based) rows r_i the
+syndromes are the power sums ``S_t = Σ e_i · r_iᵗ``.
+
+**Decoding.**  The unknown-location decoder finds the locator polynomial
+whose coefficients solve a Hankel system in the syndromes, takes its roots
+as candidate rows, solves for magnitudes, and — because this is floating
+point, not GF(2^w) — *verifies* the candidate against every syndrome
+before touching the data.
+
+The update rules of the two-checksum scheme apply to any strip height
+(all four operations act by right-multiplication/subtraction), so this
+codec slots under the same drivers; ``benchmarks/test_ablation_checksums.py``
+measures how overhead grows with the checksum count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.util.exceptions import UnrecoverableError
+from repro.util.validation import check_positive, require
+
+
+@lru_cache(maxsize=64)
+def vandermonde_weights(block_size: int, n_checksums: int) -> np.ndarray:
+    """The (m+1)×B weight matrix ``V[t, j] = (j+1)^t`` (cached, read-only)."""
+    check_positive("block_size", block_size)
+    require(n_checksums >= 2, "need at least two checksums to locate errors")
+    require(
+        n_checksums <= block_size,
+        "more checksums than rows makes no sense",
+    )
+    cols = np.arange(1, block_size + 1, dtype=np.float64)
+    v = cols[None, :] ** np.arange(n_checksums, dtype=np.float64)[:, None]
+    v.setflags(write=False)
+    return v
+
+
+def encode(tile: np.ndarray, n_checksums: int) -> np.ndarray:
+    """The (m+1)×B checksum strip of one tile."""
+    return vandermonde_weights(tile.shape[0], n_checksums) @ tile
+
+
+@dataclass(frozen=True)
+class ColumnCorrection:
+    """One decoded column: error rows (0-based) and magnitudes."""
+
+    column: int
+    rows: tuple[int, ...]
+    magnitudes: tuple[float, ...]
+
+
+class MultiErrorCodec:
+    """Encode / verify / correct with ``n_checksums`` weighted checksums."""
+
+    def __init__(
+        self,
+        block_size: int,
+        n_checksums: int = 2,
+        rtol: float = 1e-9,
+        atol: float = 1e-12,
+    ) -> None:
+        self.block_size = block_size
+        self.n_checksums = n_checksums
+        self.rtol = rtol
+        self.atol = atol
+        self.weights = vandermonde_weights(block_size, n_checksums)
+
+    @property
+    def correctable_unknown(self) -> int:
+        """Errors per column correctable without location hints: ⌊(m+1)/2⌋."""
+        return self.n_checksums // 2
+
+    @property
+    def correctable_erasures(self) -> int:
+        """Errors per column correctable at known rows: m (= checksums − 1).
+
+        This is the reading under which the paper's "m+1 checksums correct
+        m errors" is exact.
+        """
+        return self.n_checksums - 1
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, tile: np.ndarray) -> np.ndarray:
+        require(tile.shape[0] == self.block_size, "tile height mismatch")
+        return self.weights @ tile
+
+    def _tolerance(self, tile: np.ndarray) -> np.ndarray:
+        return self.rtol * (self.weights @ np.abs(tile)) + self.atol
+
+    # -- unknown-location correction -------------------------------------------
+
+    def verify_and_correct(
+        self, tile: np.ndarray, strip: np.ndarray
+    ) -> list[ColumnCorrection]:
+        """Detect, locate and correct errors per column, in place.
+
+        Corrects up to :attr:`correctable_unknown` errors per column;
+        raises :class:`UnrecoverableError` when a column's syndromes cannot
+        be explained (detection up to ``n_checksums − 1`` errors).
+        """
+        require(
+            strip.shape == (self.n_checksums, tile.shape[1]),
+            "strip shape mismatch",
+        )
+        fresh = self.encode(tile)
+        tol = self._tolerance(tile)
+        syndromes = fresh - strip
+        corrections: list[ColumnCorrection] = []
+        bad_cols = np.nonzero((np.abs(syndromes) > tol).any(axis=0))[0]
+        for col in bad_cols:
+            corr = self._decode_column(syndromes[:, col], tol[:, col], int(col))
+            self._apply(tile, strip, corr)
+            corrections.append(corr)
+        if bad_cols.size:
+            self._recheck(tile, strip)
+        return corrections
+
+    def _apply(
+        self, tile: np.ndarray, strip: np.ndarray, corr: ColumnCorrection
+    ) -> None:
+        """Reconstruct each located element from the S₀ checksum and the
+        exact sum of the column's other elements (no cancellation even for
+        astronomically large corruption — see ``repro.core.correct``)."""
+        col = corr.column
+        if len(corr.rows) == 1:
+            (row,) = corr.rows
+            others = np.delete(tile[:, col], row)
+            tile[row, col] = strip[0, col] - others.sum()
+        else:
+            for row, mag in zip(corr.rows, corr.magnitudes):
+                tile[row, col] -= mag
+
+    def _recheck(self, tile: np.ndarray, strip: np.ndarray) -> None:
+        fresh2 = self.encode(tile)
+        tol2 = self._tolerance(tile)
+        if (np.abs(fresh2 - strip) > tol2).any():
+            raise UnrecoverableError(
+                "multi-error correction did not restore consistency"
+            )
+
+    # -- erasure correction ------------------------------------------------------
+
+    def correct_erasures(
+        self, tile: np.ndarray, strip: np.ndarray, rows: list[int]
+    ) -> int:
+        """Correct errors at *known* rows (0-based), every column, in place.
+
+        Solves the ``len(rows)``-unknown Vandermonde system per column from
+        the syndromes; up to :attr:`correctable_erasures` rows.  Returns
+        the number of elements changed beyond tolerance.
+        """
+        k = len(rows)
+        require(0 < k <= self.correctable_erasures, "too many erasure rows")
+        require(len(set(rows)) == k, "duplicate erasure rows")
+        locs = np.asarray(rows, dtype=np.float64) + 1.0
+        vand = locs[None, :] ** np.arange(self.n_checksums)[:, None]
+        syndromes = self.encode(tile) - strip
+        # least-squares: m+1 equations, k ≤ m unknowns per column
+        mags, *_ = np.linalg.lstsq(vand, syndromes, rcond=None)
+        tol = self._tolerance(tile)
+        changed = int((np.abs(mags) > tol[0][None, :]).sum())
+        for i, row in enumerate(rows):
+            tile[row, :] -= mags[i]
+        self._recheck(tile, strip)
+        return changed
+
+    # -- syndrome decoding ----------------------------------------------------------
+
+    def _decode_column(
+        self, s: np.ndarray, tol: np.ndarray, col: int
+    ) -> ColumnCorrection:
+        """Prony decoding; smallest error count wins."""
+        for k in range(1, self.correctable_unknown + 1):
+            got = self._try_k_errors(s, k)
+            if got is None:
+                continue
+            rows, mags = got
+            explained = np.zeros_like(s)
+            powers = np.arange(self.n_checksums, dtype=np.float64)
+            for r, e in zip(rows, mags):
+                explained += e * (r + 1.0) ** powers
+            slack = np.maximum(tol, 1e-8 * np.abs(s) + self.atol)
+            if (np.abs(s - explained) <= slack).all():
+                return ColumnCorrection(
+                    column=col,
+                    rows=tuple(int(r) for r in rows),
+                    magnitudes=tuple(float(e) for e in mags),
+                )
+        raise UnrecoverableError(
+            f"column {col}: syndromes not explainable by "
+            f"<= {self.correctable_unknown} errors"
+        )
+
+    def _try_k_errors(
+        self, s: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Candidate k-error explanation from 2k syndromes, or None."""
+        if 2 * k > self.n_checksums:
+            return None
+        hankel = np.empty((k, k))
+        rhs = np.empty(k)
+        for i in range(k):
+            hankel[i] = s[i : i + k]
+            rhs[i] = -s[i + k]
+        try:
+            coeffs = np.linalg.solve(hankel, rhs)
+        except np.linalg.LinAlgError:
+            return None
+        poly = np.concatenate(([1.0], coeffs[::-1]))
+        roots = np.roots(poly)
+        real_scale = max(1.0, float(np.abs(roots.real).max(initial=1.0)))
+        if np.abs(roots.imag).max(initial=0.0) > 1e-6 * real_scale:
+            return None
+        locs = np.round(roots.real).astype(int)
+        if len(set(locs.tolist())) != k:
+            return None
+        if not ((1 <= locs) & (locs <= self.block_size)).all():
+            return None
+        if np.abs(roots.real - locs).max() > 0.05:
+            return None
+        vand = locs[None, :].astype(np.float64) ** np.arange(k)[:, None]
+        try:
+            mags = np.linalg.solve(vand, s[:k])
+        except np.linalg.LinAlgError:
+            return None
+        return locs - 1, mags
+
+
+def recalc_flops(block_size: int, n_checksums: int) -> int:
+    """Flops to recompute an (m+1)-row strip of one tile: 2(m+1)B²."""
+    return 2 * n_checksums * block_size * block_size

@@ -1,0 +1,47 @@
+"""Verification-interval policy (Optimization 3).
+
+Verifying every input every iteration over-protects systems with low fault
+rates.  The policy verifies the *skippable* inputs — GEMM's trailing-panel
+and LD operands, and TRSM's panel — only every K iterations, while SYRK and
+POTF2 inputs stay verified every iteration: an uncorrected error entering
+SYRK lands in the diagonal tile as a row+column cross (two errors per
+column → uncorrectable) and can break positive definiteness inside POTF2,
+the fail-stop scenario of Section III.  GEMM/TRSM inputs are safe to defer
+because their errors propagate as single-error-per-column patterns that a
+later verification still corrects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.model import PoissonFaultModel, recommended_interval
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VerificationPolicy:
+    """Verify skippable inputs every *interval* iterations (K of the paper)."""
+
+    interval: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("interval", self.interval)
+
+    def due(self, iteration: int) -> bool:
+        """Whether the deferrable verifications run at *iteration*."""
+        return iteration % self.interval == 0
+
+    @classmethod
+    def for_fault_rate(
+        cls,
+        faults_per_gb_s: float,
+        footprint_gb: float,
+        iteration_time_s: float,
+        max_k: int = 16,
+    ) -> "VerificationPolicy":
+        """Choose K from the system's fault rate (the trade-off the paper
+        describes qualitatively; the bound comes from
+        :func:`repro.faults.model.recommended_interval`)."""
+        model = PoissonFaultModel(faults_per_gb_s, footprint_gb)
+        return cls(interval=recommended_interval(model, iteration_time_s, max_k=max_k))

@@ -1,0 +1,32 @@
+"""The weighted checksum vectors of Section IV-A.
+
+Two column checksums per tile: ``v₁ = [1, 1, …, 1]`` detects an error and
+gives its magnitude; ``v₂ = [1, 2, …, B]`` locates its row via the ratio
+δ₂/δ₁.  ``m+1`` checksums could correct up to m errors per column; two is
+the sweet spot for Cholesky (one error per block column), per [Wu & Chen,
+FT-ScaLAPACK].
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@lru_cache(maxsize=32)
+def weight_matrix(block_size: int) -> np.ndarray:
+    """The 2×B weight matrix ``[v₁; v₂]`` (cached, read-only)."""
+    check_positive("block_size", block_size)
+    w = np.empty((2, block_size), dtype=np.float64)
+    w[0] = 1.0
+    w[1] = np.arange(1, block_size + 1, dtype=np.float64)
+    w.setflags(write=False)
+    return w
+
+
+def locator_weights(block_size: int) -> np.ndarray:
+    """Just v₂ (row locator weights 1..B)."""
+    return weight_matrix(block_size)[1]

@@ -1,0 +1,37 @@
+"""A small discrete-event simulator for heterogeneous task graphs.
+
+This is the substrate standing in for the real CUDA runtime: the hybrid
+Cholesky drivers *record* every kernel, transfer and host call as a
+:class:`~repro.desim.task.Task` with dependencies, and the
+:class:`~repro.desim.engine.Engine` then computes when each task runs on a
+machine made of :class:`~repro.desim.resource.Resource` objects.
+
+The resource model is generalized processor sharing with admission slots:
+
+- a task occupies ``util`` of its resource's ``capacity`` when running alone
+  (a big DGEMM saturates the GPU, ``util = 1``; a tiny checksum DGEMV keeps
+  only a few SMs busy, ``util ≪ 1``);
+- concurrent tasks run at full speed while total utilization fits the
+  capacity and are slowed proportionally beyond it;
+- at most ``max_concurrent`` tasks may be admitted at once (the CUDA
+  concurrent-kernel limit: 16 on Fermi, 32 on Kepler).
+
+That is exactly the structure behind the paper's Optimization 1: many
+independent BLAS-2 kernels, each with low solo utilization, finish almost
+``P`` times faster when co-scheduled on ``P`` streams.
+"""
+
+from repro.desim.engine import Engine, SimulationResult
+from repro.desim.resource import Resource
+from repro.desim.task import Task, TaskGraph
+from repro.desim.trace import Span, Timeline
+
+__all__ = [
+    "Engine",
+    "SimulationResult",
+    "Resource",
+    "Task",
+    "TaskGraph",
+    "Span",
+    "Timeline",
+]

@@ -1,0 +1,172 @@
+"""The discrete-event engine: computes start/finish times for a task graph.
+
+The engine advances simulated time between *rate-change events* (a task
+starting or finishing).  Between events every admitted task progresses
+linearly at ``util · scale(resource)``, so the next event is the minimum
+time-to-finish over all running tasks.  This is the standard fluid
+approximation of generalized processor sharing and costs
+``O(events · active)`` — comfortably fast for the ~10⁴-task graphs a
+paper-scale Cholesky produces.
+
+Scheduling rules:
+
+- a task becomes *ready* when all dependencies have finished;
+- ready tasks queue FIFO per resource (by readiness time, ties by creation
+  order) and are admitted while the resource has a free concurrency slot;
+- zero-duration / resource-less tasks complete immediately upon readiness,
+  cascading in the same instant (they model events, barriers and stream
+  sync points).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.desim.resource import Resource
+from repro.desim.task import Task, TaskGraph
+from repro.desim.trace import Span, Timeline
+from repro.util.exceptions import DeadlockError, SimulationError
+
+_EPS = 1e-12
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one engine run."""
+
+    makespan: float
+    timeline: Timeline
+
+    def utilization(self, resource: Resource) -> float:
+        """Busy fraction of *resource* over the makespan (0 if empty run)."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return resource.busy_time / (self.makespan * resource.capacity)
+
+
+class Engine:
+    """Runs a :class:`TaskGraph` to completion and returns the schedule."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._t0 = start_time
+
+    def run(self, graph: TaskGraph) -> SimulationResult:
+        tasks = list(graph)
+        if not tasks:
+            return SimulationResult(makespan=0.0, timeline=Timeline([]))
+
+        # Dependency bookkeeping.
+        n_unmet: dict[Task, int] = {}
+        dependents: dict[Task, list[Task]] = defaultdict(list)
+        task_set = set(tasks)
+        for t in tasks:
+            n_unmet[t] = len(t.deps)
+            for d in t.deps:
+                if d not in task_set:
+                    raise SimulationError(
+                        f"task {t.name!r} depends on {d.name!r} which is not "
+                        "in the graph"
+                    )
+                dependents[d].append(t)
+
+        # FIFO ready queues per resource (heap keyed by (ready_time, tid)).
+        queues: dict[Resource, list[tuple[float, int, Task]]] = defaultdict(list)
+        running: dict[Resource, dict[Task, float]] = defaultdict(dict)  # remaining work
+        instant_ready: list[Task] = []
+
+        now = self._t0
+        finished = 0
+        spans: list[Span] = []
+        for r in {t.resource for t in tasks if t.resource is not None}:
+            r.busy_time = 0.0
+
+        def mark_ready(task: Task) -> None:
+            if task.resource is None or task.duration == 0.0:
+                instant_ready.append(task)
+            else:
+                heapq.heappush(queues[task.resource], (now, task.tid, task))
+
+        def complete(task: Task, start: float, finish: float) -> None:
+            nonlocal finished
+            task.start_time = start
+            task.finish_time = finish
+            finished += 1
+            spans.append(Span.from_task(task))
+            for dep in dependents[task]:
+                n_unmet[dep] -= 1
+                if n_unmet[dep] == 0:
+                    mark_ready(dep)
+
+        for t in tasks:
+            if n_unmet[t] == 0:
+                mark_ready(t)
+
+        total = len(tasks)
+        while finished < total:
+            # 1. Drain instantaneous tasks (may cascade at the same instant).
+            while instant_ready:
+                task = instant_ready.pop()
+                complete(task, now, now)
+
+            # 2. Admit queued tasks while slots are free.
+            for resource, queue in queues.items():
+                active = running[resource]
+                while queue and resource.has_slot(len(active)):
+                    _, _, task = heapq.heappop(queue)
+                    task.start_time = now
+                    active[task] = task.work
+
+            # 3. If nothing is running, we either finished (via instants) or
+            #    are deadlocked on an unsatisfiable dependency cycle.
+            any_running = any(running[r] for r in running)
+            if not any_running:
+                if instant_ready:
+                    continue
+                if finished < total:
+                    stuck = [t.name for t in tasks if t.finish_time < 0][:8]
+                    raise DeadlockError(
+                        f"{total - finished} tasks can never run "
+                        f"(dependency cycle?); first stuck: {stuck}"
+                    )
+                break
+
+            # 4. Advance to the next completion across all resources.
+            dt = float("inf")
+            rates: dict[Resource, float] = {}
+            for resource, active in running.items():
+                if not active:
+                    continue
+                total_util = sum(t.util for t in active)
+                scale = resource.scale(total_util)
+                rates[resource] = scale
+                for task, remaining in active.items():
+                    rate = task.util * scale
+                    dt = min(dt, remaining / rate)
+            if not (dt < float("inf")):
+                raise SimulationError("no progress possible despite running tasks")
+            dt = max(dt, 0.0)
+
+            # 5. Integrate progress and retire finished tasks.
+            now += dt
+            for resource, active in list(running.items()):
+                scale = rates.get(resource)
+                if scale is None or not active:
+                    continue
+                done: list[Task] = []
+                consumed = 0.0
+                for task in active:
+                    rate = task.util * scale
+                    active[task] -= rate * dt
+                    consumed += rate * dt
+                    if active[task] <= task.work * _EPS + _EPS:
+                        done.append(task)
+                resource.busy_time += consumed
+                for task in done:
+                    del active[task]
+                    complete(task, task.start_time, now)
+
+        timeline = Timeline(sorted(spans, key=lambda s: (s.start, s.tid)))
+        makespan = max((s.finish for s in timeline), default=0.0) - self._t0
+        return SimulationResult(makespan=makespan, timeline=timeline)

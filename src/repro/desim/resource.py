@@ -1,0 +1,44 @@
+"""Resources: named capacities that tasks contend for.
+
+A :class:`Resource` models one shared execution engine — a GPU's SM array,
+a CPU socket's cores, or a PCIe direction.  The sharing discipline is
+generalized processor sharing (GPS): every admitted task asks for ``util``
+of the capacity; when the sum of requests exceeds ``capacity``, all admitted
+tasks are slowed by the same factor ``capacity / Σ util``.
+
+``max_concurrent`` caps how many tasks may be admitted simultaneously
+(queued FIFO past that), which models both the CUDA concurrent-kernel limit
+and a core-count cap (set ``capacity == max_concurrent`` and ``util = 1``
+per task for a classic multi-core pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+
+@dataclass(eq=False)
+class Resource:
+    """A contended execution engine in the simulated machine."""
+
+    name: str
+    capacity: float = 1.0
+    max_concurrent: int | None = None
+    busy_time: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(f"capacity of {self.name!r}", self.capacity)
+        if self.max_concurrent is not None:
+            check_positive(f"max_concurrent of {self.name!r}", self.max_concurrent)
+
+    def scale(self, total_util: float) -> float:
+        """GPS slowdown factor for the currently admitted total utilization."""
+        if total_util <= self.capacity:
+            return 1.0
+        return self.capacity / total_util
+
+    def has_slot(self, active_count: int) -> bool:
+        """Whether one more task may be admitted."""
+        return self.max_concurrent is None or active_count < self.max_concurrent

@@ -1,0 +1,133 @@
+"""Tasks and task graphs for the discrete-event engine.
+
+A :class:`Task` is one unit of recorded work: a GPU kernel, a PCIe transfer,
+or a host-side call.  Dependencies are explicit edges; the execution
+contexts in :mod:`repro.hetero` derive them from CUDA stream semantics
+(program order within a stream, events across streams, host synchronization).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.desim.resource import Resource
+from repro.util.exceptions import ValidationError
+
+_task_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class Task:
+    """One schedulable unit of work.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label; appears in timelines and traces.
+    resource:
+        Where the task runs.  ``None`` means a pure synchronization node
+        that completes the instant its dependencies do.
+    duration:
+        Seconds the task takes when running alone on its resource.
+    util:
+        Fraction of the resource's capacity the task can use alone
+        (``1.0`` = saturates it).  The engine converts this into GPS
+        demand: actual resource-seconds consumed are ``duration · util``.
+    kind:
+        Free-form category tag (``"gemm"``, ``"h2d"``, ...) used by trace
+        queries and overhead accounting.
+    meta:
+        Arbitrary annotations (block indices, iteration, byte counts).
+    """
+
+    name: str
+    resource: Resource | None = None
+    duration: float = 0.0
+    util: float = 1.0
+    kind: str = "task"
+    meta: dict[str, Any] = field(default_factory=dict)
+    deps: list["Task"] = field(default_factory=list)
+    tid: int = field(default_factory=lambda: next(_task_ids), init=False)
+
+    # Filled in by the engine:
+    start_time: float = field(default=-1.0, init=False)
+    finish_time: float = field(default=-1.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValidationError(f"task {self.name!r} has negative duration")
+        if not 0.0 < self.util <= 1.0:
+            raise ValidationError(
+                f"task {self.name!r} has util {self.util}, must be in (0, 1]"
+            )
+        if self.resource is None and self.duration > 0:
+            raise ValidationError(
+                f"task {self.name!r} has duration but no resource to run on"
+            )
+
+    def after(self, *tasks: "Task | None") -> "Task":
+        """Add dependencies (ignoring Nones) and return self for chaining."""
+        for t in tasks:
+            if t is not None:
+                self.deps.append(t)
+        return self
+
+    @property
+    def work(self) -> float:
+        """GPS work: resource-seconds this task must accumulate to finish."""
+        return self.duration * self.util
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, d={self.duration:.3e}, u={self.util:.2f})"
+
+
+class TaskGraph:
+    """An append-only collection of tasks forming a DAG.
+
+    The graph does not deduplicate or validate acyclicity eagerly — the
+    engine detects cycles as a deadlock (tasks that can never become ready).
+    Construction helpers keep driver code terse.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+
+    def add(self, task: Task) -> Task:
+        """Register *task* and return it."""
+        self.tasks.append(task)
+        return task
+
+    def new(
+        self,
+        name: str,
+        resource: Resource | None = None,
+        duration: float = 0.0,
+        util: float = 1.0,
+        kind: str = "task",
+        deps: list[Task] | None = None,
+        **meta: Any,
+    ) -> Task:
+        """Create, register and return a new task."""
+        task = Task(
+            name=name,
+            resource=resource,
+            duration=duration,
+            util=util,
+            kind=kind,
+            meta=meta,
+        )
+        if deps:
+            task.after(*deps)
+        return self.add(task)
+
+    def barrier(self, name: str, deps: list[Task]) -> Task:
+        """A zero-cost node that completes when all *deps* have."""
+        return self.new(name, deps=deps, kind="barrier")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)

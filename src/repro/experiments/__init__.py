@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of Section VII.
+
+Each module exposes ``run(...)`` returning a result record and
+``render(result)`` producing the text table/series.  All experiments run in
+shadow mode at the paper's sizes (real-mode equivalents at laptop scale
+live in the test suite).
+
+==================  =====================================================
+Table I, II-VI      :mod:`repro.experiments.analytic`
+Tables VII/VIII     :mod:`repro.experiments.capability`
+Figures 8/9         :mod:`repro.experiments.opt1`
+Figures 10/11       :mod:`repro.experiments.opt2`
+Figures 12/13       :mod:`repro.experiments.opt3`
+Figures 14/15       :mod:`repro.experiments.overhead`
+Figures 16/17       :mod:`repro.experiments.performance`
+==================  =====================================================
+"""
+
+from repro.experiments.common import (
+    BULLDOZER_SWEEP,
+    TARDIS_SWEEP,
+    baseline_time,
+    relative_overhead,
+    scheme_runner,
+    sweep_for,
+)
+
+__all__ = [
+    "BULLDOZER_SWEEP",
+    "TARDIS_SWEEP",
+    "baseline_time",
+    "relative_overhead",
+    "scheme_runner",
+    "sweep_for",
+]

@@ -1,0 +1,59 @@
+"""Tables I-VI: render the analytic models as text tables."""
+
+from __future__ import annotations
+
+from repro.models.overhead import overhead_breakdown
+from repro.models.verification import VERIFICATION_TABLE, total_verified_tiles
+from repro.util.formatting import render_table
+
+
+def render_table1() -> str:
+    """Table I: verification comparison."""
+    rows = [
+        (r.operation, r.online_verifies, r.online_blocks_big_o,
+         r.enhanced_verifies, r.enhanced_blocks_big_o)
+        for r in VERIFICATION_TABLE
+    ]
+    return render_table(
+        ["operation", "online verify", "online #blocks",
+         "enhanced verify", "enhanced #blocks"],
+        rows,
+        title="Table I — verification comparison",
+    )
+
+
+def render_verified_tile_counts(nb: int, k_values: tuple[int, ...] = (1, 3, 5)) -> str:
+    """Exact totals behind Table I's O() entries for an nb-tile matrix."""
+    rows = [("online", "-", total_verified_tiles(nb, "online"))]
+    for k in k_values:
+        rows.append(("enhanced", k, total_verified_tiles(nb, "enhanced", k)))
+    return render_table(
+        ["scheme", "K", f"tiles verified (nb={nb})"],
+        rows,
+        title="Verified-tile totals",
+    )
+
+
+def render_table6(
+    points: tuple[tuple[int, int, int], ...] = (
+        (20480, 256, 1),
+        (23040, 256, 1),
+        (30720, 512, 1),
+        (30720, 512, 3),
+        (30720, 512, 5),
+    ),
+) -> str:
+    """Table VI: overall relative overhead at representative points."""
+    rows = []
+    for n, b, k in points:
+        o = overhead_breakdown(n, b, k)
+        rows.append(
+            (n, b, k, f"{o.online_total:.5f}", f"{o.enhanced_total:.5f}",
+             f"{2.0 / b:.5f}", f"{(2.0 * k + 2.0) / (b * k):.5f}")
+        )
+    return render_table(
+        ["n", "B", "K", "online total", "enhanced total",
+         "online limit", "enhanced limit"],
+        rows,
+        title="Table VI — overall relative overhead",
+    )

@@ -1,0 +1,107 @@
+"""Future-GPU scaling: does the <6% overhead survive faster accelerators?
+
+The paper's overhead model says the asymptotic cost of Enhanced is the
+checksum *recalculation* — a bandwidth-bound O(n³/B)-byte stream — while
+the protected work is compute-bound O(n³).  GPU generations have grown
+FLOPS faster than memory bandwidth, so the relative overhead should
+*worsen* on future parts unless B grows with them (as MAGMA indeed did:
+256 on Fermi, 512 on Kepler).
+
+This experiment scales a baseline machine's compute peak by factors while
+holding memory bandwidth fixed, and reports Enhanced's relative overhead —
+with and without the compensating block-size increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import AbftConfig, enhanced_potrf
+from repro.hetero.machine import Machine
+from repro.hetero.spec import PRESETS, MachineSpec
+from repro.magma.potrf import magma_potrf
+from repro.util.formatting import render_table
+from repro.util.validation import check_positive, require
+
+
+def scaled_machine(base: MachineSpec, compute_factor: float) -> Machine:
+    """A hypothetical next-generation part: ×compute, same memory system."""
+    check_positive("compute_factor", compute_factor)
+    gpu = replace(base.gpu, peak_gflops=base.gpu.peak_gflops * compute_factor)
+    return Machine(replace(base, gpu=gpu))
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    compute_factor: float
+    block_size: int
+    baseline_seconds: float
+    enhanced_seconds: float
+
+    @property
+    def overhead(self) -> float:
+        return self.enhanced_seconds / self.baseline_seconds - 1.0
+
+
+@dataclass
+class ScalingResult:
+    machine: str
+    n: int
+    fixed_b: list[ScalingPoint]
+    scaled_b: list[ScalingPoint]
+
+    def render(self, title: str) -> str:
+        rows = []
+        for fixed, scaled in zip(self.fixed_b, self.scaled_b):
+            rows.append(
+                (
+                    f"{fixed.compute_factor:g}x",
+                    fixed.block_size,
+                    f"{fixed.overhead:.4f}",
+                    scaled.block_size,
+                    f"{scaled.overhead:.4f}",
+                )
+            )
+        return render_table(
+            ["compute", "B (fixed)", "overhead", "B (scaled)", "overhead"],
+            rows,
+            title=title,
+        )
+
+
+def run(
+    machine_name: str = "tardis",
+    n: int = 20480,
+    factors: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+) -> ScalingResult:
+    require(machine_name in PRESETS, f"unknown machine {machine_name!r}")
+    base = PRESETS[machine_name]
+    b0 = base.default_block_size
+    fixed: list[ScalingPoint] = []
+    scaled: list[ScalingPoint] = []
+    for f in factors:
+        machine = scaled_machine(base, f)
+        for out, b in ((fixed, b0), (scaled, _scaled_block(b0, f, n))):
+            baseline = magma_potrf(machine, n=n, block_size=b, numerics="shadow")
+            enhanced = enhanced_potrf(
+                machine, n=n, block_size=b, config=AbftConfig(), numerics="shadow"
+            )
+            out.append(
+                ScalingPoint(
+                    compute_factor=f,
+                    block_size=b,
+                    baseline_seconds=baseline.makespan,
+                    enhanced_seconds=enhanced.makespan,
+                )
+            )
+    return ScalingResult(machine=machine_name, n=n, fixed_b=fixed, scaled_b=scaled)
+
+
+def _scaled_block(b0: int, factor: float, n: int) -> int:
+    """Grow B with compute (doubling per 2× compute), bounded by n."""
+    b = b0
+    f = factor
+    while f >= 2.0 and b * 2 <= n and n % (b * 2) == 0:
+        b *= 2
+        f /= 2.0
+    return b

@@ -1,0 +1,125 @@
+"""Choosing K from the fault rate — quantifying Optimization 3's trade-off.
+
+The paper states the trade qualitatively: "For systems with low error rate,
+we can increase K to lower the overhead.  On the other hand, we need to
+keep K low for systems with high error rate."  This experiment makes it a
+number: for each fault rate we compute, per K,
+
+- the fault-free run time T(K) (simulated, all optimizations on), and
+- the probability that ≥2 faults strike within one K-iteration
+  verification window somewhere in the run — the event that can defeat the
+  two-checksum code and force a restart (conservatively: any window with
+  two faults counts, even though they usually land in different columns),
+
+giving the expected completion time ``E[T] = T(K) / (1 − p_restart)`` under
+retry-until-success recovery (each attempt fails independently with
+p_restart, so attempts are geometric).  The optimal K is the argmin; it
+grows as the fault rate falls, exactly the paper's guidance, and at very
+high rates the expectation diverges for large K — the regime where only
+K=1 keeps the window risk survivable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AbftConfig
+from repro.experiments.common import scheme_time
+from repro.faults.model import PoissonFaultModel
+from repro.hetero.machine import Machine
+from repro.util.formatting import render_table
+from repro.util.validation import check_positive
+
+_DOUBLE = 8
+
+
+@dataclass(frozen=True)
+class KPoint:
+    """One (fault rate, K) evaluation."""
+
+    k: int
+    run_seconds: float
+    p_restart: float
+    expected_seconds: float
+
+
+@dataclass
+class KPolicyResult:
+    machine: str
+    n: int
+    block_size: int
+    #: faults/GB/s → evaluated points (ascending K)
+    by_rate: dict[float, list[KPoint]]
+
+    def optimal_k(self, rate: float) -> int:
+        points = self.by_rate[rate]
+        return min(points, key=lambda p: p.expected_seconds).k
+
+    def render(self, title: str) -> str:
+        rows = []
+        for rate, points in self.by_rate.items():
+            best = self.optimal_k(rate)
+            for p in points:
+                rows.append(
+                    (
+                        f"{rate:g}",
+                        p.k,
+                        f"{p.run_seconds:.4f}",
+                        f"{p.p_restart:.2e}",
+                        f"{p.expected_seconds:.4f}",
+                        "<== optimal" if p.k == best else "",
+                    )
+                )
+        return render_table(
+            ["faults/GB/s", "K", "run (s)", "P[restart]", "E[T] (s)", ""],
+            rows,
+            title=title,
+        )
+
+
+def expected_completion(
+    machine_name: str,
+    n: int,
+    k: int,
+    rate_per_gb_s: float,
+    block_size: int | None = None,
+) -> KPoint:
+    """Expected completion time of Enhanced at interval *k* under *rate*."""
+    check_positive("k", k)
+    machine = Machine.preset(machine_name)
+    bs = block_size if block_size is not None else machine.default_block_size
+    t_run = scheme_time(
+        machine_name, "enhanced", n, AbftConfig(verify_interval=k), block_size=bs
+    )
+    footprint_gb = n * n * _DOUBLE / 1e9
+    model = PoissonFaultModel(rate_per_gb_s, footprint_gb)
+    nb = n // bs
+    t_iter = t_run / nb
+    windows = max(1, nb // k)
+    p_window = model.p_at_least(2, k * t_iter)
+    p_run = 1.0 - (1.0 - p_window) ** windows
+    expected = t_run / (1.0 - p_run) if p_run < 1.0 else float("inf")
+    return KPoint(
+        k=k,
+        run_seconds=t_run,
+        p_restart=p_run,
+        expected_seconds=expected,
+    )
+
+
+def run(
+    machine_name: str = "tardis",
+    n: int = 20480,
+    rates: tuple[float, ...] = (1e-6, 1e-4, 1e-2, 1.0),
+    k_values: tuple[int, ...] = (1, 2, 3, 5, 8, 12),
+    block_size: int | None = None,
+) -> KPolicyResult:
+    """Evaluate E[T] over a (rate × K) grid."""
+    machine = Machine.preset(machine_name)
+    bs = block_size if block_size is not None else machine.default_block_size
+    by_rate: dict[float, list[KPoint]] = {}
+    for rate in rates:
+        by_rate[rate] = [
+            expected_completion(machine_name, n, k, rate, bs) for k in k_values
+        ]
+    return KPolicyResult(machine=machine_name, n=n, block_size=bs, by_rate=by_rate)

@@ -1,0 +1,56 @@
+"""Figures 10/11: Optimization 2 — checksum-updating placement.
+
+Relative overhead of Enhanced Online-ABFT with updating serialized in the
+GPU's main stream (before) versus the placement the Section V-B decision
+model chooses (after): the idle CPU on Tardis, a dedicated GPU stream on
+Bulldozer64.  Optimization 1 is on in both configurations (the paper
+applies its optimizations cumulatively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import AbftConfig
+from repro.core.placement import choose_updating_placement
+from repro.experiments.common import overhead_sweep
+from repro.hetero.machine import Machine
+from repro.util.formatting import render_ascii_chart, render_series
+
+
+@dataclass
+class Opt2Result:
+    machine: str
+    sizes: tuple[int, ...]
+    before: list[float]
+    after: list[float]
+    chosen_placement: str
+
+    def render(self, title: str) -> str:
+        series = {"before opt2": self.before, "after opt2": self.after}
+        return (
+            render_series("n", self.sizes, series, title=title)
+            + f"\n(decision model chose: {self.chosen_placement})\n\n"
+            + render_ascii_chart(list(self.sizes), series, title="relative overhead")
+        )
+
+
+BASE = AbftConfig(verify_interval=1, updating_placement="gpu_main", recalc_streams=16)
+
+
+def run(machine_name: str, sizes: tuple[int, ...] | None = None) -> Opt2Result:
+    _, before = overhead_sweep(machine_name, "enhanced", BASE, sizes)
+    sweep, after = overhead_sweep(
+        machine_name, "enhanced", replace(BASE, updating_placement="auto"), sizes
+    )
+    machine = Machine.preset(machine_name)
+    chosen = choose_updating_placement(
+        machine.spec, sweep[-1], machine.default_block_size
+    )
+    return Opt2Result(
+        machine=machine_name,
+        sizes=sweep,
+        before=before,
+        after=after,
+        chosen_placement=chosen,
+    )

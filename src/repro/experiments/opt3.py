@@ -1,0 +1,50 @@
+"""Figures 12/13: Optimization 3 — the verification interval K.
+
+Relative overhead of Enhanced Online-ABFT for K ∈ {1, 3, 5} (Optimizations
+1 and 2 on).  Expected shape: overhead falls markedly from K=1 to K=3 and
+less from K=3 to K=5, since the deferrable (GEMM/TRSM-input) recalculation
+— the dominant cost — scales as 1/K while the always-on SYRK/POTF2
+verification does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import AbftConfig
+from repro.experiments.common import overhead_sweep
+from repro.util.formatting import render_ascii_chart, render_series
+
+K_VALUES = (1, 3, 5)
+
+BASE = AbftConfig(verify_interval=1, updating_placement="auto", recalc_streams=16)
+
+
+@dataclass
+class Opt3Result:
+    machine: str
+    sizes: tuple[int, ...]
+    overheads: dict[int, list[float]]  # K -> overhead per size
+
+    def render(self, title: str) -> str:
+        series = {f"K={k}": ys for k, ys in self.overheads.items()}
+        return (
+            render_series("n", self.sizes, series, title=title)
+            + "\n\n"
+            + render_ascii_chart(list(self.sizes), series, title="relative overhead")
+        )
+
+
+def run(
+    machine_name: str,
+    sizes: tuple[int, ...] | None = None,
+    k_values: tuple[int, ...] = K_VALUES,
+) -> Opt3Result:
+    overheads: dict[int, list[float]] = {}
+    sweep: tuple[int, ...] = ()
+    for k in k_values:
+        sweep, ys = overhead_sweep(
+            machine_name, "enhanced", replace(BASE, verify_interval=k), sizes
+        )
+        overheads[k] = ys
+    return Opt3Result(machine=machine_name, sizes=sweep, overheads=overheads)

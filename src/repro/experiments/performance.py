@@ -1,0 +1,53 @@
+"""Figures 16/17: performance comparison (sustained GFLOPS).
+
+Plain MAGMA, the CULA R18 baseline model, and the three ABFT schemes
+across the size sweep.  Expected shape: MAGMA on top; the three ABFT
+curves just below it (ordered offline ≥ online ≥ enhanced, all within a
+few percent); CULA clearly below all of them — i.e. Enhanced Online-ABFT
+delivers fault tolerance *and* beats the vendor library, the paper's
+headline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blas.flops import potrf_flops
+from repro.core import AbftConfig
+from repro.experiments.common import baseline_time, scheme_time, sweep_for
+from repro.hetero.machine import Machine
+from repro.magma.cula import cula_potrf_time
+from repro.util.formatting import render_ascii_chart, render_series
+
+CONFIG = AbftConfig(verify_interval=1, updating_placement="auto", recalc_streams=16)
+
+SERIES_ORDER = ("magma", "cula", "offline", "online", "enhanced")
+
+
+@dataclass
+class PerformanceResult:
+    machine: str
+    sizes: tuple[int, ...]
+    gflops: dict[str, list[float]]
+
+    def render(self, title: str) -> str:
+        return (
+            render_series("n", self.sizes, self.gflops, title=title, precision=1)
+            + "\n\n"
+            + render_ascii_chart(list(self.sizes), self.gflops, title="GFLOPS")
+        )
+
+
+def run(machine_name: str, sizes: tuple[int, ...] | None = None) -> PerformanceResult:
+    machine = Machine.preset(machine_name)
+    sweep = sizes if sizes is not None else sweep_for(machine_name)
+    gflops: dict[str, list[float]] = {name: [] for name in SERIES_ORDER}
+    for n in sweep:
+        flops = potrf_flops(n)
+        gflops["magma"].append(flops / baseline_time(machine_name, n) / 1e9)
+        gflops["cula"].append(flops / cula_potrf_time(machine.spec, n) / 1e9)
+        for scheme in ("offline", "online", "enhanced"):
+            gflops[scheme].append(
+                flops / scheme_time(machine_name, scheme, n, CONFIG) / 1e9
+            )
+    return PerformanceResult(machine=machine_name, sizes=sweep, gflops=gflops)

@@ -1,0 +1,36 @@
+"""Fault injection: the stand-in for real soft errors.
+
+- :mod:`repro.faults.bitflip` — flip bits of live float64 storage (storage
+  errors, i.e. "0 becomes 1") and perturb kernel outputs (computing errors,
+  i.e. "1+1=3").
+- :mod:`repro.faults.taint` — coordinate-level corruption tracking with the
+  propagation semantics of SYRK/GEMM/TRSM/POTF2; this is how shadow-mode
+  (paper-scale) runs know whether ABFT could have corrected an error.
+- :mod:`repro.faults.injector` — deterministic fault plans fired at named
+  hook points inside the factorization ("after SYRK of iteration 3",
+  "between verification and read"), plus helpers to build the exact
+  scenarios of Tables VII/VIII.
+- :mod:`repro.faults.model` — Poisson arrival processes for random fault
+  campaigns (used to reason about the verification interval K).
+"""
+
+from repro.faults.bitflip import flip_bit, perturb
+from repro.faults.campaign import CampaignOutcome, CampaignSpec, run_campaign, sample_plan
+from repro.faults.injector import FaultInjector, FaultPlan, Hook
+from repro.faults.model import PoissonFaultModel, recommended_interval
+from repro.faults.taint import TaintState
+
+__all__ = [
+    "flip_bit",
+    "perturb",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "run_campaign",
+    "sample_plan",
+    "FaultInjector",
+    "FaultPlan",
+    "Hook",
+    "PoissonFaultModel",
+    "recommended_interval",
+    "TaintState",
+]

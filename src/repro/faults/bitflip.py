@@ -1,0 +1,53 @@
+"""Bit-level corruption of float64 storage.
+
+A *storage error* is a bit flip in memory that ECC missed (or a multi-bit
+flip ECC cannot fix — Section III of the paper).  We flip real bits of the
+IEEE-754 representation in the live NumPy buffer, so the corruption behaves
+exactly like the hardware event: a high-exponent flip produces a huge bogus
+magnitude, a low-mantissa flip a tiny one below any detection threshold.
+
+A *computing error* (``1+1=3``) is modelled as an additive perturbation of
+one element of a kernel's output, applied immediately after the kernel runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+def flip_bit(a: np.ndarray, index: tuple[int, ...], bit: int) -> float:
+    """Flip *bit* (0 = LSB of mantissa … 63 = sign) of ``a[index]`` in place.
+
+    Returns the old value so tests and campaign logs can record the flip.
+    """
+    require(a.dtype == np.float64, "flip_bit requires a float64 array")
+    require(0 <= bit < 64, f"bit index {bit} outside [0, 64)")
+    old = float(a[index])
+    view = a.view(np.uint64)
+    view[index] ^= np.uint64(1) << np.uint64(bit)
+    return old
+
+
+def perturb(a: np.ndarray, index: tuple[int, ...], delta: float) -> float:
+    """Add *delta* to ``a[index]`` in place (a computing error); return old."""
+    require(a.dtype == np.float64, "perturb requires a float64 array")
+    old = float(a[index])
+    a[index] = old + delta
+    return old
+
+
+def significant_bit_for(value: float, magnitude: float = 1.0) -> int:
+    """Pick an exponent bit whose flip visibly corrupts *value*.
+
+    Flipping exponent bit 54 (the lowest exponent bit is 52) multiplies or
+    divides the magnitude by 4, comfortably above rounding thresholds for
+    O(*magnitude*) data while staying finite.  For exact zeros we flip a
+    high mantissa bit instead, producing a small-but-detectable denormal-ish
+    value — zero has no exponent to disturb.
+    """
+    if value == 0.0:
+        return 51
+    del magnitude  # reserved for smarter policies
+    return 54

@@ -1,0 +1,218 @@
+"""Deterministic fault plans fired at named hook points.
+
+The paper's capability experiments (Tables VII/VIII) inject *one* error of a
+chosen type at a chosen moment:
+
+- a **computing error** lands in the output of an updating kernel;
+- a **storage error** lands in a block *after* it was last verified and
+  *before* it is next read — the window existing Online-ABFT does not cover.
+
+Scheme drivers call :meth:`FaultInjector.fire` at well-known hooks; the
+injector applies every armed plan whose (hook, iteration) matches.  Targets
+address a tile of the matrix or of its checksum strip plus an in-tile
+coordinate, so the same plan works in real mode (actual bit flip /
+perturbation) and shadow mode (taint point).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.faults.bitflip import flip_bit, perturb, significant_bit_for
+from repro.faults.taint import TaintState
+from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hetero.memory import DeviceBuffer
+
+
+class Hook(str, enum.Enum):
+    """Moments in the factorization where faults can strike.
+
+    The ``AFTER_*`` hooks fire right after the named kernel's output exists
+    (computing-error window); ``STORAGE_WINDOW`` fires after an iteration's
+    verifications are complete but before the next iteration reads the data
+    (the storage-error window of Section III).
+    """
+
+    AFTER_SYRK = "after_syrk"
+    AFTER_GEMM = "after_gemm"
+    AFTER_POTF2 = "after_potf2"
+    AFTER_TRSM = "after_trsm"
+    STORAGE_WINDOW = "storage_window"
+    BEFORE_FACTORIZATION = "before_factorization"
+
+
+@dataclass
+class FaultPlan:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    hook:
+        When to strike.
+    iteration:
+        Outer iteration index the hook must report (``-1`` = any).
+    kind:
+        ``"storage"`` (bit flip in memory) or ``"computing"`` (bad result).
+    target:
+        ``"matrix"`` or ``"checksum"``.
+    block:
+        Tile coordinates (i, j) of the victim.
+    coord:
+        In-tile coordinates (r, c).  For checksum strips r ∈ {0, 1}.
+    bit:
+        Bit to flip for storage faults; ``None`` picks a significant
+        exponent bit automatically.
+    delta:
+        Additive error magnitude for computing faults.
+    """
+
+    hook: Hook
+    iteration: int
+    kind: str
+    block: tuple[int, int]
+    coord: tuple[int, int]
+    target: str = "matrix"
+    bit: int | None = None
+    delta: float = 1024.0
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("storage", "computing"), f"bad fault kind {self.kind!r}")
+        require(self.target in ("matrix", "checksum"), f"bad target {self.target!r}")
+
+
+@dataclass
+class FiredFault:
+    """Record of one applied fault (for logs and assertions)."""
+
+    plan: FaultPlan
+    iteration: int
+    old_value: float | None
+
+
+class FaultInjector:
+    """Applies :class:`FaultPlan` entries when their hook fires.
+
+    One injector instance is threaded through a factorization run.  It is
+    bound to the buffers it may corrupt via :meth:`bind`, because the
+    drivers allocate device storage only after the injector is configured.
+    """
+
+    def __init__(self, plans: list[FaultPlan] | None = None) -> None:
+        self.plans = list(plans or [])
+        self.fired: list[FiredFault] = []
+        self._buffers: dict[str, DeviceBuffer] = {}
+
+    def bind(self, target: str, buffer: "DeviceBuffer") -> None:
+        """Associate the ``"matrix"`` / ``"checksum"`` target with *buffer*."""
+        require(target in ("matrix", "checksum"), f"bad target {target!r}")
+        self._buffers[target] = buffer
+
+    def add(self, plan: FaultPlan) -> FaultPlan:
+        self.plans.append(plan)
+        return plan
+
+    @property
+    def armed(self) -> bool:
+        return any(not p.fired for p in self.plans)
+
+    def reset(self) -> None:
+        """Re-arm all plans (used between capability-table runs)."""
+        for p in self.plans:
+            p.fired = False
+        self.fired.clear()
+
+    def disarm(self) -> None:
+        """Mark every plan fired — a restarted run must not re-inject.
+
+        Matches the experimental protocol: the injected error is a one-shot
+        event; the recovery re-run executes fault-free.
+        """
+        for p in self.plans:
+            p.fired = True
+
+    # -- firing -----------------------------------------------------------------
+
+    def fire(self, hook: Hook, iteration: int) -> list[FiredFault]:
+        """Apply every armed plan matching (*hook*, *iteration*)."""
+        applied: list[FiredFault] = []
+        for plan in self.plans:
+            if plan.fired or plan.hook != hook:
+                continue
+            if plan.iteration not in (-1, iteration):
+                continue
+            applied.append(self._apply(plan, iteration))
+        self.fired.extend(applied)
+        return applied
+
+    def _apply(self, plan: FaultPlan, iteration: int) -> FiredFault:
+        buffer = self._buffers.get(plan.target)
+        require(
+            buffer is not None,
+            f"no buffer bound for target {plan.target!r}; call bind() first",
+        )
+        plan.fired = True
+        old: float | None = None
+        if buffer.array is not None:
+            tile = buffer.tile_view(plan.block)
+            if plan.kind == "storage":
+                bit = plan.bit
+                if bit is None:
+                    bit = significant_bit_for(float(tile[plan.coord]))
+                old = flip_bit(tile, plan.coord, bit)
+            else:
+                old = perturb(tile, plan.coord, plan.delta)
+        # Taint bookkeeping happens in both modes; in real mode it is only
+        # informational (verification uses the numerics), in shadow mode it
+        # *is* the corruption.
+        taint = buffer.taint_of(plan.block)
+        taint.add_point(*plan.coord)
+        return FiredFault(plan=plan, iteration=iteration, old_value=old)
+
+
+def no_faults() -> FaultInjector:
+    """An injector with no plans (the fault-free baseline runs)."""
+    return FaultInjector([])
+
+
+def single_computing_fault(
+    block: tuple[int, int],
+    coord: tuple[int, int] = (3, 5),
+    iteration: int | None = None,
+    delta: float = 1024.0,
+    hook: Hook = Hook.AFTER_GEMM,
+) -> FaultInjector:
+    """The Table VII/VIII 'Computation Error' scenario: one bad kernel result."""
+    it = block[1] if iteration is None else iteration
+    return FaultInjector(
+        [FaultPlan(hook=hook, iteration=it, kind="computing", block=block, coord=coord, delta=delta)]
+    )
+
+
+def single_storage_fault(
+    block: tuple[int, int],
+    coord: tuple[int, int] = (2, 7),
+    iteration: int = 0,
+    bit: int | None = None,
+    target: str = "matrix",
+) -> FaultInjector:
+    """The 'Memory Error' scenario: a bit flip in the post-verification window."""
+    return FaultInjector(
+        [
+            FaultPlan(
+                hook=Hook.STORAGE_WINDOW,
+                iteration=iteration,
+                kind="storage",
+                block=block,
+                coord=coord,
+                bit=bit,
+                target=target,
+            )
+        ]
+    )
+
+_TaintState = TaintState  # re-export convenience for type checkers

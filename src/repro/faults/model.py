@@ -1,0 +1,86 @@
+"""Stochastic fault-arrival models.
+
+The paper's Optimization 3 trades verification frequency against the system
+fault rate: "for systems with low error rate, we can increase K".  This
+module provides the quantitative side of that trade:
+
+- :class:`PoissonFaultModel` — memoryless soft-error arrivals over the
+  resident data, parameterized as faults per gigabyte-second (the unit used
+  by large-scale DRAM/GPU field studies);
+- :func:`recommended_interval` — the largest verification interval K that
+  keeps the probability of ≥2 faults striking the same block column within
+  one verification window below a target (two faults in one column defeat
+  the two-checksum code).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_positive, require
+
+
+class PoissonFaultModel:
+    """Homogeneous Poisson soft-error arrivals over a memory footprint."""
+
+    def __init__(self, faults_per_gb_s: float, footprint_gb: float) -> None:
+        check_positive("faults_per_gb_s", faults_per_gb_s)
+        check_positive("footprint_gb", footprint_gb)
+        self.rate = faults_per_gb_s * footprint_gb  # faults per second
+
+    def expected_faults(self, duration_s: float) -> float:
+        """Mean number of faults over *duration_s* seconds."""
+        require(duration_s >= 0, "duration must be nonnegative")
+        return self.rate * duration_s
+
+    def p_at_least_one(self, duration_s: float) -> float:
+        """P[≥1 fault in *duration_s*]."""
+        return -math.expm1(-self.expected_faults(duration_s))
+
+    def p_at_least(self, k: int, duration_s: float) -> float:
+        """P[≥k faults in *duration_s*] via the Poisson tail."""
+        check_positive("k", k)
+        lam = self.expected_faults(duration_s)
+        # 1 - CDF(k-1); stable summation, lam is small in practice.
+        acc = 0.0
+        term = math.exp(-lam)
+        for i in range(k):
+            acc += term
+            term = term * lam / (i + 1)
+        return max(0.0, 1.0 - acc)
+
+    def sample_arrivals(
+        self,
+        duration_s: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Fault arrival times (sorted) in [0, duration_s)."""
+        gen = resolve_rng(rng)
+        n = gen.poisson(self.expected_faults(duration_s))
+        return np.sort(gen.uniform(0.0, duration_s, size=n))
+
+
+def recommended_interval(
+    model: PoissonFaultModel,
+    iteration_time_s: float,
+    max_k: int = 64,
+    risk_budget: float = 1e-6,
+) -> int:
+    """Largest K with P[≥2 faults within one K-iteration window] ≤ budget.
+
+    Two faults inside one window can land in the same block column, which
+    the two-checksum code cannot correct — so the window is sized to make
+    that a ≤ *risk_budget* event.  K ≥ 1 always (the scheme must verify).
+    """
+    check_positive("iteration_time_s", iteration_time_s)
+    require(0.0 < risk_budget < 1.0, "risk_budget must be in (0, 1)")
+    best = 1
+    for k in range(1, max_k + 1):
+        if model.p_at_least(2, k * iteration_time_s) <= risk_budget:
+            best = k
+        else:
+            break
+    return best

@@ -1,0 +1,48 @@
+"""Simulated heterogeneous CPU+GPU machine.
+
+This subpackage replaces the paper's physical testbeds.  It provides:
+
+- :mod:`repro.hetero.spec` — hardware descriptions, with presets calibrated
+  to the paper's two systems (``TARDIS``: 2× Opteron 6272 + Tesla M2075
+  Fermi; ``BULLDOZER64``: 4× Opteron 6272 + Tesla K40c Kepler);
+- :mod:`repro.hetero.costmodel` — a roofline-style kernel cost model that
+  assigns each kernel a solo duration and a GPU-utilization fraction (the
+  quantity behind concurrent-kernel speedups);
+- :mod:`repro.hetero.memory` — device-resident buffers: tiled matrices and
+  checksum strips whose live storage can suffer injected bit flips;
+- :mod:`repro.hetero.stream` — CUDA-like streams and events;
+- :mod:`repro.hetero.context` — the execution context drivers program
+  against: it runs real NumPy numerics (or shadow/taint semantics) *and*
+  records every kernel, transfer and host call into a
+  :class:`repro.desim.TaskGraph`;
+- :mod:`repro.hetero.machine` — the facade tying specs, resources and
+  contexts together.
+"""
+
+from repro.hetero.context import ExecutionContext
+from repro.hetero.machine import Machine
+from repro.hetero.memory import DeviceChecksums, DeviceMatrix
+from repro.hetero.spec import (
+    BULLDOZER64,
+    TARDIS,
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    MachineSpec,
+)
+from repro.hetero.stream import GpuEvent, Stream
+
+__all__ = [
+    "ExecutionContext",
+    "Machine",
+    "DeviceChecksums",
+    "DeviceMatrix",
+    "BULLDOZER64",
+    "TARDIS",
+    "CpuSpec",
+    "GpuSpec",
+    "LinkSpec",
+    "MachineSpec",
+    "GpuEvent",
+    "Stream",
+]

@@ -1,0 +1,158 @@
+"""Device-resident buffers: tiled matrices and checksum strips.
+
+A buffer owns (a) optional real storage — a NumPy array, present in real
+mode only — and (b) a taint map from tile key to
+:class:`repro.faults.taint.TaintState`, present in both modes.  Real-mode
+corruption lives in the actual bits; shadow-mode corruption lives only in
+the taint map.  Fault injection and ABFT verification address both through
+the same ``tile_view`` / ``taint_of`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.blocked import BlockedMatrix
+from repro.faults.taint import TaintState
+from repro.util.validation import check_block_size, check_positive, require
+
+_DOUBLE = 8
+
+
+class DeviceBuffer:
+    """Base class: named device allocation with taint bookkeeping."""
+
+    def __init__(self, name: str, nbytes: int, array: np.ndarray | None) -> None:
+        check_positive(f"nbytes of {name!r}", nbytes)
+        self.name = name
+        self.nbytes = nbytes
+        self.array = array
+        self._taint: dict[tuple[int, int], TaintState] = {}
+
+    @property
+    def real(self) -> bool:
+        return self.array is not None
+
+    def taint_of(self, key: tuple[int, int]) -> TaintState:
+        """The (mutable) taint state of tile *key*, created clean on demand."""
+        state = self._taint.get(key)
+        if state is None:
+            state = TaintState()
+            self._taint[key] = state
+        return state
+
+    def any_taint(self) -> bool:
+        return any(not t.is_clean() for t in self._taint.values())
+
+    def tainted_keys(self) -> list[tuple[int, int]]:
+        return [k for k, t in self._taint.items() if not t.is_clean()]
+
+    def snapshot_taint(self) -> dict[tuple[int, int], TaintState]:
+        """Deep copy of the current taint map (checkpointing support)."""
+        return {k: t.copy() for k, t in self._taint.items()}
+
+    def restore_taint(self, snapshot: dict[tuple[int, int], TaintState]) -> None:
+        """Replace the taint map with a prior snapshot (rollback support)."""
+        self._taint = {k: t.copy() for k, t in snapshot.items()}
+
+    def tile_view(self, key: tuple[int, int]) -> np.ndarray:
+        raise NotImplementedError
+
+
+class DeviceMatrix(DeviceBuffer):
+    """An n×n tiled matrix resident in simulated GPU memory.
+
+    In real mode it wraps a :class:`BlockedMatrix` (zero-copy tile views);
+    in shadow mode only the geometry exists.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        block_size: int,
+        blocked: BlockedMatrix | None,
+    ) -> None:
+        self.n = n
+        self.block_size = block_size
+        self.nb = check_block_size(n, block_size)
+        if blocked is not None:
+            require(blocked.n == n, "blocked matrix order mismatch")
+            require(blocked.block_size == block_size, "block size mismatch")
+        self.blocked = blocked
+        super().__init__(
+            name,
+            nbytes=n * n * _DOUBLE,
+            array=None if blocked is None else blocked.data,
+        )
+
+    def tile_view(self, key: tuple[int, int]) -> np.ndarray:
+        require(self.blocked is not None, f"{self.name}: no storage in shadow mode")
+        return self.blocked.block(*key)
+
+    def block(self, i: int, j: int) -> np.ndarray:
+        return self.tile_view((i, j))
+
+
+class DeviceChecksums(DeviceBuffer):
+    """The checksum matrix: an (r·nb) × n strip array, r checksums per tile.
+
+    Tile (i, j) of the data matrix owns strip rows [r·i, r·(i+1)) and
+    columns [j·B, (j+1)·B): its r weighted column checksums, stored
+    contiguously "so they can be updated together" (Section IV-A).  The
+    paper's scheme uses r = 2; larger r enables the m+1-checksum
+    generalization (:mod:`repro.core.multierror`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        block_size: int,
+        array: np.ndarray | None,
+        rows_per_tile: int = 2,
+    ) -> None:
+        require(rows_per_tile >= 2, "need at least two checksums per tile")
+        self.n = n
+        self.block_size = block_size
+        self.rows_per_tile = rows_per_tile
+        self.nb = check_block_size(n, block_size)
+        if array is not None:
+            require(
+                array.shape == (rows_per_tile * self.nb, n),
+                f"checksum array must be {(rows_per_tile * self.nb, n)}, "
+                f"got {array.shape}",
+            )
+        super().__init__(
+            name, nbytes=rows_per_tile * self.nb * n * _DOUBLE, array=array
+        )
+
+    @classmethod
+    def zeros(
+        cls,
+        name: str,
+        n: int,
+        block_size: int,
+        real: bool,
+        rows_per_tile: int = 2,
+    ) -> "DeviceChecksums":
+        nb = check_block_size(n, block_size)
+        arr = np.zeros((rows_per_tile * nb, n), dtype=np.float64) if real else None
+        return cls(name, n, block_size, arr, rows_per_tile=rows_per_tile)
+
+    def tile_view(self, key: tuple[int, int]) -> np.ndarray:
+        """The r×B strip of tile *key* (zero-copy view)."""
+        require(self.array is not None, f"{self.name}: no storage in shadow mode")
+        i, j = key
+        b, r = self.block_size, self.rows_per_tile
+        require(0 <= i < self.nb and 0 <= j < self.nb, f"tile {key} out of range")
+        return self.array[r * i : r * (i + 1), j * b : (j + 1) * b]
+
+    def strip(self, i: int, j: int) -> np.ndarray:
+        return self.tile_view((i, j))
+
+    def strip_row(self, i: int, j0: int, j1: int) -> np.ndarray:
+        """Strips of tiles (i, j0..j1-1) as one r × (j1-j0)·B view."""
+        require(self.array is not None, f"{self.name}: no storage in shadow mode")
+        b, r = self.block_size, self.rows_per_tile
+        return self.array[r * i : r * (i + 1), j0 * b : j1 * b]

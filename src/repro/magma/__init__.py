@@ -1,0 +1,29 @@
+"""MAGMA-style hybrid Cholesky: the substrate the ABFT schemes protect.
+
+- :mod:`repro.magma.ops` — the four blocked operations of Algorithm 1
+  (SYRK, GEMM, POTF2, TRSM) as execution-context launches: each runs the
+  real NumPy numerics (real mode), propagates taint (shadow mode), and
+  records a priced task.
+- :mod:`repro.magma.potrf` — the plain (fault-intolerant) hybrid driver,
+  the "Original MAGMA" series of Figures 16/17.
+- :mod:`repro.magma.host` — host-only reference factorizations used as
+  ground truth in tests.
+- :mod:`repro.magma.cula` — the calibrated CULA R18 baseline model.
+"""
+
+from repro.magma.cula import cula_potrf_time
+from repro.magma.host import host_blocked_potrf, host_potrf
+from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
+from repro.magma.potrf import PotrfResult, magma_potrf
+
+__all__ = [
+    "cula_potrf_time",
+    "host_blocked_potrf",
+    "host_potrf",
+    "gemm_op",
+    "potf2_op",
+    "syrk_op",
+    "trsm_op",
+    "PotrfResult",
+    "magma_potrf",
+]

@@ -1,0 +1,23 @@
+"""Analytic models from the paper: verification counts (Table I) and the
+Section VI overhead formulas (Tables II-VI)."""
+
+from repro.models.overhead import (
+    OverheadBreakdown,
+    enhanced_overall_relative,
+    enhanced_overall_relative_limit,
+    online_overall_relative,
+    online_overall_relative_limit,
+    overhead_breakdown,
+)
+from repro.models.verification import VERIFICATION_TABLE, verification_counts
+
+__all__ = [
+    "OverheadBreakdown",
+    "enhanced_overall_relative",
+    "enhanced_overall_relative_limit",
+    "online_overall_relative",
+    "online_overall_relative_limit",
+    "overhead_breakdown",
+    "VERIFICATION_TABLE",
+    "verification_counts",
+]

@@ -1,0 +1,35 @@
+"""Shared utilities: validation, exceptions, text rendering, RNG helpers."""
+
+from repro.util.exceptions import (
+    DeadlockError,
+    DeviceMemoryError,
+    ReproError,
+    RestartExhaustedError,
+    SimulationError,
+    SingularBlockError,
+    UnrecoverableError,
+    ValidationError,
+)
+from repro.util.validation import (
+    check_block_size,
+    check_dtype,
+    check_positive,
+    check_square,
+    require,
+)
+
+__all__ = [
+    "DeadlockError",
+    "DeviceMemoryError",
+    "ReproError",
+    "RestartExhaustedError",
+    "SimulationError",
+    "SingularBlockError",
+    "UnrecoverableError",
+    "ValidationError",
+    "check_block_size",
+    "check_dtype",
+    "check_positive",
+    "check_square",
+    "require",
+]

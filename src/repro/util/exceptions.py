@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+Fault-tolerance control flow (restart requests, unrecoverable corruption)
+uses dedicated exception types because the schemes in :mod:`repro.core`
+genuinely use them for non-local control transfer, mirroring how the paper's
+implementation aborts and re-runs a decomposition when ABFT cannot correct.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, ...)."""
+
+
+class SingularBlockError(ReproError, ArithmeticError):
+    """A diagonal block was not positive definite during POTF2.
+
+    On the real machine this is the *fail-stop* outcome the paper warns
+    about: a storage error that breaks positive definiteness terminates the
+    whole factorization inside the vendor POTF2.
+    """
+
+    def __init__(self, block_index: int, pivot: int, value: float) -> None:
+        super().__init__(
+            f"diagonal block {block_index} lost positive definiteness at "
+            f"pivot {pivot} (leading value {value!r})"
+        )
+        self.block_index = block_index
+        self.pivot = pivot
+        self.value = value
+
+
+class UnrecoverableError(ReproError, RuntimeError):
+    """ABFT verification found corruption it cannot correct.
+
+    Raised when more than one error hits a single block column, when the
+    located row index is inconsistent, or when taint analysis (shadow mode)
+    reports propagated corruption.  Scheme drivers translate this into a
+    restart of the whole decomposition, doubling the simulated run time
+    exactly as in Tables VII/VIII of the paper.
+    """
+
+    def __init__(self, message: str, *, block: tuple[int, int] | None = None) -> None:
+        super().__init__(message)
+        self.block = block
+
+
+class RestartExhaustedError(ReproError, RuntimeError):
+    """The scheme restarted ``max_restarts`` times and still failed."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine detected an inconsistent schedule."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable task remains but unfinished tasks exist."""
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """A simulated device allocation exceeded the device's capacity."""

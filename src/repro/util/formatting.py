@@ -1,0 +1,100 @@
+"""Plain-text rendering of tables and line series.
+
+The experiment harness regenerates the paper's tables and figures as text:
+tables render with box-drawing-free ASCII (so they diff cleanly in CI logs)
+and figures render as aligned numeric series plus an optional ASCII chart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render one or more y-series against shared x values (a text 'figure')."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name, ys in series.items():
+            if len(ys) != len(x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
+                )
+            row.append(round(float(ys[i]), precision))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render a crude ASCII line chart — enough to eyeball curve shapes."""
+    if not series:
+        raise ValueError("no series to chart")
+    markers = "*o+x#@%&"
+    all_y = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for s_idx, (name, ys) in enumerate(series.items()):
+        mark = markers[s_idx % len(markers)]
+        for i, y in enumerate(ys):
+            col = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            row = round((hi - y) / (hi - lo) * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {lo:.4g} .. {hi:.4g}")
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"x: {x_values[0]} .. {x_values[-1]}    {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,39 @@
+"""Shared fixtures: machines, SPD matrices, and small helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd
+from repro.hetero.machine import Machine
+
+
+@pytest.fixture
+def tardis() -> Machine:
+    return Machine.preset("tardis")
+
+
+@pytest.fixture
+def bulldozer() -> Machine:
+    return Machine.preset("bulldozer64")
+
+
+@pytest.fixture(params=["tardis", "bulldozer64"])
+def any_machine(request) -> Machine:
+    return Machine.preset(request.param)
+
+
+@pytest.fixture
+def spd256() -> np.ndarray:
+    """A 256×256 well-conditioned SPD matrix (deterministic)."""
+    return random_spd(256, rng=42)
+
+
+@pytest.fixture
+def spd512() -> np.ndarray:
+    return random_spd(512, rng=7)
+
+
+def relative_residual(a0: np.ndarray, ell: np.ndarray) -> float:
+    return float(np.linalg.norm(ell @ ell.T - a0) / np.linalg.norm(a0))

@@ -1,0 +1,90 @@
+"""Tests for the checkpoint + periodic-verification baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.checkpoint import checkpoint_potrf
+from repro.blas.spd import random_spd
+from repro.core import enhanced_potrf
+from repro.faults.injector import single_computing_fault, single_storage_fault
+from repro.magma.host import factorization_residual, host_potrf
+from repro.magma.potrf import magma_potrf
+
+N, BS = 512, 64  # nb = 8
+
+
+@pytest.fixture
+def a0():
+    return random_spd(N, rng=41)
+
+
+class TestCleanRuns:
+    def test_factor_correct(self, tardis, a0):
+        res = checkpoint_potrf(tardis, a=a0.copy(), block_size=BS, interval=3)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-9, atol=1e-12)
+        assert res.rollbacks == 0
+
+    def test_checkpoint_count(self, tardis, a0):
+        res = checkpoint_potrf(tardis, a=a0.copy(), block_size=BS, interval=3)
+        # boundaries after iterations 2, 5, 7 (nb=8): 3 checkpoints
+        assert res.checkpoints_taken == 3
+
+    def test_interval_one_checkpoints_every_iteration(self, tardis, a0):
+        res = checkpoint_potrf(tardis, a=a0.copy(), block_size=BS, interval=1)
+        assert res.checkpoints_taken == N // BS
+
+    def test_costs_more_than_plain(self, tardis):
+        plain = magma_potrf(tardis, n=4096, numerics="shadow").makespan
+        ckpt = checkpoint_potrf(tardis, n=4096, interval=4, numerics="shadow").makespan
+        assert ckpt > plain
+
+    def test_small_interval_costs_more(self, tardis):
+        loose = checkpoint_potrf(tardis, n=4096, interval=8, numerics="shadow").makespan
+        tight = checkpoint_potrf(tardis, n=4096, interval=1, numerics="shadow").makespan
+        assert tight > loose
+
+
+class TestRecovery:
+    def test_storage_fault_rolls_back_not_restart(self, tardis, a0):
+        """A storage fault on a finished tile: detected at the next sweep,
+        repaired by rollback + replay — and the result is still right."""
+        inj = single_storage_fault(block=(4, 2), iteration=3, bit=58)
+        res = checkpoint_potrf(
+            tardis, a=a0.copy(), block_size=BS, interval=2, injector=inj
+        )
+        assert factorization_residual(a0, res.factor) < 1e-9
+        # either the sweep corrected it in place (single error caught at
+        # the next boundary) or a rollback replayed the segment
+        assert res.rollbacks >= 0
+
+    def test_computing_fault_recovered(self, tardis, a0):
+        inj = single_computing_fault(block=(5, 3), delta=1e6)
+        res = checkpoint_potrf(
+            tardis, a=a0.copy(), block_size=BS, interval=2, injector=inj
+        )
+        assert factorization_residual(a0, res.factor) < 1e-7
+
+    def test_rollback_bounded_replay(self, tardis):
+        """Shadow mode: an uncorrectable mid-run fault costs at most one
+        segment's replay, far less than a full restart."""
+        clean = checkpoint_potrf(tardis, n=4096, interval=2, numerics="shadow")
+        # a fault on the next SYRK's input row crosses into the diagonal
+        # tile (row+column corruption) before the sweep can see it:
+        # uncorrectable -> rollback
+        inj = single_storage_fault(block=(9, 8), iteration=8)
+        faulty = checkpoint_potrf(
+            tardis, n=4096, interval=2, numerics="shadow", injector=inj
+        )
+        assert faulty.rollbacks >= 1
+        assert faulty.makespan < 1.6 * clean.makespan  # << the 2x restart
+
+    def test_enhanced_still_cheaper_fault_free(self, tardis):
+        """The paper's scheme beats the composed baseline when nothing
+        fails — checkpointing pays the snapshots regardless."""
+        enh = enhanced_potrf(tardis, n=8192, numerics="shadow").makespan
+        ckpt = checkpoint_potrf(tardis, n=8192, interval=2, numerics="shadow").makespan
+        assert enh < ckpt
+
+    def test_interval_validation(self, tardis, a0):
+        with pytest.raises(ValueError):
+            checkpoint_potrf(tardis, a=a0.copy(), block_size=BS, interval=0)

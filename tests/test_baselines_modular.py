@@ -1,0 +1,105 @@
+"""Tests for the DMR/TMR baselines (the paper's Introduction comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dmr_potrf, tmr_potrf
+from repro.blas.spd import random_spd
+from repro.core import enhanced_potrf
+from repro.faults.injector import single_computing_fault
+from repro.magma.host import factorization_residual, host_potrf
+from repro.magma.potrf import magma_potrf
+from repro.util.exceptions import RestartExhaustedError
+
+N, BS = 256, 64
+
+
+@pytest.fixture
+def a0():
+    return random_spd(N, rng=31)
+
+
+class TestCleanRuns:
+    def test_dmr_factor_correct(self, tardis, a0):
+        res = dmr_potrf(tardis, a=a0, block_size=BS)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-9, atol=1e-12)
+        assert res.replicas_run == 2 and res.reruns == 0
+        assert not res.mismatch_detected
+
+    def test_tmr_factor_correct(self, tardis, a0):
+        res = tmr_potrf(tardis, a=a0, block_size=BS)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-9, atol=1e-12)
+        assert res.replicas_run == 3
+
+    def test_input_untouched(self, tardis, a0):
+        pristine = a0.copy()
+        dmr_potrf(tardis, a=a0, block_size=BS)
+        np.testing.assert_array_equal(a0, pristine)
+
+
+class TestOverheads:
+    """The Introduction's numbers: DMR ≈100%, TMR ≈200% over plain."""
+
+    def test_dmr_roughly_doubles(self, tardis):
+        plain = magma_potrf(tardis, n=10240, numerics="shadow").makespan
+        dmr = dmr_potrf(tardis, n=10240, numerics="shadow").makespan
+        assert 1.9 < dmr / plain < 2.2
+
+    def test_tmr_roughly_triples(self, tardis):
+        plain = magma_potrf(tardis, n=10240, numerics="shadow").makespan
+        tmr = tmr_potrf(tardis, n=10240, numerics="shadow").makespan
+        assert 2.9 < tmr / plain < 3.3
+
+    def test_abft_crushes_both(self, tardis):
+        """The paper's whole point, quantified end to end."""
+        enhanced = enhanced_potrf(tardis, n=10240, numerics="shadow").makespan
+        dmr = dmr_potrf(tardis, n=10240, numerics="shadow").makespan
+        assert enhanced < 0.6 * dmr
+
+
+class TestFaultBehaviour:
+    def test_tmr_outvotes_single_fault(self, tardis, a0):
+        """A transient in one replica is outvoted; no re-run."""
+        inj = single_computing_fault(block=(2, 1), iteration=1, delta=7.0)
+        res = tmr_potrf(tardis, a=a0, block_size=BS, injector=inj)
+        assert res.reruns == 0
+        assert res.voted_corrections >= 1
+        assert factorization_residual(a0, res.factor) < 1e-12
+
+    def test_dmr_detects_and_reruns(self, tardis, a0):
+        inj = single_computing_fault(block=(2, 1), iteration=1, delta=7.0)
+        res = dmr_potrf(tardis, a=a0, block_size=BS, injector=inj)
+        assert res.mismatch_detected and res.reruns == 1
+        assert res.replicas_run == 4  # the ≈4× single-transient cost
+        assert factorization_residual(a0, res.factor) < 1e-12
+
+    def test_dmr_exhaustion(self, tardis, a0):
+        inj = single_computing_fault(block=(2, 1), iteration=1, delta=7.0)
+        with pytest.raises(RestartExhaustedError):
+            dmr_potrf(tardis, a=a0, block_size=BS, injector=inj, max_reruns=0)
+
+    def test_shadow_mode_fault_semantics(self, tardis):
+        inj = single_computing_fault(block=(2, 1), iteration=1)
+        clean = dmr_potrf(tardis, n=2048, block_size=256, numerics="shadow")
+        faulty = dmr_potrf(
+            tardis, n=2048, block_size=256, numerics="shadow",
+            injector=single_computing_fault(block=(2, 1), iteration=1),
+        )
+        assert faulty.makespan > 1.8 * clean.makespan
+        del inj
+
+    def test_shadow_tmr_votes_without_rerun(self, tardis):
+        clean = tmr_potrf(tardis, n=2048, block_size=256, numerics="shadow")
+        faulty = tmr_potrf(
+            tardis, n=2048, block_size=256, numerics="shadow",
+            injector=single_computing_fault(block=(2, 1), iteration=1),
+        )
+        assert faulty.makespan == pytest.approx(clean.makespan, rel=1e-6)
+        assert faulty.voted_corrections == 1
+
+
+class TestGflopsAccounting:
+    def test_useful_rate_divided_by_replicas(self, tardis):
+        plain = magma_potrf(tardis, n=5120, numerics="shadow")
+        dmr = dmr_potrf(tardis, n=5120, numerics="shadow")
+        assert dmr.gflops == pytest.approx(plain.gflops / 2, rel=0.05)

@@ -1,0 +1,83 @@
+"""Unit tests for the BlockedMatrix tile container."""
+
+import numpy as np
+import pytest
+
+from repro.blas.blocked import BlockedMatrix
+from repro.util.exceptions import ValidationError
+
+
+@pytest.fixture
+def m8x8():
+    data = np.arange(64, dtype=np.float64).reshape(8, 8)
+    return BlockedMatrix(data, 4)
+
+
+class TestConstruction:
+    def test_grid_dimensions(self, m8x8):
+        assert (m8x8.n, m8x8.block_size, m8x8.nb) == (8, 4, 2)
+
+    def test_zeros(self):
+        m = BlockedMatrix.zeros(12, 3)
+        assert m.nb == 4 and not m.data.any()
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValidationError):
+            BlockedMatrix(np.zeros((10, 10)), 3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            BlockedMatrix(np.zeros((4, 6)), 2)
+
+    def test_no_copy(self):
+        data = np.zeros((4, 4))
+        m = BlockedMatrix(data, 2)
+        assert m.data is data
+
+
+class TestBlockViews:
+    def test_block_values(self, m8x8):
+        blk = m8x8.block(1, 0)
+        np.testing.assert_array_equal(blk[0], [32.0, 33.0, 34.0, 35.0])
+
+    def test_block_is_view(self, m8x8):
+        m8x8.block(0, 1)[0, 0] = -1.0
+        assert m8x8.data[0, 4] == -1.0
+
+    def test_block_row(self, m8x8):
+        row = m8x8.block_row(1, 0, 2)
+        assert row.shape == (4, 8)
+        assert row[0, 0] == 32.0
+
+    def test_block_col(self, m8x8):
+        col = m8x8.block_col(0, 2, 1)
+        assert col.shape == (8, 4)
+        assert col[0, 0] == 4.0
+
+    def test_panel(self, m8x8):
+        p = m8x8.panel(1, 2, 0, 2)
+        assert p.shape == (4, 8)
+
+    def test_out_of_range_raises(self, m8x8):
+        with pytest.raises(IndexError):
+            m8x8.block(2, 0)
+        with pytest.raises(IndexError):
+            m8x8.block(0, -1 - 2)
+
+
+class TestIterationAndCopy:
+    def test_lower_blocks_column_major(self, m8x8):
+        assert list(m8x8.lower_blocks()) == [(0, 0), (1, 0), (1, 1)]
+
+    def test_lower_blocks_count(self):
+        m = BlockedMatrix.zeros(16, 4)
+        assert len(list(m.lower_blocks())) == 4 * 5 // 2
+
+    def test_copy_is_deep(self, m8x8):
+        c = m8x8.copy()
+        c.block(0, 0)[0, 0] = 99.0
+        assert m8x8.data[0, 0] == 0.0
+
+    def test_lower_triangle(self, m8x8):
+        lt = m8x8.lower_triangle()
+        assert lt[0, 1] == 0.0 and lt[1, 0] == m8x8.data[1, 0]

@@ -1,0 +1,145 @@
+"""Unit tests for the dense kernels (numerics vs NumPy/LAPACK references)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.dense import gemm_update, gemv, potf2, syrk_update, trsm_right_lt
+from repro.blas.spd import random_spd
+from repro.util.exceptions import SingularBlockError, ValidationError
+
+
+class TestSyrkUpdate:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        c = rng.standard_normal((8, 8))
+        a = rng.standard_normal((8, 5))
+        expected = c - a @ a.T
+        syrk_update(c, a)
+        np.testing.assert_allclose(c, expected, rtol=1e-14)
+
+    def test_in_place(self):
+        c = np.zeros((4, 4))
+        a = np.eye(4)
+        view = c
+        syrk_update(c, a)
+        assert view is c
+        np.testing.assert_allclose(c, -np.eye(4))
+
+    def test_rejects_rectangular_c(self):
+        with pytest.raises(ValidationError):
+            syrk_update(np.zeros((3, 4)), np.zeros((3, 2)))
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValidationError):
+            syrk_update(np.zeros((4, 4)), np.zeros((3, 2)))
+
+    def test_rejects_float32(self):
+        with pytest.raises(ValidationError):
+            syrk_update(np.zeros((2, 2), dtype=np.float32), np.zeros((2, 2)))
+
+
+class TestGemmUpdate:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        c = rng.standard_normal((6, 4))
+        a = rng.standard_normal((6, 3))
+        b = rng.standard_normal((4, 3))
+        expected = c - a @ b.T
+        gemm_update(c, a, b)
+        np.testing.assert_allclose(c, expected, rtol=1e-14)
+
+    def test_rejects_inner_mismatch(self):
+        with pytest.raises(ValidationError, match="inner"):
+            gemm_update(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValidationError):
+            gemm_update(np.zeros((2, 2)), np.zeros((3, 3)), np.zeros((2, 3)))
+
+
+class TestPotf2:
+    def test_matches_lapack(self):
+        a = random_spd(16, rng=3)
+        expected = np.linalg.cholesky(a)
+        potf2(a)
+        np.testing.assert_allclose(a, expected, rtol=1e-12, atol=1e-14)
+
+    def test_zeroes_upper_triangle(self):
+        a = random_spd(8, rng=4)
+        potf2(a)
+        assert np.all(a[np.triu_indices(8, k=1)] == 0.0)
+
+    def test_identity(self):
+        a = np.eye(4)
+        potf2(a)
+        np.testing.assert_allclose(a, np.eye(4))
+
+    def test_1x1(self):
+        a = np.array([[9.0]])
+        potf2(a)
+        assert a[0, 0] == 3.0
+
+    def test_fail_stop_on_negative_pivot(self):
+        a = random_spd(8, rng=5)
+        a[3, 3] = -1.0
+        with pytest.raises(SingularBlockError) as exc_info:
+            potf2(a, block_index=7)
+        assert exc_info.value.block_index == 7
+        assert exc_info.value.pivot <= 3
+
+    def test_fail_stop_on_nan(self):
+        a = random_spd(4, rng=6)
+        a[0, 0] = np.nan
+        with pytest.raises(SingularBlockError):
+            potf2(a)
+
+    def test_fail_stop_on_zero_pivot(self):
+        a = np.zeros((2, 2))
+        with pytest.raises(SingularBlockError):
+            potf2(a)
+
+
+class TestTrsmRightLT:
+    def test_solves_system(self):
+        rng = np.random.default_rng(7)
+        ell = np.linalg.cholesky(random_spd(5, rng=8))
+        x_true = rng.standard_normal((7, 5))
+        b = x_true @ ell.T
+        trsm_right_lt(b, ell)
+        np.testing.assert_allclose(b, x_true, rtol=1e-12)
+
+    def test_identity_factor_is_noop(self):
+        b = np.arange(12, dtype=np.float64).reshape(3, 4)
+        expected = b.copy()
+        trsm_right_lt(b, np.eye(4))
+        np.testing.assert_allclose(b, expected)
+
+    def test_rejects_column_mismatch(self):
+        with pytest.raises(ValidationError):
+            trsm_right_lt(np.zeros((3, 4)), np.eye(5))
+
+    def test_two_row_strip(self):
+        """The checksum-update case: a 2×B strip through the solve."""
+        ell = np.linalg.cholesky(random_spd(6, rng=9))
+        strip_true = np.random.default_rng(10).standard_normal((2, 6))
+        b = strip_true @ ell.T
+        trsm_right_lt(b, ell)
+        np.testing.assert_allclose(b, strip_true, rtol=1e-12)
+
+
+class TestGemv:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((5, 7))
+        v = rng.standard_normal(5)
+        np.testing.assert_allclose(gemv(v, a), v @ a, rtol=1e-15)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            gemv(np.zeros(3), np.zeros((4, 4)))
+
+    def test_returns_new_array(self):
+        a = np.ones((2, 2))
+        v = np.ones(2)
+        out = gemv(v, a)
+        assert out.base is None or out.base is not a

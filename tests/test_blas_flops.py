@@ -1,0 +1,81 @@
+"""Unit tests for FLOP accounting (exact counts and identities)."""
+
+import pytest
+
+from repro.blas.flops import (
+    checksum_recalc_flops,
+    gemm_flops,
+    gemv_flops,
+    potf2_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+)
+from repro.util.exceptions import ValidationError
+
+
+class TestGemmFlops:
+    def test_formula(self):
+        assert gemm_flops(3, 4, 5) == 2 * 3 * 4 * 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            gemm_flops(0, 1, 1)
+
+
+class TestSyrkFlops:
+    def test_half_of_gemm_plus_diagonal(self):
+        n, k = 6, 4
+        assert syrk_flops(n, k) == n * (n + 1) * k
+
+    def test_less_than_square_gemm(self):
+        assert syrk_flops(8, 3) < gemm_flops(8, 8, 3)
+
+
+class TestTrsmFlops:
+    def test_formula(self):
+        assert trsm_flops(10, 4) == 10 * 16
+
+
+class TestPotf2Flops:
+    def test_leading_order_cubed_over_three(self):
+        n = 300
+        assert potf2_flops(n) == pytest.approx(n**3 / 3, rel=0.01)
+
+    def test_exact_small(self):
+        # n=1: one sqrt-ish op counted as n³/3 + n²/2 + n/6 = 0+0+0 = 0
+        # (integer arithmetic); n=2: 8//3 + 4//2 + 0 = 4
+        assert potf2_flops(2) == 4
+
+    def test_potrf_is_potf2(self):
+        assert potrf_flops(100) == potf2_flops(100)
+
+
+class TestBlockedDecompositionIdentity:
+    """The blocked algorithm's kernel flops must sum to ≈ n³/3."""
+
+    @pytest.mark.parametrize("nb,b", [(4, 32), (8, 16), (16, 8)])
+    def test_blocked_sum_close_to_potrf(self, nb, b):
+        n = nb * b
+        total = 0
+        for j in range(nb):
+            if j > 0:
+                total += syrk_flops(b, j * b)
+                rows = nb - j - 1
+                if rows:
+                    total += gemm_flops(rows * b, b, j * b)
+            total += potf2_flops(b)
+            if j + 1 < nb:
+                total += trsm_flops((nb - j - 1) * b, b)
+        assert total == pytest.approx(potrf_flops(n), rel=0.02)
+
+
+class TestChecksumRecalcFlops:
+    def test_two_vectors_default(self):
+        assert checksum_recalc_flops(64) == 2 * gemv_flops(64, 64)
+
+    def test_per_paper_encode_total(self):
+        """Σ over (n/B)² blocks of 4B² = 4n²; paper halves for symmetry."""
+        n, b = 1024, 128
+        blocks = (n // b) ** 2
+        assert blocks * checksum_recalc_flops(b) == 4 * n * n

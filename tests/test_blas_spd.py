@@ -1,0 +1,49 @@
+"""Unit tests for the SPD matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd, tridiag_spd
+
+
+class TestRandomSpd:
+    def test_symmetric_exactly(self):
+        a = random_spd(32, rng=0)
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_positive_definite(self):
+        a = random_spd(64, rng=1)
+        np.testing.assert_array_less(0.0, np.linalg.eigvalsh(a))
+
+    def test_deterministic_by_seed(self):
+        np.testing.assert_array_equal(random_spd(16, rng=5), random_spd(16, rng=5))
+
+    def test_condition_bounded(self):
+        a = random_spd(128, rng=2)
+        w = np.linalg.eigvalsh(a)
+        assert w.max() / w.min() < 1e4
+
+    def test_diag_boost(self):
+        a = random_spd(16, rng=3, diag_boost=100.0)
+        assert np.diag(a).min() > 50.0
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            random_spd(0)
+
+
+class TestTridiagSpd:
+    def test_structure(self):
+        a = tridiag_spd(5)
+        assert a[0, 0] == 4.0 and a[0, 1] == -1.0 and a[0, 2] == 0.0
+
+    def test_symmetric(self):
+        a = tridiag_spd(9)
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_positive_definite(self):
+        np.testing.assert_array_less(0.0, np.linalg.eigvalsh(tridiag_spd(20)))
+
+    def test_rejects_non_dominant(self):
+        with pytest.raises(ValueError, match="positive definiteness"):
+            tridiag_spd(4, diag=1.0, off=-1.0)

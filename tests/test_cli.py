@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_injection, main
+
+
+class TestInfo:
+    def test_lists_presets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "tardis" in out and "bulldozer64" in out
+        assert "M2075" in out and "K40c" in out
+
+
+class TestFactor:
+    def test_real_mode_clean(self, capsys):
+        assert main(["factor", "--n", "256", "--block-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "restarts       : 0" in out
+        assert "residual" in out
+
+    def test_real_mode_with_injection(self, capsys):
+        rc = main(
+            ["factor", "--n", "512", "--block-size", "64",
+             "--inject", "storage:4,2@3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 data corrections" in out
+
+    def test_shadow_mode_paper_scale(self, capsys):
+        rc = main(
+            ["factor", "--shadow", "--n", "20480", "--machine", "tardis"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out and "residual" not in out
+
+    def test_scheme_and_k_flags(self, capsys):
+        rc = main(
+            ["factor", "--shadow", "--n", "4096", "--scheme", "online",
+             "--k", "3", "--placement", "gpu_stream"]
+        )
+        assert rc == 0
+        assert "scheme=online" in capsys.readouterr().out
+
+    def test_bad_inject_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["factor", "--inject", "garbage"])
+
+    def test_unknown_fault_kind_exits(self):
+        with pytest.raises(SystemExit):
+            main(["factor", "--inject", "cosmic:1,1@1"])
+
+
+class TestCapability:
+    def test_reduced_table(self, capsys):
+        rc = main(["capability", "--n", "2048", "--machine", "tardis",
+                   "--block-size", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory error" in out and "enhanced" in out
+
+
+class TestOverhead:
+    def test_custom_sizes(self, capsys):
+        rc = main(
+            ["overhead", "--machine", "tardis", "--sizes", "2560", "5120",
+             "--schemes", "enhanced"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2560" in out and "enhanced" in out
+
+
+class TestLatencyCommand:
+    def test_renders_table(self, capsys):
+        rc = main(["latency", "--n", "4096", "--machine", "tardis"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exposure" in out and "corrected" in out
+
+
+class TestKpolicyCommand:
+    def test_reports_optimal_k(self, capsys):
+        rc = main(
+            ["kpolicy", "--n", "5120", "--machine", "tardis",
+             "--rates", "1e-6", "1.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "K =" in out
+
+
+class TestParseInjection:
+    def test_none_gives_no_faults(self):
+        assert not _parse_injection(None).plans
+
+    def test_storage(self):
+        inj = _parse_injection("storage:4,2@3")
+        (plan,) = inj.plans
+        assert plan.block == (4, 2) and plan.iteration == 3
+
+    def test_computing(self):
+        inj = _parse_injection("computing:5,3@3")
+        assert inj.plans[0].kind == "computing"

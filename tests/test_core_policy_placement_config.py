@@ -1,0 +1,120 @@
+"""Unit tests for the verification policy (Opt 3), the placement decision
+model (Opt 2) and the scheme configuration."""
+
+import pytest
+
+from repro.core.config import AbftConfig
+from repro.core.placement import (
+    choose_updating_placement,
+    estimate_visible_costs,
+    paper_decision_model,
+)
+from repro.core.policy import VerificationPolicy
+from repro.hetero.spec import BULLDOZER64, TARDIS
+from repro.util.exceptions import ValidationError
+
+
+class TestVerificationPolicy:
+    def test_k1_always_due(self):
+        p = VerificationPolicy(1)
+        assert all(p.due(j) for j in range(10))
+
+    def test_k3_every_third(self):
+        p = VerificationPolicy(3)
+        assert [p.due(j) for j in range(6)] == [True, False, False, True, False, False]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            VerificationPolicy(0)
+
+    def test_for_fault_rate_low_rate_large_k(self):
+        p = VerificationPolicy.for_fault_rate(
+            faults_per_gb_s=1e-9, footprint_gb=6.0, iteration_time_s=0.1
+        )
+        assert p.interval == 16
+
+    def test_for_fault_rate_high_rate_k1(self):
+        p = VerificationPolicy.for_fault_rate(
+            faults_per_gb_s=10.0, footprint_gb=6.0, iteration_time_s=0.5
+        )
+        assert p.interval == 1
+
+
+class TestPaperDecisionModel:
+    def test_formulas_at_tardis_point(self):
+        t_gpu, t_cpu = paper_decision_model(TARDIS, 20480, 256, k=1)
+        n_cho = 20480**3 / 3
+        assert t_gpu == pytest.approx(
+            (n_cho + 2 * 20480**3 / (3 * 256) * 2) / (515e9)
+        )
+        assert t_cpu <= t_gpu  # the outer max hides the CPU branch
+
+    def test_k_reduces_transfer_term(self):
+        _, t_cpu_k1 = paper_decision_model(TARDIS, 20480, 256, k=1)
+        _, t_cpu_k5 = paper_decision_model(TARDIS, 20480, 256, k=5)
+        assert t_cpu_k5 <= t_cpu_k1
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValidationError):
+            paper_decision_model(TARDIS, 1000, 256)
+
+
+class TestVisibleCostModel:
+    def test_tardis_chooses_cpu(self):
+        """The paper's measured outcome: CPU updating on Tardis."""
+        assert choose_updating_placement(TARDIS, 20480, 256) == "cpu"
+
+    def test_bulldozer_chooses_gpu(self):
+        """...and a GPU stream on Bulldozer64 (Hyper-Q hides thin kernels)."""
+        assert choose_updating_placement(BULLDOZER64, 30720, 512) == "gpu_stream"
+
+    def test_estimates_positive(self):
+        est = estimate_visible_costs(TARDIS, 10240, 256)
+        assert est.gpu_stream_cost > 0 and est.cpu_cost > 0
+
+    def test_default_block_size(self):
+        assert choose_updating_placement(TARDIS, 20480) == "cpu"
+
+
+class TestAbftConfig:
+    def test_defaults(self):
+        cfg = AbftConfig()
+        assert cfg.verify_interval == 1 and cfg.updating_placement == "auto"
+
+    def test_rejects_bad_placement(self):
+        with pytest.raises(ValidationError):
+            AbftConfig(updating_placement="tpu")
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValidationError):
+            AbftConfig(verify_interval=0)
+
+    def test_rejects_negative_restarts(self):
+        with pytest.raises(ValidationError):
+            AbftConfig(max_restarts=-1)
+
+    def test_resolved_streams_default_is_16(self):
+        assert AbftConfig().resolved_streams(TARDIS) == 16
+
+    def test_resolved_streams_explicit(self):
+        assert AbftConfig(recalc_streams=4).resolved_streams(TARDIS) == 4
+
+    def test_resolved_placement_auto(self):
+        assert AbftConfig().resolved_placement(TARDIS, 20480, 256) == "cpu"
+        assert (
+            AbftConfig().resolved_placement(BULLDOZER64, 30720, 512) == "gpu_stream"
+        )
+
+    def test_resolved_placement_explicit(self):
+        cfg = AbftConfig(updating_placement="gpu_main")
+        assert cfg.resolved_placement(TARDIS, 20480, 256) == "gpu_main"
+
+    def test_unoptimized_turns_everything_off(self):
+        cfg = AbftConfig(verify_interval=5, recalc_streams=16).unoptimized()
+        assert cfg.verify_interval == 1
+        assert cfg.recalc_streams == 1
+        assert cfg.updating_placement == "gpu_main"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            AbftConfig().rtol = 1.0

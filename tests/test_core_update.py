@@ -1,0 +1,191 @@
+"""Unit tests for the checksum-update rules: after every operation + its
+update, the strips must equal a fresh encoding of the data."""
+
+import numpy as np
+import pytest
+
+from repro.blas.blocked import BlockedMatrix
+from repro.blas.spd import random_spd
+from repro.core.checksum import encode_blocked_host, encode_strip
+from repro.core.update import ChecksumUpdater, updating_flops_total
+from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
+from repro.util.exceptions import ValidationError
+
+
+def make_setup(machine, placement="gpu_stream", n=32, b=8, rng=0):
+    ctx = machine.context(numerics="real")
+    a = random_spd(n, rng=rng)
+    matrix = ctx.alloc_matrix(n, b, data=a)
+    chk = ctx.alloc_checksums(n, b)
+    chk.array[:] = encode_blocked_host(BlockedMatrix(a, b))
+    upd = ChecksumUpdater(ctx, matrix, chk, placement, ctx.stream("main"))
+    return ctx, matrix, chk, upd
+
+
+def assert_strip_consistent(matrix, chk, key, rtol=1e-10):
+    fresh = encode_strip(matrix.tile_view(key))
+    np.testing.assert_allclose(chk.tile_view(key), fresh, rtol=rtol, atol=1e-9)
+
+
+def run_iterations(ctx, matrix, upd, up_to_j):
+    """Run the factorization with checksum updates through iteration up_to_j."""
+    main = ctx.stream("main")
+    for j in range(up_to_j + 1):
+        syrk_op(ctx, matrix, j, main)
+        upd.update_syrk(j)
+        gemm_op(ctx, matrix, j, main)
+        upd.update_gemm(j)
+        potf2_op(ctx, matrix, j)
+        upd.update_potf2(j)
+        trsm_op(ctx, matrix, j, main)
+        upd.update_trsm(j)
+
+
+class TestUpdateRules:
+    def test_potf2_update_consistent(self, tardis):
+        """Algorithm 2: chk(L) = chk(A')·L^{-T} gives the checksums of L."""
+        ctx, matrix, chk, upd = make_setup(tardis)
+        potf2_op(ctx, matrix, 0)
+        upd.update_potf2(0)
+        assert_strip_consistent(matrix, chk, (0, 0))
+
+    def test_trsm_update_consistent(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis)
+        potf2_op(ctx, matrix, 0)
+        upd.update_potf2(0)
+        trsm_op(ctx, matrix, 0, ctx.stream("main"))
+        upd.update_trsm(0)
+        for i in range(1, matrix.nb):
+            assert_strip_consistent(matrix, chk, (i, 0))
+
+    def test_syrk_update_consistent(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis)
+        run_iterations(ctx, matrix, upd, 0)
+        syrk_op(ctx, matrix, 1, ctx.stream("main"))
+        upd.update_syrk(1)
+        assert_strip_consistent(matrix, chk, (1, 1))
+
+    def test_gemm_update_consistent(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis)
+        run_iterations(ctx, matrix, upd, 0)
+        syrk_op(ctx, matrix, 1, ctx.stream("main"))
+        upd.update_syrk(1)
+        gemm_op(ctx, matrix, 1, ctx.stream("main"))
+        upd.update_gemm(1)
+        for i in range(2, matrix.nb):
+            assert_strip_consistent(matrix, chk, (i, 1))
+
+    @pytest.mark.parametrize("placement", ["gpu_main", "gpu_stream", "cpu"])
+    def test_full_factorization_all_strips_consistent(self, tardis, placement):
+        """End to end: the maintained checksums of L equal fresh encodings —
+        the paper's central invariant, for all three placements."""
+        ctx, matrix, chk, upd = make_setup(tardis, placement=placement)
+        run_iterations(ctx, matrix, upd, matrix.nb - 1)
+        for j in range(matrix.nb):
+            for i in range(j, matrix.nb):
+                assert_strip_consistent(matrix, chk, (i, j))
+
+    def test_factor_is_correct_cholesky(self, tardis):
+        a0 = random_spd(32, rng=0)
+        ctx, matrix, chk, upd = make_setup(tardis)
+        run_iterations(ctx, matrix, upd, matrix.nb - 1)
+        ell = np.tril(matrix.blocked.data)
+        np.testing.assert_allclose(ell @ ell.T, a0, rtol=1e-10, atol=1e-12)
+
+
+class TestPlacementTasking:
+    def test_gpu_main_chains_in_main_stream(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis, placement="gpu_main")
+        main = ctx.stream("main")
+        k = ctx.launch_gpu("k", "gemm", ctx.cost.gemm(8, 8, 8), main)
+        t = upd.update_potf2(0)
+        assert k in t.deps  # serialized behind the main stream
+
+    def test_gpu_stream_is_separate(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis, placement="gpu_stream")
+        main = ctx.stream("main")
+        k = ctx.launch_gpu("k", "gemm", ctx.cost.gemm(8, 8, 8), main)
+        t = upd.update_potf2(0)
+        assert k not in t.deps
+
+    def test_cpu_placement_uses_cpu_resource(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis, placement="cpu")
+        t = upd.update_potf2(0)
+        assert t.resource is ctx.cpu_res
+
+    def test_cpu_placement_ships_l_row(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis, placement="cpu")
+        assert upd.begin_iteration(0) is None  # nothing to ship at j=0
+        t = upd.begin_iteration(2)
+        assert t is not None and t.kind == "d2h"
+        assert t.meta["bytes"] == 2 * 8 * 8 * 8
+
+    def test_gpu_placement_no_row_transfer(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis, placement="gpu_stream")
+        assert upd.begin_iteration(2) is None
+
+    def test_rejects_unknown_placement(self, tardis):
+        ctx = tardis.context(numerics="shadow")
+        matrix = ctx.alloc_matrix(1024, 256)
+        chk = ctx.alloc_checksums(1024, 256)
+        with pytest.raises(ValidationError):
+            ChecksumUpdater(ctx, matrix, chk, "fpga", ctx.stream("main"))
+
+
+class TestEdgeIterations:
+    def test_j0_updates_are_noops(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis)
+        assert upd.update_syrk(0) is None
+        assert upd.update_gemm(0) is None
+
+    def test_last_iteration_trsm_noop(self, tardis):
+        ctx, matrix, chk, upd = make_setup(tardis)
+        run_iterations(ctx, matrix, upd, matrix.nb - 2)
+        last = matrix.nb - 1
+        syrk_op(ctx, matrix, last, ctx.stream("main"))
+        upd.update_syrk(last)
+        assert upd.update_gemm(last) is None
+        potf2_op(ctx, matrix, last)
+        upd.update_potf2(last)
+        assert upd.update_trsm(last) is None
+
+
+class TestUpdatingFlops:
+    def test_leading_order_matches_paper(self):
+        """Total updating flops ≈ 2n³/(3B) = N_Upd (Section V-B)."""
+        n, b = 4096, 256
+        assert updating_flops_total(n, b) == pytest.approx(
+            2 * n**3 / (3 * b), rel=0.1
+        )
+
+    def test_scales_inversely_with_block_size(self):
+        n = 2048
+        assert updating_flops_total(n, 128) > updating_flops_total(n, 512)
+
+
+class TestShadowTaintPropagation:
+    def test_corrupt_l_row_taints_strip(self, tardis):
+        ctx = tardis.context(numerics="shadow")
+        matrix = ctx.alloc_matrix(1024, 256)
+        chk = ctx.alloc_checksums(1024, 256)
+        upd = ChecksumUpdater(ctx, matrix, chk, "gpu_stream", ctx.stream("main"))
+        matrix.taint_of((2, 0)).add_point(1, 1)
+        upd.update_syrk(2)
+        assert not chk.taint_of((2, 2)).is_clean()
+
+    def test_clean_inputs_leave_strip_clean(self, tardis):
+        ctx = tardis.context(numerics="shadow")
+        matrix = ctx.alloc_matrix(1024, 256)
+        chk = ctx.alloc_checksums(1024, 256)
+        upd = ChecksumUpdater(ctx, matrix, chk, "gpu_stream", ctx.stream("main"))
+        upd.update_syrk(2)
+        assert chk.taint_of((2, 2)).is_clean()
+
+    def test_corrupt_diag_taints_trsm_strips(self, tardis):
+        ctx = tardis.context(numerics="shadow")
+        matrix = ctx.alloc_matrix(1024, 256)
+        chk = ctx.alloc_checksums(1024, 256)
+        upd = ChecksumUpdater(ctx, matrix, chk, "gpu_stream", ctx.stream("main"))
+        matrix.taint_of((1, 1)).add_point(0, 0)
+        upd.update_trsm(1)
+        assert not chk.taint_of((2, 1)).is_clean()

@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event engine: GPS sharing, slots, deps."""
+
+import pytest
+
+from repro.desim.engine import Engine
+from repro.desim.resource import Resource
+from repro.desim.task import TaskGraph
+from repro.util.exceptions import DeadlockError, SimulationError
+
+
+def run(graph):
+    return Engine().run(graph)
+
+
+class TestBasicScheduling:
+    def test_empty_graph(self):
+        assert run(TaskGraph()).makespan == 0.0
+
+    def test_single_task(self):
+        g = TaskGraph()
+        r = Resource("r")
+        g.new("t", resource=r, duration=2.5)
+        assert run(g).makespan == pytest.approx(2.5)
+
+    def test_chain_serializes(self):
+        g = TaskGraph()
+        r = Resource("r")
+        a = g.new("a", resource=r, duration=1.0)
+        b = g.new("b", resource=r, duration=2.0, deps=[a])
+        res = run(g)
+        assert res.makespan == pytest.approx(3.0)
+        assert b.start_time == pytest.approx(1.0)
+
+    def test_independent_full_util_share(self):
+        """Two util-1.0 tasks on capacity 1.0: GPS halves both rates."""
+        g = TaskGraph()
+        r = Resource("r", capacity=1.0)
+        g.new("a", resource=r, duration=1.0)
+        g.new("b", resource=r, duration=1.0)
+        assert run(g).makespan == pytest.approx(2.0)
+
+    def test_low_util_tasks_overlap_freely(self):
+        """Ten util-0.1 tasks fit under capacity: concurrent, not serial."""
+        g = TaskGraph()
+        r = Resource("r", capacity=1.0)
+        for i in range(10):
+            g.new(f"t{i}", resource=r, duration=1.0, util=0.1)
+        assert run(g).makespan == pytest.approx(1.0)
+
+    def test_mixed_util_work_conserving(self):
+        """A util-1.0 and a util-0.5 task: total work 1.5 resource-seconds."""
+        g = TaskGraph()
+        r = Resource("r", capacity=1.0)
+        g.new("big", resource=r, duration=1.0, util=1.0)
+        g.new("small", resource=r, duration=1.0, util=0.5)
+        res = run(g)
+        # Both run scaled by 1/1.5 until the small one finishes its 0.5 work.
+        assert res.makespan == pytest.approx(1.5)
+        assert r.busy_time == pytest.approx(1.5)
+
+
+class TestConcurrencySlots:
+    def test_slot_limit_serializes(self):
+        g = TaskGraph()
+        r = Resource("r", capacity=1.0, max_concurrent=1)
+        for i in range(4):
+            g.new(f"t{i}", resource=r, duration=1.0, util=0.1)
+        # util would allow 10 concurrent, but only 1 slot.
+        assert run(g).makespan == pytest.approx(4.0)
+
+    def test_two_slots_double_throughput(self):
+        g = TaskGraph()
+        r = Resource("r", capacity=1.0, max_concurrent=2)
+        for i in range(4):
+            g.new(f"t{i}", resource=r, duration=1.0, util=0.1)
+        assert run(g).makespan == pytest.approx(2.0)
+
+    def test_fifo_admission_order(self):
+        g = TaskGraph()
+        r = Resource("r", max_concurrent=1)
+        tasks = [g.new(f"t{i}", resource=r, duration=1.0) for i in range(3)]
+        run(g)
+        starts = [t.start_time for t in tasks]
+        assert starts == sorted(starts)
+
+
+class TestInstantTasks:
+    def test_barrier_cascade_same_instant(self):
+        g = TaskGraph()
+        r = Resource("r")
+        a = g.new("a", resource=r, duration=1.0)
+        b1 = g.barrier("b1", [a])
+        b2 = g.barrier("b2", [b1])
+        c = g.new("c", resource=r, duration=1.0, deps=[b2])
+        res = run(g)
+        assert b2.finish_time == pytest.approx(1.0)
+        assert c.start_time == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(2.0)
+
+    def test_all_instant_graph(self):
+        g = TaskGraph()
+        a = g.barrier("a", [])
+        g.barrier("b", [a])
+        assert run(g).makespan == 0.0
+
+
+class TestMultiResource:
+    def test_resources_overlap(self):
+        g = TaskGraph()
+        gpu, cpu = Resource("gpu"), Resource("cpu")
+        g.new("k", resource=gpu, duration=3.0)
+        g.new("h", resource=cpu, duration=2.0)
+        assert run(g).makespan == pytest.approx(3.0)
+
+    def test_cross_resource_dependency(self):
+        g = TaskGraph()
+        gpu, link = Resource("gpu"), Resource("link")
+        k = g.new("k", resource=gpu, duration=1.0)
+        t = g.new("t", resource=link, duration=0.5, deps=[k])
+        res = run(g)
+        assert t.start_time == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(1.5)
+
+
+class TestErrors:
+    def test_dependency_cycle_deadlocks(self):
+        g = TaskGraph()
+        r = Resource("r")
+        a = g.new("a", resource=r, duration=1.0)
+        b = g.new("b", resource=r, duration=1.0, deps=[a])
+        a.after(b)
+        with pytest.raises(DeadlockError):
+            run(g)
+
+    def test_foreign_dependency_rejected(self):
+        g1, g2 = TaskGraph(), TaskGraph()
+        r = Resource("r")
+        foreign = g2.new("x", resource=r, duration=1.0)
+        g1.new("y", resource=r, duration=1.0, deps=[foreign])
+        with pytest.raises(SimulationError, match="not"):
+            run(g1)
+
+
+class TestResultQueries:
+    def test_utilization(self):
+        g = TaskGraph()
+        r = Resource("r")
+        g.new("a", resource=r, duration=1.0)
+        res = run(g)
+        assert res.utilization(r) == pytest.approx(1.0)
+
+    def test_utilization_with_idle(self):
+        g = TaskGraph()
+        r1, r2 = Resource("r1"), Resource("r2")
+        a = g.new("a", resource=r1, duration=1.0)
+        g.new("b", resource=r2, duration=1.0, deps=[a])
+        res = run(g)
+        assert res.utilization(r1) == pytest.approx(0.5)
+
+    def test_start_finish_recorded(self):
+        g = TaskGraph()
+        r = Resource("r")
+        t = g.new("t", resource=r, duration=1.5)
+        run(g)
+        assert (t.start_time, t.finish_time) == (pytest.approx(0.0), pytest.approx(1.5))
+
+
+class TestCriticalPathBound:
+    def test_makespan_at_least_critical_path(self):
+        g = TaskGraph()
+        r = Resource("r", capacity=1.0)
+        prev = None
+        path = 0.0
+        for i in range(5):
+            t = g.new(f"t{i}", resource=r, duration=float(i + 1) / 10)
+            if prev is not None:
+                t.after(prev)
+            path += t.duration
+            prev = t
+        # distractors
+        for i in range(3):
+            g.new(f"d{i}", resource=r, duration=0.05, util=0.2)
+        assert run(g).makespan >= path - 1e-12

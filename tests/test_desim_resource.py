@@ -1,0 +1,41 @@
+"""Unit tests for the GPS resource model."""
+
+import pytest
+
+from repro.desim.resource import Resource
+from repro.util.exceptions import ValidationError
+
+
+class TestResource:
+    def test_scale_under_capacity(self):
+        r = Resource("r", capacity=1.0)
+        assert r.scale(0.9) == 1.0
+        assert r.scale(1.0) == 1.0
+
+    def test_scale_over_capacity_proportional(self):
+        r = Resource("r", capacity=1.0)
+        assert r.scale(2.0) == pytest.approx(0.5)
+
+    def test_scale_with_fractional_capacity(self):
+        r = Resource("r", capacity=0.92)
+        assert r.scale(1.1) == pytest.approx(0.92 / 1.1)
+
+    def test_slots_unlimited_by_default(self):
+        r = Resource("r")
+        assert r.has_slot(10**6)
+
+    def test_slot_limit(self):
+        r = Resource("r", max_concurrent=2)
+        assert r.has_slot(1) and not r.has_slot(2)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValidationError):
+            Resource("r", capacity=0.0)
+
+    def test_rejects_nonpositive_slots(self):
+        with pytest.raises(ValidationError):
+            Resource("r", max_concurrent=0)
+
+    def test_hashable_identity(self):
+        a, b = Resource("same"), Resource("same")
+        assert len({a, b}) == 2

@@ -1,0 +1,58 @@
+"""Unit tests for Task and TaskGraph construction."""
+
+import pytest
+
+from repro.desim.resource import Resource
+from repro.desim.task import Task, TaskGraph
+from repro.util.exceptions import ValidationError
+
+
+class TestTask:
+    def test_defaults(self):
+        t = Task("x")
+        assert t.duration == 0.0 and t.resource is None and t.kind == "task"
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValidationError, match="negative"):
+            Task("x", resource=Resource("r"), duration=-1.0)
+
+    def test_rejects_bad_util(self):
+        with pytest.raises(ValidationError, match="util"):
+            Task("x", resource=Resource("r"), duration=1.0, util=0.0)
+        with pytest.raises(ValidationError, match="util"):
+            Task("x", resource=Resource("r"), duration=1.0, util=1.5)
+
+    def test_rejects_duration_without_resource(self):
+        with pytest.raises(ValidationError, match="no resource"):
+            Task("x", duration=1.0)
+
+    def test_after_chains_and_skips_none(self):
+        a, b = Task("a"), Task("b")
+        c = Task("c").after(a, None, b)
+        assert c.deps == [a, b]
+
+    def test_work_is_duration_times_util(self):
+        t = Task("x", resource=Resource("r"), duration=4.0, util=0.25)
+        assert t.work == pytest.approx(1.0)
+
+    def test_unique_ids(self):
+        assert Task("a").tid != Task("b").tid
+
+
+class TestTaskGraph:
+    def test_new_registers(self):
+        g = TaskGraph()
+        t = g.new("t")
+        assert list(g) == [t] and len(g) == 1
+
+    def test_new_with_deps_and_meta(self):
+        g = TaskGraph()
+        a = g.new("a")
+        b = g.new("b", deps=[a], iteration=3)
+        assert b.deps == [a] and b.meta["iteration"] == 3
+
+    def test_barrier(self):
+        g = TaskGraph()
+        a, b = g.new("a"), g.new("b")
+        bar = g.barrier("bar", [a, b])
+        assert bar.kind == "barrier" and set(bar.deps) == {a, b}

@@ -1,0 +1,101 @@
+"""Unit tests for timeline/span queries."""
+
+import pytest
+
+from repro.desim.engine import Engine
+from repro.desim.resource import Resource
+from repro.desim.task import TaskGraph
+from repro.desim.trace import Span, Timeline
+
+
+def build_timeline():
+    g = TaskGraph()
+    gpu, cpu = Resource("gpu"), Resource("cpu")
+    a = g.new("k1", resource=gpu, duration=1.0, kind="gemm")
+    g.new("k2", resource=gpu, duration=2.0, kind="recalc", deps=[a])
+    g.new("h", resource=cpu, duration=0.5, kind="potf2", deps=[a])
+    return Engine().run(g).timeline
+
+
+class TestTimeline:
+    def test_makespan(self):
+        tl = build_timeline()
+        assert tl.makespan == pytest.approx(3.0)
+
+    def test_of_kind(self):
+        tl = build_timeline()
+        assert len(tl.of_kind("gemm")) == 1
+        assert len(tl.of_kind("gemm", "recalc")) == 2
+
+    def test_total_duration(self):
+        tl = build_timeline()
+        assert tl.of_kind("recalc").total_duration() == pytest.approx(2.0)
+
+    def test_busy_time_union(self):
+        tl = build_timeline()
+        assert tl.busy_time("gpu") == pytest.approx(3.0)
+        assert tl.busy_time("cpu") == pytest.approx(0.5)
+
+    def test_busy_time_counts_overlap_once(self):
+        spans = [
+            Span(0, "a", "k", "r", 0.0, 2.0, {}),
+            Span(1, "b", "k", "r", 1.0, 3.0, {}),
+        ]
+        assert Timeline(spans).busy_time("r") == pytest.approx(3.0)
+
+    def test_busy_time_with_gap(self):
+        spans = [
+            Span(0, "a", "k", "r", 0.0, 1.0, {}),
+            Span(1, "b", "k", "r", 2.0, 3.0, {}),
+        ]
+        assert Timeline(spans).busy_time("r") == pytest.approx(2.0)
+
+    def test_kind_summary(self):
+        tl = build_timeline()
+        summary = tl.kind_summary()
+        assert summary["gemm"] == (1, pytest.approx(1.0))
+
+    def test_render_summary_contains_kinds(self):
+        out = build_timeline().render_summary()
+        assert "gemm" in out and "recalc" in out
+
+    def test_filter(self):
+        tl = build_timeline()
+        gpu_only = tl.filter(lambda s: s.resource == "gpu")
+        assert len(gpu_only) == 2
+
+    def test_empty_timeline(self):
+        tl = Timeline([])
+        assert tl.makespan == 0.0 and tl.busy_time("x") == 0.0
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "empty" in Timeline([]).render_gantt()
+
+    def test_lanes_and_legend(self):
+        out = build_timeline().render_gantt(width=40)
+        assert "gpu" in out and "cpu" in out
+        assert "g=gemm" in out and "p=potf2" in out
+
+    def test_kind_initials_placed(self):
+        out = build_timeline().render_gantt(width=30)
+        gpu_row = next(line for line in out.splitlines() if "gpu |" in line)
+        assert "g" in gpu_row and "r" in gpu_row
+
+    def test_idle_shown_as_dots(self):
+        out = build_timeline().render_gantt(width=30)
+        cpu_row = next(line for line in out.splitlines() if "cpu |" in line)
+        assert "." in cpu_row  # cpu idle most of the run
+
+    def test_overlap_marker(self):
+        spans = [
+            Span(0, "a", "x", "r", 0.0, 2.0, {}),
+            Span(1, "b", "y", "r", 0.0, 2.0, {}),
+        ]
+        out = Timeline(spans).render_gantt(width=10)
+        assert "#" in out
+
+    def test_custom_lanes(self):
+        out = build_timeline().render_gantt(width=20, lanes=["gpu"])
+        assert "cpu |" not in out

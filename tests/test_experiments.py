@@ -1,0 +1,169 @@
+"""Smoke + shape tests for the experiment harness (small sweeps)."""
+
+import pytest
+
+from repro.experiments import analytic, capability, opt1, opt2, opt3, overhead, performance
+from repro.experiments.common import (
+    BULLDOZER_SWEEP,
+    TARDIS_SWEEP,
+    baseline_time,
+    relative_overhead,
+    sweep_for,
+)
+
+SMALL_T = (2560, 5120)
+SMALL_B = (5120, 10240)
+
+
+class TestCommon:
+    def test_sweeps_match_paper(self):
+        assert TARDIS_SWEEP[0] == 5120 and TARDIS_SWEEP[-1] == 23040
+        assert BULLDOZER_SWEEP[-1] == 30720
+
+    def test_sweep_sizes_divide_block_sizes(self):
+        assert all(n % 256 == 0 for n in TARDIS_SWEEP)
+        assert all(n % 512 == 0 for n in BULLDOZER_SWEEP)
+
+    def test_sweep_for_unknown(self):
+        with pytest.raises(ValueError):
+            sweep_for("deep-thought")
+
+    def test_baseline_cached(self):
+        t1 = baseline_time("tardis", 2560)
+        t2 = baseline_time("tardis", 2560)
+        assert t1 == t2 > 0
+
+    def test_relative_overhead(self):
+        assert relative_overhead(11.0, 10.0) == pytest.approx(0.1)
+
+
+class TestCapability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return capability.run("tardis", 2048, block_size=256)
+
+    def test_no_error_times_close(self, result):
+        # at this reduced size (nb=8) fixed costs loom larger than at the
+        # paper's n=20480, where the schemes sit within a few percent
+        times = [result.times[s]["no_error"] for s in capability.SCHEME_ORDER]
+        assert max(times) / min(times) < 1.3
+
+    def test_computing_error_pattern(self, result):
+        """Offline restarts; Online and Enhanced do not (Table VII rows)."""
+        assert result.restarts["offline"]["computing_error"] == 1
+        assert result.restarts["online"]["computing_error"] == 0
+        assert result.restarts["enhanced"]["computing_error"] == 0
+
+    def test_memory_error_pattern(self, result):
+        assert result.restarts["offline"]["memory_error"] == 1
+        assert result.restarts["online"]["memory_error"] == 1
+        assert result.restarts["enhanced"]["memory_error"] == 0
+
+    def test_restart_roughly_doubles(self, result):
+        t = result.times["online"]
+        assert t["memory_error"] > 1.7 * t["no_error"]
+
+    def test_enhanced_time_unaffected(self, result):
+        t = result.times["enhanced"]
+        assert t["memory_error"] == pytest.approx(t["no_error"], rel=1e-6)
+        assert t["computing_error"] == pytest.approx(t["no_error"], rel=1e-6)
+
+    def test_render(self, result):
+        out = result.render("Table VII (reduced)")
+        assert "enhanced" in out and "memory error" in out
+
+
+class TestOptimizationFigures:
+    def test_opt1_reduces_overhead(self):
+        r = opt1.run("tardis", SMALL_T)
+        assert all(a <= b + 1e-12 for a, b in zip(r.after, r.before))
+        assert r.after[-1] < r.before[-1]
+
+    def test_opt1_bigger_gain_on_kepler(self):
+        rt = opt1.run("tardis", (5120,))
+        rb = opt1.run("bulldozer64", (5120,))
+        gain_t = rt.before[0] - rt.after[0]
+        gain_b = rb.before[0] - rb.after[0]
+        assert gain_b > gain_t  # Figures 8 vs 9: ~2% vs ~10%
+
+    def test_opt2_reduces_overhead_both_machines(self):
+        for machine, sizes in (("tardis", SMALL_T), ("bulldozer64", SMALL_B)):
+            r = opt2.run(machine, sizes)
+            assert r.after[-1] < r.before[-1]
+
+    def test_opt2_placements_match_paper(self):
+        assert opt2.run("tardis", (5120,)).chosen_placement == "cpu"
+        assert opt2.run("bulldozer64", (5120,)).chosen_placement == "gpu_stream"
+
+    def test_opt3_k_monotone(self):
+        r = opt3.run("tardis", (5120,), k_values=(1, 3, 5))
+        o1, o3, o5 = (r.overheads[k][0] for k in (1, 3, 5))
+        assert o1 > o3 > o5
+
+    def test_renders(self):
+        r = opt3.run("tardis", SMALL_T, k_values=(1, 3))
+        out = r.render("fig12 (reduced)")
+        assert "K=1" in out and "K=3" in out
+
+
+class TestOverheadComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return overhead.run("tardis", SMALL_T)
+
+    def test_all_schemes_present(self, result):
+        assert set(result.overheads) == {"offline", "online", "enhanced"}
+
+    def test_enhanced_highest(self, result):
+        assert result.overheads["enhanced"][-1] >= result.overheads["online"][-1]
+        assert result.overheads["enhanced"][-1] >= result.overheads["offline"][-1]
+
+    def test_overheads_decrease_with_n(self, result):
+        for ys in result.overheads.values():
+            assert ys[-1] < ys[0]
+
+    def test_paper_scale_bounds(self):
+        """The headline numbers: <6% on Tardis, <4% on Bulldozer64."""
+        rt = overhead.run("tardis", (20480,))
+        rb = overhead.run("bulldozer64", (30720,))
+        assert rt.overheads["enhanced"][0] < 0.06
+        assert rb.overheads["enhanced"][0] < 0.04
+
+
+class TestPerformance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return performance.run("tardis", SMALL_T)
+
+    def test_magma_fastest(self, result):
+        for scheme in ("offline", "online", "enhanced"):
+            assert all(
+                m >= s for m, s in zip(result.gflops["magma"], result.gflops[scheme])
+            )
+
+    def test_enhanced_beats_cula(self, result):
+        """The paper's headline: fault tolerance and still faster than CULA."""
+        assert all(
+            e > c for e, c in zip(result.gflops["enhanced"], result.gflops["cula"])
+        )
+
+    def test_gflops_grow_with_n(self, result):
+        assert result.gflops["magma"][-1] > result.gflops["magma"][0]
+
+    def test_render(self, result):
+        out = result.render("fig16 (reduced)")
+        assert "cula" in out and "GFLOPS" in out
+
+
+class TestAnalyticTables:
+    def test_table1_text(self):
+        out = analytic.render_table1()
+        assert "B, C, D" in out and "O(n^2)" in out
+
+    def test_table6_text(self):
+        out = analytic.render_table6()
+        assert "online total" in out and "20480" in out
+
+    def test_verified_counts_text(self):
+        out = analytic.render_verified_tile_counts(16)
+        assert "online" in out and "enhanced" in out

@@ -1,0 +1,62 @@
+"""Tests for the future-GPU scaling experiment."""
+
+import pytest
+
+from repro.experiments import gpu_scaling
+from repro.hetero.machine import Machine
+from repro.hetero.spec import TARDIS
+
+
+class TestScaledMachine:
+    def test_compute_scaled_memory_fixed(self):
+        m = gpu_scaling.scaled_machine(TARDIS, 4.0)
+        assert m.spec.gpu.peak_gflops == pytest.approx(4 * 515.0)
+        assert m.spec.gpu.mem_bandwidth_gbs == TARDIS.gpu.mem_bandwidth_gbs
+
+    def test_factor_one_is_identity(self):
+        m = gpu_scaling.scaled_machine(TARDIS, 1.0)
+        assert m.spec.gpu.peak_gflops == TARDIS.gpu.peak_gflops
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gpu_scaling.scaled_machine(TARDIS, 0.0)
+
+    def test_is_usable_machine(self):
+        m = gpu_scaling.scaled_machine(TARDIS, 2.0)
+        assert isinstance(m, Machine)
+        ctx = m.context(numerics="shadow")
+        assert ctx.cost.gpu_sustained_gflops("gemm") > 0
+
+
+class TestScaledBlock:
+    def test_doubles_per_doubling(self):
+        assert gpu_scaling._scaled_block(256, 1.0, 20480) == 256
+        assert gpu_scaling._scaled_block(256, 2.0, 20480) == 512
+        assert gpu_scaling._scaled_block(256, 4.0, 20480) == 1024
+
+    def test_bounded_by_divisibility(self):
+        # n=768 divides by 256 but not 512
+        assert gpu_scaling._scaled_block(256, 8.0, 768) == 256
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return gpu_scaling.run("tardis", 5120, factors=(1.0, 4.0))
+
+    def test_point_counts(self, result):
+        assert len(result.fixed_b) == len(result.scaled_b) == 2
+
+    def test_fixed_b_overhead_grows(self, result):
+        assert result.fixed_b[1].overhead > result.fixed_b[0].overhead
+
+    def test_scaled_b_tracks_compute(self, result):
+        assert result.scaled_b[1].block_size == 4 * result.scaled_b[0].block_size
+
+    def test_render(self, result):
+        out = result.render("scaling")
+        assert "B (scaled)" in out
+
+    def test_unknown_machine(self):
+        with pytest.raises(ValueError):
+            gpu_scaling.run("cray1", 5120)

@@ -1,0 +1,61 @@
+"""Tests for the K-vs-fault-rate policy experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments import kpolicy
+
+RATES = (1e-6, 1e-2, 1.0)
+KS = (1, 3, 8)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return kpolicy.run("tardis", 5120, rates=RATES, k_values=KS)
+
+
+class TestExpectedCompletion:
+    def test_point_fields(self):
+        p = kpolicy.expected_completion("tardis", 5120, 3, 1e-3)
+        assert p.k == 3 and p.run_seconds > 0
+        assert 0.0 <= p.p_restart <= 1.0
+        assert p.expected_seconds >= p.run_seconds
+
+    def test_zero_risk_limit(self):
+        p = kpolicy.expected_completion("tardis", 5120, 1, 1e-12)
+        assert p.expected_seconds == pytest.approx(p.run_seconds)
+
+    def test_saturated_risk_diverges(self):
+        p = kpolicy.expected_completion("tardis", 5120, 8, 1e6)
+        assert math.isinf(p.expected_seconds)
+
+    def test_restart_prob_grows_with_k(self):
+        rate = 0.5
+        probs = [
+            kpolicy.expected_completion("tardis", 5120, k, rate).p_restart
+            for k in (1, 4, 8)
+        ]
+        assert probs == sorted(probs)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kpolicy.expected_completion("tardis", 5120, 0, 1.0)
+
+
+class TestPolicy:
+    def test_optimal_k_nonincreasing_in_rate(self, result):
+        ks = [result.optimal_k(r) for r in RATES]
+        for a, b in zip(ks, ks[1:]):
+            assert b <= a
+
+    def test_low_rate_prefers_largest_k(self, result):
+        assert result.optimal_k(1e-6) == max(KS)
+
+    def test_render(self, result):
+        out = result.render("k policy")
+        assert "optimal" in out and "P[restart]" in out
+
+    def test_all_rates_evaluated(self, result):
+        assert set(result.by_rate) == set(RATES)
+        assert all(len(pts) == len(KS) for pts in result.by_rate.values())

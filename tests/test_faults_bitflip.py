@@ -1,0 +1,69 @@
+"""Unit tests for bit-level corruption primitives."""
+
+import numpy as np
+import pytest
+
+from repro.faults.bitflip import flip_bit, perturb, significant_bit_for
+from repro.util.exceptions import ValidationError
+
+
+class TestFlipBit:
+    def test_sign_bit_negates(self):
+        a = np.array([[3.5]])
+        old = flip_bit(a, (0, 0), 63)
+        assert old == 3.5 and a[0, 0] == -3.5
+
+    def test_flip_is_involution(self):
+        a = np.array([1.2345])
+        flip_bit(a, (0,), 40)
+        flip_bit(a, (0,), 40)
+        assert a[0] == 1.2345
+
+    def test_exponent_bit_scales_by_power_of_two(self):
+        a = np.array([1.0])
+        flip_bit(a, (0,), 52)  # lowest exponent bit
+        assert a[0] in (2.0, 0.5)
+
+    def test_mantissa_bit_small_change(self):
+        a = np.array([1.0])
+        flip_bit(a, (0,), 0)
+        assert a[0] != 1.0 and abs(a[0] - 1.0) < 1e-15
+
+    def test_changes_exactly_one_element(self):
+        a = np.ones((4, 4))
+        flip_bit(a, (2, 3), 54)
+        assert (a != 1.0).sum() == 1
+
+    def test_rejects_bad_bit(self):
+        with pytest.raises(ValidationError):
+            flip_bit(np.zeros(1), (0,), 64)
+
+    def test_rejects_float32(self):
+        with pytest.raises(ValidationError):
+            flip_bit(np.zeros(1, dtype=np.float32), (0,), 1)
+
+
+class TestPerturb:
+    def test_adds_delta(self):
+        a = np.array([1.0])
+        old = perturb(a, (0,), 2.5)
+        assert old == 1.0 and a[0] == 3.5
+
+    def test_negative_delta(self):
+        a = np.array([1.0])
+        perturb(a, (0,), -4.0)
+        assert a[0] == -3.0
+
+
+class TestSignificantBitFor:
+    def test_nonzero_gets_exponent_bit(self):
+        assert significant_bit_for(0.123) == 54
+
+    def test_zero_gets_mantissa_bit(self):
+        assert significant_bit_for(0.0) == 51
+
+    def test_flip_visibly_changes_value(self):
+        for v in (1e-3, 1.0, 1e6, -7.25):
+            a = np.array([v])
+            flip_bit(a, (0,), significant_bit_for(v))
+            assert abs(a[0] - v) > abs(v) * 0.5

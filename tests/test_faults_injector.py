@@ -1,0 +1,140 @@
+"""Unit tests for fault plans and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.blas.blocked import BlockedMatrix
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    Hook,
+    no_faults,
+    single_computing_fault,
+    single_storage_fault,
+)
+from repro.hetero.memory import DeviceMatrix
+from repro.util.exceptions import ValidationError
+
+
+def make_buffer(real: bool = True) -> DeviceMatrix:
+    blocked = BlockedMatrix(np.ones((8, 8)), 4) if real else None
+    return DeviceMatrix("A", 8, 4, blocked)
+
+
+def storage_plan(**kw) -> FaultPlan:
+    defaults = dict(
+        hook=Hook.STORAGE_WINDOW,
+        iteration=1,
+        kind="storage",
+        block=(1, 0),
+        coord=(2, 3),
+    )
+    defaults.update(kw)
+    return FaultPlan(**defaults)
+
+
+class TestFaultPlan:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValidationError):
+            storage_plan(kind="cosmic")
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValidationError):
+            storage_plan(target="registers")
+
+
+class TestInjectorFiring:
+    def test_fires_on_matching_hook_and_iteration(self):
+        buf = make_buffer()
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", buf)
+        assert inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert buf.tile_view((1, 0))[2, 3] != 1.0
+
+    def test_no_fire_on_wrong_iteration(self):
+        inj = FaultInjector([storage_plan(iteration=5)])
+        inj.bind("matrix", make_buffer())
+        assert inj.fire(Hook.STORAGE_WINDOW, 1) == []
+        assert inj.armed
+
+    def test_no_fire_on_wrong_hook(self):
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", make_buffer())
+        assert inj.fire(Hook.AFTER_GEMM, 1) == []
+
+    def test_wildcard_iteration(self):
+        inj = FaultInjector([storage_plan(iteration=-1)])
+        inj.bind("matrix", make_buffer())
+        assert inj.fire(Hook.STORAGE_WINDOW, 7)
+
+    def test_fires_once_only(self):
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", make_buffer())
+        inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert inj.fire(Hook.STORAGE_WINDOW, 1) == []
+        assert not inj.armed
+
+    def test_records_old_value(self):
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", make_buffer())
+        fired = inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert fired[0].old_value == 1.0
+
+    def test_computing_fault_adds_delta(self):
+        buf = make_buffer()
+        plan = storage_plan(kind="computing", hook=Hook.AFTER_GEMM, delta=10.0)
+        inj = FaultInjector([plan])
+        inj.bind("matrix", buf)
+        inj.fire(Hook.AFTER_GEMM, 1)
+        assert buf.tile_view((1, 0))[2, 3] == 11.0
+
+    def test_shadow_mode_taints_only(self):
+        buf = make_buffer(real=False)
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", buf)
+        fired = inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert fired[0].old_value is None
+        assert (2, 3) in buf.taint_of((1, 0)).points
+
+    def test_real_mode_also_taints(self):
+        buf = make_buffer()
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", buf)
+        inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert not buf.taint_of((1, 0)).is_clean()
+
+    def test_unbound_target_raises(self):
+        inj = FaultInjector([storage_plan()])
+        with pytest.raises(ValidationError, match="bind"):
+            inj.fire(Hook.STORAGE_WINDOW, 1)
+
+
+class TestLifecycle:
+    def test_reset_rearms(self):
+        inj = FaultInjector([storage_plan()])
+        inj.bind("matrix", make_buffer())
+        inj.fire(Hook.STORAGE_WINDOW, 1)
+        inj.reset()
+        assert inj.armed and inj.fired == []
+
+    def test_disarm(self):
+        inj = FaultInjector([storage_plan()])
+        inj.disarm()
+        assert not inj.armed
+
+
+class TestFactories:
+    def test_no_faults_never_fires(self):
+        inj = no_faults()
+        inj.bind("matrix", make_buffer())
+        assert inj.fire(Hook.STORAGE_WINDOW, 0) == []
+
+    def test_single_computing_defaults_iteration_to_column(self):
+        inj = single_computing_fault(block=(5, 3))
+        assert inj.plans[0].iteration == 3
+        assert inj.plans[0].hook is Hook.AFTER_GEMM
+
+    def test_single_storage_targets(self):
+        inj = single_storage_fault(block=(2, 1), iteration=4, target="checksum")
+        plan = inj.plans[0]
+        assert plan.target == "checksum" and plan.hook is Hook.STORAGE_WINDOW

@@ -1,0 +1,71 @@
+"""Unit tests for the Poisson fault-arrival model and the K recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.faults.model import PoissonFaultModel, recommended_interval
+
+
+class TestPoissonFaultModel:
+    def test_expected_faults_linear_in_time(self):
+        m = PoissonFaultModel(faults_per_gb_s=1e-3, footprint_gb=4.0)
+        assert m.expected_faults(10.0) == pytest.approx(2 * m.expected_faults(5.0))
+
+    def test_rate_scales_with_footprint(self):
+        small = PoissonFaultModel(1e-3, 1.0)
+        big = PoissonFaultModel(1e-3, 8.0)
+        assert big.rate == pytest.approx(8 * small.rate)
+
+    def test_p_at_least_one_bounds(self):
+        m = PoissonFaultModel(1e-3, 1.0)
+        assert 0.0 <= m.p_at_least_one(1.0) < 1.0
+        assert m.p_at_least_one(0.0) == 0.0
+
+    def test_p_at_least_one_matches_formula(self):
+        m = PoissonFaultModel(0.1, 1.0)
+        assert m.p_at_least_one(1.0) == pytest.approx(1 - np.exp(-0.1))
+
+    def test_p_at_least_k_decreasing_in_k(self):
+        m = PoissonFaultModel(0.5, 1.0)
+        p1, p2, p3 = (m.p_at_least(k, 1.0) for k in (1, 2, 3))
+        assert p1 > p2 > p3
+
+    def test_p_at_least_2_small_for_rare_faults(self):
+        m = PoissonFaultModel(1e-6, 1.0)
+        assert m.p_at_least(2, 1.0) < 1e-11
+
+    def test_sample_arrivals_sorted_and_bounded(self):
+        m = PoissonFaultModel(10.0, 1.0)
+        t = m.sample_arrivals(5.0, rng=0)
+        assert np.all(np.diff(t) >= 0)
+        assert t.size == 0 or (t.min() >= 0 and t.max() < 5.0)
+
+    def test_sample_count_near_mean(self):
+        m = PoissonFaultModel(100.0, 1.0)
+        t = m.sample_arrivals(10.0, rng=1)
+        assert 800 < t.size < 1200
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            PoissonFaultModel(1.0, 1.0).expected_faults(-1.0)
+
+
+class TestRecommendedInterval:
+    def test_rare_faults_allow_large_k(self):
+        m = PoissonFaultModel(1e-9, 4.0)
+        assert recommended_interval(m, iteration_time_s=0.1, max_k=16) == 16
+
+    def test_frequent_faults_force_k1(self):
+        m = PoissonFaultModel(10.0, 4.0)
+        assert recommended_interval(m, iteration_time_s=1.0) == 1
+
+    def test_monotone_in_rate(self):
+        lo = PoissonFaultModel(1e-8, 1.0)
+        hi = PoissonFaultModel(1e-4, 1.0)
+        k_lo = recommended_interval(lo, 0.1, max_k=64)
+        k_hi = recommended_interval(hi, 0.1, max_k=64)
+        assert k_lo >= k_hi
+
+    def test_at_least_one(self):
+        m = PoissonFaultModel(1e3, 100.0)
+        assert recommended_interval(m, 10.0) == 1

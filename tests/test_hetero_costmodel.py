@@ -1,0 +1,136 @@
+"""Unit tests for the roofline cost model."""
+
+import pytest
+
+from repro.blas.flops import gemm_flops
+from repro.hetero.costmodel import CostModel, KernelCost
+from repro.hetero.spec import BULLDOZER64, TARDIS
+
+
+@pytest.fixture
+def cm() -> CostModel:
+    return CostModel(TARDIS.gpu, TARDIS.cpu, TARDIS.link)
+
+
+@pytest.fixture
+def cm_k40() -> CostModel:
+    return CostModel(BULLDOZER64.gpu, BULLDOZER64.cpu, BULLDOZER64.link)
+
+
+class TestKernelCost:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            KernelCost(duration=-1.0, util=0.5)
+
+    def test_rejects_bad_util(self):
+        with pytest.raises(ValueError):
+            KernelCost(duration=1.0, util=0.0)
+
+
+class TestBlas3Pricing:
+    def test_time_monotone_in_flops(self, cm):
+        assert cm.gemm(512, 512, 512).duration < cm.gemm(1024, 1024, 1024).duration
+
+    def test_util_equals_ramped_efficiency(self, cm):
+        k = 256
+        expected = TARDIS.gpu.eff("gemm") * k / (k + TARDIS.gpu.gemm_k_half)
+        assert cm.gemm(256, 256, k).util == pytest.approx(expected)
+
+    def test_duration_matches_sustained_rate(self, cm):
+        k = 2048
+        flops = gemm_flops(2048, 2048, k)
+        cost = cm.gemm(2048, 2048, k)
+        rate = flops / (cost.duration - TARDIS.gpu.kernel_launch_overhead_s)
+        eff = TARDIS.gpu.eff("gemm") * k / (k + TARDIS.gpu.gemm_k_half)
+        assert rate == pytest.approx(eff * 515e9, rel=1e-9)
+
+    def test_efficiency_ramps_with_inner_dimension(self, cm):
+        """The classical GPU GEMM ramp: skinny updates run below rate."""
+        skinny = cm.gemm(4096, 256, 256)
+        fat = cm.gemm(4096, 256, 8192)
+        assert skinny.util < fat.util
+        flops_ratio = gemm_flops(4096, 256, 256) / gemm_flops(4096, 256, 8192)
+        assert skinny.duration > fat.duration * flops_ratio  # worse per flop
+
+    def test_syrk_cheaper_than_square_gemm(self, cm):
+        assert cm.syrk(512, 512).duration < cm.gemm(512, 512, 512).duration
+
+    def test_launch_overhead_floors_small_kernels(self, cm):
+        tiny = cm.gemm(1, 1, 1)
+        assert tiny.duration >= TARDIS.gpu.kernel_launch_overhead_s
+
+    def test_kepler_faster_per_flop(self, cm, cm_k40):
+        assert cm_k40.gemm(2048, 2048, 2048).duration < cm.gemm(2048, 2048, 2048).duration
+
+
+class TestGemvPricing:
+    def test_bandwidth_bound(self, cm):
+        """GEMV time tracks bytes/bandwidth, not flops/peak."""
+        cost = cm.gemv_recalc(256, 256)
+        bw_time = 256 * 256 * 8 / (0.55 * 150e9)
+        assert cost.duration == pytest.approx(
+            TARDIS.gpu.kernel_launch_overhead_s + bw_time
+        )
+
+    def test_low_utilization_leaves_headroom(self, cm):
+        """The Optimization-1 premise: a lone GEMV underuses the GPU."""
+        assert cm.gemv_recalc(256, 256).util < TARDIS.gpu.concurrency_ceiling
+
+    def test_gemv_slower_per_flop_than_gemm(self, cm):
+        """BLAS-2 on the GPU is far off BLAS-3 rates (Section V-A)."""
+        b = 256
+        gemv = cm.gemv_recalc(b, b)
+        gemv_rate = 4 * b * b / gemv.duration
+        gemm_rate = gemm_flops(b, b, b) / cm.gemm(b, b, b).duration
+        assert gemv_rate < gemm_rate / 5
+
+
+class TestChkUpdatePricing:
+    def test_memory_bound_pricing(self, cm):
+        flops = 4 * 256 * 2560
+        cost = cm.chk_update_gpu(flops)
+        assert cost.duration > flops / (TARDIS.gpu.eff("gemm") * 515e9)
+
+    def test_kepler_hides_thin_kernels(self, cm_k40):
+        assert cm_k40.chk_update_gpu(10**6).util == BULLDOZER64.gpu.thin_kernel_util
+
+
+class TestCpuPricing:
+    def test_potf2_on_cpu(self, cm):
+        cost = cm.cpu_potf2(256)
+        assert cost.util == 1.0 and cost.duration > 0
+
+    def test_potf2_hides_under_midrange_gemm(self, cm):
+        """MAGMA's design point: host POTF2 < the iteration's GEMM."""
+        potf2 = cm.cpu_potf2(256)
+        gemm = cm.gemm(40 * 256, 256, 40 * 256)
+        assert potf2.duration < gemm.duration
+
+    def test_chk_update_scales_with_flops(self, cm):
+        assert cm.cpu_chk_update(2 * 10**6).duration == pytest.approx(
+            2 * cm.cpu_chk_update(10**6).duration
+        )
+
+
+class TestTransferPricing:
+    def test_zero_bytes_is_latency(self, cm):
+        assert cm.transfer(0).duration == pytest.approx(TARDIS.link.latency_s)
+
+    def test_tile_transfer_reasonable(self, cm):
+        # a 256² double tile over PCIe2: ~100 µs
+        d = cm.transfer(256 * 256 * 8).duration
+        assert 5e-5 < d < 5e-4
+
+    def test_rejects_negative(self, cm):
+        with pytest.raises(ValueError):
+            cm.transfer(-1)
+
+
+class TestSustainedRates:
+    def test_gpu_sustained(self, cm):
+        assert cm.gpu_sustained_gflops("gemm") == pytest.approx(
+            TARDIS.gpu.eff("gemm") * 515.0
+        )
+
+    def test_cpu_sustained(self, cm):
+        assert cm.cpu_sustained_gflops() < TARDIS.cpu.peak_gflops

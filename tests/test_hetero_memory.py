@@ -1,0 +1,90 @@
+"""Unit tests for device buffers (real and shadow storage, taint maps)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.blocked import BlockedMatrix
+from repro.hetero.memory import DeviceChecksums, DeviceMatrix
+from repro.util.exceptions import ValidationError
+
+
+def make_matrix(real: bool = True, n: int = 8, b: int = 4) -> DeviceMatrix:
+    blocked = BlockedMatrix(np.arange(n * n, dtype=np.float64).reshape(n, n), b) if real else None
+    return DeviceMatrix("A", n, b, blocked)
+
+
+class TestDeviceMatrix:
+    def test_real_mode_exposes_views(self):
+        m = make_matrix()
+        m.block(0, 0)[0, 0] = -5.0
+        assert m.array[0, 0] == -5.0
+
+    def test_shadow_mode_has_no_storage(self):
+        m = make_matrix(real=False)
+        assert not m.real
+        with pytest.raises(ValidationError, match="shadow"):
+            m.tile_view((0, 0))
+
+    def test_nbytes(self):
+        assert make_matrix().nbytes == 8 * 8 * 8
+
+    def test_taint_created_clean_on_demand(self):
+        m = make_matrix(real=False)
+        assert m.taint_of((1, 0)).is_clean()
+        assert not m.any_taint()
+
+    def test_taint_persists(self):
+        m = make_matrix(real=False)
+        m.taint_of((1, 1)).add_point(2, 3)
+        assert m.any_taint()
+        assert m.tainted_keys() == [(1, 1)]
+
+    def test_rejects_mismatched_blocked(self):
+        blocked = BlockedMatrix(np.zeros((8, 8)), 2)
+        with pytest.raises(ValidationError):
+            DeviceMatrix("A", 8, 4, blocked)
+
+
+class TestDeviceChecksums:
+    def test_shape(self):
+        c = DeviceChecksums.zeros("chk", 16, 4, real=True)
+        assert c.array.shape == (8, 16)
+
+    def test_strip_addressing(self):
+        c = DeviceChecksums.zeros("chk", 8, 4, real=True)
+        c.strip(1, 0)[:] = 7.0
+        # rows 2..4, cols 0..4 of the backing array
+        assert c.array[2, 0] == 7.0 and c.array[3, 3] == 7.0
+        assert c.array[0, 0] == 0.0 and c.array[2, 4] == 0.0
+
+    def test_strip_row_concatenates(self):
+        c = DeviceChecksums.zeros("chk", 12, 4, real=True)
+        c.strip(2, 0)[:] = 1.0
+        c.strip(2, 1)[:] = 2.0
+        row = c.strip_row(2, 0, 2)
+        assert row.shape == (2, 8)
+        assert row[0, 0] == 1.0 and row[0, 7] == 2.0
+
+    def test_strip_is_view(self):
+        c = DeviceChecksums.zeros("chk", 8, 4, real=True)
+        view = c.strip(0, 0)
+        view[0, 0] = 3.0
+        assert c.array[0, 0] == 3.0
+
+    def test_shadow_mode(self):
+        c = DeviceChecksums.zeros("chk", 8, 4, real=False)
+        assert c.array is None
+        with pytest.raises(ValidationError):
+            c.strip(0, 0)
+
+    def test_out_of_range_strip(self):
+        c = DeviceChecksums.zeros("chk", 8, 4, real=True)
+        with pytest.raises(ValidationError):
+            c.strip(2, 0)
+
+    def test_space_overhead_is_2_over_b(self):
+        """Section VI-5: checksum storage is 2/B of the matrix."""
+        n, b = 64, 8
+        c = DeviceChecksums.zeros("chk", n, b, real=False)
+        m = make_matrix(real=False, n=n, b=b)
+        assert c.nbytes / m.nbytes == pytest.approx(2.0 / b)

@@ -1,0 +1,73 @@
+"""Unit tests for machine specifications and presets."""
+
+import pytest
+
+from repro.hetero.spec import BULLDOZER64, PRESETS, TARDIS, GpuSpec, LinkSpec
+from repro.util.exceptions import ValidationError
+
+
+class TestPresets:
+    def test_both_presets_registered(self):
+        assert set(PRESETS) == {"tardis", "bulldozer64"}
+
+    def test_tardis_is_fermi_m2075(self):
+        assert TARDIS.gpu.arch == "fermi"
+        assert "M2075" in TARDIS.gpu.name
+        assert TARDIS.default_block_size == 256  # MAGMA's Fermi default
+
+    def test_bulldozer_is_kepler_k40(self):
+        assert BULLDOZER64.gpu.arch == "kepler"
+        assert BULLDOZER64.default_block_size == 512
+
+    def test_kepler_faster_than_fermi(self):
+        assert BULLDOZER64.gpu.peak_gflops > TARDIS.gpu.peak_gflops
+
+    def test_kepler_has_more_concurrency(self):
+        """The structural asymmetry behind Optimization 1's machine gap."""
+        assert (
+            BULLDOZER64.gpu.max_concurrent_kernels
+            > TARDIS.gpu.max_concurrent_kernels
+        )
+
+    def test_kepler_thin_kernels_cheaper_to_hide(self):
+        assert BULLDOZER64.gpu.thin_kernel_util < TARDIS.gpu.thin_kernel_util
+
+    def test_bulldozer_has_more_cpu(self):
+        assert BULLDOZER64.cpu.sockets == 4 and TARDIS.cpu.sockets == 2
+        assert BULLDOZER64.cpu.peak_gflops == pytest.approx(
+            2 * TARDIS.cpu.peak_gflops
+        )
+
+    def test_gpu_memory_fits_paper_sizes(self):
+        # largest tested matrices must fit: 23040² and 30720² doubles
+        assert 23040**2 * 8 < TARDIS.gpu.memory_gb * 1e9
+        assert 30720**2 * 8 < BULLDOZER64.gpu.memory_gb * 1e9
+
+
+class TestGpuSpec:
+    def test_eff_lookup_and_default(self):
+        assert TARDIS.gpu.eff("gemm") > TARDIS.gpu.eff("trsm")
+        assert TARDIS.gpu.eff("unknown_kind") == 0.5
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValidationError):
+            GpuSpec(
+                name="x",
+                arch="y",
+                peak_gflops=1.0,
+                mem_bandwidth_gbs=1.0,
+                memory_gb=1.0,
+                max_concurrent_kernels=1,
+                kernel_launch_overhead_s=0.0,
+                efficiency={"gemm": 1.5},
+            )
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec("x", bandwidth_gbs=1.0, latency_s=1e-3)
+        assert link.transfer_time(0) == pytest.approx(1e-3)
+
+    def test_transfer_time_scales_with_bytes(self):
+        link = LinkSpec("x", bandwidth_gbs=2.0, latency_s=0.0)
+        assert link.transfer_time(2_000_000_000) == pytest.approx(1.0)

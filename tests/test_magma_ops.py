@@ -1,0 +1,137 @@
+"""Unit tests for the four hybrid-driver operations (numerics + taint + tasks)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd
+from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
+from repro.util.exceptions import SingularBlockError
+
+
+def real_setup(machine, n=32, b=8, rng=0):
+    ctx = machine.context(numerics="real")
+    a = random_spd(n, rng=rng)
+    return ctx, ctx.alloc_matrix(n, b, data=a), a
+
+
+def shadow_setup(machine, n=1024, b=256):
+    ctx = machine.context(numerics="shadow")
+    return ctx, ctx.alloc_matrix(n, b)
+
+
+class TestOpNumerics:
+    def test_sequence_reproduces_lapack(self, tardis):
+        ctx, matrix, a0 = real_setup(tardis)
+        pristine = a0.copy()
+        main = ctx.stream("main")
+        for j in range(matrix.nb):
+            syrk_op(ctx, matrix, j, main)
+            gemm_op(ctx, matrix, j, main)
+            potf2_op(ctx, matrix, j)
+            trsm_op(ctx, matrix, j, main)
+        ell = np.tril(matrix.blocked.data)
+        np.testing.assert_allclose(ell, np.linalg.cholesky(pristine), rtol=1e-10, atol=1e-12)
+
+    def test_potf2_fail_stop_propagates(self, tardis):
+        ctx, matrix, _ = real_setup(tardis)
+        matrix.block(0, 0)[0, 0] = -1.0
+        with pytest.raises(SingularBlockError):
+            potf2_op(ctx, matrix, 0)
+
+
+class TestOpEdgeCases:
+    def test_syrk_noop_at_j0(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        assert syrk_op(ctx, matrix, 0, ctx.stream("main")) is None
+
+    def test_gemm_noop_at_j0_and_last(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        main = ctx.stream("main")
+        assert gemm_op(ctx, matrix, 0, main) is None
+        assert gemm_op(ctx, matrix, matrix.nb - 1, main) is None
+
+    def test_trsm_noop_on_last_iteration(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        assert trsm_op(ctx, matrix, matrix.nb - 1, ctx.stream("main")) is None
+
+
+class TestOpTasks:
+    def test_kinds_and_resources(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        main = ctx.stream("main")
+        s = syrk_op(ctx, matrix, 1, main)
+        g = gemm_op(ctx, matrix, 1, main)
+        p = potf2_op(ctx, matrix, 1)
+        t = trsm_op(ctx, matrix, 1, main)
+        assert (s.kind, g.kind, p.kind, t.kind) == ("syrk", "gemm", "potf2", "trsm")
+        assert s.resource is ctx.gpu_res and p.resource is ctx.cpu_res
+
+    def test_stream_ordering(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        main = ctx.stream("main")
+        s = syrk_op(ctx, matrix, 1, main)
+        g = gemm_op(ctx, matrix, 1, main)
+        assert s in g.deps
+
+    def test_gemm_dominates_iteration_cost(self, tardis):
+        """MAGMA's premise: the panel GEMM is the iteration's big kernel."""
+        ctx, matrix = shadow_setup(tardis, n=4096, b=256)
+        main = ctx.stream("main")
+        j = matrix.nb // 2
+        s = syrk_op(ctx, matrix, j, main)
+        g = gemm_op(ctx, matrix, j, main)
+        p = potf2_op(ctx, matrix, j)
+        assert g.duration > s.duration
+        assert g.duration > p.duration
+
+
+class TestOpTaint:
+    def test_syrk_cross_taint(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        matrix.taint_of((2, 0)).add_point(1, 3)
+        syrk_op(ctx, matrix, 2, ctx.stream("main"))
+        taint = matrix.taint_of((2, 2))
+        assert 1 in taint.rows and 1 in taint.cols
+        assert not taint.correctable()
+
+    def test_gemm_left_factor_row_taint(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        matrix.taint_of((3, 0)).add_point(2, 5)  # LD tile
+        gemm_op(ctx, matrix, 1, ctx.stream("main"))
+        taint = matrix.taint_of((3, 1))
+        assert taint.rows == {2} and taint.correctable()
+
+    def test_gemm_right_factor_column_taint(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        matrix.taint_of((1, 0)).add_point(2, 5)  # LC tile
+        gemm_op(ctx, matrix, 1, ctx.stream("main"))
+        for i in range(2, matrix.nb):
+            assert matrix.taint_of((i, 1)).cols == {2}
+
+    def test_potf2_full_taint_on_corrupt_input(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        matrix.taint_of((1, 1)).add_point(0, 0)
+        potf2_op(ctx, matrix, 1)
+        assert matrix.taint_of((1, 1)).full
+
+    def test_trsm_corrupt_l_poisons_panel(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        matrix.taint_of((0, 0)).add_point(0, 0)
+        trsm_op(ctx, matrix, 0, ctx.stream("main"))
+        assert matrix.taint_of((1, 0)).full
+
+    def test_trsm_spreads_panel_point_to_row(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        matrix.taint_of((2, 0)).add_point(4, 1)
+        trsm_op(ctx, matrix, 0, ctx.stream("main"))
+        assert matrix.taint_of((2, 0)).rows == {4}
+
+    def test_clean_stays_clean(self, tardis):
+        ctx, matrix = shadow_setup(tardis)
+        main = ctx.stream("main")
+        for j in range(matrix.nb):
+            syrk_op(ctx, matrix, j, main)
+            gemm_op(ctx, matrix, j, main)
+            potf2_op(ctx, matrix, j)
+            trsm_op(ctx, matrix, j, main)
+        assert not matrix.any_taint()

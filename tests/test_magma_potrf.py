@@ -1,0 +1,112 @@
+"""Unit/integration tests for the plain hybrid driver and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd
+from repro.magma.cula import cula_gflops, cula_potrf_time
+from repro.magma.host import factorization_residual, host_blocked_potrf, host_potrf
+from repro.magma.potrf import magma_potrf
+from repro.util.exceptions import ValidationError
+
+
+class TestNumerics:
+    def test_matches_lapack(self, tardis, spd256):
+        a0 = spd256.copy()
+        res = magma_potrf(tardis, a=spd256, block_size=64)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-10, atol=1e-12)
+
+    def test_residual_small(self, tardis, spd512):
+        a0 = spd512.copy()
+        res = magma_potrf(tardis, a=spd512, block_size=128)
+        assert factorization_residual(a0, res.factor) < 1e-13
+
+    def test_in_place(self, tardis, spd256):
+        res = magma_potrf(tardis, a=spd256, block_size=64)
+        assert res.matrix.blocked.data is spd256
+
+    def test_single_block(self, tardis):
+        a = random_spd(64, rng=0)
+        a0 = a.copy()
+        res = magma_potrf(tardis, a=a, block_size=64)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-10, atol=1e-12)
+
+    def test_host_blocked_agrees_with_driver(self, tardis):
+        a = random_spd(128, rng=4)
+        ref = host_blocked_potrf(a.copy(), 32)
+        res = magma_potrf(tardis, a=a, block_size=32)
+        np.testing.assert_array_equal(res.factor, ref)  # identical op order
+
+
+class TestArguments:
+    def test_real_requires_matrix(self, tardis):
+        with pytest.raises(ValidationError):
+            magma_potrf(tardis, n=256)
+
+    def test_shadow_requires_n(self, tardis):
+        with pytest.raises(ValidationError):
+            magma_potrf(tardis, numerics="shadow")
+
+    def test_block_size_must_divide(self, tardis):
+        with pytest.raises(ValidationError):
+            magma_potrf(tardis, n=1000, block_size=256, numerics="shadow")
+
+    def test_default_block_size_used(self, tardis):
+        res = magma_potrf(tardis, n=2048, numerics="shadow")
+        assert res.block_size == 256
+
+    def test_factor_unavailable_in_shadow(self, tardis):
+        res = magma_potrf(tardis, n=1024, numerics="shadow")
+        with pytest.raises(ValidationError):
+            _ = res.factor
+
+
+class TestSimulatedPerformance:
+    def test_calibrated_near_paper_tardis(self, tardis):
+        """Paper Table VII implies ≈10.5 s at n=20480 on Tardis."""
+        res = magma_potrf(tardis, n=20480, numerics="shadow")
+        assert 9.0 < res.makespan < 11.5
+
+    def test_calibrated_near_paper_bulldozer(self, bulldozer):
+        """Paper Table VIII implies ≈8.6 s at n=30720 on Bulldozer64."""
+        res = magma_potrf(bulldozer, n=30720, numerics="shadow")
+        assert 7.5 < res.makespan < 9.5
+
+    def test_gflops_increase_with_n(self, any_machine):
+        bs = any_machine.default_block_size
+        small = magma_potrf(any_machine, n=4 * bs, numerics="shadow")
+        large = magma_potrf(any_machine, n=16 * bs, numerics="shadow")
+        assert large.gflops > small.gflops
+
+    def test_gflops_below_peak(self, any_machine):
+        res = magma_potrf(any_machine, n=10240, numerics="shadow")
+        assert res.gflops < any_machine.spec.gpu.peak_gflops
+
+    def test_potf2_hidden_under_gemm(self, tardis):
+        """The driver's point: CPU work overlaps GPU work, so the GPU busy
+        time is close to the makespan."""
+        res = magma_potrf(tardis, n=10240, numerics="shadow")
+        gpu_busy = res.timeline.busy_time("gpu")
+        assert gpu_busy / res.makespan > 0.95
+
+    def test_timeline_has_all_kinds(self, tardis):
+        res = magma_potrf(tardis, n=2048, numerics="shadow")
+        kinds = set(res.timeline.kind_summary())
+        assert {"syrk", "gemm", "potf2", "trsm", "d2h", "h2d"} <= kinds
+
+
+class TestCulaBaseline:
+    def test_slower_than_magma(self, any_machine):
+        n = 20 * any_machine.default_block_size
+        magma = magma_potrf(any_machine, n=n, numerics="shadow")
+        assert cula_potrf_time(any_machine.spec, n) > magma.makespan
+
+    def test_gflops_consistent(self, tardis):
+        from repro.blas.flops import potrf_flops
+
+        n = 5120
+        t = cula_potrf_time(tardis.spec, n)
+        assert cula_gflops(tardis.spec, n) == pytest.approx(potrf_flops(n) / t / 1e9)
+
+    def test_monotone_in_n(self, tardis):
+        assert cula_potrf_time(tardis.spec, 10240) > cula_potrf_time(tardis.spec, 5120)

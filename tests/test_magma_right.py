@@ -1,0 +1,50 @@
+"""Tests for the right-looking driver ablation variant."""
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd
+from repro.magma.host import host_potrf
+from repro.magma.potrf import magma_potrf
+from repro.magma.potrf_right import magma_potrf_right
+from repro.util.exceptions import ValidationError
+
+
+class TestNumerics:
+    def test_matches_lapack(self, tardis):
+        a = random_spd(256, rng=0)
+        a0 = a.copy()
+        res = magma_potrf_right(tardis, a=a, block_size=64)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-10, atol=1e-12)
+
+    def test_matches_left_looking_factor(self, tardis):
+        a = random_spd(128, rng=1)
+        left = magma_potrf(tardis, a=a.copy(), block_size=32).factor
+        right = magma_potrf_right(tardis, a=a.copy(), block_size=32).factor
+        np.testing.assert_allclose(left, right, rtol=1e-12, atol=1e-14)
+
+    def test_single_block(self, tardis):
+        a = random_spd(32, rng=2)
+        a0 = a.copy()
+        res = magma_potrf_right(tardis, a=a, block_size=32)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-10, atol=1e-12)
+
+
+class TestSchedule:
+    def test_slower_than_left_looking(self, any_machine):
+        n = 16 * any_machine.default_block_size
+        left = magma_potrf(any_machine, n=n, numerics="shadow")
+        right = magma_potrf_right(any_machine, n=n, numerics="shadow")
+        assert right.makespan > left.makespan
+
+    def test_many_small_kernels(self, tardis):
+        n = 4096
+        left = magma_potrf(tardis, n=n, numerics="shadow")
+        right = magma_potrf_right(tardis, n=n, numerics="shadow")
+        left_gemms = left.timeline.kind_summary().get("gemm", (0, 0))[0]
+        right_gemms = right.timeline.kind_summary().get("gemm", (0, 0))[0]
+        assert right_gemms > 5 * left_gemms
+
+    def test_rejects_shadow_without_n(self, tardis):
+        with pytest.raises(ValidationError):
+            magma_potrf_right(tardis, numerics="shadow")

@@ -1,0 +1,130 @@
+"""Unit tests for the Section VI analytic overhead model (Tables II-VI)."""
+
+import pytest
+
+from repro.core.update import updating_flops_total
+from repro.models.overhead import (
+    encoding_flops,
+    encoding_relative,
+    enhanced_overall_relative,
+    enhanced_overall_relative_limit,
+    enhanced_recalc_flops_by_op,
+    enhanced_recalc_relative,
+    online_overall_relative,
+    online_overall_relative_limit,
+    online_recalc_relative,
+    overhead_breakdown,
+    space_relative,
+    transfer_elements_cpu_updating,
+    updating_flops_by_op,
+    updating_relative,
+)
+
+
+class TestEncoding:
+    def test_flops_2n_squared(self):
+        assert encoding_flops(1000) == 2_000_000
+
+    def test_relative_6_over_n(self):
+        assert encoding_relative(6000) == pytest.approx(6 / 6000)
+
+
+class TestUpdating:
+    def test_table3_components(self):
+        parts = updating_flops_by_op(1024, 128)
+        assert parts["GEMM"] == pytest.approx(2 / (3 * 128) * 1024**3)
+        assert parts["TRSM"] == parts["SYRK"] == pytest.approx(2 * 1024**2)
+
+    def test_relative_formula(self):
+        assert updating_relative(4096, 256) == pytest.approx(12 / 4096 + 2 / 256)
+
+    def test_matches_exact_kernel_accounting(self):
+        """The analytic N_Upd agrees with the per-kernel flop sum used by
+        the simulator (leading order)."""
+        n, b = 16384, 128  # nb = 128: boundary terms fade at large nb
+        analytic = sum(updating_flops_by_op(n, b).values())
+        exact = updating_flops_total(n, b)
+        assert exact == pytest.approx(analytic, rel=0.05)
+
+
+class TestRecalculation:
+    def test_online_relative(self):
+        assert online_recalc_relative(2400, 256) == pytest.approx(12 / 2400)
+
+    def test_enhanced_relative_k1(self):
+        n, b = 4096, 256
+        assert enhanced_recalc_relative(n, b, 1) == pytest.approx(12 / n + 2 / b)
+
+    def test_enhanced_relative_k_dependence(self):
+        n, b = 4096, 256
+        k5 = enhanced_recalc_relative(n, b, 5)
+        assert k5 == pytest.approx((6 * 5 + 6) / (n * 5) + 2 / (b * 5))
+        assert k5 < enhanced_recalc_relative(n, b, 1)
+
+    def test_enhanced_gemm_term_dominates(self):
+        parts = enhanced_recalc_flops_by_op(8192, 256, 1)
+        assert parts["GEMM"] > 3 * max(parts["TRSM"], parts["SYRK"], parts["POTF2"])
+
+
+class TestSpaceAndTransfers:
+    def test_space_2_over_b(self):
+        assert space_relative(256) == pytest.approx(2 / 256)
+
+    def test_enhanced_transfer_larger_than_online(self):
+        n, b, k = 20480, 256, 1
+        online = transfer_elements_cpu_updating(n, b, k, "online")
+        enhanced = transfer_elements_cpu_updating(n, b, k, "enhanced")
+        assert enhanced > online
+
+    def test_k_shrinks_enhanced_transfers(self):
+        n, b = 20480, 256
+        assert transfer_elements_cpu_updating(n, b, 5, "enhanced") < (
+            transfer_elements_cpu_updating(n, b, 1, "enhanced")
+        )
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            transfer_elements_cpu_updating(1024, 256, 1, "quantum")
+
+
+class TestTable6:
+    def test_online_formula(self):
+        assert online_overall_relative(3000, 256) == pytest.approx(30 / 3000 + 2 / 256)
+
+    def test_enhanced_formula(self):
+        n, b, k = 20480, 256, 3
+        assert enhanced_overall_relative(n, b, k) == pytest.approx(
+            (24 * k + 6) / (n * k) + (2 * k + 2) / (b * k)
+        )
+
+    def test_limits(self):
+        assert online_overall_relative_limit(256) == pytest.approx(2 / 256)
+        assert enhanced_overall_relative_limit(256, 1) == pytest.approx(4 / 256)
+        assert enhanced_overall_relative_limit(256, 2) == pytest.approx(3 / 256)
+
+    def test_enhanced_approaches_limit(self):
+        b, k = 256, 1
+        limit = enhanced_overall_relative_limit(b, k)
+        at_big_n = enhanced_overall_relative(10**7, b, k)
+        assert at_big_n == pytest.approx(limit, rel=1e-3)
+
+    def test_enhanced_above_online_at_k1(self):
+        assert enhanced_overall_relative(20480, 256, 1) > online_overall_relative(
+            20480, 256
+        )
+
+    def test_large_k_converges_to_online_limit(self):
+        """As K → ∞ the enhanced limit approaches 2/B, online's limit."""
+        assert enhanced_overall_relative_limit(256, 1000) == pytest.approx(
+            online_overall_relative_limit(256), rel=1e-2
+        )
+
+    def test_breakdown_consistency(self):
+        o = overhead_breakdown(20480, 256, 1)
+        assert o.enhanced_total > o.online_total
+        assert o.space == pytest.approx(2 / 256)
+
+    def test_overhead_decreasing_in_n(self):
+        """Figure 14/15 shape: relative overhead falls with matrix size."""
+        xs = [enhanced_overall_relative(n, 256, 1) for n in (5120, 10240, 20480)]
+        assert xs[0] > xs[1] > xs[2]

@@ -1,0 +1,105 @@
+"""Tests for run-result introspection: overhead breakdowns, failed-attempt
+timelines, and the latency experiment's internals."""
+
+import pytest
+
+from repro.core import AbftConfig, enhanced_potrf, online_potrf
+from repro.experiments import latency
+from repro.faults.injector import single_storage_fault
+from repro.hetero.machine import Machine
+from repro.magma.potrf import magma_potrf
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine.preset("tardis")
+
+
+class TestOverheadBreakdown:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return enhanced_potrf(
+            Machine.preset("tardis"), n=4096, numerics="shadow"
+        )
+
+    def test_contains_ft_categories(self, res):
+        b = res.overhead_breakdown()
+        assert b["encode"] > 0 and b["recalc"] > 0
+        assert b["updating_total"] > 0
+
+    def test_ft_total_is_sum_of_parts(self, res):
+        b = res.overhead_breakdown()
+        expected = (
+            b.get("encode", 0)
+            + b.get("recalc", 0)
+            + b.get("chk_update_syrk", 0)
+            + b.get("chk_update_gemm", 0)
+            + b.get("chk_update_potf2", 0)
+            + b.get("chk_update_trsm", 0)
+        )
+        assert b["ft_total"] == pytest.approx(expected)
+
+    def test_factorization_kinds_present(self, res):
+        b = res.overhead_breakdown()
+        assert b["gemm"] > b["recalc"]  # the protected work dominates
+
+    def test_recalc_dominates_ft_cost(self, res):
+        """Section V-A: recalculation is 'one of the few operations that
+        bring majority overhead' at K=1."""
+        b = res.overhead_breakdown()
+        assert b["recalc"] > 0.4 * b["ft_total"]
+
+    def test_k_reduces_recalc_share(self, machine):
+        k1 = enhanced_potrf(machine, n=4096, numerics="shadow").overhead_breakdown()
+        k5 = enhanced_potrf(
+            machine, n=4096, config=AbftConfig(verify_interval=5), numerics="shadow"
+        ).overhead_breakdown()
+        assert k5["recalc"] < k1["recalc"]
+        assert k5["updating_total"] == pytest.approx(k1["updating_total"], rel=0.01)
+
+
+class TestFailedTimelines:
+    def test_kept_on_restart(self, machine):
+        inj = single_storage_fault(block=(14, 13), iteration=13)
+        res = online_potrf(
+            machine, n=4096, block_size=256, injector=inj, numerics="shadow"
+        )
+        assert res.restarts == 1
+        assert len(res.failed_timelines) == 1
+        assert res.failed_timelines[0].makespan == pytest.approx(
+            res.attempt_makespans[0], rel=1e-9
+        )
+
+    def test_empty_without_restart(self, machine):
+        res = online_potrf(machine, n=2048, block_size=256, numerics="shadow")
+        assert res.failed_timelines == []
+
+
+class TestLatencyInternals:
+    def test_iteration_boundaries_monotone(self, machine):
+        res = magma_potrf(machine, n=2048, numerics="shadow")
+        bounds = latency._iteration_boundaries(res.timeline, 8)
+        assert all(b2 >= b1 for b1, b2 in zip(bounds, bounds[1:]))
+        assert bounds[-1] == pytest.approx(res.makespan, rel=0.05)
+
+    def test_measure_one_enhanced(self, machine):
+        p = latency.measure_one(machine, "enhanced", 2048, 256, victim=(5, 4), inject_iteration=4)
+        assert p.corrected_in_place and p.exposure_iterations == 1
+
+    def test_measure_one_offline(self, machine):
+        p = latency.measure_one(machine, "offline", 2048, 256, victim=(5, 4), inject_iteration=4)
+        assert not p.corrected_in_place
+        assert p.exposure_iterations >= 3
+
+    def test_inject_iteration_validated(self, machine):
+        with pytest.raises(ValueError):
+            latency.measure_one(machine, "enhanced", 2048, 256, (1, 0), 99)
+
+    def test_run_orders_schemes(self):
+        res = latency.run("tardis", 4096)
+        assert [p.scheme for p in res.points] == ["offline", "online", "enhanced"]
+
+    def test_render(self):
+        res = latency.run("tardis", 4096)
+        out = res.render("t")
+        assert "exposure" in out and "corrected" in out

@@ -1,0 +1,109 @@
+"""Integration tests: the three schemes on fault-free inputs.
+
+All schemes must produce the exact LAPACK factor, keep their checksums
+consistent throughout, report zero corrections, and cost only slightly more
+simulated time than the unprotected driver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd, tridiag_spd
+from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.magma.host import factorization_residual, host_potrf
+from repro.magma.potrf import magma_potrf
+
+ALL_SCHEMES = [offline_potrf, online_potrf, enhanced_potrf]
+
+
+@pytest.mark.parametrize("potrf", ALL_SCHEMES)
+class TestCorrectFactor:
+    def test_matches_lapack(self, potrf, tardis, spd256):
+        a0 = spd256.copy()
+        res = potrf(tardis, a=spd256, block_size=64)
+        np.testing.assert_allclose(
+            res.factor, host_potrf(a0), rtol=1e-10, atol=1e-12
+        )
+
+    def test_no_spurious_corrections(self, potrf, tardis, spd256):
+        res = potrf(tardis, a=spd256, block_size=64)
+        assert res.stats.data_corrections == 0
+        assert res.stats.checksum_corrections == 0
+        assert res.restarts == 0
+
+    def test_result_metadata(self, potrf, tardis, spd256):
+        res = potrf(tardis, a=spd256, block_size=64)
+        assert res.machine == "tardis" and res.n == 256 and res.block_size == 64
+        assert res.makespan > 0 and res.gflops > 0
+        assert len(res.attempt_makespans) == 1
+
+    def test_tridiagonal_matrix(self, potrf, tardis):
+        a = tridiag_spd(128)
+        a0 = a.copy()
+        res = potrf(tardis, a=a, block_size=32)
+        assert factorization_residual(a0, res.factor) < 1e-14
+
+    def test_single_block_matrix(self, potrf, tardis):
+        a = random_spd(32, rng=11)
+        a0 = a.copy()
+        res = potrf(tardis, a=a, block_size=32)
+        np.testing.assert_allclose(res.factor, host_potrf(a0), rtol=1e-10, atol=1e-12)
+
+    def test_two_blocks(self, potrf, tardis):
+        a = random_spd(64, rng=12)
+        a0 = a.copy()
+        res = potrf(tardis, a=a, block_size=32)
+        assert factorization_residual(a0, res.factor) < 1e-13
+
+    def test_input_receives_factor(self, potrf, tardis):
+        """Like LAPACK, the caller's array holds L on return."""
+        a = random_spd(64, rng=13)
+        res = potrf(tardis, a=a, block_size=32)
+        np.testing.assert_array_equal(np.tril(a), res.factor)
+
+    def test_bulldozer_machine(self, potrf, bulldozer):
+        a = random_spd(128, rng=14)
+        a0 = a.copy()
+        res = potrf(bulldozer, a=a, block_size=32)
+        assert factorization_residual(a0, res.factor) < 1e-13
+
+
+class TestSchemeOrdering:
+    """Fault-free simulated cost: magma ≤ offline ≤ enhanced, all close."""
+
+    def test_overheads_ranked(self, tardis):
+        n, bs = 4096, 256
+        base = magma_potrf(tardis, n=n, numerics="shadow").makespan
+        cfg = AbftConfig()
+        t_off = offline_potrf(tardis, n=n, config=cfg, numerics="shadow").makespan
+        t_on = online_potrf(tardis, n=n, config=cfg, numerics="shadow").makespan
+        t_enh = enhanced_potrf(tardis, n=n, config=cfg, numerics="shadow").makespan
+        assert base < t_off < t_enh
+        assert base < t_on < t_enh
+
+    def test_enhanced_overhead_bounded_at_paper_scale(self, tardis):
+        """< 6% on Tardis at n=20480 (Figure 14's headline)."""
+        base = magma_potrf(tardis, n=20480, numerics="shadow").makespan
+        t = enhanced_potrf(tardis, n=20480, numerics="shadow").makespan
+        assert (t - base) / base < 0.06
+
+    def test_enhanced_overhead_bounded_bulldozer(self, bulldozer):
+        """< 4% on Bulldozer64 at n=30720 (Figure 15's headline)."""
+        base = magma_potrf(bulldozer, n=30720, numerics="shadow").makespan
+        t = enhanced_potrf(bulldozer, n=30720, numerics="shadow").makespan
+        assert (t - base) / base < 0.04
+
+    def test_verified_tiles_enhanced_exceeds_online(self, tardis):
+        n = 2048
+        on = online_potrf(tardis, n=n, numerics="shadow")
+        enh = enhanced_potrf(tardis, n=n, numerics="shadow")
+        assert enh.stats.tiles_verified > on.stats.tiles_verified
+
+    def test_k_reduces_verified_tiles(self, tardis):
+        n = 2048
+        k1 = enhanced_potrf(tardis, n=n, numerics="shadow")
+        k5 = enhanced_potrf(
+            tardis, n=n, config=AbftConfig(verify_interval=5), numerics="shadow"
+        )
+        assert k5.stats.tiles_verified < k1.stats.tiles_verified
+        assert k5.makespan < k1.makespan

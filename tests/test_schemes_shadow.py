@@ -1,0 +1,128 @@
+"""Shadow-mode scheme tests: paper-scale semantics without the arithmetic.
+
+These mirror the capability tables (VII/VIII) at reduced size and assert
+the *mechanism* — who restarts, who corrects — plus timing relations.
+"""
+
+import pytest
+
+from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.faults.injector import single_computing_fault, single_storage_fault
+from repro.magma.potrf import magma_potrf
+
+N, BS = 4096, 256  # nb = 16
+
+
+class TestNoError:
+    @pytest.mark.parametrize("potrf", [offline_potrf, online_potrf, enhanced_potrf])
+    def test_runs_clean(self, potrf, any_machine):
+        res = potrf(any_machine, n=N, block_size=BS, numerics="shadow")
+        assert res.restarts == 0
+        assert res.makespan > 0
+
+    def test_schemes_within_ten_percent(self, tardis):
+        times = [
+            p(tardis, n=N, block_size=BS, numerics="shadow").makespan
+            for p in (offline_potrf, online_potrf, enhanced_potrf)
+        ]
+        assert max(times) / min(times) < 1.15
+
+
+class TestComputingError:
+    def test_offline_doubles(self, tardis):
+        clean = offline_potrf(tardis, n=N, block_size=BS, numerics="shadow").makespan
+        inj = single_computing_fault(block=(9, 8), iteration=8)
+        res = offline_potrf(tardis, n=N, block_size=BS, injector=inj, numerics="shadow")
+        assert res.restarts == 1
+        assert res.makespan == pytest.approx(2 * clean, rel=0.05)
+
+    def test_online_unaffected(self, tardis):
+        clean = online_potrf(tardis, n=N, block_size=BS, numerics="shadow").makespan
+        inj = single_computing_fault(block=(9, 8), iteration=8)
+        res = online_potrf(tardis, n=N, block_size=BS, injector=inj, numerics="shadow")
+        assert res.restarts == 0
+        assert res.makespan == pytest.approx(clean, rel=1e-6)
+
+    def test_enhanced_unaffected(self, tardis):
+        clean = enhanced_potrf(tardis, n=N, block_size=BS, numerics="shadow").makespan
+        inj = single_computing_fault(block=(9, 8), iteration=8)
+        res = enhanced_potrf(tardis, n=N, block_size=BS, injector=inj, numerics="shadow")
+        assert res.restarts == 0
+        assert res.makespan == pytest.approx(clean, rel=1e-6)
+
+
+class TestMemoryError:
+    INJ = dict(block=(15, 13), iteration=13)  # finished tile, late window
+
+    def test_offline_restarts(self, tardis):
+        res = offline_potrf(
+            tardis, n=N, block_size=BS,
+            injector=single_storage_fault(**self.INJ), numerics="shadow",
+        )
+        assert res.restarts == 1
+
+    def test_online_restarts_near_double_time(self, tardis):
+        clean = online_potrf(tardis, n=N, block_size=BS, numerics="shadow").makespan
+        res = online_potrf(
+            tardis, n=N, block_size=BS,
+            injector=single_storage_fault(**self.INJ), numerics="shadow",
+        )
+        assert res.restarts == 1
+        assert res.makespan > 1.8 * clean  # detected on the last iteration
+
+    def test_enhanced_corrects_without_restart(self, tardis):
+        clean = enhanced_potrf(tardis, n=N, block_size=BS, numerics="shadow").makespan
+        res = enhanced_potrf(
+            tardis, n=N, block_size=BS,
+            injector=single_storage_fault(**self.INJ), numerics="shadow",
+        )
+        assert res.restarts == 0
+        assert res.stats.data_corrections >= 1
+        assert res.makespan == pytest.approx(clean, rel=1e-6)
+
+    def test_enhanced_with_k3_still_corrects(self, tardis):
+        """Deferring GEMM/TRSM verification keeps SYRK inputs safe, so a
+        storage error on a finished row tile is still caught pre-SYRK."""
+        res = enhanced_potrf(
+            tardis, n=N, block_size=BS,
+            config=AbftConfig(verify_interval=3),
+            injector=single_storage_fault(**self.INJ), numerics="shadow",
+        )
+        assert res.restarts == 0
+
+
+class TestOverheadVsBaseline:
+    def test_all_schemes_cost_more_than_magma(self, any_machine):
+        base = magma_potrf(any_machine, n=N, block_size=BS, numerics="shadow").makespan
+        for p in (offline_potrf, online_potrf, enhanced_potrf):
+            assert p(any_machine, n=N, block_size=BS, numerics="shadow").makespan > base
+
+    def test_opt1_streams_help(self, bulldozer):
+        slow = enhanced_potrf(
+            bulldozer, n=N, block_size=BS,
+            config=AbftConfig(recalc_streams=1), numerics="shadow",
+        ).makespan
+        fast = enhanced_potrf(
+            bulldozer, n=N, block_size=BS,
+            config=AbftConfig(recalc_streams=16), numerics="shadow",
+        ).makespan
+        assert fast < slow
+
+    def test_opt2_placement_helps(self, tardis):
+        slow = enhanced_potrf(
+            tardis, n=N, block_size=BS,
+            config=AbftConfig(updating_placement="gpu_main"), numerics="shadow",
+        ).makespan
+        fast = enhanced_potrf(
+            tardis, n=N, block_size=BS,
+            config=AbftConfig(updating_placement="auto"), numerics="shadow",
+        ).makespan
+        assert fast < slow
+
+    def test_opt3_interval_helps(self, tardis):
+        k1 = enhanced_potrf(tardis, n=N, block_size=BS, numerics="shadow").makespan
+        k5 = enhanced_potrf(
+            tardis, n=N, block_size=BS,
+            config=AbftConfig(verify_interval=5), numerics="shadow",
+        ).makespan
+        assert k5 < k1

@@ -1,0 +1,119 @@
+"""Tests for the fault-tolerant solver layer."""
+
+import numpy as np
+import pytest
+
+from repro.blas.spd import random_spd, tridiag_spd
+from repro.faults.injector import single_storage_fault
+from repro.solve import ft_lstsq, ft_solve
+from repro.util.exceptions import ValidationError
+
+
+class TestFtSolve:
+    def test_solves_single_rhs(self, tardis):
+        a = random_spd(128, rng=0)
+        x_true = np.arange(128, dtype=np.float64)
+        b = a @ x_true
+        res = ft_solve(tardis, a, b, block_size=32)
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-9, atol=1e-10)
+        assert res.x.ndim == 1
+
+    def test_solves_multiple_rhs(self, tardis):
+        a = random_spd(96, rng=1)
+        x_true = np.random.default_rng(2).standard_normal((96, 5))
+        b = a @ x_true
+        res = ft_solve(tardis, a, b, block_size=32)
+        assert res.x.shape == (96, 5)
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8)
+
+    def test_input_matrix_untouched(self, tardis):
+        a = random_spd(64, rng=3)
+        a0 = a.copy()
+        ft_solve(tardis, a, np.ones(64), block_size=32)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_residual_reported_small(self, tardis):
+        a = tridiag_spd(128)
+        res = ft_solve(tardis, a, np.ones(128), block_size=32)
+        assert res.residual < 1e-14
+
+    def test_refinement_improves_or_holds(self, tardis):
+        a = random_spd(128, rng=4, diag_boost=0.5)
+        b = np.ones(128)
+        r0 = ft_solve(tardis, a, b, block_size=32, refine_steps=0).residual
+        r2 = ft_solve(tardis, a, b, block_size=32, refine_steps=2).residual
+        assert r2 <= r0 * 1.5
+
+    def test_correct_under_injected_fault(self, tardis):
+        """The end-to-end promise: a storage error mid-factorization does
+        not change the solution."""
+        a = random_spd(256, rng=5)
+        x_true = np.linspace(-1, 1, 256)
+        b = a @ x_true
+        inj = single_storage_fault(block=(4, 2), iteration=3)
+        res = ft_solve(tardis, a, b, block_size=32, injector=inj)
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8)
+        assert res.factorization.restarts == 0
+
+    @pytest.mark.parametrize("scheme", ["offline", "online", "enhanced"])
+    def test_all_schemes_usable(self, tardis, scheme):
+        a = random_spd(64, rng=6)
+        b = a @ np.ones(64)
+        res = ft_solve(tardis, a, b, scheme=scheme, block_size=32)
+        np.testing.assert_allclose(res.x, np.ones(64), rtol=1e-9)
+
+    def test_total_time_includes_solve(self, tardis):
+        a = random_spd(64, rng=7)
+        res = ft_solve(tardis, a, np.ones(64), block_size=32)
+        assert res.total_seconds > res.factorization.makespan
+        assert res.solve_seconds > 0
+
+    def test_rejects_unknown_scheme(self, tardis):
+        a = random_spd(32, rng=8)
+        with pytest.raises(ValidationError, match="unknown scheme"):
+            ft_solve(tardis, a, np.ones(32), scheme="tmr", block_size=32)
+
+    def test_rejects_rhs_mismatch(self, tardis):
+        a = random_spd(32, rng=9)
+        with pytest.raises(ValidationError):
+            ft_solve(tardis, a, np.ones(16), block_size=32)
+
+
+class TestFtLstsq:
+    def test_overdetermined_fit(self, tardis):
+        rng = np.random.default_rng(10)
+        m, n = 512, 64
+        a = rng.standard_normal((m, n))
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        res = ft_lstsq(tardis, a, b, block_size=32)
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-6)
+
+    def test_matches_numpy_lstsq_on_noisy_data(self, tardis):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((256, 64))
+        b = rng.standard_normal(256)
+        res = ft_lstsq(tardis, a, b, block_size=32)
+        ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(res.x, ref, rtol=1e-6, atol=1e-8)
+
+    def test_ridge_regularization(self, tardis):
+        rng = np.random.default_rng(12)
+        a = rng.standard_normal((128, 64))
+        b = rng.standard_normal(128)
+        plain = ft_lstsq(tardis, a, b, block_size=32).x
+        ridged = ft_lstsq(tardis, a, b, block_size=32, ridge=10.0).x
+        assert np.linalg.norm(ridged) < np.linalg.norm(plain)
+
+    def test_rejects_underdetermined(self, tardis):
+        with pytest.raises(ValidationError):
+            ft_lstsq(tardis, np.ones((4, 8)), np.ones(4))
+
+    def test_fault_during_normal_equations(self, tardis):
+        rng = np.random.default_rng(13)
+        a = rng.standard_normal((512, 128))
+        x_true = rng.standard_normal(128)
+        b = a @ x_true
+        inj = single_storage_fault(block=(2, 1), iteration=1)
+        res = ft_lstsq(tardis, a, b, block_size=32, injector=inj)
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-5)

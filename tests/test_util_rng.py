@@ -1,0 +1,41 @@
+"""Unit tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.util.rng import resolve_rng, spawn
+
+
+class TestResolveRng:
+    def test_none_is_deterministic(self):
+        a = resolve_rng(None).standard_normal(4)
+        b = resolve_rng(None).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        a = resolve_rng(123).standard_normal(4)
+        b = resolve_rng(123).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).standard_normal(4)
+        b = resolve_rng(2).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        same = resolve_rng(gen)
+        assert same is gen
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        children = spawn(np.random.default_rng(0), 3)
+        draws = [c.standard_normal(4) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible(self):
+        a = [c.standard_normal(2) for c in spawn(np.random.default_rng(5), 2)]
+        b = [c.standard_normal(2) for c in spawn(np.random.default_rng(5), 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.exceptions import ValidationError
+from repro.util.validation import (
+    check_block_size,
+    check_dtype,
+    check_positive,
+    check_square,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="the message"):
+            require(False, "the message")
+
+    def test_is_value_error(self):
+        with pytest.raises(ValueError):
+            require(False, "x")
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("value", [1, 0.5, 1e-30, 10**12])
+    def test_accepts_positive(self, value):
+        check_positive("x", value)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValidationError, match="x must be positive"):
+            check_positive("x", value)
+
+
+class TestCheckSquare:
+    def test_returns_order(self):
+        assert check_square("a", np.zeros((5, 5))) == 5
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_square("a", np.zeros((3, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            check_square("a", np.zeros(9))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_square("a", np.zeros((2, 2, 2)))
+
+
+class TestCheckDtype:
+    def test_accepts_float64(self):
+        check_dtype("a", np.zeros(3, dtype=np.float64))
+
+    def test_rejects_float32(self):
+        with pytest.raises(ValidationError, match="float64"):
+            check_dtype("a", np.zeros(3, dtype=np.float32))
+
+    def test_custom_dtype(self):
+        check_dtype("a", np.zeros(3, dtype=np.int64), dtype=np.int64)
+
+
+class TestCheckBlockSize:
+    def test_returns_block_count(self):
+        assert check_block_size(1024, 256) == 4
+
+    def test_exact_single_block(self):
+        assert check_block_size(64, 64) == 1
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValidationError, match="evenly divide"):
+            check_block_size(1000, 256)
+
+    def test_rejects_zero_block(self):
+        with pytest.raises(ValidationError):
+            check_block_size(256, 0)
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ValidationError):
+            check_block_size(0, 16)
