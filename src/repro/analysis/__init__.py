@@ -1,0 +1,37 @@
+"""Static analyzers for the ABFT protocol, schedules, and the repo itself.
+
+Three analyzers, all runnable from the CLI:
+
+- :mod:`repro.analysis.protocol` — walks a scheme run's recorded schedule
+  (spans annotated with per-tile read/write/verify events) and checks the
+  paper's ordering invariants: verified-read (Table I), checksum staleness,
+  Opt-3 deferral legality, and final coverage.
+- :mod:`repro.analysis.hazards` — a RAW/WAW race detector over the same
+  schedule: conflicting tile accesses on concurrent streams with no
+  dependency path between them.
+- :mod:`repro.analysis.lint` — an ``ast``-based lint pass enforcing repo
+  invariants (rule ids ``RPL001``–``RPL004``) with ``# noqa:``-style
+  suppressions.
+
+``python -m repro analyze-trace`` and ``python -m repro lint`` expose them
+with text and ``--json`` reporters; error findings exit nonzero.
+"""
+
+from repro.analysis.hazards import find_hazards
+from repro.analysis.lint import lint_paths
+from repro.analysis.model import AccessGraph
+from repro.analysis.protocol import check_protocol
+from repro.analysis.report import Finding, render_json, render_text
+from repro.analysis.trace_io import dump_trace, load_trace
+
+__all__ = [
+    "AccessGraph",
+    "Finding",
+    "check_protocol",
+    "dump_trace",
+    "find_hazards",
+    "lint_paths",
+    "load_trace",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,79 @@
+"""RAW/WAW hazard detection over a simulated multi-stream schedule.
+
+Optimization 1 fans checksum recalculation across concurrent CUDA streams;
+Optimization 2 moves checksum updating to its own stream or the CPU.  Every
+one of those concurrent lanes touches the same tiles the factorization
+operates on, so the schedules are only correct if every conflicting pair of
+accesses is ordered by an explicit dependency (an event wait, a stream
+chain, a barrier).  The simulator executes whatever order the GPS model
+produces — it will happily *succeed* on a racy graph — so this module is
+the race detector: a **RAW** hazard is a read launched after a write of the
+same tile with no dependency path from the write; a **WAW** hazard is two
+unordered writes.  Launch (tid) order decides which access is "first":
+that is the order a single-queue execution would pick, and it is how CUDA
+semantics define the hazard classes.
+
+WAR pairs are deliberately *not* reported.  The protocol routinely issues a
+checksum recalculation (read) concurrently with the next operation's
+checksum update (write) of the same strip — benign, because the read's
+verification barrier is what later operations order against, not the read
+itself.  A WAR "hazard" would flag every such pair in a perfectly correct
+schedule; the RAW and WAW rules are the ones whose violation corrupts data.
+
+Both address spaces are scanned: data tiles (``tile_reads``/``tile_writes``)
+and checksum strips (``chk_reads``/``chk_writes``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.model import SPACES, AccessGraph
+from repro.analysis.report import Finding
+from repro.desim.trace import Span
+
+
+def _pair_finding(
+    graph: AccessGraph, kind: str, tile: tuple[int, int], space: str, a: int, b: int
+) -> Finding:
+    sa, sb = graph.span(a), graph.span(b)
+    what = "read" if kind == "raw" else "write"
+    return Finding(
+        rule=f"hazard-{kind}",
+        severity="error",
+        message=(
+            f"{space} tile {tile}: {what} {sb.name!r} (tid {b}, stream "
+            f"{graph.stream_of(sb)}) is unordered with earlier write "
+            f"{sa.name!r} (tid {a}, stream {graph.stream_of(sa)})"
+        ),
+        where=sb.name,
+        detail={
+            "tile": list(tile),
+            "space": space,
+            "first": {"tid": a, "name": sa.name, "stream": graph.stream_of(sa)},
+            "second": {"tid": b, "name": sb.name, "stream": graph.stream_of(sb)},
+        },
+    )
+
+
+def find_hazards(spans: Iterable[Span]) -> list[Finding]:
+    """Report every RAW and WAW hazard in the schedule (empty list = race-free)."""
+    graph = AccessGraph(spans)
+    findings: list[Finding] = []
+    for space in SPACES:
+        tiles = set(graph.writes[space])
+        for tile in sorted(tiles):
+            writes = graph.writes[space].get(tile, [])
+            reads = graph.reads[space].get(tile, [])
+            for w in writes:
+                for r in reads:
+                    if r > w and not graph.reaches(w, r):
+                        findings.append(
+                            _pair_finding(graph, "raw", tile, space, w, r)
+                        )
+                for w2 in writes:
+                    if w2 > w and not graph.reaches(w, w2):
+                        findings.append(
+                            _pair_finding(graph, "waw", tile, space, w, w2)
+                        )
+    return findings

@@ -1,0 +1,284 @@
+"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL004).
+
+The rules guard properties the test suite cannot see directly:
+
+- **RPL001** — no bare ``np.random.*`` *calls* outside ``util/rng.py``.
+  Reproducibility: all randomness must flow through
+  :func:`repro.util.rng.resolve_rng` so every experiment is seedable.
+  (Type annotations naming ``np.random.Generator`` are fine — only calls
+  are flagged.)
+- **RPL002** — no silent dtype narrowing in ``core/``, ``magma/``,
+  ``blas/``: ``.astype(np.float32)``-style conversions or
+  ``dtype=float32/float16`` keywords.  The two-checksum code's detection
+  thresholds are calibrated for float64 round-off; narrowing a tile or
+  checksum silently turns round-off into "faults".
+- **RPL003** — exceptions must come from :mod:`repro.util.exceptions`:
+  raising builtin exception classes (``ValueError``, ``RuntimeError``, ...)
+  bypasses the :class:`~repro.util.exceptions.ReproError` hierarchy callers
+  catch.  ``SystemExit`` (CLI argument errors) and ``NotImplementedError``
+  (abstract methods) are conventional and allowed.
+- **RPL004** — every task launch in ``magma/ops.py`` with a ``fn=``
+  numerics callback mutates device tiles in place, so it must declare
+  ``tile_writes=`` (the event the checksum-update pairing and the protocol
+  analyzer key on) — an undeclared mutation is invisible to
+  :mod:`repro.analysis.protocol`.
+
+Suppression: ``# noqa`` on a line suppresses every rule there;
+``# noqa: RPL001,RPL003`` suppresses just those.  Rules live in a registry
+keyed by id — register new ones with :func:`rule`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.report import Finding
+from repro.util.exceptions import ValidationError
+
+_NARROW_DTYPES = {"float32", "float16", "half", "single"}
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError",
+    "AssertionError",
+    "AttributeError",
+    "BaseException",
+    "Exception",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "MemoryError",
+    "OSError",
+    "OverflowError",
+    "RuntimeError",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+}
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One parsed file, as handed to every rule."""
+
+    path: Path
+    tree: ast.AST
+    lines: list[str]
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+
+Checker = Callable[[LintTarget], list[tuple[int, str]]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    description: str
+    check: Checker
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, description: str) -> Callable[[Checker], Checker]:
+    """Register a lint rule under *rule_id* (pluggable registry)."""
+
+    def register(check: Checker) -> Checker:
+        RULES[rule_id] = Rule(rule_id, description, check)
+        return check
+
+    return register
+
+
+# AST helpers ------------------------------------------------------------------
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``np.random.default_rng`` -> ["np", "random", "default_rng"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _names_narrow_dtype(node: ast.expr) -> bool:
+    chain = _attr_chain(node)
+    if chain and chain[0] in ("np", "numpy") and chain[-1] in _NARROW_DTYPES:
+        return True
+    return isinstance(node, ast.Constant) and node.value in _NARROW_DTYPES
+
+
+# Rules ------------------------------------------------------------------------
+
+
+@rule("RPL001", "no bare np.random.* calls outside util/rng.py")
+def _check_bare_random(target: LintTarget) -> list[tuple[int, str]]:
+    if target.posix.endswith("util/rng.py"):
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            out.append(
+                (
+                    node.lineno,
+                    f"bare {'.'.join(chain)}() call; route randomness through "
+                    "repro.util.rng.resolve_rng",
+                )
+            )
+    return out
+
+
+@rule("RPL002", "no silent dtype narrowing in core//magma//blas/")
+def _check_dtype_narrowing(target: LintTarget) -> list[tuple[int, str]]:
+    if not any(part in ("core", "magma", "blas") for part in target.path.parts):
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and any(_names_narrow_dtype(arg) for arg in node.args)
+        ):
+            out.append((node.lineno, "astype() to a narrower float dtype"))
+        for kw in node.keywords:
+            if kw.arg == "dtype" and kw.value is not None and _names_narrow_dtype(kw.value):
+                out.append((node.lineno, "dtype= keyword narrows to sub-f64 precision"))
+    return out
+
+
+@rule("RPL003", "raise only exceptions from util/exceptions.py")
+def _check_exception_origin(target: LintTarget) -> list[tuple[int, str]]:
+    if target.posix.endswith("util/exceptions.py"):
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BUILTIN_EXCEPTIONS:
+            out.append(
+                (
+                    node.lineno,
+                    f"raise of builtin {name}; use the repro.util.exceptions "
+                    "hierarchy (e.g. ValidationError)",
+                )
+            )
+    return out
+
+
+@rule("RPL004", "launches in magma/ops.py must declare their tile writes")
+def _check_declared_mutation(target: LintTarget) -> list[tuple[int, str]]:
+    if not target.posix.endswith("magma/ops.py"):
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if not chain or not chain[-1].startswith("launch_"):
+            continue
+        kwargs = {kw.arg for kw in node.keywords if kw.arg}
+        if "fn" in kwargs and "tile_writes" not in kwargs:
+            out.append(
+                (
+                    node.lineno,
+                    "in-place numerics launch without tile_writes=; the "
+                    "checksum-update pairing cannot be verified",
+                )
+            )
+    return out
+
+
+# Driver -----------------------------------------------------------------------
+
+
+def _suppressed(line: str, rule_id: str) -> bool:
+    match = _NOQA_RE.search(line)
+    if not match:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences everything
+    return rule_id in {c.strip().upper() for c in codes.split(",")}
+
+
+def _iter_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Run the registered rules over *paths* (files or directories).
+
+    *select* restricts to the given rule ids.  Files that fail to parse are
+    reported as ``parse-error`` findings rather than raising.
+    """
+    if select:
+        unknown = [r for r in select if r not in RULES]
+        if unknown:
+            raise ValidationError(
+                f"unknown lint rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULES))}"
+            )
+        active = [RULES[r] for r in select]
+    else:
+        active = list(RULES.values())
+    findings: list[Finding] = []
+    for path in _iter_files(paths):
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    severity="error",
+                    message=str(exc),
+                    where=f"{path}:{exc.lineno or 0}",
+                )
+            )
+            continue
+        target = LintTarget(path=path, tree=tree, lines=source.splitlines())
+        for rl in active:
+            for lineno, message in rl.check(target):
+                line = target.lines[lineno - 1] if lineno - 1 < len(target.lines) else ""
+                if _suppressed(line, rl.id):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=rl.id,
+                        severity="error",
+                        message=message,
+                        where=f"{path}:{lineno}",
+                        detail={"line": lineno, "file": str(path)},
+                    )
+                )
+    return findings

@@ -1,0 +1,81 @@
+"""Findings and reporters shared by all three analyzers.
+
+A :class:`Finding` is one detected violation (or informational note).  The
+text reporter prints one line per finding plus a summary; the JSON reporter
+emits a machine-readable document for CI annotation.  Exit-code policy:
+only ``error`` findings fail a run — ``info`` findings describe expected
+properties of the analyzed scheme (e.g. Online's vulnerability windows).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.exceptions import ValidationError
+
+SEVERITIES = ("error", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer result.
+
+    ``rule`` is a stable identifier (``verified-read``, ``hazard-raw``,
+    ``RPL001``, ...); ``where`` locates it — ``file:line`` for lint
+    findings, span names for schedule findings; ``detail`` carries
+    rule-specific structured context (tile, span tids, iterations).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    where: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValidationError(f"bad severity {self.severity!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where,
+            "detail": self.detail,
+        }
+
+
+def error_count(findings: list[Finding]) -> int:
+    return sum(1 for f in findings if f.severity == "error")
+
+
+def render_text(findings: list[Finding], title: str = "analysis") -> str:
+    """Human-readable report: one line per finding, errors first."""
+    lines = []
+    ordered = sorted(findings, key=lambda f: (f.severity != "error", f.rule, f.where))
+    for f in ordered:
+        lines.append(f"{f.severity.upper():5s} {f.rule}: {f.where}: {f.message}")
+    errors = error_count(findings)
+    infos = len(findings) - errors
+    lines.append(
+        f"{title}: {errors} error(s), {infos} info finding(s)"
+        if findings
+        else f"{title}: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], title: str = "analysis") -> str:
+    """CI-friendly JSON document."""
+    return json.dumps(
+        {
+            "title": title,
+            "errors": error_count(findings),
+            "infos": len(findings) - error_count(findings),
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+    )

@@ -1,0 +1,97 @@
+"""Trace (de)serialization for offline analysis.
+
+``python -m repro analyze-trace`` can either shadow-run a scheme in-process
+or analyze a previously dumped trace; this module defines that dump format:
+a small JSON document with the scheme name and the full span list, meta and
+dependency tids included.  Tile-coordinate tuples degrade to JSON arrays on
+the way out; :func:`load_trace` restores them so a round-tripped timeline
+analyzes identically to a live one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.desim.trace import (
+    META_CHK_READS,
+    META_CHK_WRITES,
+    META_TILE_READS,
+    META_TILE_VERIFIES,
+    META_TILE_WRITES,
+    Span,
+    Timeline,
+)
+from repro.util.exceptions import ValidationError
+
+FORMAT_VERSION = 1
+
+_TILE_LIST_KEYS = (
+    META_TILE_READS,
+    META_TILE_WRITES,
+    META_TILE_VERIFIES,
+    META_CHK_READS,
+    META_CHK_WRITES,
+)
+
+
+def dump_trace(timeline: Timeline, scheme: str, path: str | Path) -> Path:
+    """Write *timeline* (and the scheme that produced it) as JSON."""
+    doc = {
+        "version": FORMAT_VERSION,
+        "scheme": scheme,
+        "spans": [
+            {
+                "tid": s.tid,
+                "name": s.name,
+                "kind": s.kind,
+                "resource": s.resource,
+                "start": s.start,
+                "finish": s.finish,
+                "meta": s.meta,
+                "deps": list(s.deps),
+            }
+            for s in timeline
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def _restore_meta(meta: dict[str, Any]) -> dict[str, Any]:
+    out = dict(meta)
+    for key in _TILE_LIST_KEYS:
+        if key in out and out[key] is not None:
+            out[key] = [tuple(int(v) for v in item) for item in out[key]]
+    return out
+
+
+def load_trace(path: str | Path) -> tuple[Timeline, str]:
+    """Read a dumped trace back as ``(timeline, scheme)``."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or "spans" not in doc:
+        raise ValidationError(f"{path}: not a repro trace dump")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"{path}: trace format version {doc.get('version')!r}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    spans = [
+        Span(
+            tid=int(raw["tid"]),
+            name=str(raw["name"]),
+            kind=str(raw["kind"]),
+            resource=raw["resource"],
+            start=float(raw["start"]),
+            finish=float(raw["finish"]),
+            meta=_restore_meta(raw.get("meta", {})),
+            deps=tuple(int(d) for d in raw.get("deps", ())),
+        )
+        for raw in doc["spans"]
+    ]
+    return Timeline(spans), str(doc.get("scheme", ""))

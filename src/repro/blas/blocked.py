@@ -90,7 +90,9 @@ class BlockedMatrix:
 
     def _check_index(self, i: int, j: int) -> None:
         if not (0 <= i < self.nb and 0 <= j < self.nb):
-            raise IndexError(
+            # IndexError is the contract __getitem__-style accessors must
+            # keep (callers use standard sequence-protocol handling).
+            raise IndexError(  # noqa: RPL003
                 f"tile ({i}, {j}) out of range for {self.nb}×{self.nb} grid"
             )
 

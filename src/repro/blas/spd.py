@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.exceptions import ValidationError
 from repro.util.rng import resolve_rng
 from repro.util.validation import check_positive
 
@@ -51,7 +52,7 @@ def ill_conditioned_spd(
     """
     check_positive("n", n)
     if not condition >= 1.0:
-        raise ValueError("condition number must be >= 1")
+        raise ValidationError("condition number must be >= 1")
     gen = resolve_rng(rng)
     q, _ = np.linalg.qr(gen.standard_normal((n, n)))
     half = np.sqrt(condition)
@@ -68,7 +69,7 @@ def tridiag_spd(n: int, diag: float = 4.0, off: float = -1.0) -> np.ndarray:
     """
     check_positive("n", n)
     if not abs(diag) > 2 * abs(off):
-        raise ValueError("need |diag| > 2|off| for guaranteed positive definiteness")
+        raise ValidationError("need |diag| > 2|off| for guaranteed positive definiteness")
     a = np.zeros((n, n), dtype=np.float64)
     idx = np.arange(n)
     a[idx, idx] = diag

@@ -11,6 +11,11 @@ Commands:
     Regenerate a Table VII/VIII-style capability table for a machine/size.
 ``overhead``
     Sweep relative overhead of a scheme across the paper's sizes.
+``analyze-trace``
+    Statically check a schedule (a dumped trace or a fresh shadow run)
+    against the ABFT protocol invariants and scan it for RAW/WAW hazards.
+``lint``
+    Run the repo lint rules (RPL001–RPL004) over source trees.
 (Regenerating every paper figure is ``python examples/paper_figures.py``.)
 """
 
@@ -30,6 +35,7 @@ from repro.faults.injector import no_faults, single_computing_fault, single_stor
 from repro.hetero.machine import Machine
 from repro.hetero.spec import PRESETS
 from repro.magma.host import factorization_residual
+from repro.util.exceptions import ValidationError
 from repro.util.formatting import render_series, render_table
 
 _SCHEMES = {
@@ -177,6 +183,48 @@ def cmd_kpolicy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.analysis import check_protocol, find_hazards, render_json, render_text
+    from repro.analysis.trace_io import dump_trace, load_trace
+
+    if args.trace is not None:
+        timeline, scheme = load_trace(args.trace)
+        scheme = args.scheme or scheme
+        title = f"analyze-trace {args.trace} [{scheme}]"
+    else:
+        scheme = args.scheme or "enhanced"
+        machine = Machine.preset(args.machine)
+        res = _SCHEMES[scheme](
+            machine,
+            n=args.n,
+            block_size=args.block_size,
+            config=AbftConfig(verify_interval=args.k),
+            numerics="shadow",
+        )
+        timeline = res.timeline
+        title = f"analyze-trace {scheme} n={args.n} ({args.machine})"
+        if args.dump:
+            dump_trace(timeline, scheme, args.dump)
+
+    findings = check_protocol(timeline, scheme)
+    findings += find_hazards(timeline)
+    render = render_json if args.json else render_text
+    print(render(findings, title=title))
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import lint_paths, render_json, render_text
+
+    paths = args.paths or [Path(__file__).parent]
+    findings = lint_paths(paths, select=args.select)
+    render = render_json if args.json else render_text
+    print(render(findings, title="lint"))
+    return 1 if findings else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -243,6 +291,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_kpolicy)
 
+    p = sub.add_parser(
+        "analyze-trace",
+        help="static ABFT-protocol and hazard analysis of a schedule",
+    )
+    _add_common(p)
+    p.add_argument(
+        "trace", nargs="?", default=None,
+        help="dumped trace JSON (omit to shadow-run --scheme in-process)",
+    )
+    p.add_argument("--scheme", default=None, choices=sorted(_SCHEMES))
+    p.add_argument("--n", type=int, default=2048)
+    p.add_argument("--k", type=int, default=1, help="verification interval K")
+    p.add_argument("--dump", default=None, help="also dump the generated trace here")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_analyze_trace)
+
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL004)")
+    p.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories (default: the installed repro package)",
+    )
+    p.add_argument("--select", nargs="+", default=None, help="rule ids to run")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("report", help="consolidated evaluation report")
     p.add_argument("--full", action="store_true", help="full paper sweeps")
     p.add_argument("--out", default=None, help="output path (default results/report.txt)")
@@ -254,7 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(linewidth=120)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValidationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,6 +34,12 @@ from repro.util.exceptions import (
 from repro.util.validation import check_block_size, check_square, require
 
 
+def deps_of(*tasks: Task | None) -> list[Task] | None:
+    """Dependency list from optional producers (None entries dropped)."""
+    out = [t for t in tasks if t is not None]
+    return out or None
+
+
 @dataclass
 class FtPotrfResult:
     """Outcome of a fault-tolerant factorization (restarts included)."""
@@ -141,11 +147,17 @@ class SchemeRun:
     # -- driver conveniences ----------------------------------------------------
 
     def encode(self) -> None:
-        """Initial checksum encoding; the main stream starts after it."""
+        """Initial checksum encoding; the main stream starts after it.
+
+        The checksum-updating stream (and host queue, for the CPU
+        placement) is anchored after the encode barrier too — its first
+        strip update must not race the encoding kernels.
+        """
         done = issue_encoding(
             self.ctx, self.matrix, self.chk, self.verifier.streams
         )
         self.main.last = done
+        self.updater.anchor(done)
         self.injector.fire(Hook.BEFORE_FACTORIZATION, iteration=-1)
 
     def chain_main(self, task: Task | None) -> None:

@@ -61,26 +61,33 @@ def issue_encoding(
     cost = ctx.cost.gemv_recalc(b, b, n_vectors=chk.rows_per_tile)
     # Coalesce each stream's share into one task: GPS-equivalent to a chain
     # of per-tile kernels on that stream, at a fraction of the event count.
-    per_stream: dict[str, int] = {}
-    for idx, _ in enumerate(keys):
+    per_stream: dict[str, list[tuple[int, int]]] = {}
+    for idx, key in enumerate(keys):
         s = streams[idx % len(streams)]
-        per_stream[s.name] = per_stream.get(s.name, 0) + 1
+        per_stream.setdefault(s.name, []).append(key)
     tails: list[Task] = []
     for s in streams:
-        count = per_stream.get(s.name, 0)
-        if count == 0:
+        share = per_stream.get(s.name, [])
+        if not share:
             continue
         task = ctx.launch_gpu(
             f"encode@{s.name}",
             kind="encode",
-            cost=type(cost)(duration=cost.duration * count, util=cost.util),
+            cost=type(cost)(duration=cost.duration * len(share), util=cost.util),
             stream=s,
             deps=list(after or []),
-            tiles=count,
+            tiles=len(share),
+            iteration=-1,
+            tile_reads=share,
+            chk_writes=share,
         )
         tails.append(task)
     if ctx.real:
         w = vandermonde_weights(b, chk.rows_per_tile)
         for key in keys:
             chk.tile_view(key)[:] = w @ matrix.tile_view(key)
-    return ctx.graph.barrier("encode_done", tails)
+    # The barrier doubles as a verification event: at encode time every tile
+    # is by definition consistent with its freshly built strip.
+    return ctx.graph.barrier(
+        "encode_done", tails, iteration=-1, tile_verifies=keys
+    )

@@ -7,8 +7,10 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.placement import choose_updating_placement
+from repro.core.policy import DEFAULT_VERIFY_INTERVAL
 from repro.core.update import PLACEMENTS
 from repro.hetero.spec import MachineSpec
+from repro.util.exceptions import ValidationError
 from repro.util.validation import check_positive, require
 
 
@@ -46,7 +48,7 @@ class AbftConfig:
         each block's last update and the end of the run.
     """
 
-    verify_interval: int = 1
+    verify_interval: int = DEFAULT_VERIFY_INTERVAL
     recalc_streams: int | None = None
     updating_placement: str = "auto"
     rtol: float = 1e-9
@@ -94,11 +96,14 @@ class AbftConfig:
         classical ABFT rounding-threshold trade-off.
         """
         if not condition >= 1.0:
-            raise ValueError("condition number must be >= 1")
+            raise ValidationError("condition number must be >= 1")
         return max(1e-9, 100.0 * float(np.finfo(np.float64).eps) * condition)
 
     def unoptimized(self) -> "AbftConfig":
         """All three optimizations off (the 'before' of Figures 8-13)."""
         return replace(
-            self, verify_interval=1, recalc_streams=1, updating_placement="gpu_main"
+            self,
+            verify_interval=DEFAULT_VERIFY_INTERVAL,
+            recalc_streams=1,
+            updating_placement="gpu_main",
         )

@@ -120,14 +120,17 @@ class Verifier:
         keys: list[tuple[int, int]],
         label: str,
         after: list[Task] | None = None,
+        iteration: int | None = None,
     ) -> Task | None:
         """Verify (and correct) the tiles in *keys* before they are used.
 
         Issues the recalculation kernels across the verifier's streams,
         returns a barrier task the caller must order the dependent
         operation after (it is the pre-access synchronization point of the
-        Enhanced scheme).  Raises :class:`UnrecoverableError` when any tile
-        is corrupted beyond the two-checksum code's reach.
+        Enhanced scheme).  *iteration* tags the barrier for the protocol
+        analyzer: a verification guards reads of the same iteration.
+        Raises :class:`UnrecoverableError` when any tile is corrupted
+        beyond the two-checksum code's reach.
         """
         if not keys:
             return None
@@ -144,26 +147,34 @@ class Verifier:
         cost = self.ctx.cost.gemv_recalc(
             self.matrix.block_size, self.matrix.block_size, n_vectors=self.n_checksums
         )
-        shares: dict[str, int] = {}
-        for idx in range(len(keys)):
+        shares: dict[str, list[tuple[int, int]]] = {}
+        for idx, key in enumerate(keys):
             s = self.streams[idx % len(self.streams)]
-            shares[s.name] = shares.get(s.name, 0) + 1
+            shares.setdefault(s.name, []).append(key)
         tails: list[Task] = []
         for s in self.streams:
-            count = shares.get(s.name, 0)
-            if count == 0:
+            share = shares.get(s.name, [])
+            if not share:
                 continue
             tails.append(
                 self.ctx.launch_gpu(
                     f"recalc[{label}]@{s.name}",
                     kind="recalc",
-                    cost=KernelCost(duration=cost.duration * count, util=cost.util),
+                    cost=KernelCost(duration=cost.duration * len(share), util=cost.util),
                     stream=s,
                     deps=deps,
-                    tiles=count,
+                    tiles=len(share),
+                    tile_reads=share,
+                    chk_reads=share,
+                    **({} if iteration is None else {"iteration": iteration}),
                 )
             )
-        barrier = self.ctx.graph.barrier(f"verified[{label}]", tails)
+        barrier = self.ctx.graph.barrier(
+            f"verified[{label}]",
+            tails,
+            tile_verifies=keys,
+            **({} if iteration is None else {"iteration": iteration}),
+        )
         self.stats.batches += 1
         self.stats.tiles_verified += len(keys)
         for key in keys:

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import FtPotrfResult, SchemeRun, run_with_recovery
+from repro.core.base import FtPotrfResult, SchemeRun, deps_of, run_with_recovery
 from repro.core.config import AbftConfig
+from repro.desim.task import Task
 from repro.faults.injector import FaultInjector, Hook
 from repro.hetero.machine import Machine
 from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
@@ -39,21 +40,25 @@ def _enhanced_loop(run: SchemeRun) -> None:
     main = run.main
     nb = run.nb
     run.encode()
+    prev_trsm: Task | None = None  # finalized block row j-1 (last tile writer)
     for j in range(nb):
         due = run.policy.due(j)
-        upd.begin_iteration(j)
+        upd.begin_iteration(j, deps=deps_of(prev_trsm))
         panel = [(i, j) for i in range(j + 1, nb)]
 
         # -- SYRK: verify its inputs (never deferred), then update ---------
         syrk_keys = [(j, j)] + [(j, k) for k in range(j)]
         run.chain_main(
             verifier.verify_batch(
-                syrk_keys, f"pre_syrk[{j}]", after=[upd.last_task] if upd.last_task else None
+                syrk_keys,
+                f"pre_syrk[{j}]",
+                after=deps_of(upd.last_task, prev_trsm),
+                iteration=j,
             )
         )
-        syrk_op(ctx, matrix, j, main)
+        syrk = syrk_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_SYRK, j)
-        upd.update_syrk(j)
+        upd.update_syrk(j, deps=deps_of(prev_trsm))
 
         # -- POTF2's input: verify the updated diagonal tile right after
         # SYRK (never deferred), *before* the GEMM is issued — the verified
@@ -61,15 +66,23 @@ def _enhanced_loop(run: SchemeRun) -> None:
         # as in the unprotected driver.
         run.chain_main(
             verifier.verify_batch(
-                [(j, j)], f"pre_potf2[{j}]", after=[upd.last_task] if upd.last_task else None
+                [(j, j)],
+                f"pre_potf2[{j}]",
+                after=deps_of(upd.last_task, syrk),
+                iteration=j,
             )
         )
         ev_diag = ctx.record_event(main)
         d2h = ctx.transfer_d2h(
-            run.tile_bytes, name=f"d2h_diag[{j}]", deps=[ev_diag.marker], iteration=j
+            run.tile_bytes,
+            name=f"d2h_diag[{j}]",
+            deps=[ev_diag.marker],
+            iteration=j,
+            tile_reads=[(j, j)],
         )
 
         # -- GEMM: verify LD and the trailing panel every K iterations -----
+        gemm = None
         if j > 0 and panel:
             if due:
                 gemm_keys = [
@@ -77,17 +90,24 @@ def _enhanced_loop(run: SchemeRun) -> None:
                 ] + panel
                 run.chain_main(
                     verifier.verify_batch(
-                        gemm_keys, f"pre_gemm[{j}]", after=[upd.last_task]
+                        gemm_keys,
+                        f"pre_gemm[{j}]",
+                        after=deps_of(upd.last_task, prev_trsm),
+                        iteration=j,
                     )
                 )
-            gemm_op(ctx, matrix, j, main)
+            gemm = gemm_op(ctx, matrix, j, main)
             run.fire(Hook.AFTER_GEMM, j)
-            upd.update_gemm(j)
+            upd.update_gemm(j, deps=deps_of(prev_trsm))
 
         potf2 = potf2_op(ctx, matrix, j, deps=[d2h])
         run.fire(Hook.AFTER_POTF2, j)
         h2d = ctx.transfer_h2d(
-            run.tile_bytes, name=f"h2d_diag[{j}]", deps=[potf2], iteration=j
+            run.tile_bytes,
+            name=f"h2d_diag[{j}]",
+            deps=[potf2],
+            iteration=j,
+            tile_writes=[(j, j)],
         )
         potf2_upd = upd.update_potf2(
             j, deps=[potf2 if upd.placement == "cpu" else h2d]
@@ -97,12 +117,20 @@ def _enhanced_loop(run: SchemeRun) -> None:
         if panel:
             trsm_keys = [(j, j)] + (panel if due else [])
             run.chain_main(
-                verifier.verify_batch(trsm_keys, f"pre_trsm[{j}]", after=[potf2_upd])
+                verifier.verify_batch(
+                    trsm_keys,
+                    f"pre_trsm[{j}]",
+                    # GEMM wrote the panel, so its dep is only needed when
+                    # the panel is in this batch (a due iteration).
+                    after=deps_of(potf2_upd, h2d, gemm if due else None),
+                    iteration=j,
+                )
             )
             run.chain_main(h2d)
-            trsm_op(ctx, matrix, j, main)
+            trsm = trsm_op(ctx, matrix, j, main)
             run.fire(Hook.AFTER_TRSM, j)
             upd.update_trsm(j)
+            prev_trsm = trsm
         else:
             run.chain_main(h2d)
 
@@ -112,7 +140,7 @@ def _enhanced_loop(run: SchemeRun) -> None:
         run.verifier.verify_batch(
             run.verifier.lower_keys(),
             "final",
-            after=[upd.last_task] if upd.last_task else None,
+            after=deps_of(upd.last_task, main.last),
         )
 
 

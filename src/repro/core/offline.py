@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import FtPotrfResult, SchemeRun, run_with_recovery
+from repro.core.base import FtPotrfResult, SchemeRun, deps_of, run_with_recovery
 from repro.core.config import AbftConfig
+from repro.desim.task import Task
 from repro.faults.injector import FaultInjector, Hook
 from repro.hetero.machine import Machine
 from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
@@ -23,32 +24,43 @@ def _offline_loop(run: SchemeRun) -> None:
     ctx, matrix, upd = run.ctx, run.matrix, run.updater
     main = run.main
     run.encode()
+    prev_trsm: Task | None = None
     for j in range(run.nb):
-        upd.begin_iteration(j)
+        upd.begin_iteration(j, deps=deps_of(prev_trsm))
         syrk_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_SYRK, j)
-        upd.update_syrk(j)
+        upd.update_syrk(j, deps=deps_of(prev_trsm))
         ev_diag = ctx.record_event(main)
         d2h = ctx.transfer_d2h(
-            run.tile_bytes, name=f"d2h_diag[{j}]", deps=[ev_diag.marker], iteration=j
+            run.tile_bytes,
+            name=f"d2h_diag[{j}]",
+            deps=[ev_diag.marker],
+            iteration=j,
+            tile_reads=[(j, j)],
         )
         gemm_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_GEMM, j)
-        upd.update_gemm(j)
+        upd.update_gemm(j, deps=deps_of(prev_trsm))
         potf2 = potf2_op(ctx, matrix, j, deps=[d2h])
         run.fire(Hook.AFTER_POTF2, j)
         h2d = ctx.transfer_h2d(
-            run.tile_bytes, name=f"h2d_diag[{j}]", deps=[potf2], iteration=j
+            run.tile_bytes,
+            name=f"h2d_diag[{j}]",
+            deps=[potf2],
+            iteration=j,
+            tile_writes=[(j, j)],
         )
         upd.update_potf2(j, deps=[potf2 if upd.placement == "cpu" else h2d])
         run.chain_main(h2d)
-        trsm_op(ctx, matrix, j, main)
+        trsm = trsm_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_TRSM, j)
         upd.update_trsm(j)
+        if trsm is not None:
+            prev_trsm = trsm
         run.fire(Hook.STORAGE_WINDOW, j)
     # The defining step: one verification sweep over the finished factor.
     run.verifier.verify_batch(
-        run.verifier.lower_keys(), "final", after=[upd.last_task] if upd.last_task else None
+        run.verifier.lower_keys(), "final", after=deps_of(upd.last_task, main.last)
     )
 
 

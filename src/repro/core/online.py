@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import FtPotrfResult, SchemeRun, run_with_recovery
+from repro.core.base import FtPotrfResult, SchemeRun, deps_of, run_with_recovery
 from repro.core.config import AbftConfig
+from repro.desim.task import Task
 from repro.faults.injector import FaultInjector, Hook
 from repro.hetero.machine import Machine
 from repro.magma.ops import gemm_op, potf2_op, syrk_op, trsm_op
@@ -27,51 +28,82 @@ def _online_loop(run: SchemeRun) -> None:
     main = run.main
     nb = run.nb
     run.encode()
+    prev_trsm: Task | None = None
     for j in range(nb):
-        upd.begin_iteration(j)
+        upd.begin_iteration(j, deps=deps_of(prev_trsm))
         panel = [(i, j) for i in range(j + 1, nb)]
 
-        syrk_op(ctx, matrix, j, main)
+        syrk = syrk_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_SYRK, j)
-        syrk_upd = upd.update_syrk(j)
+        syrk_upd = upd.update_syrk(j, deps=deps_of(prev_trsm))
         if j > 0:
             run.chain_main(
-                verifier.verify_batch([(j, j)], f"post_syrk[{j}]", after=[syrk_upd])
+                verifier.verify_batch(
+                    [(j, j)],
+                    f"post_syrk[{j}]",
+                    after=deps_of(syrk_upd, syrk),
+                    iteration=j,
+                )
             )
 
         ev_diag = ctx.record_event(main)
         d2h = ctx.transfer_d2h(
-            run.tile_bytes, name=f"d2h_diag[{j}]", deps=[ev_diag.marker], iteration=j
+            run.tile_bytes,
+            name=f"d2h_diag[{j}]",
+            deps=[ev_diag.marker],
+            iteration=j,
+            tile_reads=[(j, j)],
         )
 
-        gemm_op(ctx, matrix, j, main)
+        gemm = gemm_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_GEMM, j)
-        gemm_upd = upd.update_gemm(j)
+        gemm_upd = upd.update_gemm(j, deps=deps_of(prev_trsm))
         if j > 0 and panel:
             run.chain_main(
-                verifier.verify_batch(panel, f"post_gemm[{j}]", after=[gemm_upd])
+                verifier.verify_batch(
+                    panel,
+                    f"post_gemm[{j}]",
+                    after=deps_of(gemm_upd, gemm),
+                    iteration=j,
+                )
             )
 
         potf2 = potf2_op(ctx, matrix, j, deps=[d2h])
         run.fire(Hook.AFTER_POTF2, j)
         h2d = ctx.transfer_h2d(
-            run.tile_bytes, name=f"h2d_diag[{j}]", deps=[potf2], iteration=j
+            run.tile_bytes,
+            name=f"h2d_diag[{j}]",
+            deps=[potf2],
+            iteration=j,
+            tile_writes=[(j, j)],
         )
         potf2_upd = upd.update_potf2(
             j, deps=[potf2 if upd.placement == "cpu" else h2d]
         )
         run.chain_main(
-            verifier.verify_batch([(j, j)], f"post_potf2[{j}]", after=[potf2_upd])
+            verifier.verify_batch(
+                [(j, j)],
+                f"post_potf2[{j}]",
+                after=deps_of(potf2_upd, h2d),
+                iteration=j,
+            )
         )
 
         run.chain_main(h2d)
-        trsm_op(ctx, matrix, j, main)
+        trsm = trsm_op(ctx, matrix, j, main)
         run.fire(Hook.AFTER_TRSM, j)
         trsm_upd = upd.update_trsm(j)
         if panel:
             run.chain_main(
-                verifier.verify_batch(panel, f"post_trsm[{j}]", after=[trsm_upd])
+                verifier.verify_batch(
+                    panel,
+                    f"post_trsm[{j}]",
+                    after=deps_of(trsm_upd, trsm),
+                    iteration=j,
+                )
             )
+        if trsm is not None:
+            prev_trsm = trsm
 
         # The unprotected window: a storage error landing here is not seen
         # until the corrupted tile feeds a later operation.

@@ -18,12 +18,36 @@ from dataclasses import dataclass
 from repro.faults.model import PoissonFaultModel, recommended_interval
 from repro.util.validation import check_positive
 
+#: Default verification interval K (Optimization 3 disabled: every input of
+#: every operation is verified each iteration, Table I's Enhanced column).
+DEFAULT_VERIFY_INTERVAL = 1
+
+#: Ceiling for K when derived from a fault-rate model
+#: (:meth:`VerificationPolicy.for_fault_rate`).  Past this the deferred
+#: window grows without meaningfully reducing the recalculation volume.
+MAX_VERIFY_INTERVAL = 16
+
+#: Operations whose *inputs* Optimization 3 may verify only every K
+#: iterations: an error entering GEMM or TRSM propagates into their
+#: strictly-lower-triangle output tiles as a single error per column, which
+#: the two-checksum code still locates and corrects at the next due
+#: verification (Section V, Opt 3).  The protocol analyzer
+#: (:mod:`repro.analysis.protocol`) uses the same set to decide whether a
+#: deferred verification is legal.
+DEFERRABLE_INPUT_KINDS = frozenset({"gemm", "trsm"})
+
+#: Operations whose inputs must be verified *every* iteration: an error
+#: entering SYRK lands in the diagonal tile as a row+column cross (two
+#: errors per column — beyond the code), and a corrupted POTF2 input can
+#: break positive definiteness and fail-stop (Section III / Table I).
+ALWAYS_VERIFIED_KINDS = frozenset({"syrk", "potf2"})
+
 
 @dataclass(frozen=True)
 class VerificationPolicy:
     """Verify skippable inputs every *interval* iterations (K of the paper)."""
 
-    interval: int = 1
+    interval: int = DEFAULT_VERIFY_INTERVAL
 
     def __post_init__(self) -> None:
         check_positive("interval", self.interval)
@@ -38,7 +62,7 @@ class VerificationPolicy:
         faults_per_gb_s: float,
         footprint_gb: float,
         iteration_time_s: float,
-        max_k: int = 16,
+        max_k: int = MAX_VERIFY_INTERVAL,
     ) -> "VerificationPolicy":
         """Choose K from the system's fault rate (the trade-off the paper
         describes qualitatively; the bound comes from

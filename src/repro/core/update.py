@@ -61,8 +61,19 @@ class ChecksumUpdater:
             main_stream if placement == "gpu_main" else ctx.stream("chkupd")
         )
         self.last_task: Task | None = None
+        self._lrow: list[Task] = []  # this iteration's L-row staging (cpu)
+        self._bulk_deps: list[Task] | None = None  # finalizers of row cols 0..j-2
 
     # ------------------------------------------------------------------ issue
+
+    def anchor(self, task: Task | None) -> None:
+        """Order all subsequent updating work after *task* (encode barrier)."""
+        if task is None:
+            return
+        if self._stream.last is None:
+            self._stream.last = task
+        if self.placement == "cpu" and self.ctx.host.last is None:
+            self.ctx.host.last = task
 
     def _issue(
         self,
@@ -74,6 +85,10 @@ class ChecksumUpdater:
         **meta,
     ) -> Task:
         if self.placement == "cpu":
+            # Host-side updating reads the *host* copies of L (staged by
+            # lrow_d2h / the POTF2 output); advertising device-tile reads
+            # here would fabricate hazards against the GPU kernels.
+            meta.pop("tile_reads", None)
             task = self.ctx.launch_cpu(
                 name,
                 kind=kind,
@@ -100,15 +115,45 @@ class ChecksumUpdater:
 
         Ships block row j of L to the host (the ``n²/2`` "checksum updating
         related transfer" of Section VI); no-op for GPU placements or j=0.
+        *deps* are the finalizers of the row's newest column j-1 (the
+        previous iteration's TRSM).
+
+        The row goes down in two pieces so the bulk stays off the critical
+        path: columns 0..j-2 are final since iteration j-2 and ship as soon
+        as that TRSM completes (hiding under iteration j-1's GEMM), while
+        only the single tile (j, j-1) must wait for TRSM j-1.  Total volume
+        is unchanged (``j`` tiles per iteration → n²/2 overall).
         """
         if self.placement != "cpu" or j == 0:
             return None
         b = self.matrix.block_size
-        task = self.ctx.transfer_d2h(
-            j * b * b * 8, name=f"lrow_d2h[{j}]", deps=deps, iteration=j
+        pieces: list[Task] = []
+        if j > 1:
+            pieces.append(
+                self.ctx.transfer_d2h(
+                    (j - 1) * b * b * 8,
+                    name=f"lrow_d2h[{j}]",
+                    deps=self._bulk_deps,
+                    iteration=j,
+                    tile_reads=[(j, k) for k in range(j - 1)],
+                )
+            )
+        pieces.append(
+            self.ctx.transfer_d2h(
+                b * b * 8,
+                name=f"lcol_d2h[{j}]",
+                deps=deps,
+                iteration=j,
+                tile_reads=[(j, j - 1)],
+            )
         )
-        self.last_task = task
-        return task
+        self._bulk_deps = list(deps) if deps else None
+        # Tracked separately from last_task: the host strip updates that
+        # consume this row depend on it, but verification batches ordered
+        # after "all updating so far" need the last *strip write*, which
+        # these transfers are not.
+        self._lrow = pieces
+        return pieces[-1]
 
     # ------------------------------------------------------------------ rules
 
@@ -117,6 +162,8 @@ class ChecksumUpdater:
         if j == 0:
             return None
         b = self.matrix.block_size
+        if self.placement == "cpu" and self._lrow:
+            deps = list(deps or []) + self._lrow
 
         def numerics() -> None:
             self.chk.strip(j, j)[:] -= self.chk.strip_row(
@@ -130,6 +177,9 @@ class ChecksumUpdater:
             numerics,
             deps,
             iteration=j,
+            tile_reads=[(j, k) for k in range(j)],
+            chk_reads=[(j, k) for k in range(j)] + [(j, j)],
+            chk_writes=[(j, j)],
         )
         self._propagate_from_row(j, out_key=(j, j), strip_sources=[(j, k) for k in range(j)])
         return task
@@ -144,6 +194,8 @@ class ChecksumUpdater:
         rows = nb - j - 1
         if j == 0 or rows == 0:
             return None
+        if self.placement == "cpu" and self._lrow:
+            deps = list(deps or []) + self._lrow
 
         def numerics() -> None:
             lrow_t = self.matrix.blocked.block_row(j, 0, j).T
@@ -157,6 +209,12 @@ class ChecksumUpdater:
             numerics,
             deps,
             iteration=j,
+            tile_reads=[(j, k) for k in range(j)],
+            chk_reads=(
+                [(i, k) for i in range(j + 1, nb) for k in range(j)]
+                + [(i, j) for i in range(j + 1, nb)]
+            ),
+            chk_writes=[(i, j) for i in range(j + 1, nb)],
         )
         for i in range(j + 1, nb):
             self._propagate_from_row(
@@ -178,6 +236,9 @@ class ChecksumUpdater:
             numerics,
             deps,
             iteration=j,
+            tile_reads=[(j, j)],
+            chk_reads=[(j, j)],
+            chk_writes=[(j, j)],
         )
         self._propagate_trsm_like((j, j), j)
         return task
@@ -201,6 +262,9 @@ class ChecksumUpdater:
             numerics,
             deps,
             iteration=j,
+            tile_reads=[(j, j)],
+            chk_reads=[(i, j) for i in range(j + 1, nb)],
+            chk_writes=[(i, j) for i in range(j + 1, nb)],
         )
         for i in range(j + 1, nb):
             self._propagate_trsm_like((i, j), j)

@@ -11,8 +11,10 @@ paper-scale Cholesky produces.
 Scheduling rules:
 
 - a task becomes *ready* when all dependencies have finished;
-- ready tasks queue FIFO per resource (by readiness time, ties by creation
-  order) and are admitted while the resource has a free concurrency slot;
+- ready tasks queue FIFO per resource **by creation (launch) order** and are
+  admitted while the resource has a free concurrency slot — the CUDA model,
+  where kernels enter the hardware queue in the order the host issued them,
+  not in the order their dependencies happened to resolve;
 - zero-duration / resource-less tasks complete immediately upon readiness,
   cascading in the same instant (they model events, barriers and stream
   sync points).
@@ -71,8 +73,8 @@ class Engine:
                     )
                 dependents[d].append(t)
 
-        # FIFO ready queues per resource (heap keyed by (ready_time, tid)).
-        queues: dict[Resource, list[tuple[float, int, Task]]] = defaultdict(list)
+        # FIFO ready queues per resource (heap keyed by tid = launch order).
+        queues: dict[Resource, list[tuple[int, Task]]] = defaultdict(list)
         running: dict[Resource, dict[Task, float]] = defaultdict(dict)  # remaining work
         instant_ready: list[Task] = []
 
@@ -86,7 +88,7 @@ class Engine:
             if task.resource is None or task.duration == 0.0:
                 instant_ready.append(task)
             else:
-                heapq.heappush(queues[task.resource], (now, task.tid, task))
+                heapq.heappush(queues[task.resource], (task.tid, task))
 
         def complete(task: Task, start: float, finish: float) -> None:
             nonlocal finished
@@ -114,7 +116,7 @@ class Engine:
             for resource, queue in queues.items():
                 active = running[resource]
                 while queue and resource.has_slot(len(active)):
-                    _, _, task = heapq.heappop(queue)
+                    _, task = heapq.heappop(queue)
                     task.start_time = now
                     active[task] = task.work
 

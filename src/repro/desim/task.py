@@ -122,9 +122,9 @@ class TaskGraph:
             task.after(*deps)
         return self.add(task)
 
-    def barrier(self, name: str, deps: list[Task]) -> Task:
+    def barrier(self, name: str, deps: list[Task], **meta: Any) -> Task:
         """A zero-cost node that completes when all *deps* have."""
-        return self.new(name, deps=deps, kind="barrier")
+        return self.new(name, deps=deps, kind="barrier", **meta)
 
     def __len__(self) -> int:
         return len(self.tasks)

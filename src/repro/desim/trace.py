@@ -15,6 +15,20 @@ from typing import Any
 from repro.desim.task import Task
 from repro.util.formatting import render_table
 
+# Task/Span ``meta`` keys of the tile-access event protocol.  Drivers and the
+# ABFT machinery annotate every task that touches matrix tiles or checksum
+# strips with these keys; :mod:`repro.analysis` consumes them to check the
+# paper's ordering invariants statically.  Tile keys are ``(i, j)`` block
+# coordinates; ``META_ITERATION`` is the factorization iteration the access
+# belongs to (``-1`` for the initial encoding).
+META_TILE_READS = "tile_reads"
+META_TILE_WRITES = "tile_writes"
+META_TILE_VERIFIES = "tile_verifies"
+META_CHK_READS = "chk_reads"
+META_CHK_WRITES = "chk_writes"
+META_STREAM = "stream"
+META_ITERATION = "iteration"
+
 
 @dataclass(frozen=True)
 class Span:
@@ -27,6 +41,7 @@ class Span:
     start: float
     finish: float
     meta: dict[str, Any]
+    deps: tuple[int, ...] = ()
 
     @classmethod
     def from_task(cls, task: Task) -> "Span":
@@ -38,6 +53,7 @@ class Span:
             start=task.start_time,
             finish=task.finish_time,
             meta=dict(task.meta),
+            deps=tuple(sorted({d.tid for d in task.deps})),
         )
 
     @property

@@ -29,6 +29,7 @@ from repro.faults.injector import (
     single_storage_fault,
 )
 from repro.hetero.machine import Machine
+from repro.util.exceptions import ValidationError
 from repro.util.formatting import render_table
 from repro.util.validation import check_block_size
 
@@ -82,7 +83,7 @@ def build_injector(scenario: str, nb: int) -> FaultInjector:
         # Bit flip in a finished L tile, after its last verification.
         q = max(0, nb - 2)
         return single_storage_fault(block=(nb - 1, q), iteration=q)
-    raise ValueError(f"unknown scenario {scenario!r}")
+    raise ValidationError(f"unknown scenario {scenario!r}")
 
 
 def run(

@@ -6,6 +6,7 @@ from functools import lru_cache
 
 from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
 from repro.hetero.machine import Machine
+from repro.util.exceptions import ValidationError
 from repro.util.validation import require
 
 #: Matrix-size sweeps from Section VII-A ("from 5120×5120 to ...").
@@ -25,7 +26,7 @@ def sweep_for(machine_name: str) -> tuple[int, ...]:
         return TARDIS_SWEEP
     if machine_name == "bulldozer64":
         return BULLDOZER_SWEEP
-    raise ValueError(f"no sweep defined for machine {machine_name!r}")
+    raise ValidationError(f"no sweep defined for machine {machine_name!r}")
 
 
 def scheme_runner(name: str):

@@ -30,6 +30,7 @@ from repro.blas.blocked import BlockedMatrix
 from repro.desim.engine import Engine, SimulationResult
 from repro.desim.resource import Resource
 from repro.desim.task import Task, TaskGraph
+from repro.desim.trace import META_STREAM
 from repro.hetero.costmodel import CostModel, KernelCost
 from repro.hetero.memory import DeviceChecksums, DeviceMatrix
 from repro.hetero.spec import MachineSpec
@@ -179,6 +180,7 @@ class ExecutionContext:
             deps=deps,
             **meta,
         )
+        task.meta.setdefault(META_STREAM, stream.name)
         stream.chain(task)
         if self.real and fn is not None:
             fn()
@@ -203,6 +205,7 @@ class ExecutionContext:
             deps=deps,
             **meta,
         )
+        task.meta.setdefault(META_STREAM, self._host.name)
         self._host.chain(task)
         if self.real and fn is not None:
             fn()
@@ -229,6 +232,7 @@ class ExecutionContext:
             **meta,
         )
         if stream is not None:
+            task.meta.setdefault(META_STREAM, stream.name)
             stream.chain(task)
         return task
 
@@ -253,6 +257,7 @@ class ExecutionContext:
             **meta,
         )
         if stream is not None:
+            task.meta.setdefault(META_STREAM, stream.name)
             stream.chain(task)
         return task
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 from repro.blas import flops as fl
 from repro.hetero.spec import CpuSpec, GpuSpec, LinkSpec
+from repro.util.exceptions import ValidationError
 from repro.util.validation import check_positive
 
 _DOUBLE = 8  # bytes per float64
@@ -48,9 +49,9 @@ class KernelCost:
 
     def __post_init__(self) -> None:
         if self.duration < 0:
-            raise ValueError("negative duration")
+            raise ValidationError("negative duration")
         if not 0.0 < self.util <= 1.0:
-            raise ValueError(f"util {self.util} outside (0, 1]")
+            raise ValidationError(f"util {self.util} outside (0, 1]")
 
 
 class CostModel:
@@ -156,7 +157,7 @@ class CostModel:
     def transfer(self, nbytes: int) -> KernelCost:
         """One CPU↔GPU copy of *nbytes* over the PCIe link."""
         if nbytes < 0:
-            raise ValueError("negative byte count")
+            raise ValidationError("negative byte count")
         return KernelCost(duration=self.link.transfer_time(nbytes), util=1.0)
 
     # -- whole-run estimates (used by the Opt-2 placement model) -----------------

@@ -52,6 +52,8 @@ def syrk_op(
         stream=stream,
         fn=numerics,
         iteration=j,
+        tile_reads=[(j, k) for k in range(j)] + [(j, j)],
+        tile_writes=[(j, j)],
     )
     out = matrix.taint_of((j, j))
     for k in range(j):
@@ -94,6 +96,12 @@ def gemm_op(
         stream=stream,
         fn=numerics,
         iteration=j,
+        tile_reads=(
+            [(i, k) for i in range(j + 1, nb) for k in range(j)]
+            + [(j, k) for k in range(j)]
+            + [(i, j) for i in range(j + 1, nb)]
+        ),
+        tile_writes=[(i, j) for i in range(j + 1, nb)],
     )
     # Taint: output tile (i, j) collects the left factor's row corruption
     # from every (i, k) and the right factor's column corruption from (j, k).
@@ -136,6 +144,8 @@ def potf2_op(
         fn=numerics,
         deps=deps,
         iteration=j,
+        tile_reads=[(j, j)],
+        tile_writes=[(j, j)],
     )
     taint = matrix.taint_of((j, j))
     if not taint.is_clean():
@@ -170,6 +180,8 @@ def trsm_op(
         stream=stream,
         fn=numerics,
         iteration=j,
+        tile_reads=[(j, j)] + [(i, j) for i in range(j + 1, nb)],
+        tile_writes=[(i, j) for i in range(j + 1, nb)],
     )
     ell_taint = matrix.taint_of((j, j))
     for i in range(j + 1, nb):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.exceptions import ValidationError
 from repro.util.validation import check_positive
 
 
@@ -114,7 +115,7 @@ def transfer_elements_cpu_updating(n: int, b: int, k: int, scheme: str) -> float
     elif scheme == "enhanced":
         verification = n**3 / (3.0 * k * b * b)
     else:
-        raise ValueError(f"unknown scheme {scheme!r}")
+        raise ValidationError(f"unknown scheme {scheme!r}")
     return initial + updating + verification
 
 

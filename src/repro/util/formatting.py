@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.util.exceptions import ValidationError
+
 
 def render_table(
     headers: Sequence[str],
@@ -20,7 +22,7 @@ def render_table(
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells but table has {len(headers)} headers"
             )
         for i, cell in enumerate(row):
@@ -50,7 +52,7 @@ def render_series(
         row: list[object] = [x]
         for name, ys in series.items():
             if len(ys) != len(x_values):
-                raise ValueError(
+                raise ValidationError(
                     f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
                 )
             row.append(round(float(ys[i]), precision))
@@ -67,7 +69,7 @@ def render_ascii_chart(
 ) -> str:
     """Render a crude ASCII line chart — enough to eyeball curve shapes."""
     if not series:
-        raise ValueError("no series to chart")
+        raise ValidationError("no series to chart")
     markers = "*o+x#@%&"
     all_y = [y for ys in series.values() for y in ys]
     lo, hi = min(all_y), max(all_y)

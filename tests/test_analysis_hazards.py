@@ -1,0 +1,95 @@
+"""Hazard-detector tests: seeded races in two-stream graphs are found,
+clean scheme schedules are race-free, WAR pairs stay exempt."""
+
+import pytest
+
+from repro.analysis import find_hazards
+from repro.core import enhanced_potrf, offline_potrf, online_potrf
+from repro.desim.trace import Span
+from repro.hetero.machine import Machine
+
+
+def _span(tid, name, deps=(), **meta):
+    return Span(
+        tid=tid,
+        name=name,
+        kind=meta.pop("kind", "task"),
+        resource="gpu",
+        start=0.0,
+        finish=0.0,
+        meta=meta,
+        deps=tuple(deps),
+    )
+
+
+def _two_stream_graph(machine, ordered: bool):
+    """An Opt-1 style graph: a write on stream a, a read on stream b —
+    synchronized by an explicit dependency only when *ordered*."""
+    ctx = machine.context(numerics="shadow")
+    sa, sb = ctx.stream("a"), ctx.stream("b")
+    cost = ctx.cost.gemv_recalc(256, 256)
+    write = ctx.launch_gpu(
+        "update@a", kind="gemm", cost=cost, stream=sa, tile_writes=[(2, 1)]
+    )
+    ctx.launch_gpu(
+        "recalc@b",
+        kind="recalc",
+        cost=cost,
+        stream=sb,
+        deps=[write] if ordered else None,
+        tile_reads=[(2, 1)],
+        chk_reads=[(2, 1)],
+    )
+    return ctx.simulate().timeline
+
+
+class TestSeededHazards:
+    def test_raw_across_streams_detected(self, tardis):
+        timeline = _two_stream_graph(tardis, ordered=False)
+        hazards = find_hazards(timeline)
+        raw = [h for h in hazards if h.rule == "hazard-raw"]
+        assert len(raw) >= 1
+        (h,) = [h for h in raw if h.detail["space"] == "data"]
+        assert h.severity == "error"
+        assert h.detail["tile"] == [2, 1]
+        assert h.detail["first"]["stream"] == "a"
+        assert h.detail["second"]["stream"] == "b"
+
+    def test_dependency_clears_the_hazard(self, tardis):
+        timeline = _two_stream_graph(tardis, ordered=True)
+        assert find_hazards(timeline) == []
+
+    def test_waw_detected(self):
+        spans = [
+            _span(0, "w1@a", kind="gemm", tile_writes=[(1, 0)], stream="a"),
+            _span(1, "w2@b", kind="chk_update", tile_writes=[(1, 0)], stream="b"),
+        ]
+        hazards = find_hazards(spans)
+        assert [h.rule for h in hazards] == ["hazard-waw"]
+        assert hazards[0].detail["first"]["name"] == "w1@a"
+
+    def test_chk_space_scanned_too(self):
+        spans = [
+            _span(0, "enc", kind="encode", chk_writes=[(1, 1)], stream="a"),
+            _span(1, "recalc", kind="recalc", chk_reads=[(1, 1)], stream="b"),
+        ]
+        hazards = find_hazards(spans)
+        assert [h.rule for h in hazards] == ["hazard-raw"]
+        assert hazards[0].detail["space"] == "chk"
+
+    def test_war_is_exempt(self):
+        """Read launched first, unordered later write: not reported (the
+        protocol's recalc-read/chkupd-write concurrency is benign)."""
+        spans = [
+            _span(0, "r@a", kind="recalc", tile_reads=[(1, 0)], stream="a"),
+            _span(1, "w@b", kind="gemm", tile_writes=[(1, 0)], stream="b"),
+        ]
+        assert find_hazards(spans) == []
+
+
+class TestCleanSchemes:
+    @pytest.mark.parametrize("fn", [enhanced_potrf, online_potrf, offline_potrf])
+    def test_scheme_schedules_are_race_free(self, fn):
+        machine = Machine.preset("tardis")
+        res = fn(machine, n=1024, block_size=256, numerics="shadow")
+        assert find_hazards(res.timeline) == []

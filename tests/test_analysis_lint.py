@@ -1,0 +1,125 @@
+"""Lint-rule tests: each RPL rule fires on a seeded violation, respects
+``# noqa``, and the repo's own source tree is clean."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+from repro.analysis.lint import RULES
+
+
+def _lint_snippet(tmp_path, rel, source, select=None):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([path], select=select)
+
+
+class TestRPL001BareRandom:
+    def test_bare_call_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "mod.py", "import numpy as np\nx = np.random.rand(4)\n"
+        )
+        assert [f.rule for f in findings] == ["RPL001"]
+        assert findings[0].severity == "error"
+        assert findings[0].where.endswith("mod.py:2")
+
+    def test_annotation_is_fine(self, tmp_path):
+        src = "import numpy as np\ndef f(rng: np.random.Generator) -> None: ...\n"
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+    def test_rng_module_exempt(self, tmp_path):
+        src = "import numpy as np\ng = np.random.default_rng(0)\n"
+        assert _lint_snippet(tmp_path, "util/rng.py", src) == []
+
+
+class TestRPL002DtypeNarrowing:
+    def test_astype_narrowing_flagged(self, tmp_path):
+        src = "import numpy as np\ndef f(x):\n    return x.astype(np.float32)\n"
+        findings = _lint_snippet(tmp_path, "core/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL002"]
+
+    def test_dtype_keyword_flagged(self, tmp_path):
+        src = "import numpy as np\nz = np.zeros(3, dtype='float16')\n"
+        findings = _lint_snippet(tmp_path, "blas/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL002"]
+
+    def test_float64_is_fine(self, tmp_path):
+        src = "import numpy as np\nz = np.zeros(3, dtype=np.float64)\n"
+        assert _lint_snippet(tmp_path, "magma/mod.py", src) == []
+
+    def test_outside_protected_dirs_ignored(self, tmp_path):
+        src = "import numpy as np\ndef f(x):\n    return x.astype(np.float32)\n"
+        assert _lint_snippet(tmp_path, "viz/mod.py", src) == []
+
+
+class TestRPL003ExceptionOrigin:
+    def test_builtin_raise_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "mod.py", "raise ValueError('x')\n")
+        assert [f.rule for f in findings] == ["RPL003"]
+
+    def test_project_exception_fine(self, tmp_path):
+        src = (
+            "from repro.util.exceptions import ValidationError\n"
+            "raise ValidationError('x')\n"
+        )
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+    def test_system_exit_allowed(self, tmp_path):
+        assert _lint_snippet(tmp_path, "cli.py", "raise SystemExit(2)\n") == []
+
+    def test_bare_reraise_allowed(self, tmp_path):
+        src = "try:\n    pass\nexcept Exception:\n    raise\n"
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+
+class TestRPL004DeclaredMutation:
+    _BAD = (
+        "def op(ctx, stream):\n"
+        "    return ctx.launch_gpu('k', kind='gemm', stream=stream,\n"
+        "                          fn=lambda: None, tile_reads=[(0, 0)])\n"
+    )
+
+    def test_undeclared_mutation_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "magma/ops.py", self._BAD)
+        assert [f.rule for f in findings] == ["RPL004"]
+
+    def test_declared_mutation_fine(self, tmp_path):
+        src = self._BAD.replace("tile_reads=[(0, 0)]", "tile_writes=[(0, 0)]")
+        assert _lint_snippet(tmp_path, "magma/ops.py", src) == []
+
+    def test_only_ops_module_in_scope(self, tmp_path):
+        assert _lint_snippet(tmp_path, "magma/other.py", self._BAD) == []
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses(self, tmp_path):
+        src = "raise ValueError('x')  # noqa\n"
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+    def test_coded_noqa_suppresses_matching_rule(self, tmp_path):
+        src = "raise ValueError('x')  # noqa: RPL003\n"
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+    def test_coded_noqa_keeps_other_rules(self, tmp_path):
+        src = "raise ValueError('x')  # noqa: RPL001\n"
+        findings = _lint_snippet(tmp_path, "mod.py", src)
+        assert [f.rule for f in findings] == ["RPL003"]
+
+
+class TestDriver:
+    def test_select_restricts_rules(self, tmp_path):
+        src = "import numpy as np\nx = np.random.rand(3)\nraise ValueError('x')\n"
+        findings = _lint_snippet(tmp_path, "mod.py", src, select=["RPL001"])
+        assert [f.rule for f in findings] == ["RPL001"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "mod.py", "def f(:\n")
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_registry_has_all_four_rules(self):
+        assert set(RULES) >= {"RPL001", "RPL002", "RPL003", "RPL004"}
+
+    def test_repo_source_tree_is_clean(self):
+        package_root = Path(repro.__file__).parent
+        assert lint_paths([package_root]) == []

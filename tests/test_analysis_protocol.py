@@ -1,0 +1,234 @@
+"""Protocol-verifier tests: the analyzer must *separate the schemes* —
+Enhanced clean, Online/Offline with reported vulnerability windows — and
+catch seeded violations (ISSUE acceptance criteria)."""
+
+import pytest
+
+from repro.analysis import check_protocol, dump_trace, load_trace
+from repro.analysis.model import AccessGraph
+from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.desim.trace import Span
+from repro.hetero.machine import Machine
+from repro.util.exceptions import ValidationError
+
+_RUNNERS = {
+    "enhanced": enhanced_potrf,
+    "online": online_potrf,
+    "offline": offline_potrf,
+}
+
+
+@pytest.fixture(scope="module")
+def timelines():
+    machine = Machine.preset("tardis")
+    return {
+        scheme: fn(machine, n=1024, block_size=256, numerics="shadow").timeline
+        for scheme, fn in _RUNNERS.items()
+    }
+
+
+def _errors(findings):
+    return [f for f in findings if f.severity == "error"]
+
+
+class TestSchemeSeparation:
+    def test_enhanced_is_clean(self, timelines):
+        """Enhanced = pre-access verification: zero findings of any kind."""
+        assert check_protocol(timelines["enhanced"], "enhanced") == []
+
+    def test_online_reports_vulnerability_windows(self, timelines):
+        findings = check_protocol(timelines["online"], "online")
+        assert not _errors(findings)  # a *valid* online schedule
+        windows = [f for f in findings if f.rule == "vuln-window"]
+        assert len(windows) >= 1
+        # Every window names the tile and the (write, read) span pair.
+        for f in windows:
+            assert len(f.detail["tile"]) == 2
+            assert f.detail["write"]["name"] and f.detail["read"]["name"]
+        # Online verifies post-update, so its windows are stale-verify:
+        # a verification exists, just from an earlier iteration.
+        assert all(f.detail["flavor"] == "stale-verify" for f in windows)
+
+    def test_offline_reports_unverified_windows(self, timelines):
+        findings = check_protocol(timelines["offline"], "offline")
+        assert not _errors(findings)
+        windows = [f for f in findings if f.rule == "vuln-window"]
+        assert len(windows) >= 1
+        # Offline never verifies until the final sweep: nothing guards reads.
+        assert all(f.detail["flavor"] == "unverified" for f in windows)
+
+    def test_offline_has_more_exposure_than_online(self, timelines):
+        on = check_protocol(timelines["online"], "online")
+        off = check_protocol(timelines["offline"], "offline")
+        assert len(off) >= len(on)
+
+    def test_enhanced_k4_reports_opt3_deferrals(self):
+        machine = Machine.preset("tardis")
+        res = enhanced_potrf(
+            machine,
+            n=1024,
+            block_size=256,
+            config=AbftConfig(verify_interval=4),
+            numerics="shadow",
+        )
+        findings = check_protocol(res.timeline, "enhanced")
+        assert findings  # deferral leaves reads unguarded...
+        assert all(f.rule == "opt3-deferral" for f in findings)
+        assert not _errors(findings)  # ...but every one is a legal deferral
+        # Deferrals only ever touch strict-lower tiles (errors stay
+        # one-per-column correctable, Section V Opt 3).
+        assert all(f.detail["tile"][0] > f.detail["tile"][1] for f in findings)
+
+    def test_unknown_scheme_rejected(self, timelines):
+        with pytest.raises(ValidationError):
+            check_protocol(timelines["enhanced"], "magic")
+
+
+def _rogue_read(timeline, tile, kind="syrk"):
+    """A read of *tile* spliced after its writer, bypassing every verify."""
+    writer = max(
+        (s for s in timeline if tile in s.meta.get("tile_writes", ())),
+        key=lambda s: s.tid,
+    )
+    top = max(s.tid for s in timeline)
+    return Span(
+        tid=top + 1,
+        name="rogue_read",
+        kind=kind,
+        resource="gpu",
+        start=0.0,
+        finish=0.0,
+        meta={"tile_reads": [tile], "iteration": 99, "stream": "rogue"},
+        deps=(writer.tid,),
+    )
+
+
+class TestSeededViolations:
+    def test_spliced_unverified_read_fails_online(self, timelines):
+        spans = list(timelines["online"]) + [_rogue_read(timelines["online"], (1, 0))]
+        errors = _errors(check_protocol(spans, "online"))
+        assert any(
+            f.rule == "verified-read" and f.detail["tile"] == [1, 0] for f in errors
+        )
+
+    def test_spliced_unverified_read_fails_enhanced(self, timelines):
+        spans = list(timelines["enhanced"])
+        spans.append(_rogue_read(timelines["enhanced"], (2, 1), kind="syrk"))
+        errors = _errors(check_protocol(spans, "enhanced"))
+        assert any(f.rule == "verified-read" for f in errors)
+
+    def test_lower_gemm_read_is_not_an_enhanced_error(self, timelines):
+        """The same splice with a deferrable kind on a strict-lower tile is
+        a legal Opt-3 shape: reported, but as info."""
+        spans = list(timelines["enhanced"])
+        spans.append(_rogue_read(timelines["enhanced"], (2, 1), kind="gemm"))
+        findings = check_protocol(spans, "enhanced")
+        assert not _errors(findings)
+        assert any(f.rule == "opt3-deferral" for f in findings)
+
+
+def _span(tid, name, deps=(), **meta):
+    return Span(
+        tid=tid,
+        name=name,
+        kind=meta.pop("kind", "task"),
+        resource="gpu",
+        start=0.0,
+        finish=0.0,
+        meta=meta,
+        deps=tuple(deps),
+    )
+
+
+class TestChecksumStaleness:
+    def test_verify_after_unupdated_write_is_stale(self):
+        spans = [
+            _span(0, "encode", kind="encode", chk_writes=[(0, 0)], iteration=-1),
+            _span(1, "gemm[1]", deps=(0,), kind="gemm", tile_writes=[(0, 0)]),
+            _span(2, "verified[x]", deps=(1,), kind="barrier", tile_verifies=[(0, 0)]),
+        ]
+        findings = check_protocol(spans, "offline")
+        assert any(f.rule == "chk-stale" and f.severity == "error" for f in findings)
+
+    def test_paired_checksum_update_clears_it(self):
+        spans = [
+            _span(0, "encode", kind="encode", chk_writes=[(0, 0)], iteration=-1),
+            _span(1, "gemm[1]", deps=(0,), kind="gemm", tile_writes=[(0, 0)]),
+            _span(2, "chkupd", deps=(1,), kind="chk_update", chk_writes=[(0, 0)]),
+            _span(3, "verified[x]", deps=(2,), kind="barrier", tile_verifies=[(0, 0)]),
+        ]
+        findings = check_protocol(spans, "offline")
+        assert not any(f.rule == "chk-stale" for f in findings)
+
+    def test_concurrent_update_counts_as_covering(self):
+        """Opt 2: the checksum update runs on its own stream, unordered with
+        the write it pairs with — that is not staleness."""
+        spans = [
+            _span(0, "root", kind="barrier"),
+            _span(1, "gemm[1]", deps=(0,), kind="gemm", tile_writes=[(0, 0)]),
+            _span(2, "chkupd", deps=(0,), kind="chk_update", chk_writes=[(0, 0)]),
+            _span(3, "verified[x]", deps=(1, 2), kind="barrier", tile_verifies=[(0, 0)]),
+        ]
+        findings = check_protocol(spans, "offline")
+        assert not any(f.rule == "chk-stale" for f in findings)
+
+
+class TestFinalCoverage:
+    def test_unverified_final_write_is_an_error(self):
+        spans = [
+            _span(0, "gemm[1]", kind="gemm", tile_writes=[(3, 1)]),
+        ]
+        findings = check_protocol(spans, "offline")
+        assert any(f.rule == "final-cover" and f.severity == "error" for f in findings)
+
+    def test_superseded_write_needs_no_verify(self):
+        spans = [
+            _span(0, "gemm[1]", kind="gemm", tile_writes=[(3, 1)]),
+            _span(1, "trsm[1]", deps=(0,), kind="trsm", tile_writes=[(3, 1)]),
+            _span(2, "verified[f]", deps=(1,), kind="barrier", tile_verifies=[(3, 1)]),
+        ]
+        findings = check_protocol(spans, "offline")
+        assert not any(f.rule == "final-cover" for f in findings)
+
+
+class TestAccessGraph:
+    def test_reaches_is_transitive_and_strict(self):
+        spans = [
+            _span(0, "a"),
+            _span(1, "b", deps=(0,)),
+            _span(2, "c", deps=(1,)),
+            _span(3, "d"),
+        ]
+        g = AccessGraph(spans)
+        assert g.reaches(0, 2) and g.reaches(0, 1) and g.reaches(1, 2)
+        assert not g.reaches(2, 0)
+        assert not g.reaches(0, 0)  # strict: a span does not reach itself
+        assert not g.reaches(0, 3) and not g.reaches(3, 2)
+
+    def test_json_round_trip_tiles_normalized(self):
+        spans = [
+            _span(0, "w", kind="gemm", tile_writes=[[2, 1]]),  # JSON-style lists
+            _span(1, "r", deps=(0,), kind="syrk", tile_reads=[[2, 1]]),
+        ]
+        g = AccessGraph(spans)
+        assert g.writes["data"][(2, 1)] == [0]
+        assert g.reads["data"][(2, 1)] == [1]
+
+
+class TestTraceRoundTrip:
+    def test_dump_load_preserves_findings(self, timelines, tmp_path):
+        path = dump_trace(timelines["online"], "online", tmp_path / "t.json")
+        loaded, scheme = load_trace(path)
+        assert scheme == "online"
+        assert len(loaded) == len(timelines["online"])
+        original = check_protocol(timelines["online"], "online")
+        round_tripped = check_protocol(loaded, scheme)
+        assert [(f.rule, f.where) for f in round_tripped] == [
+            (f.rule, f.where) for f in original
+        ]
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValidationError):
+            load_trace(bad)

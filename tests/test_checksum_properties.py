@@ -1,0 +1,104 @@
+"""Hypothesis property tests for the checksum machinery (Section IV).
+
+The two-checksum code's contract, stated as properties over random inputs:
+encode → perturb one element → locate → correct is the identity; the
+v1/v2 weighted checksums locate the exact row via δ₂/δ₁; and correction
+never touches a clean tile.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.blas.blocked import BlockedMatrix
+from repro.blas.spd import random_spd
+from repro.core.checksum import encode_blocked_host, encode_strip
+from repro.core.correct import Verifier
+from repro.core.multierror import vandermonde_weights
+from repro.hetero.machine import Machine
+from repro.util.rng import resolve_rng
+
+_B = 8  # block size
+_N = 32  # 4×4 tile grid
+_KEYS = [(i, j) for i in range(_N // _B) for j in range(i + 1)]
+_MACHINE = Machine.preset("tardis")
+
+_prop = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+seeds = st.integers(min_value=0, max_value=2**20)
+rows = st.integers(min_value=0, max_value=_B - 1)
+cols = st.integers(min_value=0, max_value=_B - 1)
+keys = st.sampled_from(_KEYS)
+magnitudes = st.floats(min_value=1e-3, max_value=1e6)
+signs = st.sampled_from([-1.0, 1.0])
+
+
+def _verified_setup(seed: int) -> tuple[Verifier, np.ndarray]:
+    ctx = _MACHINE.context(numerics="real")
+    a = random_spd(_N, rng=seed)
+    matrix = ctx.alloc_matrix(_N, _B, data=a)
+    chk = ctx.alloc_checksums(_N, _B)
+    chk.array[:] = encode_blocked_host(BlockedMatrix(a, _B))
+    return Verifier(ctx, matrix, chk), a
+
+
+@_prop
+@given(seed=seeds, key=keys, row=rows, col=cols, mag=magnitudes, sign=signs)
+def test_encode_perturb_locate_correct_is_identity(seed, key, row, col, mag, sign):
+    verifier, a = _verified_setup(seed)
+    pristine = a.copy()
+    verifier.matrix.tile_view(key)[row, col] += sign * mag
+    verifier.verify_batch([key], "prop")
+    np.testing.assert_allclose(a, pristine, atol=1e-8)
+    assert verifier.stats.data_corrections == 1
+    assert verifier.stats.corrected_sites == [(key, row, col)]
+
+
+@_prop
+@given(seed=seeds, row=rows, col=cols, mag=magnitudes, sign=signs)
+def test_v1_v2_weights_locate_the_exact_row(seed, row, col, mag, sign):
+    """δ₂/δ₁ of the (v1=[1..1], v2=[1..B]) code is the 1-based error row."""
+    gen = resolve_rng(seed)
+    tile = gen.normal(size=(_B, _B))
+    strip = encode_strip(tile)
+    tile[row, col] += sign * mag
+    weights = vandermonde_weights(_B, 2)
+    delta = weights @ tile - strip
+    d1, d2 = delta[0, col], delta[1, col]
+    assert d1 != 0.0
+    locator = d2 / d1
+    assert round(locator) == row + 1
+    assert abs(locator - (row + 1)) < 0.05
+    # columns the error did not touch stay below round-off
+    untouched = np.delete(delta, col, axis=1)
+    assert np.all(np.abs(untouched) < 1e-9 * max(1.0, mag))
+
+
+@_prop
+@given(seed=seeds, key=keys)
+def test_correction_is_a_noop_on_clean_tiles(seed, key):
+    verifier, a = _verified_setup(seed)
+    pristine = a.copy()
+    verifier.verify_batch([key], "prop")
+    np.testing.assert_array_equal(a, pristine)
+    assert verifier.stats.data_corrections == 0
+    assert verifier.stats.checksum_corrections == 0
+
+
+@_prop
+@given(seed=seeds, key=keys, chk_row=st.sampled_from([0, 1]), col=cols, mag=magnitudes)
+def test_corrupted_checksum_row_repaired_without_touching_data(
+    seed, key, chk_row, col, mag
+):
+    verifier, a = _verified_setup(seed)
+    pristine = a.copy()
+    verifier.chk.tile_view(key)[chk_row, col] += mag
+    verifier.verify_batch([key], "prop")
+    np.testing.assert_array_equal(a, pristine)
+    assert verifier.stats.checksum_corrections == 1
+    assert verifier.stats.data_corrections == 0
+    # the refreshed strip verifies clean
+    verifier.verify_batch([key], "again")
+    assert verifier.stats.checksum_corrections == 1

