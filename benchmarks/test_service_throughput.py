@@ -1,0 +1,49 @@
+"""End-to-end solve-service throughput under a faulty closed-loop workload.
+
+Times a whole service run — admission, scheduling, the retry ladder, and
+metrics — rather than one kernel, so regressions anywhere in the service
+path (queue wakeups, dispatcher capacity handling, per-job RNG derivation)
+show up as throughput loss.  Real-numerics at small n for the faulty run;
+shadow mode at paper-scale n for the scheduling-overhead run.
+"""
+
+import asyncio
+
+from conftest import save_artifact
+
+from repro.service import LoadGenConfig, ServiceConfig, SolveService, run_load
+
+FAULTY_CFG = LoadGenConfig(
+    jobs=12, sizes=(64, 96), fault_prob=0.6, seed=11, concurrency=4
+)
+SHADOW_CFG = LoadGenConfig(
+    jobs=12, sizes=(2048, 4096), block_size=256, numerics="shadow",
+    seed=5, concurrency=4,
+)
+WORKERS = ("tardis:2", "bulldozer64:2")
+
+
+def run_once(cfg: LoadGenConfig):
+    service = SolveService(ServiceConfig(workers=WORKERS))
+    report, _ = asyncio.run(run_load(service, cfg))
+    assert report.completed == cfg.jobs and report.failed == 0
+    return report
+
+
+def test_bench_faulty_closed_loop(benchmark, results_dir):
+    report = benchmark.pedantic(run_once, args=(FAULTY_CFG,), rounds=3, iterations=1)
+    assert report.corrected_errors + report.restarts > 0
+    save_artifact(
+        results_dir,
+        "service_throughput_faulty.txt",
+        report.render("service throughput — faulty closed loop (real numerics)"),
+    )
+
+
+def test_bench_shadow_scheduling_overhead(benchmark, results_dir):
+    report = benchmark.pedantic(run_once, args=(SHADOW_CFG,), rounds=3, iterations=1)
+    save_artifact(
+        results_dir,
+        "service_throughput_shadow.txt",
+        report.render("service throughput — paper-scale shadow jobs"),
+    )

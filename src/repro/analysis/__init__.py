@@ -10,7 +10,7 @@ Three analyzers, all runnable from the CLI:
   schedule: conflicting tile accesses on concurrent streams with no
   dependency path between them.
 - :mod:`repro.analysis.lint` — an ``ast``-based lint pass enforcing repo
-  invariants (rule ids ``RPL001``–``RPL004``) with ``# noqa:``-style
+  invariants (rule ids ``RPL001``–``RPL005``) with ``# noqa:``-style
   suppressions.
 
 ``python -m repro analyze-trace`` and ``python -m repro lint`` expose them
@@ -22,7 +22,7 @@ from repro.analysis.lint import lint_paths
 from repro.analysis.model import AccessGraph
 from repro.analysis.protocol import check_protocol
 from repro.analysis.report import Finding, render_json, render_text
-from repro.analysis.trace_io import dump_trace, load_trace
+from repro.analysis.trace_io import dump_trace, load_trace, load_trace_doc
 
 __all__ = [
     "AccessGraph",
@@ -32,6 +32,7 @@ __all__ = [
     "find_hazards",
     "lint_paths",
     "load_trace",
+    "load_trace_doc",
     "render_json",
     "render_text",
 ]

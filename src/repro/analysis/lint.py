@@ -1,4 +1,4 @@
-"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL004).
+"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL005).
 
 The rules guard properties the test suite cannot see directly:
 
@@ -22,6 +22,12 @@ The rules guard properties the test suite cannot see directly:
   ``tile_writes=`` (the event the checksum-update pairing and the protocol
   analyzer key on) — an undeclared mutation is invisible to
   :mod:`repro.analysis.protocol`.
+- **RPL005** — every ``async def`` handler in :mod:`repro.service` (a
+  coroutine named ``handle*`` or ``*_handler``) must enforce a timeout via
+  ``asyncio.wait_for`` / ``asyncio.timeout`` / ``asyncio.timeout_at``.
+  The service wraps blocking factorizations in worker threads; a handler
+  awaiting one without a deadline can wedge a pool slot forever, which no
+  test observes until the loadgen hangs.
 
 Suppression: ``# noqa`` on a line suppresses every rule there;
 ``# noqa: RPL001,RPL003`` suppresses just those.  Rules live in a registry
@@ -204,6 +210,42 @@ def _check_declared_mutation(target: LintTarget) -> list[tuple[int, str]]:
                     node.lineno,
                     "in-place numerics launch without tile_writes=; the "
                     "checksum-update pairing cannot be verified",
+                )
+            )
+    return out
+
+
+_TIMEOUT_CALLS = {"wait_for", "timeout", "timeout_at"}
+
+
+def _is_handler_name(name: str) -> bool:
+    return name.startswith("handle") or name.endswith("_handler")
+
+
+def _enforces_timeout(fn: ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if len(chain) >= 2 and chain[0] == "asyncio" and chain[-1] in _TIMEOUT_CALLS:
+            return True
+    return False
+
+
+@rule("RPL005", "service async handlers must enforce a timeout")
+def _check_handler_timeout(target: LintTarget) -> list[tuple[int, str]]:
+    if "service" not in target.path.parts:
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.AsyncFunctionDef) or not _is_handler_name(node.name):
+            continue
+        if not _enforces_timeout(node):
+            out.append(
+                (
+                    node.lineno,
+                    f"async handler {node.name}() awaits without a timeout; wrap the "
+                    "await in asyncio.wait_for / asyncio.timeout",
                 )
             )
     return out

@@ -6,6 +6,14 @@ a small JSON document with the scheme name and the full span list, meta and
 dependency tids included.  Tile-coordinate tuples degrade to JSON arrays on
 the way out; :func:`load_trace` restores them so a round-tripped timeline
 analyzes identically to a live one.
+
+Format history:
+
+- **v1** — single-run dumps: ``{version, scheme, spans}``.
+- **v2** — adds service-produced per-job traces: an optional top-level
+  ``job`` id, and span meta may carry :data:`repro.desim.trace.META_JOB`
+  (kept as a plain int on restore).  v1 documents still load — the reader
+  accepts both versions, so pre-service dumps remain analyzable.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from typing import Any
 from repro.desim.trace import (
     META_CHK_READS,
     META_CHK_WRITES,
+    META_JOB,
     META_TILE_READS,
     META_TILE_VERIFIES,
     META_TILE_WRITES,
@@ -25,7 +34,8 @@ from repro.desim.trace import (
 )
 from repro.util.exceptions import ValidationError
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 _TILE_LIST_KEYS = (
     META_TILE_READS,
@@ -36,9 +46,16 @@ _TILE_LIST_KEYS = (
 )
 
 
-def dump_trace(timeline: Timeline, scheme: str, path: str | Path) -> Path:
-    """Write *timeline* (and the scheme that produced it) as JSON."""
-    doc = {
+def dump_trace(
+    timeline: Timeline, scheme: str, path: str | Path, job: int | None = None
+) -> Path:
+    """Write *timeline* (and the scheme that produced it) as JSON.
+
+    *job* tags the document with the service job id that produced it; the
+    per-span :data:`~repro.desim.trace.META_JOB` meta (if present) is
+    serialized with the rest of the meta either way.
+    """
+    doc: dict[str, Any] = {
         "version": FORMAT_VERSION,
         "scheme": scheme,
         "spans": [
@@ -55,6 +72,8 @@ def dump_trace(timeline: Timeline, scheme: str, path: str | Path) -> Path:
             for s in timeline
         ],
     }
+    if job is not None:
+        doc["job"] = int(job)
     path = Path(path)
     path.write_text(json.dumps(doc))
     return path
@@ -65,21 +84,33 @@ def _restore_meta(meta: dict[str, Any]) -> dict[str, Any]:
     for key in _TILE_LIST_KEYS:
         if key in out and out[key] is not None:
             out[key] = [tuple(int(v) for v in item) for item in out[key]]
+    if META_JOB in out and out[META_JOB] is not None:
+        out[META_JOB] = int(out[META_JOB])
     return out
 
 
 def load_trace(path: str | Path) -> tuple[Timeline, str]:
-    """Read a dumped trace back as ``(timeline, scheme)``."""
+    """Read a dumped trace back as ``(timeline, scheme)`` (v1 and v2 docs)."""
+    timeline, scheme, _ = load_trace_doc(path)
+    return timeline, scheme
+
+
+def load_trace_doc(path: str | Path) -> tuple[Timeline, str, int | None]:
+    """Read a dumped trace as ``(timeline, scheme, job_id)``.
+
+    ``job_id`` is ``None`` for v1 documents and v2 documents dumped outside
+    the service.
+    """
     try:
         doc = json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise ValidationError(f"{path}: not valid JSON ({exc})") from exc
     if not isinstance(doc, dict) or "spans" not in doc:
         raise ValidationError(f"{path}: not a repro trace dump")
-    if doc.get("version") != FORMAT_VERSION:
+    if doc.get("version") not in SUPPORTED_VERSIONS:
         raise ValidationError(
             f"{path}: trace format version {doc.get('version')!r}, "
-            f"expected {FORMAT_VERSION}"
+            f"expected one of {SUPPORTED_VERSIONS}"
         )
     spans = [
         Span(
@@ -94,4 +125,5 @@ def load_trace(path: str | Path) -> tuple[Timeline, str]:
         )
         for raw in doc["spans"]
     ]
-    return Timeline(spans), str(doc.get("scheme", ""))
+    job = doc.get("job")
+    return Timeline(spans), str(doc.get("scheme", "")), int(job) if job is not None else None

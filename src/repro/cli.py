@@ -15,7 +15,13 @@ Commands:
     Statically check a schedule (a dumped trace or a fresh shadow run)
     against the ABFT protocol invariants and scan it for RAW/WAW hazards.
 ``lint``
-    Run the repo lint rules (RPL001–RPL004) over source trees.
+    Run the repo lint rules (RPL001–RPL005) over source trees.
+``serve``
+    Run the async fault-tolerant solve service against a synthetic or
+    stdin (JSONL) job stream; print metrics when the stream drains.
+``loadgen``
+    Drive the service with a Poisson open-loop or closed-loop workload
+    and print a latency/throughput report.
 (Regenerating every paper figure is ``python examples/paper_figures.py``.)
 """
 
@@ -225,6 +231,145 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _service_from_args(args: argparse.Namespace):
+    from repro.service import RetryPolicy, ServiceConfig, SolveService
+
+    config = ServiceConfig(
+        workers=tuple(args.workers),
+        max_queue_depth=args.max_depth,
+        job_timeout_s=args.job_timeout,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        trace_dir=args.trace_dir,
+    )
+    return SolveService(config)
+
+
+def _write_service_outputs(service, args: argparse.Namespace) -> None:
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.metrics_out).write_text(service.metrics.to_json() + "\n")
+        print(f"metrics JSON written to {args.metrics_out}")
+    if args.prometheus_out:
+        from pathlib import Path
+
+        Path(args.prometheus_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.prometheus_out).write_text(service.metrics.to_prometheus())
+        print(f"Prometheus metrics written to {args.prometheus_out}")
+
+
+def _jobs_from_stdin(args: argparse.Namespace) -> list:
+    """Parse one job per JSONL line: {"n": 96, "scheme": ..., "priority": ...}."""
+    import json
+
+    from repro.service import Job
+
+    jobs = []
+    for index, line in enumerate(sys.stdin):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"stdin line {index + 1}: not valid JSON ({exc})") from exc
+        injector = None
+        if raw.get("inject"):
+            injector = _parse_injection(str(raw["inject"]))
+        jobs.append(
+            Job(
+                job_id=int(raw.get("id", len(jobs))),
+                n=int(raw.get("n", 96)),
+                scheme=str(raw.get("scheme", args.scheme)),
+                priority=raw.get("priority", "batch"),
+                block_size=int(raw["block_size"]) if raw.get("block_size") else args.block_size,
+                numerics=str(raw.get("numerics", "real")),
+                seed=int(raw.get("seed", args.seed)),
+                injector=injector,
+            )
+        )
+    return jobs
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import LoadGenConfig, LoadReport, make_jobs
+    from repro.service.job import JobStatus
+
+    service = _service_from_args(args)
+    if args.synthetic is not None:
+        cfg = LoadGenConfig(
+            jobs=args.synthetic,
+            sizes=tuple(args.sizes),
+            block_size=args.block_size,
+            scheme=args.scheme,
+            fault_prob=args.fault_prob,
+            seed=args.seed,
+        )
+        jobs = make_jobs(cfg)
+    else:
+        jobs = _jobs_from_stdin(args)
+    if not jobs:
+        print("no jobs to serve", file=sys.stderr)
+        return 2
+
+    async def drive() -> None:
+        import time
+
+        service.start()
+        t0 = time.monotonic()
+        for job in jobs:
+            decision = service.submit(job)
+            while not decision.accepted and not service.queue.closed:
+                await asyncio.sleep(decision.retry_after_s or 0.01)
+                decision = service.submit(job)
+        await service.stop()
+        print(LoadReport.from_service(service, time.monotonic() - t0).render("serve report"))
+
+    asyncio.run(drive())
+    _write_service_outputs(service, args)
+    failed = [r for r in service.results.values() if r.status is JobStatus.FAILED]
+    return 1 if failed else 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import LoadGenConfig, run_load
+    from repro.service.job import JobStatus
+
+    service = _service_from_args(args)
+    cfg = LoadGenConfig(
+        jobs=args.jobs,
+        sizes=tuple(args.sizes),
+        block_size=args.block_size,
+        scheme=args.scheme,
+        fault_prob=args.fault_prob,
+        fault_kind=args.fault_kind,
+        seed=args.seed,
+        rate=args.rate,
+        concurrency=args.closed,
+    )
+    report, results = asyncio.run(run_load(service, cfg))
+    if args.json:
+        import dataclasses
+        import json
+
+        print(json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True))
+    else:
+        mode = f"open rate={args.rate}/s" if args.rate else f"closed x{args.closed}"
+        print(report.render(f"loadgen — {cfg.jobs} jobs, {mode}, fault_prob={cfg.fault_prob}"))
+    _write_service_outputs(service, args)
+    failed = [r for r in results if r.status is JobStatus.FAILED]
+    if failed:
+        for r in failed:
+            print(f"job {r.job_id} failed: {r.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -307,7 +452,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_analyze_trace)
 
-    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL004)")
+    def add_service_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", nargs="+", default=["tardis:2"],
+            metavar="PRESET[:CONCURRENCY]",
+            help="worker pool, e.g. --workers tardis:2 bulldozer64:1",
+        )
+        p.add_argument("--max-depth", type=int, default=64, help="queue admission limit")
+        p.add_argument("--job-timeout", type=float, default=120.0, help="per-attempt seconds")
+        p.add_argument("--max-retries", type=int, default=2)
+        p.add_argument("--scheme", default="enhanced", choices=sorted(_SCHEMES))
+        p.add_argument("--block-size", type=int, default=32)
+        p.add_argument("--sizes", nargs="+", type=int, default=[64, 96, 128])
+        p.add_argument("--fault-prob", type=float, default=0.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--trace-dir", default=None, help="dump per-job timelines here")
+        p.add_argument("--metrics-out", default=None, help="write metrics JSON here")
+        p.add_argument("--prometheus-out", default=None, help="write Prometheus text here")
+
+    p = sub.add_parser("serve", help="run the async solve service over a job stream")
+    add_service_common(p)
+    p.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="serve N generated jobs instead of reading JSONL jobs from stdin",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("loadgen", help="drive the service with a synthetic workload")
+    add_service_common(p)
+    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop Poisson arrivals per second (omit for closed loop)",
+    )
+    p.add_argument(
+        "--closed", type=int, default=4, metavar="CONCURRENCY",
+        help="closed-loop outstanding jobs (used when --rate is omitted)",
+    )
+    p.add_argument("--fault-kind", default="storage", choices=["storage", "computing"])
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL005)")
     p.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories (default: the installed repro package)",

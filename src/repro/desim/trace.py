@@ -28,6 +28,9 @@ META_CHK_READS = "chk_reads"
 META_CHK_WRITES = "chk_writes"
 META_STREAM = "stream"
 META_ITERATION = "iteration"
+#: Set by the solve service on every span of a job's timeline so dumped
+#: multi-job traces stay attributable after they leave the process.
+META_JOB = "job"
 
 
 @dataclass(frozen=True)

@@ -81,6 +81,24 @@ def sample_plan(
     )
 
 
+def sample_injector(
+    spec: CampaignSpec,
+    block_size: int,
+    rng: np.random.Generator | int | None = None,
+    count: int = 1,
+) -> FaultInjector:
+    """A ready-to-bind injector with *count* plans sampled from *spec*.
+
+    The plans are drawn only from *rng*, so callers that derive one
+    generator per job (``repro.util.rng.derive_rng``) get identical fault
+    sequences no matter how jobs interleave — the property the service's
+    RNG-isolation tests pin down.
+    """
+    check_positive("count", count)
+    gen = resolve_rng(rng)
+    return FaultInjector([sample_plan(spec, block_size, gen) for _ in range(count)])
+
+
 @dataclass
 class CampaignOutcome:
     """Aggregated results of one campaign."""

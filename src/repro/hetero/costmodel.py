@@ -166,5 +166,35 @@ class CostModel:
         """Sustained GFLOPS for *kind* kernels running solo."""
         return self.gpu.eff(kind) * self.gpu.peak_gflops
 
+    #: Coarse fault-tolerance overhead multipliers per scheme, used only for
+    #: admission/packing estimates (the paper's Figures 14/15 ballpark).
+    _SCHEME_OVERHEAD = {
+        "none": 1.0,
+        "offline": 1.10,
+        "online": 1.20,
+        "enhanced": 1.12,
+    }
+
+    def potrf_seconds(self, n: int, block_size: int, scheme: str = "enhanced") -> float:
+        """Predicted wall seconds for one protected factorization of order *n*.
+
+        A scheduling estimate, not a simulation: useful flops at the GEMM
+        sustained rate, a per-iteration launch/POTF2 round trip, and a flat
+        per-scheme FT multiplier.  The service scheduler ranks workers with
+        it; accuracy only matters in the relative ordering.
+        """
+        check_positive("n", n)
+        check_positive("block_size", block_size)
+        if scheme not in self._SCHEME_OVERHEAD:
+            raise ValidationError(
+                f"unknown scheme {scheme!r}; have {sorted(self._SCHEME_OVERHEAD)}"
+            )
+        compute = fl.potrf_flops(n) / (self.gpu_sustained_gflops("gemm") * 1e9)
+        nb = max(1, -(-n // block_size))
+        per_iter = self.cpu_potf2(min(block_size, n)).duration + 2 * self.link.transfer_time(
+            min(block_size, n) ** 2 * _DOUBLE
+        )
+        return self._SCHEME_OVERHEAD[scheme] * (compute + nb * per_iter)
+
     def cpu_sustained_gflops(self, kind: str = "chk_update") -> float:
         return self.cpu.eff(kind) * self.cpu.peak_gflops

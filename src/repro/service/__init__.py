@@ -1,0 +1,48 @@
+"""Async fault-tolerant Cholesky solve service.
+
+The serving layer on top of the core/magma/desim/faults stack: batches of
+SPD factorize jobs flow through admission control
+(:mod:`repro.service.queue`), get packed onto a pool of simulated
+heterogeneous workers by the cost model (:mod:`repro.service.scheduler`),
+and execute under a selectable ABFT scheme with the retry/backoff/
+checkpoint-fallback ladder of :mod:`repro.service.policy`.  Observability
+lives in :mod:`repro.service.metrics` (JSON + Prometheus text) and in
+per-job desim timelines tagged with the job id, which ``python -m repro
+analyze-trace`` verifies offline.
+
+CLI entry points: ``python -m repro serve`` and ``python -m repro loadgen``.
+"""
+
+from repro.service.core import ServiceConfig, SolveService, tag_timeline
+from repro.service.job import Job, JobResult, JobStatus, Priority
+from repro.service.loadgen import LoadGenConfig, LoadReport, make_job, make_jobs, run_load
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.policy import RetryPolicy, execute_attempt, execute_fallback
+from repro.service.queue import AdmissionDecision, JobQueue
+from repro.service.scheduler import Scheduler, Worker
+
+__all__ = [
+    "AdmissionDecision",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JobStatus",
+    "LoadGenConfig",
+    "LoadReport",
+    "MetricsRegistry",
+    "Priority",
+    "RetryPolicy",
+    "Scheduler",
+    "ServiceConfig",
+    "SolveService",
+    "Worker",
+    "execute_attempt",
+    "execute_fallback",
+    "make_job",
+    "make_jobs",
+    "run_load",
+    "tag_timeline",
+]

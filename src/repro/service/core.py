@@ -1,0 +1,310 @@
+"""The asyncio solve service: admission → queue → scheduler → ABFT execution.
+
+One :class:`SolveService` owns a :class:`~repro.service.queue.JobQueue`, a
+:class:`~repro.service.scheduler.Scheduler` over simulated heterogeneous
+workers, a :class:`~repro.service.metrics.MetricsRegistry`, and the
+fault-handling ladder of :mod:`repro.service.policy`.  Factorizations are
+blocking (NumPy + the discrete-event simulator), so each attempt runs in a
+worker thread via ``asyncio.to_thread`` under an ``asyncio.wait_for``
+timeout; everything else — admission, packing, backoff, metrics — happens
+on the event loop.
+
+Determinism: a job's randomness (input matrix, fault plans) is derived
+from ``(job.seed, job.job_id)`` alone (:func:`repro.util.rng.derive_rng`),
+never from shared generators, so results are identical whether jobs run
+serially or interleaved across the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.trace_io import dump_trace
+from repro.desim.trace import META_JOB, Span, Timeline
+from repro.service.job import Job, JobResult, JobStatus, Priority
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import RetryPolicy, execute_attempt, execute_fallback
+from repro.service.queue import AdmissionDecision, JobQueue
+from repro.service.scheduler import Assignment, Scheduler, Worker
+from repro.util.exceptions import ReproError
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Wiring for one service instance."""
+
+    workers: tuple[str, ...] = ("tardis:2",)
+    max_queue_depth: int = 64
+    class_limits: dict[Priority, int] | None = None
+    job_timeout_s: float = 120.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: real-mode jobs whose end-to-end residual exceeds this are *failed*,
+    #: never silently returned — the service-level "no incorrect results"
+    #: contract on top of ABFT's own detection
+    residual_tolerance: float = 1e-8
+    #: when set, every completed job's timeline is dumped here as
+    #: ``job-<id>.json`` (trace schema v2, spans tagged with the job id)
+    trace_dir: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        require(bool(self.workers), "need at least one worker spec")
+        check_positive("max_queue_depth", self.max_queue_depth)
+        check_positive("job_timeout_s", self.job_timeout_s)
+        check_positive("residual_tolerance", self.residual_tolerance)
+
+
+def tag_timeline(timeline: Timeline, job_id: int) -> Timeline:
+    """A copy of *timeline* with every span's meta carrying the job id."""
+    spans = [
+        Span(
+            tid=s.tid,
+            name=s.name,
+            kind=s.kind,
+            resource=s.resource,
+            start=s.start,
+            finish=s.finish,
+            meta={**s.meta, META_JOB: int(job_id)},
+            deps=s.deps,
+        )
+        for s in timeline
+    ]
+    return Timeline(spans)
+
+
+class SolveService:
+    """Accepts solve jobs and runs them fault-tolerantly across the pool."""
+
+    def __init__(self, config: ServiceConfig, metrics: MetricsRegistry | None = None) -> None:
+        self.config = config
+        self.queue = JobQueue(
+            max_depth=config.max_queue_depth, class_limits=config.class_limits
+        )
+        self.scheduler = Scheduler(
+            [Worker.from_spec(spec, i) for i, spec in enumerate(config.workers)]
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: pool-wide slot count; the dispatcher holds a slot per dequeued job
+        #: so the queue visibly backs up (and depth-based admission control
+        #: engages) once every worker is saturated
+        self._capacity = asyncio.Semaphore(self.scheduler.total_concurrency)
+        self.results: dict[int, JobResult] = {}
+        self.completions: asyncio.Queue[JobResult] = asyncio.Queue()
+        self._inflight: set[asyncio.Task] = set()
+        self._dispatcher: asyncio.Task | None = None
+        m = self.metrics
+        self._submitted = m.counter("service_jobs_submitted_total", "jobs offered to admission")
+        self._rejected = m.counter("service_jobs_rejected_total", "jobs rejected by admission")
+        self._completed = m.counter("service_jobs_completed_total", "jobs completed")
+        self._failed = m.counter("service_jobs_failed_total", "jobs failed after the full ladder")
+        self._corrections = m.counter("service_corrected_errors_total", "ABFT corrections")
+        self._restarts = m.counter("service_restarts_total", "scheme-level restarts/rollbacks")
+        self._retries = m.counter("service_retries_total", "service-level retries")
+        self._fallbacks = m.counter("service_fallbacks_total", "checkpoint-baseline fallbacks")
+        self._timeouts = m.counter("service_timeouts_total", "attempts cancelled by timeout")
+        self._incorrect = m.counter(
+            "service_incorrect_results_total", "completed factorizations failing the residual gate"
+        )
+        self._flops = m.counter("service_useful_flops_total", "useful flops of completed jobs")
+        self._depth = m.gauge("service_queue_depth", "queued jobs by class")
+        self._inflight_g = m.gauge("service_inflight_jobs", "jobs currently executing")
+        self._wait_h = m.histogram("service_wait_seconds", "admission-to-execution wait")
+        self._exec_h = m.histogram("service_exec_seconds", "execution wall seconds")
+        self._latency_h = m.histogram("service_latency_seconds", "submit-to-done latency")
+        self._makespan_h = m.histogram(
+            "service_sim_makespan_seconds", "simulated device makespan per job"
+        )
+
+    # -- producer API ------------------------------------------------------------
+
+    def submit(self, job: Job) -> AdmissionDecision:
+        """Offer *job* to admission control; never blocks."""
+        self._submitted.inc(priority=job.priority.name.lower())
+        decision = self.queue.submit(job)
+        if decision.accepted:
+            job.submit_time = time.monotonic()
+            self._depth.set(self.queue.depth_of(job.priority), priority=job.priority.name.lower())
+        else:
+            self._rejected.inc(priority=job.priority.name.lower())
+            self.results[job.job_id] = JobResult(
+                job_id=job.job_id,
+                status=JobStatus.REJECTED,
+                scheme=job.scheme,
+                n=job.n,
+                priority=job.priority,
+                error=decision.reason,
+            )
+        return decision
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher on the running event loop."""
+        require(self._dispatcher is None, "service already started")
+        self._dispatcher = asyncio.get_running_loop().create_task(self._dispatch())
+
+    async def drain(self, poll_s: float = 0.005) -> None:
+        """Wait until the queue is empty and nothing is executing."""
+        while self.queue.depth or self._inflight:
+            await asyncio.sleep(poll_s)
+
+    async def stop(self) -> None:
+        """Drain accepted work, then shut the dispatcher down."""
+        await self.drain()
+        await self.queue.close()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight)
+
+    # -- internals ---------------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        while True:
+            await self._capacity.acquire()
+            job = await self.queue.get()
+            if job is None:
+                self._capacity.release()
+                return
+            self._depth.set(self.queue.depth_of(job.priority), priority=job.priority.name.lower())
+            assignment = self.scheduler.pick(job)
+            task = asyncio.get_running_loop().create_task(self._run_job(job, assignment))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _run_job(self, job: Job, assignment: Assignment) -> None:
+        worker = assignment.worker
+        try:
+            async with worker.semaphore:
+                self._inflight_g.inc()
+                try:
+                    result = await self.handle_job(job, worker)
+                finally:
+                    self._inflight_g.dec()
+            self.scheduler.complete(assignment)
+            self._record(job, result)
+        finally:
+            self._capacity.release()
+
+    async def handle_job(self, job: Job, worker: Worker) -> JobResult:
+        """Run one admitted job to a terminal state (the timeout-guarded handler)."""
+        started = time.monotonic()
+        wait_s = max(0.0, started - job.submit_time)
+        timeout = job.timeout_s if job.timeout_s is not None else self.config.job_timeout_s
+        attempts = 0
+        retries = 0
+        outcome = None
+        error: str | None = None
+        while outcome is None:
+            attempts += 1
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.to_thread(execute_attempt, job, worker.machine), timeout
+                )
+                break
+            except asyncio.TimeoutError:
+                error = f"attempt {attempts} timed out after {timeout:g}s"
+                self._timeouts.inc()
+            except ReproError as exc:
+                error = f"attempt {attempts}: {exc}"
+            delay = self.config.retry.backoff_s(retries + 1)
+            if delay is None:
+                break
+            retries += 1
+            self._retries.inc()
+            if job.injector is not None:
+                job.injector.disarm()  # the fault was a one-shot event
+            await asyncio.sleep(delay)
+        if outcome is None and self.config.retry.fallback_to_checkpoint:
+            self._fallbacks.inc()
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.to_thread(execute_fallback, job, worker.machine, self.config.retry),
+                    timeout,
+                )
+            except asyncio.TimeoutError:
+                error = f"fallback timed out after {timeout:g}s"
+                self._timeouts.inc()
+            except ReproError as exc:
+                error = f"fallback: {exc}"
+
+        finished = time.monotonic()
+        exec_s = finished - started
+        if outcome is None:
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.FAILED,
+                scheme=job.scheme,
+                n=job.n,
+                priority=job.priority,
+                worker=worker.name,
+                attempts=attempts,
+                retries=retries,
+                wait_s=wait_s,
+                exec_s=exec_s,
+                latency_s=wait_s + exec_s,
+                error=error or "exhausted retry ladder",
+            )
+        status = JobStatus.COMPLETED
+        if outcome.residual is not None and outcome.residual > self.config.residual_tolerance:
+            status = JobStatus.FAILED
+            error = f"residual {outcome.residual:.3e} exceeds {self.config.residual_tolerance:g}"
+            self._incorrect.inc()
+        result = JobResult(
+            job_id=job.job_id,
+            status=status,
+            scheme=job.scheme,
+            n=job.n,
+            priority=job.priority,
+            worker=worker.name,
+            attempts=attempts,
+            retries=retries,
+            corrected_errors=outcome.corrected_errors,
+            restarts=outcome.restarts,
+            fallback_used=outcome.fallback_used,
+            wait_s=wait_s,
+            exec_s=exec_s,
+            latency_s=wait_s + exec_s,
+            sim_makespan=outcome.sim_makespan,
+            residual=outcome.residual,
+            error=error if status is JobStatus.FAILED else None,
+            timeline=outcome.timeline,
+        )
+        if status is JobStatus.COMPLETED and self.config.trace_dir is not None:
+            self._dump_job_trace(job, result)
+        return result
+
+    def _dump_job_trace(self, job: Job, result: JobResult) -> None:
+        trace_dir = Path(self.config.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        # Checkpoint-fallback runs follow the offline protocol contract
+        # (periodic sweeps; unguarded-read windows are informational), so
+        # analyze-trace checks them under the "offline" ruleset.
+        scheme = "offline" if result.fallback_used else job.scheme
+        dump_trace(
+            tag_timeline(result.timeline, job.job_id),
+            scheme,
+            trace_dir / f"job-{job.job_id}.json",
+            job=job.job_id,
+        )
+
+    def _record(self, job: Job, result: JobResult) -> None:
+        self.results[job.job_id] = result
+        self.queue.note_service_time(result.exec_s)
+        if result.completed:
+            self._completed.inc(worker=result.worker or "?")
+            self._corrections.inc(result.corrected_errors)
+            self._restarts.inc(result.restarts)
+            self._flops.inc(job.flops)
+        else:
+            self._failed.inc()
+        self._wait_h.observe(result.wait_s)
+        self._exec_h.observe(result.exec_s)
+        self._latency_h.observe(result.latency_s)
+        if result.sim_makespan:
+            self._makespan_h.observe(result.sim_makespan)
+        self.completions.put_nowait(result)

@@ -1,0 +1,105 @@
+"""Job and result records for the solve service.
+
+A :class:`Job` is one SPD factorize/solve request as it travels through the
+service: admission → queue → scheduler → execution under an ABFT scheme →
+:class:`JobResult`.  Jobs carry their own :class:`~repro.faults.injector.
+FaultInjector` (one-shot plans, pre-sampled from a per-job generator) so a
+retry or fallback replays fault-free, exactly like the paper's restart
+protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.blas.flops import potrf_flops
+from repro.faults.injector import FaultInjector
+from repro.util.exceptions import ValidationError
+from repro.util.validation import check_positive, require
+
+SCHEMES = ("offline", "online", "enhanced")
+
+
+class Priority(enum.IntEnum):
+    """Admission classes, most urgent first (lower value = served first)."""
+
+    INTERACTIVE = 0
+    BATCH = 1
+    BEST_EFFORT = 2
+
+    @classmethod
+    def parse(cls, text: "str | int | Priority") -> "Priority":
+        if isinstance(text, cls):
+            return text
+        if isinstance(text, int):
+            return cls(text)
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValidationError(
+                f"unknown priority {text!r}; have {[p.name.lower() for p in cls]}"
+            ) from None
+
+
+class JobStatus(str, enum.Enum):
+    COMPLETED = "completed"
+    FAILED = "failed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Job:
+    """One solve/factorize request."""
+
+    job_id: int
+    n: int
+    scheme: str = "enhanced"
+    priority: Priority = Priority.BATCH
+    block_size: int | None = None
+    numerics: str = "real"
+    verify_interval: int = 1
+    seed: int = 0
+    injector: FaultInjector | None = None
+    timeout_s: float | None = None
+    submit_time: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        require(self.scheme in SCHEMES, f"unknown scheme {self.scheme!r}; have {SCHEMES}")
+        require(self.numerics in ("real", "shadow"), f"bad numerics {self.numerics!r}")
+        check_positive("verify_interval", self.verify_interval)
+        self.priority = Priority.parse(self.priority)
+
+    @property
+    def flops(self) -> int:
+        """Useful factorization flops this job represents."""
+        return potrf_flops(self.n)
+
+
+@dataclass
+class JobResult:
+    """Terminal record of one job (kept by the service, summarized by reports)."""
+
+    job_id: int
+    status: JobStatus
+    scheme: str
+    n: int
+    priority: Priority
+    worker: str | None = None
+    attempts: int = 1
+    retries: int = 0
+    corrected_errors: int = 0
+    restarts: int = 0
+    fallback_used: bool = False
+    wait_s: float = 0.0
+    exec_s: float = 0.0
+    latency_s: float = 0.0
+    sim_makespan: float = 0.0
+    residual: float | None = None
+    error: str | None = None
+    timeline: object | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def completed(self) -> bool:
+        return self.status is JobStatus.COMPLETED

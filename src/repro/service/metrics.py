@@ -1,0 +1,209 @@
+"""Service metrics: counters, gauges, histograms, JSON + Prometheus export.
+
+A deliberately small registry (no external client library — the container
+bakes its dependencies) with the semantics monitoring stacks expect:
+
+- :class:`Counter` — monotone totals (``_total`` names), optional labels;
+- :class:`Gauge` — set/inc/dec point-in-time values, optional labels;
+- :class:`Histogram` — latency/size observations with percentile queries,
+  exported in the Prometheus *summary* text form (quantile series plus
+  ``_sum`` / ``_count``).
+
+Everything is synchronous and in-process: the service mutates metrics only
+from the event-loop thread, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.util.exceptions import ValidationError
+from repro.util.validation import require
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(key: LabelKey, extra: dict[str, str] | None = None) -> str:
+    pairs = list(key) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total, optionally split by labels."""
+
+    name: str
+    help: str
+    _values: dict[LabelKey, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        require(amount >= 0, f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        if labels:
+            return self._values.get(_label_key(labels), 0.0)
+        return sum(self._values.values())
+
+    def to_json(self) -> float | dict[str, float]:
+        if set(self._values) == {()} or not self._values:
+            return self.value()
+        return {_label_suffix(k) or "total": v for k, v in sorted(self._values.items())}
+
+    def to_prometheus(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        for key, value in sorted(self._values.items()):
+            lines.append(f"{self.name}{_label_suffix(key)} {value:g}")
+        if not self._values:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value, optionally split by labels."""
+
+    name: str
+    help: str
+    _values: dict[LabelKey, float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        if labels:
+            return self._values.get(_label_key(labels), 0.0)
+        return sum(self._values.values())
+
+    def to_json(self) -> float | dict[str, float]:
+        if set(self._values) == {()} or not self._values:
+            return self.value()
+        return {_label_suffix(k) or "total": v for k, v in sorted(self._values.items())}
+
+    def to_prometheus(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        for key, value in sorted(self._values.items()):
+            lines.append(f"{self.name}{_label_suffix(key)} {value:g}")
+        if not self._values:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+@dataclass
+class Histogram:
+    """Observations with exact percentile queries (summary-style export).
+
+    Keeps raw observations — service runs are bounded (one float per job),
+    so exact percentiles beat bucket approximations at no real cost.
+    """
+
+    name: str
+    help: str
+    quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)
+    _observations: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self._observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._observations)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._observations)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-quantile (nearest-rank) of the observations; 0.0 if empty."""
+        require(0.0 <= q <= 1.0, f"quantile {q} outside [0, 1]")
+        if not self._observations:
+            return 0.0
+        ordered = sorted(self._observations)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_json(self) -> dict[str, float]:
+        out: dict[str, float] = {"count": float(self.count), "sum": self.sum}
+        for q in self.quantiles:
+            out[f"p{int(q * 100)}"] = self.percentile(q)
+        if self._observations:
+            out["max"] = max(self._observations)
+        return out
+
+    def to_prometheus(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} summary"]
+        for q in self.quantiles:
+            lines.append(f'{self.name}{{quantile="{q:g}"}} {self.percentile(q):g}')
+        lines.append(f"{self.name}_sum {self.sum:g}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Create-or-get registry for the three metric kinds."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, metric):
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValidationError(
+                    f"metric {metric.name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)
+    ) -> Histogram:
+        return self._register(Histogram(name, help, quantiles))
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __getitem__(self, name: str) -> Counter | Gauge | Histogram:
+        return self._metrics[name]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot grouped by metric kind."""
+        out: dict[str, dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self._metrics.values():
+            group = {Counter: "counters", Gauge: "gauges", Histogram: "histograms"}[type(metric)]
+            out[group][metric.name] = metric.to_json()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (one block per metric)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].to_prometheus())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,159 @@
+"""Fault-handling policy: execution, retry backoff, and checkpoint fallback.
+
+The service's per-job resilience ladder, mirroring how the paper layers
+recovery on top of detection:
+
+1. the scheme driver itself corrects what the two-checksum code can and
+   restarts (``max_restarts``) on unrecoverable corruption — jobs that land
+   here still *complete normally*, with ``corrected_errors``/``restarts``
+   counted;
+2. if the driver gives up (:class:`~repro.util.exceptions.
+   RestartExhaustedError`) or the attempt times out, the service retries
+   the job with exponential backoff up to ``max_retries``;
+3. the last rung swaps the scheme for the composed-resilience baseline,
+   :func:`repro.baselines.checkpoint.checkpoint_potrf`, whose rollback
+   recovery is bounded by the checkpoint interval;
+4. only then is the job failed.
+
+Faults stay one-shot events throughout: a job's injector is disarmed
+before any retry or fallback, so recovery runs replay fault-free exactly
+like the restart protocol of Tables VII/VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.checkpoint import checkpoint_potrf
+from repro.blas.spd import random_spd
+from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.desim.trace import Timeline
+from repro.hetero.machine import Machine
+from repro.magma.host import factorization_residual
+from repro.service.job import Job
+from repro.util.rng import derive_rng
+from repro.util.validation import check_positive, require
+
+_SCHEMES = {
+    "offline": offline_potrf,
+    "online": online_potrf,
+    "enhanced": enhanced_potrf,
+}
+
+#: spawn-key namespace for the per-job matrix generator (fault plans use 0)
+MATRIX_RNG_KEY = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule plus the fallback switch."""
+
+    max_retries: int = 2
+    base_backoff_s: float = 0.02
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 0.5
+    fallback_to_checkpoint: bool = True
+    checkpoint_interval: int = 2
+
+    def __post_init__(self) -> None:
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require(self.base_backoff_s >= 0, "base_backoff_s must be >= 0")
+        require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        check_positive("checkpoint_interval", self.checkpoint_interval)
+
+    def backoff_s(self, retry_index: int) -> float | None:
+        """Delay before retry number *retry_index* (1-based); ``None`` = stop."""
+        check_positive("retry_index", retry_index)
+        if retry_index > self.max_retries:
+            return None
+        delay = self.base_backoff_s * self.backoff_factor ** (retry_index - 1)
+        return min(delay, self.max_backoff_s)
+
+
+@dataclass
+class AttemptOutcome:
+    """What one (successful) execution attempt produced."""
+
+    sim_makespan: float
+    corrected_errors: int
+    restarts: int
+    residual: float | None
+    timeline: Timeline
+    fallback_used: bool = False
+    extras: dict = field(default_factory=dict)
+
+
+def job_matrix(job: Job) -> np.ndarray:
+    """The deterministic SPD input of *job* (same array on every attempt)."""
+    return random_spd(job.n, rng=derive_rng(job.seed, job.job_id, MATRIX_RNG_KEY))
+
+
+def execute_attempt(job: Job, machine: Machine) -> AttemptOutcome:
+    """Run *job* once under its ABFT scheme on *machine* (blocking).
+
+    Raises the scheme's own exceptions (``RestartExhaustedError`` etc.) on
+    unrecoverable outcomes; the async layer turns those into retries.
+    """
+    potrf = _SCHEMES[job.scheme]
+    config = AbftConfig(verify_interval=job.verify_interval)
+    injector = job.injector
+    if job.numerics == "real":
+        a = job_matrix(job)
+        pristine = a.copy()
+        res = potrf(machine, a=a, block_size=job.block_size, config=config, injector=injector)
+        residual = factorization_residual(pristine, res.factor)
+    else:
+        res = potrf(
+            machine,
+            n=job.n,
+            block_size=job.block_size,
+            config=config,
+            injector=injector,
+            numerics="shadow",
+        )
+        residual = None
+    return AttemptOutcome(
+        sim_makespan=res.makespan,
+        corrected_errors=res.stats.data_corrections + res.stats.checksum_corrections,
+        restarts=res.restarts,
+        residual=residual,
+        timeline=res.timeline,
+    )
+
+
+def execute_fallback(job: Job, machine: Machine, policy: RetryPolicy) -> AttemptOutcome:
+    """Last-rung execution under the checkpoint/rollback baseline (blocking)."""
+    if job.injector is not None:
+        job.injector.disarm()  # the fault already happened; replay clean
+    if job.numerics == "real":
+        a = job_matrix(job)
+        pristine = a.copy()
+        res = checkpoint_potrf(
+            machine,
+            a=a,
+            block_size=job.block_size,
+            interval=policy.checkpoint_interval,
+            injector=job.injector,
+        )
+        residual = factorization_residual(pristine, res.factor)
+    else:
+        res = checkpoint_potrf(
+            machine,
+            n=job.n,
+            block_size=job.block_size,
+            interval=policy.checkpoint_interval,
+            injector=job.injector,
+            numerics="shadow",
+        )
+        residual = None
+    return AttemptOutcome(
+        sim_makespan=res.makespan,
+        corrected_errors=res.stats.data_corrections + res.stats.checksum_corrections,
+        restarts=res.rollbacks,
+        residual=residual,
+        timeline=res.timeline,
+        fallback_used=True,
+        extras={"checkpoints_taken": res.checkpoints_taken},
+    )

@@ -1,0 +1,147 @@
+"""Priority job queue with admission control and bounded backpressure.
+
+Three priority classes (:class:`~repro.service.job.Priority`) share one
+bounded queue.  Admission is decided synchronously at submit time:
+
+- the queue holds at most ``max_depth`` jobs overall;
+- each class may additionally be capped (``class_limits``), so best-effort
+  traffic cannot starve interactive work of queue space;
+- a rejected submission is *not* an error — the caller gets an
+  :class:`AdmissionDecision` with ``retry_after_s``, a hint derived from
+  the current backlog and an EWMA of observed service times (the classic
+  reject-with-retry-after backpressure contract).
+
+``get()`` serves strictly by class (interactive first), FIFO within a
+class.  Closing the queue wakes all getters with ``None``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+
+from repro.service.job import Job, Priority
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one submit attempt."""
+
+    accepted: bool
+    reason: str = "ok"
+    retry_after_s: float | None = None
+
+
+class JobQueue:
+    """Bounded multi-class FIFO with retry-after backpressure."""
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        class_limits: dict[Priority, int] | None = None,
+        service_time_hint_s: float = 0.05,
+    ) -> None:
+        check_positive("max_depth", max_depth)
+        self.max_depth = max_depth
+        self.class_limits = dict(class_limits or {})
+        for limit in self.class_limits.values():
+            check_positive("class limit", limit)
+        self._queues: dict[Priority, deque[Job]] = {p: deque() for p in Priority}
+        self._cond = asyncio.Condition()
+        self._closed = False
+        # EWMA of observed per-job service seconds; seeds the retry-after
+        # hint before the first completion is observed.
+        self._ewma_service_s = service_time_hint_s
+        self.drained_total = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth_of(self, priority: Priority) -> int:
+        return len(self._queues[Priority.parse(priority)])
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- backpressure ------------------------------------------------------------
+
+    def note_service_time(self, seconds: float, alpha: float = 0.3) -> None:
+        """Feed one observed service time into the retry-after estimator."""
+        require(seconds >= 0, "service time must be nonnegative")
+        self._ewma_service_s += alpha * (seconds - self._ewma_service_s)
+
+    def retry_after_hint(self, overflow: int = 1) -> float:
+        """Seconds a rejected client should wait before resubmitting.
+
+        Scaled to how long the current backlog (plus the client's own
+        overflow) takes to drain at the observed service rate — a full
+        queue quotes a longer wait than a briefly-over-limit one.
+        """
+        backlog = self.depth + max(1, overflow)
+        return max(0.001, backlog * self._ewma_service_s)
+
+    # -- producer side -----------------------------------------------------------
+
+    def submit(self, job: Job) -> AdmissionDecision:
+        """Admit *job* or reject it with a retry-after hint (synchronous)."""
+        if self._closed:
+            return AdmissionDecision(False, reason="queue closed")
+        if self.depth >= self.max_depth:
+            return AdmissionDecision(
+                False,
+                reason=f"queue full (depth {self.depth} >= {self.max_depth})",
+                retry_after_s=self.retry_after_hint(self.depth - self.max_depth + 1),
+            )
+        limit = self.class_limits.get(job.priority)
+        if limit is not None and len(self._queues[job.priority]) >= limit:
+            return AdmissionDecision(
+                False,
+                reason=f"class {job.priority.name.lower()} full ({limit})",
+                retry_after_s=self.retry_after_hint(),
+            )
+        self._queues[job.priority].append(job)
+        self._wake()
+        return AdmissionDecision(True)
+
+    def _wake(self) -> None:
+        async def notify() -> None:
+            async with self._cond:
+                self._cond.notify_all()
+
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # no loop yet: getters will see the job when they start
+        loop.create_task(notify())
+
+    # -- consumer side -----------------------------------------------------------
+
+    def _pop(self) -> Job | None:
+        for priority in Priority:
+            if self._queues[priority]:
+                self.drained_total += 1
+                return self._queues[priority].popleft()
+        return None
+
+    async def get(self) -> Job | None:
+        """Next job by class-then-FIFO order; ``None`` once closed and empty."""
+        async with self._cond:
+            while True:
+                job = self._pop()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                await self._cond.wait()
+
+    async def close(self) -> None:
+        """Refuse new work and wake blocked getters (drains what's queued)."""
+        self._closed = True
+        async with self._cond:
+            self._cond.notify_all()

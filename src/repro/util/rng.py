@@ -30,3 +30,17 @@ def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Split *rng* into *n* independent child generators."""
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def derive_rng(root: int, *keys: int) -> np.random.Generator:
+    """An independent generator keyed by ``(root, *keys)``.
+
+    The generator depends only on the key tuple — not on how many other
+    generators were derived before it or on call order — so concurrent
+    consumers (e.g. service jobs executing interleaved across workers) draw
+    exactly the sequence they would have drawn running serially.  This is
+    the concurrency-safe complement to :func:`spawn`, whose children depend
+    on the parent's spawn counter.
+    """
+    seq = np.random.SeedSequence(entropy=int(root), spawn_key=tuple(int(k) for k in keys))
+    return np.random.default_rng(seq)

@@ -92,6 +92,59 @@ class TestRPL004DeclaredMutation:
         assert _lint_snippet(tmp_path, "magma/other.py", self._BAD) == []
 
 
+class TestRPL005HandlerTimeout:
+    _NO_TIMEOUT = (
+        "import asyncio\n"
+        "async def handle_job(job):\n"
+        "    return await asyncio.to_thread(run, job)\n"
+    )
+
+    def test_handler_without_timeout_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "service/core.py", self._NO_TIMEOUT)
+        assert [f.rule for f in findings] == ["RPL005"]
+        assert findings[0].severity == "error"
+
+    def test_wait_for_satisfies_the_rule(self, tmp_path):
+        src = (
+            "import asyncio\n"
+            "async def handle_job(job):\n"
+            "    return await asyncio.wait_for(asyncio.to_thread(run, job), 1.0)\n"
+        )
+        assert _lint_snippet(tmp_path, "service/core.py", src) == []
+
+    def test_timeout_context_satisfies_the_rule(self, tmp_path):
+        src = (
+            "import asyncio\n"
+            "async def submit_handler(job):\n"
+            "    async with asyncio.timeout(1.0):\n"
+            "        return await run(job)\n"
+        )
+        assert _lint_snippet(tmp_path, "service/core.py", src) == []
+
+    def test_handler_suffix_also_in_scope(self, tmp_path):
+        src = self._NO_TIMEOUT.replace("handle_job", "job_handler")
+        findings = _lint_snippet(tmp_path, "service/core.py", src)
+        assert [f.rule for f in findings] == ["RPL005"]
+
+    def test_non_handler_coroutines_ignored(self, tmp_path):
+        src = self._NO_TIMEOUT.replace("handle_job", "dispatch")
+        assert _lint_snippet(tmp_path, "service/core.py", src) == []
+
+    def test_sync_handlers_ignored(self, tmp_path):
+        src = "def handle_job(job):\n    return run(job)\n"
+        assert _lint_snippet(tmp_path, "service/core.py", src) == []
+
+    def test_outside_service_package_ignored(self, tmp_path):
+        assert _lint_snippet(tmp_path, "core/mod.py", self._NO_TIMEOUT) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        src = self._NO_TIMEOUT.replace(
+            "async def handle_job(job):",
+            "async def handle_job(job):  # noqa: RPL005",
+        )
+        assert _lint_snippet(tmp_path, "service/core.py", src) == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses(self, tmp_path):
         src = "raise ValueError('x')  # noqa\n"
@@ -117,8 +170,8 @@ class TestDriver:
         findings = _lint_snippet(tmp_path, "mod.py", "def f(:\n")
         assert [f.rule for f in findings] == ["parse-error"]
 
-    def test_registry_has_all_four_rules(self):
-        assert set(RULES) >= {"RPL001", "RPL002", "RPL003", "RPL004"}
+    def test_registry_has_all_five_rules(self):
+        assert set(RULES) >= {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
 
     def test_repo_source_tree_is_clean(self):
         package_root = Path(repro.__file__).parent

@@ -105,3 +105,86 @@ class TestParseInjection:
     def test_computing(self):
         inj = _parse_injection("computing:5,3@3")
         assert inj.plans[0].kind == "computing"
+
+
+class TestServeCommand:
+    def test_synthetic_stream_reports_and_writes_metrics(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        prom = tmp_path / "metrics.prom"
+        rc = main(
+            ["serve", "--synthetic", "4", "--sizes", "64", "--seed", "3",
+             "--workers", "tardis:2",
+             "--metrics-out", str(metrics), "--prometheus-out", str(prom)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve report" in out and "completed" in out
+        import json
+
+        doc = json.loads(metrics.read_text())
+        completed = doc["counters"]["service_jobs_completed_total"]
+        assert sum(completed.values()) == 4  # labelled by worker
+        assert "service_latency_seconds" in prom.read_text()
+
+    def test_stdin_jsonl_stream(self, capsys, monkeypatch):
+        import io
+
+        lines = "\n".join(
+            [
+                '{"id": 0, "n": 64, "priority": "interactive"}',
+                "# a comment between jobs",
+                '{"id": 1, "n": 96, "inject": "storage:1,0@1"}',
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "--workers", "tardis:1"]) == 0
+        out = capsys.readouterr().out
+        assert "serve report" in out and "completed" in out
+
+    def test_bad_stdin_json_exits(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("{not json\n"))
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_empty_stream_is_an_error(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve"]) == 2
+
+
+class TestLoadgenCommand:
+    def test_closed_loop_with_faults_and_traces(self, capsys, tmp_path):
+        trace_dir = tmp_path / "traces"
+        rc = main(
+            ["loadgen", "--jobs", "5", "--sizes", "64", "96", "--closed", "2",
+             "--fault-prob", "0.6", "--seed", "11",
+             "--workers", "tardis:2", "--trace-dir", str(trace_dir)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed" in out and "corrected errors" in out
+        assert len(list(trace_dir.glob("job-*.json"))) == 5
+        for path in trace_dir.glob("job-*.json"):
+            assert main(["analyze-trace", str(path)]) == 0
+
+    def test_json_report(self, capsys):
+        rc = main(
+            ["loadgen", "--jobs", "3", "--sizes", "64", "--closed", "2",
+             "--seed", "1", "--json"]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["completed"] == 3 and doc["failed"] == 0
+
+    def test_open_loop_rate(self, capsys):
+        rc = main(
+            ["loadgen", "--jobs", "3", "--sizes", "64", "--rate", "50",
+             "--seed", "2"]
+        )
+        assert rc == 0
+        assert "throughput" in capsys.readouterr().out

@@ -61,6 +61,12 @@ def test_timeline_inspection():
     assert "gantt:" in out and "chrome trace written" in out
 
 
+def test_service_demo():
+    out = run_example("service_demo.py")
+    assert "every job completed; zero incorrect results" in out
+    assert "verified-read protocol: 8/8 dumped traces clean" in out
+
+
 @pytest.mark.slow
 def test_paper_figures_quick():
     out = run_example("paper_figures.py", "--quick", timeout=900)

@@ -1,0 +1,89 @@
+"""MetricsRegistry: counter/gauge/histogram semantics and both exports."""
+
+import json
+
+import pytest
+
+from repro.service.metrics import MetricsRegistry
+from repro.util.exceptions import ValidationError
+
+
+class TestCounter:
+    def test_monotone(self):
+        m = MetricsRegistry()
+        c = m.counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+        with pytest.raises(ValidationError):
+            c.inc(-1)
+
+    def test_labels_partition_and_aggregate(self):
+        c = MetricsRegistry().counter("jobs_total", "jobs")
+        c.inc(priority="batch")
+        c.inc(2, priority="interactive")
+        assert c.value(priority="batch") == 1
+        assert c.value(priority="interactive") == 2
+        assert c.value() == 3
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth", "queue depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_percentiles_exact(self):
+        h = MetricsRegistry().histogram("latency_seconds", "latency")
+        for v in range(1, 101):
+            h.observe(v / 100.0)
+        assert h.percentile(0.5) == pytest.approx(0.50)
+        assert h.percentile(0.9) == pytest.approx(0.90)
+        assert h.percentile(0.99) == pytest.approx(0.99)
+        assert h.count == 100
+        assert h.sum == pytest.approx(50.5)
+
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("latency_seconds", "latency")
+        assert h.percentile(0.5) == 0.0
+        assert h.to_json()["count"] == 0
+
+
+class TestRegistry:
+    def test_create_or_get_same_metric(self):
+        m = MetricsRegistry()
+        assert m.counter("a_total", "a") is m.counter("a_total")
+
+    def test_kind_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x", "x")
+        with pytest.raises(ValidationError):
+            m.gauge("x")
+
+    def test_json_export_grouped(self):
+        m = MetricsRegistry()
+        m.counter("jobs_total", "jobs").inc(3)
+        m.gauge("depth", "d").set(2)
+        m.histogram("lat", "l").observe(0.5)
+        doc = json.loads(m.to_json())
+        assert doc["counters"]["jobs_total"] == 3
+        assert doc["gauges"]["depth"] == 2
+        assert doc["histograms"]["lat"]["count"] == 1
+        assert "p99" in doc["histograms"]["lat"]
+
+    def test_prometheus_export_format(self):
+        m = MetricsRegistry()
+        c = m.counter("jobs_total", "jobs completed")
+        c.inc(2, priority="batch")
+        m.histogram("latency_seconds", "latency").observe(0.25)
+        text = m.to_prometheus()
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{priority="batch"} 2' in text
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 0.25' in text
+        assert "latency_seconds_count 1" in text
+        assert text.endswith("\n")

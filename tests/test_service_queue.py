@@ -1,0 +1,95 @@
+"""JobQueue: priority order, admission control, and backpressure hints."""
+
+import asyncio
+
+from repro.service.job import Job, Priority
+from repro.service.queue import JobQueue
+
+
+def make_job(job_id: int, priority: Priority = Priority.BATCH) -> Job:
+    return Job(job_id=job_id, n=64, priority=priority)
+
+
+class TestAdmission:
+    def test_accepts_until_full_then_rejects_with_retry_after(self):
+        q = JobQueue(max_depth=2)
+        assert q.submit(make_job(0)).accepted
+        assert q.submit(make_job(1)).accepted
+        decision = q.submit(make_job(2))
+        assert not decision.accepted
+        assert "full" in decision.reason
+        assert decision.retry_after_s is not None and decision.retry_after_s > 0
+        assert q.depth == 2
+
+    def test_retry_after_scales_with_backlog(self):
+        q = JobQueue(max_depth=4, service_time_hint_s=0.1)
+        shallow = q.retry_after_hint()
+        for i in range(4):
+            q.submit(make_job(i))
+        assert q.retry_after_hint() > shallow
+
+    def test_retry_after_tracks_observed_service_times(self):
+        q = JobQueue(max_depth=4, service_time_hint_s=0.01)
+        before = q.retry_after_hint()
+        for _ in range(20):
+            q.note_service_time(1.0)
+        assert q.retry_after_hint() > before
+
+    def test_class_limit_rejects_only_that_class(self):
+        q = JobQueue(max_depth=10, class_limits={Priority.BEST_EFFORT: 1})
+        assert q.submit(make_job(0, Priority.BEST_EFFORT)).accepted
+        decision = q.submit(make_job(1, Priority.BEST_EFFORT))
+        assert not decision.accepted and "best_effort" in decision.reason
+        assert q.submit(make_job(2, Priority.INTERACTIVE)).accepted
+
+    def test_closed_queue_rejects(self):
+        q = JobQueue(max_depth=2)
+
+        async def run():
+            await q.close()
+            return q.submit(make_job(0))
+
+        decision = asyncio.run(run())
+        assert not decision.accepted and "closed" in decision.reason
+
+
+class TestOrdering:
+    def test_priority_classes_served_in_order(self):
+        async def run():
+            q = JobQueue(max_depth=10)
+            q.submit(make_job(0, Priority.BEST_EFFORT))
+            q.submit(make_job(1, Priority.BATCH))
+            q.submit(make_job(2, Priority.INTERACTIVE))
+            q.submit(make_job(3, Priority.BATCH))
+            order = [(await q.get()).job_id for _ in range(4)]
+            return order
+
+        assert asyncio.run(run()) == [2, 1, 3, 0]
+
+    def test_get_wakes_on_late_submit(self):
+        async def run():
+            q = JobQueue(max_depth=4)
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                q.submit(make_job(7))
+
+            task = asyncio.get_running_loop().create_task(producer())
+            job = await asyncio.wait_for(q.get(), timeout=2.0)
+            await task
+            return job.job_id
+
+        assert asyncio.run(run()) == 7
+
+    def test_close_drains_then_returns_none(self):
+        async def run():
+            q = JobQueue(max_depth=4)
+            q.submit(make_job(0))
+            await q.close()
+            first = await q.get()
+            second = await q.get()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first is not None and first.job_id == 0
+        assert second is None

@@ -1,0 +1,125 @@
+"""RNG isolation under concurrency.
+
+The service's determinism contract: every job's randomness (input matrix,
+fault plans, fired fault sequence) is a pure function of ``(seed,
+job_id)``.  These tests pin that down by running the *same* workload (a)
+serially on one machine and (b) interleaved through the scheduler across a
+multi-worker pool, and asserting identical fault sequences either way.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.faults.campaign import CampaignSpec, sample_injector
+from repro.hetero.machine import Machine
+from repro.service import (
+    LoadGenConfig,
+    ServiceConfig,
+    SolveService,
+    make_jobs,
+    run_load,
+)
+from repro.service.policy import execute_attempt, job_matrix
+from repro.util.rng import derive_rng
+
+CFG = LoadGenConfig(jobs=8, sizes=(64, 96), fault_prob=1.0, seed=42, concurrency=4)
+
+
+def plan_key(plan):
+    return (plan.hook, plan.iteration, plan.kind, plan.block, plan.coord,
+            plan.target, plan.bit, plan.delta)
+
+
+def fired_key(injector):
+    return [(plan_key(f.plan), f.iteration) for f in injector.fired]
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(7, 3).random(8)
+        b = derive_rng(7, 3).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        assert not np.array_equal(derive_rng(7, 3).random(8), derive_rng(7, 4).random(8))
+        assert not np.array_equal(derive_rng(7, 3).random(8), derive_rng(8, 3).random(8))
+
+    def test_independent_of_creation_order(self):
+        first_then_second = [derive_rng(1, k).random(4) for k in (0, 1)]
+        second_then_first = [derive_rng(1, k).random(4) for k in (1, 0)][::-1]
+        for a, b in zip(first_then_second, second_then_first):
+            assert np.array_equal(a, b)
+
+
+class TestWorkloadDeterminism:
+    def test_make_jobs_is_a_pure_function_of_seed(self):
+        once = make_jobs(CFG)
+        twice = make_jobs(CFG)
+        for a, b in zip(once, twice):
+            assert (a.job_id, a.n, a.priority) == (b.job_id, b.n, b.priority)
+            assert (a.injector is None) == (b.injector is None)
+            if a.injector is not None:
+                assert list(map(plan_key, a.injector.plans)) == list(
+                    map(plan_key, b.injector.plans)
+                )
+
+    def test_job_matrix_identical_across_attempts(self):
+        [job] = make_jobs(LoadGenConfig(jobs=1, sizes=(64,), seed=9))
+        assert np.array_equal(job_matrix(job), job_matrix(job))
+
+    def test_campaign_sampling_depends_only_on_generator(self):
+        spec = CampaignSpec(nb=4)
+        a = sample_injector(spec, 32, derive_rng(3, 0), count=3)
+        b = sample_injector(spec, 32, derive_rng(3, 0), count=3)
+        assert list(map(plan_key, a.plans)) == list(map(plan_key, b.plans))
+
+
+class TestSerialVsInterleaved:
+    def test_fault_sequences_identical_serial_and_scheduled(self):
+        # serial: one machine, program order
+        serial_jobs = make_jobs(CFG)
+        machine = Machine.preset("tardis")
+        serial_fired = {}
+        for job in serial_jobs:
+            execute_attempt(job, machine)
+            serial_fired[job.job_id] = fired_key(job.injector)
+            assert serial_fired[job.job_id], "fault_prob=1.0 must inject every job"
+
+        # interleaved: fresh but identical workload through a 4-slot pool
+        service = SolveService(ServiceConfig(workers=("tardis:2", "bulldozer64:2")))
+        _, results = asyncio.run(run_load(service, CFG))
+        assert all(r.completed for r in results)
+
+        scheduled_jobs = {job.job_id: job for job in make_jobs(CFG)}
+        # the service consumed its own make_jobs() copy inside run_load;
+        # compare the *plans* it was built from and the fired record kept on
+        # the service's results via corrected/restart accounting
+        for job_id, fired in serial_fired.items():
+            rebuilt = scheduled_jobs[job_id]
+            assert list(map(plan_key, rebuilt.injector.plans)) == [k for k, _ in fired]
+
+    def test_scheduled_run_fires_the_same_faults_as_serial(self):
+        """Drive the service with pre-built Job objects and compare fired logs."""
+        serial_jobs = make_jobs(CFG)
+        machine = Machine.preset("tardis")
+        for job in serial_jobs:
+            execute_attempt(job, machine)
+        serial_fired = {job.job_id: fired_key(job.injector) for job in serial_jobs}
+
+        scheduled_jobs = make_jobs(CFG)
+
+        async def drive():
+            service = SolveService(ServiceConfig(workers=("tardis:2", "bulldozer64:2")))
+            service.start()
+            for job in scheduled_jobs:
+                assert service.submit(job).accepted
+            await service.stop()
+            return service
+
+        service = asyncio.run(drive())
+        assert all(r.completed for r in service.results.values())
+        for job in scheduled_jobs:
+            assert fired_key(job.injector) == serial_fired[job.job_id], (
+                f"job {job.job_id}: interleaved fault sequence diverged from serial"
+            )

@@ -1,0 +1,108 @@
+"""Scheduler: cost-model estimates, packing, and bookkeeping."""
+
+import asyncio
+
+import pytest
+
+from repro.hetero.machine import Machine
+from repro.service.job import Job
+from repro.service.scheduler import Scheduler, Worker
+from repro.util.exceptions import ValidationError
+
+
+def job(n: int = 96, job_id: int = 0, scheme: str = "enhanced") -> Job:
+    return Job(job_id=job_id, n=n, scheme=scheme, block_size=32)
+
+
+def worker(preset: str = "tardis", name: str | None = None, concurrency: int = 1) -> Worker:
+    return Worker(name or preset, Machine.preset(preset), concurrency)
+
+
+class TestEstimates:
+    def test_estimate_grows_with_n(self):
+        w = worker()
+        assert w.estimate_seconds(job(n=256)) > w.estimate_seconds(job(n=64))
+
+    def test_faster_gpu_estimates_lower(self):
+        fermi = worker("tardis")
+        kepler = worker("bulldozer64")
+        big = job(n=4096)
+        assert kepler.estimate_seconds(big) < fermi.estimate_seconds(big)
+
+    def test_scheme_overhead_ordering(self):
+        w = worker()
+        cost = w.machine.context(numerics="shadow").cost
+        base = cost.potrf_seconds(1024, 128, scheme="none")
+        assert cost.potrf_seconds(1024, 128, scheme="enhanced") > base
+        assert cost.potrf_seconds(1024, 128, scheme="online") > cost.potrf_seconds(
+            1024, 128, scheme="enhanced"
+        )
+        with pytest.raises(ValidationError):
+            cost.potrf_seconds(1024, 128, scheme="nope")
+
+
+class TestPacking:
+    def test_picks_faster_machine_when_idle(self):
+        async def run():
+            sched = Scheduler([worker("tardis"), worker("bulldozer64")])
+            return sched.pick(job(n=2048)).worker.name
+
+        assert asyncio.run(run()) == "bulldozer64"
+
+    def test_backlog_spreads_load(self):
+        async def run():
+            sched = Scheduler([worker("tardis", "a"), worker("tardis", "b")])
+            first = sched.pick(job(n=2048, job_id=0))
+            second = sched.pick(job(n=2048, job_id=1))
+            return first.worker.name, second.worker.name
+
+        names = asyncio.run(run())
+        assert set(names) == {"a", "b"}
+
+    def test_concurrency_discounts_backlog(self):
+        async def run():
+            wide = worker("tardis", "wide", concurrency=4)
+            narrow = worker("tardis", "narrow", concurrency=1)
+            sched = Scheduler([wide, narrow])
+            # load both with one job's worth of backlog; the wide worker
+            # drains it 4x faster, so it should win the next placement
+            wide.backlog_s = narrow.backlog_s = 1.0
+            return sched.pick(job(n=2048)).worker.name
+
+        assert asyncio.run(run()) == "wide"
+
+    def test_complete_releases_booked_work(self):
+        async def run():
+            w = worker("tardis")
+            sched = Scheduler([w])
+            assignment = sched.pick(job(n=1024))
+            booked = w.backlog_s
+            sched.complete(assignment)
+            return booked, w.backlog_s, w.inflight, w.completed
+
+        booked, after, inflight, completed = asyncio.run(run())
+        assert booked > 0 and after == 0.0
+        assert inflight == 0 and completed == 1
+
+    def test_duplicate_worker_names_rejected(self):
+        async def run():
+            return Scheduler([worker("tardis", "x"), worker("tardis", "x")])
+
+        with pytest.raises(ValidationError):
+            asyncio.run(run())
+
+
+class TestWorkerSpec:
+    def test_from_spec_parses_concurrency(self):
+        async def run():
+            w = Worker.from_spec("tardis:3", index=1)
+            return w.name, w.concurrency
+
+        name, concurrency = asyncio.run(run())
+        assert name == "tardis-1" and concurrency == 3
+
+    def test_from_spec_default_concurrency(self):
+        async def run():
+            return Worker.from_spec("bulldozer64").concurrency
+
+        assert asyncio.run(run()) == 1

@@ -1,0 +1,81 @@
+"""Trace dump schema: v2 job tagging and v1 backward compatibility."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace_io import (
+    FORMAT_VERSION,
+    dump_trace,
+    load_trace,
+    load_trace_doc,
+)
+from repro.core import AbftConfig, enhanced_potrf
+from repro.desim.trace import META_JOB
+from repro.hetero.machine import Machine
+from repro.service import tag_timeline
+from repro.util.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def shadow_timeline():
+    res = enhanced_potrf(
+        Machine.preset("tardis"),
+        n=512,
+        block_size=128,
+        config=AbftConfig(verify_interval=1),
+        numerics="shadow",
+    )
+    return res.timeline
+
+
+class TestV2RoundTrip:
+    def test_job_tagged_dump_round_trips(self, shadow_timeline, tmp_path):
+        tagged = tag_timeline(shadow_timeline, 17)
+        path = dump_trace(tagged, "enhanced", tmp_path / "job-17.json", job=17)
+        doc = json.loads(path.read_text())
+        assert doc["version"] == FORMAT_VERSION == 2
+        assert doc["job"] == 17
+        timeline, scheme, job_id = load_trace_doc(path)
+        assert scheme == "enhanced" and job_id == 17
+        assert len(timeline) == len(shadow_timeline)
+        assert all(s.meta[META_JOB] == 17 for s in timeline)
+
+    def test_tagging_does_not_mutate_the_original(self, shadow_timeline):
+        tag_timeline(shadow_timeline, 3)
+        assert all(META_JOB not in s.meta for s in shadow_timeline)
+
+    def test_untagged_dump_has_no_job_field(self, shadow_timeline, tmp_path):
+        path = dump_trace(shadow_timeline, "enhanced", tmp_path / "t.json")
+        assert "job" not in json.loads(path.read_text())
+        _, _, job_id = load_trace_doc(path)
+        assert job_id is None
+
+    def test_meta_tuples_restored(self, shadow_timeline, tmp_path):
+        path = dump_trace(shadow_timeline, "enhanced", tmp_path / "t.json")
+        timeline, _ = load_trace(path)
+        original = {s.tid: s for s in shadow_timeline}
+        for span in timeline:
+            assert span.meta == original[span.tid].meta
+
+
+class TestV1BackwardCompat:
+    def test_v1_document_still_loads(self, shadow_timeline, tmp_path):
+        path = dump_trace(shadow_timeline, "enhanced", tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        doc["version"] = 1  # what a pre-service dump_trace wrote
+        doc.pop("job", None)
+        old = tmp_path / "v1.json"
+        old.write_text(json.dumps(doc))
+        timeline, scheme, job_id = load_trace_doc(old)
+        assert scheme == "enhanced" and job_id is None
+        assert len(timeline) == len(shadow_timeline)
+
+    def test_unknown_version_rejected(self, shadow_timeline, tmp_path):
+        path = dump_trace(shadow_timeline, "enhanced", tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        doc["version"] = 99
+        bad = tmp_path / "v99.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(ValidationError, match="version"):
+            load_trace(bad)
