@@ -1,0 +1,48 @@
+"""Hot-path speedup: batched checksum verification vs the per-tile loop.
+
+Unlike the figure benchmarks (which regenerate the paper's *simulated*
+results), this one measures real host wall time: the same fault-tolerant
+factorization runs once with the fused :class:`BatchVerifyEngine` and
+once with the historical per-tile loop, and the document written to
+``results/BENCH_hotpath.json`` is the perf trajectory tracked at the
+repo root and by the CI perf-smoke job.
+"""
+
+import json
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import hotpath
+
+
+@pytest.fixture(scope="module")
+def hotpath_doc():
+    return hotpath.run(n=1024, block_size=32, repeats=3)
+
+
+def test_regenerate_bench_hotpath(benchmark, results_dir):
+    doc = benchmark.pedantic(
+        hotpath.run,
+        kwargs={"n": 1024, "block_size": 32, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        results_dir,
+        "BENCH_hotpath.json",
+        json.dumps(doc, indent=2, sort_keys=True),
+    )
+    save_artifact(results_dir, "hotpath_summary.txt", hotpath.render(doc))
+
+
+def test_batched_is_bit_identical(hotpath_doc):
+    assert all(hotpath_doc["bit_identical"].values())
+    assert hotpath_doc["data_corrections"] == 1  # the injected fault was fixed
+
+
+def test_batched_is_faster(hotpath_doc):
+    """The acceptance gate: ≥3× on the verify hot path at nb ≥ 16."""
+    assert hotpath_doc["nb"] >= 16
+    assert hotpath_doc["speedup"]["verify_check"] >= 3.0
+    assert hotpath_doc["speedup"]["sweep_check"] >= 3.0

@@ -1,4 +1,4 @@
-"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL005).
+"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL006).
 
 The rules guard properties the test suite cannot see directly:
 
@@ -28,6 +28,16 @@ The rules guard properties the test suite cannot see directly:
   The service wraps blocking factorizations in worker threads; a handler
   awaiting one without a deadline can wedge a pool slot forever, which no
   test observes until the loadgen hangs.
+- **RPL006** — no per-tile Python loops on the verification hot path:
+  inside the designated hot modules (``core/correct.py``,
+  ``core/checksum.py``, ``core/update.py``, ``core/batchverify.py``), a
+  ``for``/``while`` loop body must not call the per-tile accessors
+  ``tile_view`` / ``strip`` / ``block``.  The batched engine
+  (:mod:`repro.core.batchverify`) exists so these paths issue stacked
+  operations over run views; a new per-tile loop silently reintroduces
+  the swarm of small kernels Optimization 1 removed.  Cold paths
+  (diagnostics, host reference implementations) opt out with
+  ``# noqa: RPL006`` on the loop line.
 
 Suppression: ``# noqa`` on a line suppresses every rule there;
 ``# noqa: RPL001,RPL003`` suppresses just those.  Rules live in a registry
@@ -248,6 +258,48 @@ def _check_handler_timeout(target: LintTarget) -> list[tuple[int, str]]:
                     "await in asyncio.wait_for / asyncio.timeout",
                 )
             )
+    return out
+
+
+#: Modules whose real-mode numerics are required to stay batched.
+_HOT_MODULES = (
+    "core/correct.py",
+    "core/checksum.py",
+    "core/update.py",
+    "core/batchverify.py",
+)
+
+#: Per-tile accessors whose presence in a loop body marks a per-tile loop.
+#: The fused run accessors (``strip_row``, ``strip_panel``, ``block_row``,
+#: ``run_view`` …) are exactly what the rule pushes code toward.
+_PER_TILE_ACCESSORS = {"tile_view", "strip", "block"}
+
+
+@rule("RPL006", "no per-tile accessor loops in the verification hot modules")
+def _check_per_tile_loops(target: LintTarget) -> list[tuple[int, str]]:
+    if not any(target.posix.endswith(mod) for mod in _HOT_MODULES):
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for inner in ast.walk(node):
+            if inner is node or not isinstance(inner, ast.Call):
+                continue
+            if (
+                isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in _PER_TILE_ACCESSORS
+            ):
+                out.append(
+                    (
+                        node.lineno,
+                        f"per-tile {inner.func.attr}() loop on the hot path; "
+                        "stack the batch through a run view / "
+                        "BatchVerifyEngine instead (or # noqa: RPL006 a "
+                        "cold path)",
+                    )
+                )
+                break
     return out
 
 

@@ -15,7 +15,10 @@ Commands:
     Statically check a schedule (a dumped trace or a fresh shadow run)
     against the ABFT protocol invariants and scan it for RAW/WAW hazards.
 ``lint``
-    Run the repo lint rules (RPL001–RPL005) over source trees.
+    Run the repo lint rules (RPL001–RPL006) over source trees.
+``bench``
+    Benchmark the verification hot path (batched engine vs per-tile
+    loop) and write ``BENCH_hotpath.json``.
 ``serve``
     Run the async fault-tolerant solve service against a synthetic or
     stdin (JSONL) job stream; print metrics when the stream drains.
@@ -370,6 +373,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import hotpath
+
+    doc = hotpath.run(
+        n=args.n,
+        block_size=args.block_size or 32,
+        machine=args.machine,
+        scheme=args.scheme,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(hotpath.render(doc))
+    if args.out:
+        path = hotpath.write(doc, args.out)
+        print(f"bench JSON written to {path}")
+    if not all(doc["bit_identical"].values()):
+        print("repro: bench: batched results diverge from per-tile", file=sys.stderr)
+        return 1
+    if args.fail_below is not None and doc["speedup"]["verify_check"] < args.fail_below:
+        print(
+            f"repro: bench: verify speedup {doc['speedup']['verify_check']:.2f}x "
+            f"below the --fail-below {args.fail_below:g}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -493,7 +524,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.set_defaults(fn=cmd_loadgen)
 
-    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL005)")
+    p = sub.add_parser("bench", help="verification hot-path benchmark")
+    _add_common(p)
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--scheme", default="enhanced", choices=sorted(_SCHEMES))
+    p.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default="BENCH_hotpath.json",
+        help="output JSON path ('' to skip writing)",
+    )
+    p.add_argument(
+        "--fail-below", type=float, default=None, metavar="X",
+        help="exit nonzero if the verify speedup is below X (CI gate)",
+    )
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL006)")
     p.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories (default: the installed repro package)",

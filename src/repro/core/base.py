@@ -137,6 +137,7 @@ class SchemeRun:
             atol=config.atol,
             strips_on_host=self.placement == "cpu",
             stats=self.stats,
+            batched=config.batched_verify,
         )
         self.updater = ChecksumUpdater(
             self.ctx, self.matrix, self.chk, self.placement, self.main
@@ -154,7 +155,11 @@ class SchemeRun:
         strip update must not race the encoding kernels.
         """
         done = issue_encoding(
-            self.ctx, self.matrix, self.chk, self.verifier.streams
+            self.ctx,
+            self.matrix,
+            self.chk,
+            self.verifier.streams,
+            engine=self.verifier.engine,
         )
         self.main.last = done
         self.updater.anchor(done)

@@ -12,16 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.blas.blocked import BlockedMatrix
+from repro.core.batchverify import BatchVerifyEngine
+from repro.core.multierror import encode_strip as encode_strip  # re-export
 from repro.core.multierror import vandermonde_weights
 from repro.desim.task import Task
 from repro.hetero.context import ExecutionContext
 from repro.hetero.memory import DeviceChecksums, DeviceMatrix
 from repro.hetero.stream import Stream
-
-
-def encode_strip(tile: np.ndarray, n_checksums: int = 2) -> np.ndarray:
-    """The r×B column-checksum strip of one tile (pure numerics)."""
-    return vandermonde_weights(tile.shape[0], n_checksums) @ tile
 
 
 def encode_blocked_host(
@@ -35,9 +32,9 @@ def encode_blocked_host(
     nb, b, r = blocked.nb, blocked.block_size, n_checksums
     w = vandermonde_weights(b, r)
     out = np.zeros((r * nb, blocked.n), dtype=np.float64)
-    for i in range(nb):
+    for i in range(nb):  # noqa: RPL006 - host reference implementation
         j_hi = (i + 1) if lower_only else nb
-        for j in range(j_hi):
+        for j in range(j_hi):  # noqa: RPL006 - host reference implementation
             out[r * i : r * (i + 1), j * b : (j + 1) * b] = w @ blocked.block(i, j)
     return out
 
@@ -48,6 +45,7 @@ def issue_encoding(
     chk: DeviceChecksums,
     streams: list[Stream],
     after: list[Task] | None = None,
+    engine: BatchVerifyEngine | None = None,
 ) -> Task:
     """Encode every lower-triangle tile on the device.
 
@@ -55,6 +53,10 @@ def issue_encoding(
     (Optimization 1 applies).  Returns a barrier task that completes when
     the whole checksum matrix is ready; the factorization's first kernel
     should depend on it.
+
+    Real-mode numerics go through *engine* (one stacked matmul per block
+    row — bit-identical to the per-tile encode); a fresh engine is built
+    when the caller has none to share.
     """
     b = matrix.block_size
     keys = [(i, j) for i in range(matrix.nb) for j in range(i + 1)]
@@ -83,9 +85,9 @@ def issue_encoding(
         )
         tails.append(task)
     if ctx.real:
-        w = vandermonde_weights(b, chk.rows_per_tile)
-        for key in keys:
-            chk.tile_view(key)[:] = w @ matrix.tile_view(key)
+        if engine is None:
+            engine = BatchVerifyEngine(matrix, chk)
+        engine.encode(keys)
     # The barrier doubles as a verification event: at encode time every tile
     # is by definition consistent with its freshly built strip.
     return ctx.graph.barrier(

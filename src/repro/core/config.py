@@ -46,6 +46,11 @@ class AbftConfig:
         Verify the whole factor after the last iteration.  Offline-ABFT is
         *defined* by this sweep; for Enhanced it closes the window between
         each block's last update and the end of the run.
+    batched_verify:
+        Real-mode detection via the stacked batch engine
+        (:mod:`repro.core.batchverify`); False restores the per-tile
+        Python loop.  Bit-identical outcomes either way — the knob exists
+        for A/B benchmarking (``python -m repro bench``).
     """
 
     verify_interval: int = DEFAULT_VERIFY_INTERVAL
@@ -56,6 +61,7 @@ class AbftConfig:
     n_checksums: int = 2
     max_restarts: int = 1
     final_sweep: bool = True
+    batched_verify: bool = True
 
     def __post_init__(self) -> None:
         check_positive("verify_interval", self.verify_interval)

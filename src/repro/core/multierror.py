@@ -58,9 +58,18 @@ def vandermonde_weights(block_size: int, n_checksums: int) -> np.ndarray:
     return v
 
 
-def encode(tile: np.ndarray, n_checksums: int) -> np.ndarray:
-    """The (m+1)×B checksum strip of one tile."""
+def encode_strip(tile: np.ndarray, n_checksums: int = 2) -> np.ndarray:
+    """The (m+1)×B column-checksum strip of one tile (pure numerics).
+
+    The canonical single-tile encode — ``repro.core.checksum`` re-exports
+    it, and the batched engine (:mod:`repro.core.batchverify`) reproduces
+    it bit-for-bit over stacked runs.
+    """
     return vandermonde_weights(tile.shape[0], n_checksums) @ tile
+
+
+#: Historical codec-facing name for :func:`encode_strip`.
+encode = encode_strip
 
 
 @dataclass(frozen=True)

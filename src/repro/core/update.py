@@ -28,6 +28,8 @@ placements:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.blas import flops as fl
 from repro.blas.dense import trsm_right_lt
 from repro.desim.task import Task
@@ -63,6 +65,13 @@ class ChecksumUpdater:
         self.last_task: Task | None = None
         self._lrow: list[Task] = []  # this iteration's L-row staging (cpu)
         self._bulk_deps: list[Task] | None = None  # finalizers of row cols 0..j-2
+        # Preallocated product workspace for the batched GEMM strip update
+        # (largest panel: nb-1 strips of r×B each); real mode only.
+        self._gemm_ws = (
+            np.empty(((matrix.nb - 1) * chk.rows_per_tile, matrix.block_size))
+            if ctx.real and matrix.nb > 1
+            else None
+        )
 
     # ------------------------------------------------------------------ issue
 
@@ -198,9 +207,14 @@ class ChecksumUpdater:
             deps = list(deps or []) + self._lrow
 
         def numerics() -> None:
+            # All panel strips in one stacked GEMM: block row i's strip is
+            # the r-row band of the fused operands, so the product equals
+            # the per-strip ``strip_row(i, 0, j) @ lrow_t`` bit for bit.
             lrow_t = self.matrix.blocked.block_row(j, 0, j).T
-            for i in range(j + 1, nb):
-                self.chk.strip(i, j)[:] -= self.chk.strip_row(i, 0, j) @ lrow_t
+            src = self.chk.strip_panel(j + 1, nb, 0, j)
+            out = self._gemm_ws[: src.shape[0]]
+            np.matmul(src, lrow_t, out=out)
+            self.chk.strip_panel(j + 1, nb, j, j + 1)[:] -= out
 
         task = self._issue(
             f"chkupd_gemm[{j}]",
@@ -251,9 +265,15 @@ class ChecksumUpdater:
             return None
 
         def numerics() -> None:
-            ell = self.matrix.block(j, j)
-            for i in range(j + 1, nb):
-                trsm_right_lt(self.chk.strip(i, j), ell)
+            # One solve over the stacked panel: forward substitution is
+            # row-independent, so the stacked solve computes the same
+            # quantities as the per-strip loop (BLAS may pick a different
+            # kernel for the taller operand — ulps below any tolerance —
+            # and the call is unconditional, so both verification modes
+            # see identical strips).
+            trsm_right_lt(
+                self.chk.strip_panel(j + 1, nb, j, j + 1), self.matrix.block(j, j)
+            )
 
         task = self._issue(
             f"chkupd_trsm[{j}]",

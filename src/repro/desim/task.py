@@ -18,7 +18,7 @@ from repro.util.exceptions import ValidationError
 _task_ids = itertools.count()
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Task:
     """One schedulable unit of work.
 

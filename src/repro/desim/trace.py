@@ -33,7 +33,7 @@ META_ITERATION = "iteration"
 META_JOB = "job"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One completed task occurrence on the simulated clock."""
 

@@ -13,6 +13,7 @@ Figures 10/11       :mod:`repro.experiments.opt2`
 Figures 12/13       :mod:`repro.experiments.opt3`
 Figures 14/15       :mod:`repro.experiments.overhead`
 Figures 16/17       :mod:`repro.experiments.performance`
+Hot-path bench      :mod:`repro.experiments.hotpath` (real mode, host wall)
 ==================  =====================================================
 """
 

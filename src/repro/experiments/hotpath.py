@@ -1,0 +1,191 @@
+"""Hot-path benchmark: batched vs per-tile checksum verification.
+
+``python -m repro bench`` runs the same fault-tolerant factorization
+twice — once with the stacked :class:`~repro.core.batchverify.BatchVerifyEngine`
+and once with the historical per-tile Python loop — and emits
+``BENCH_hotpath.json``: per-phase wall timings, the batched-vs-per-tile
+speedup, and the bit-identity verdicts (factors, corrected sites,
+verifier statistics must match exactly; only the wall time may differ).
+
+The file at the repo root is the perf trajectory: every PR that touches
+the hot path regenerates it, and the CI perf-smoke job fails if batched
+verification ever becomes slower than the loop it replaced.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.blas.spd import random_spd
+from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.core.base import FtPotrfResult
+from repro.core.checksum import issue_encoding
+from repro.core.correct import Verifier
+from repro.faults.injector import single_storage_fault
+from repro.hetero.machine import Machine
+from repro.util.validation import require
+
+SCHEMA_VERSION = 1
+
+_SCHEMES = {
+    "offline": offline_potrf,
+    "online": online_potrf,
+    "enhanced": enhanced_potrf,
+}
+
+#: Where the fault is planted (tile, iteration) — early enough that every
+#: scheme's verification sees and corrects it, so the bench also pins the
+#: correction path's parity between the two modes.
+_FAULT_BLOCK = (3, 1)
+_FAULT_ITERATION = 1
+
+
+def _factor(
+    machine: Machine,
+    a: np.ndarray,
+    block_size: int,
+    scheme: str,
+    batched: bool,
+    inject: bool,
+) -> tuple[FtPotrfResult, float]:
+    """One full factorization; returns the result and its host wall time."""
+    config = AbftConfig(batched_verify=batched)
+    injector = (
+        single_storage_fault(block=_FAULT_BLOCK, iteration=_FAULT_ITERATION)
+        if inject
+        else None
+    )
+    work = a.copy()
+    t0 = time.perf_counter()
+    res = _SCHEMES[scheme](
+        machine, a=work, block_size=block_size, config=config, injector=injector
+    )
+    return res, time.perf_counter() - t0
+
+
+def _sweep_times(
+    machine: Machine, a: np.ndarray, block_size: int, repeats: int
+) -> dict[str, float]:
+    """Pure detection microbenchmark: one full lower-triangle sweep.
+
+    Isolates the engine from the driver — no factorization, no simulated
+    schedule, just ``check_real`` over every lower tile, best of *repeats*.
+    """
+    ctx = machine.context(numerics="real")
+    matrix = ctx.alloc_matrix(a.shape[0], block_size, data=a.copy())
+    chk = ctx.alloc_checksums(a.shape[0], block_size)
+    verifier = Verifier(ctx, matrix, chk, n_streams=16)
+    issue_encoding(ctx, matrix, chk, verifier.streams, engine=verifier.engine)
+    keys = verifier.lower_keys()
+    out: dict[str, float] = {}
+    for mode in ("batched", "per_tile"):
+        verifier.batched = mode == "batched"
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            verifier.check_real(keys)
+            best = min(best, time.perf_counter() - t0)
+        out[mode] = best
+    return out
+
+
+def run(
+    n: int = 1024,
+    block_size: int = 32,
+    machine: str = "tardis",
+    scheme: str = "enhanced",
+    repeats: int = 3,
+    seed: int = 0,
+    inject: bool = True,
+) -> dict[str, Any]:
+    """Benchmark both verify modes and return the BENCH_hotpath document."""
+    require(n % block_size == 0, "n must be a multiple of block_size")
+    mach = Machine.preset(machine)
+    a = random_spd(n, rng=seed)
+
+    results: dict[str, FtPotrfResult] = {}
+    factor_s: dict[str, float] = {}
+    verify_s: dict[str, float] = {}
+    for mode in ("batched", "per_tile"):
+        batched = mode == "batched"
+        best_wall = float("inf")
+        for _ in range(repeats):
+            res, wall = _factor(mach, a, block_size, scheme, batched, inject)
+            if wall < best_wall:
+                best_wall = wall
+                results[mode] = res
+        factor_s[mode] = best_wall
+        verify_s[mode] = results[mode].stats.check_wall_s
+
+    sweep_s = _sweep_times(mach, a, block_size, repeats)
+
+    batched_res, per_tile_res = results["batched"], results["per_tile"]
+    identical = {
+        "factor": bool(np.array_equal(batched_res.factor, per_tile_res.factor)),
+        "stats": batched_res.stats == per_tile_res.stats,
+        "corrected_sites": (
+            batched_res.stats.corrected_sites == per_tile_res.stats.corrected_sites
+        ),
+    }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "python -m repro bench",
+        "machine": machine,
+        "scheme": scheme,
+        "n": n,
+        "block_size": block_size,
+        "nb": n // block_size,
+        "repeats": repeats,
+        "seed": seed,
+        "fault_injected": inject,
+        "tiles_verified": batched_res.stats.tiles_verified,
+        "data_corrections": batched_res.stats.data_corrections,
+        "phases_s": {
+            "factor_total": factor_s,
+            "verify_check": verify_s,
+            "sweep_check": sweep_s,
+        },
+        "speedup": {
+            "verify_check": verify_s["per_tile"] / verify_s["batched"],
+            "sweep_check": sweep_s["per_tile"] / sweep_s["batched"],
+        },
+        "bit_identical": identical,
+    }
+
+
+def write(doc: dict[str, Any], path: str | Path) -> Path:
+    """Write the bench document as stable, diffable JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render(doc: dict[str, Any]) -> str:
+    """Human summary of one bench document."""
+    ph = doc["phases_s"]
+    sp = doc["speedup"]
+    ok = doc["bit_identical"]
+    lines = [
+        f"hotpath bench — {doc['scheme']} n={doc['n']} B={doc['block_size']} "
+        f"(nb={doc['nb']}, {doc['machine']}, best of {doc['repeats']})",
+        f"  verify wall : per-tile {ph['verify_check']['per_tile'] * 1e3:8.2f} ms"
+        f" | batched {ph['verify_check']['batched'] * 1e3:8.2f} ms"
+        f" | speedup {sp['verify_check']:5.2f}x",
+        f"  full sweep  : per-tile {ph['sweep_check']['per_tile'] * 1e3:8.2f} ms"
+        f" | batched {ph['sweep_check']['batched'] * 1e3:8.2f} ms"
+        f" | speedup {sp['sweep_check']:5.2f}x",
+        f"  factor wall : per-tile {ph['factor_total']['per_tile']:8.3f} s "
+        f" | batched {ph['factor_total']['batched']:8.3f} s",
+        f"  bit-identical: factor={ok['factor']} stats={ok['stats']} "
+        f"sites={ok['corrected_sites']} "
+        f"({doc['tiles_verified']} tiles verified, "
+        f"{doc['data_corrections']} corrections)",
+    ]
+    return "\n".join(lines)

@@ -23,14 +23,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class TaintState:
-    """Corruption of one B×B tile (or one 2×B checksum strip)."""
+    """Corruption of one B×B tile (or one 2×B checksum strip).
+
+    A state may be *bound* to an owning buffer (see
+    :meth:`repro.hetero.memory.DeviceBuffer.taint_of`); every mutator then
+    notifies the owner so it can maintain an incremental dirty-key set
+    instead of scanning all states on each ``any_taint`` query.
+    """
 
     points: set[tuple[int, int]] = field(default_factory=set)
     rows: set[int] = field(default_factory=set)
     cols: set[int] = field(default_factory=set)
     full: bool = False
+    _owner: object = field(default=None, repr=False, compare=False)
+    _key: tuple[int, int] | None = field(default=None, repr=False, compare=False)
+
+    def bind(self, owner: object, key: tuple[int, int]) -> None:
+        """Attach to *owner*; subsequent mutations call ``owner.mark_taint``."""
+        self._owner = owner
+        self._key = key
+
+    def _notify(self) -> None:
+        if self._owner is not None:
+            self._owner.mark_taint(self._key, not self.is_clean())
 
     # -- basic queries -------------------------------------------------------
 
@@ -69,11 +86,13 @@ class TaintState:
         self.rows.clear()
         self.cols.clear()
         self.full = False
+        self._notify()
 
     # -- construction ----------------------------------------------------------
 
     def add_point(self, r: int, c: int) -> None:
         self.points.add((r, c))
+        self._notify()
 
     def merge(self, other: "TaintState") -> None:
         """In-place union with *other*."""
@@ -82,10 +101,12 @@ class TaintState:
             self.points.clear()
             self.rows.clear()
             self.cols.clear()
+            self._notify()
             return
         self.points |= other.points
         self.rows |= other.rows
         self.cols |= other.cols
+        self._notify()
 
     def copy(self) -> "TaintState":
         return TaintState(

@@ -6,9 +6,30 @@ mode only — and (b) a taint map from tile key to
 corruption lives in the actual bits; shadow-mode corruption lives only in
 the taint map.  Fault injection and ABFT verification address both through
 the same ``tile_view`` / ``taint_of`` interface.
+
+Tile-major access
+-----------------
+Both buffer kinds expose their storage as a **tile-major 4-D view**
+``tiles4[i, :, j, :]`` (shape ``(nb, h, nb, w)``, a zero-copy reshape of
+the backing array), which is what makes batched checksum verification
+(:mod:`repro.core.batchverify`) possible without gathering: any
+*structured run* of tile keys — a column run ``(i0..i1, j)``, a row run
+``(i, j0..j1)``, or a dense rectangle — maps onto one strided view of
+shape ``(k, h, w)`` / ``(h, k·w)`` / ``(ki, kj, h, w)`` that a single
+broadcast ``W @ view`` consumes.  :func:`plan_tile_runs` decomposes an
+arbitrary ordered key list into maximal such runs; every verification
+batch the scheme drivers issue (diagonal singletons, TRSM/GEMM panels,
+the LD rectangle of the Enhanced pre-GEMM check, the offline final
+sweep) decomposes into a handful of runs.
+
+Taint scans are incremental: buffers keep a dirty-key set maintained by
+:class:`~repro.faults.taint.TaintState` change notifications, so
+``any_taint`` / ``tainted_keys`` no longer walk the whole taint map.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,33 +40,137 @@ from repro.util.validation import check_block_size, check_positive, require
 _DOUBLE = 8
 
 
-class DeviceBuffer:
-    """Base class: named device allocation with taint bookkeeping."""
+@dataclass(frozen=True, slots=True)
+class TileRun:
+    """A maximal structured subset of an ordered tile-key list.
 
-    def __init__(self, name: str, nbytes: int, array: np.ndarray | None) -> None:
+    ``kind`` is ``"col"`` (fixed j, i in ``[i0, i1)``), ``"row"`` (fixed
+    i, j in ``[j0, j1)``) or ``"rect"`` (the dense product
+    ``[i0, i1) × [j0, j1)``, row-major).  A single key is a length-1
+    column run.
+    """
+
+    kind: str
+    i0: int
+    i1: int
+    j0: int
+    j1: int
+
+    def __len__(self) -> int:
+        return (self.i1 - self.i0) * (self.j1 - self.j0)
+
+    def keys(self) -> list[tuple[int, int]]:
+        """The run's keys in the order they appeared in the batch."""
+        if self.kind == "col":
+            return [(i, self.j0) for i in range(self.i0, self.i1)]
+        if self.kind == "row":
+            return [(self.i0, j) for j in range(self.j0, self.j1)]
+        return [
+            (i, j)
+            for i in range(self.i0, self.i1)
+            for j in range(self.j0, self.j1)
+        ]
+
+
+def plan_tile_runs(keys: list[tuple[int, int]]) -> list[TileRun]:
+    """Decompose an ordered key list into maximal col/row/rect runs.
+
+    Greedy left-to-right: at each position the longer of the column run
+    (``(i, j), (i+1, j), …``) and the row run (``(i, j), (i, j+1), …``)
+    wins; consecutive equal-width row runs on consecutive block rows are
+    then coalesced into one rectangle (the Enhanced scheme's LD region).
+    The concatenation of ``run.keys()`` over the plan reproduces *keys*
+    exactly, so batch processing preserves per-key order semantics.
+    """
+    runs: list[TileRun] = []
+    p, m = 0, len(keys)
+    while p < m:
+        i, j = keys[p]
+        lc = 1
+        while p + lc < m and keys[p + lc] == (i + lc, j):
+            lc += 1
+        lr = 1
+        while p + lr < m and keys[p + lr] == (i, j + lr):
+            lr += 1
+        if lr > lc:
+            runs.append(TileRun("row", i, i + 1, j, j + lr))
+            p += lr
+        else:
+            runs.append(TileRun("col", i, i + lc, j, j + 1))
+            p += lc
+    out: list[TileRun] = []
+    for run in runs:
+        prev = out[-1] if out else None
+        if (
+            prev is not None
+            and run.kind == "row"
+            and prev.kind in ("row", "rect")
+            and prev.j0 == run.j0
+            and prev.j1 == run.j1
+            and prev.i1 == run.i0
+        ):
+            out[-1] = TileRun("rect", prev.i0, run.i1, run.j0, run.j1)
+        else:
+            out.append(run)
+    return out
+
+
+class DeviceBuffer:
+    """Base class: named device allocation with taint bookkeeping.
+
+    Subclasses pass the tile grid geometry (``nb`` block rows/columns of
+    ``tile_shape = (h, w)`` tiles) so the base class can expose the
+    tile-major 4-D view and the structured run views built on it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nbytes: int,
+        array: np.ndarray | None,
+        nb: int = 0,
+        tile_shape: tuple[int, int] = (0, 0),
+    ) -> None:
         check_positive(f"nbytes of {name!r}", nbytes)
         self.name = name
         self.nbytes = nbytes
         self.array = array
+        self.nb = nb
+        self.tile_shape = tile_shape
         self._taint: dict[tuple[int, int], TaintState] = {}
+        # Keys whose TaintState is (possibly) dirty, in dirty-marking
+        # order.  Maintained by TaintState change notifications so the
+        # any_taint / tainted_keys hot path never scans the full map.
+        self._dirty: dict[tuple[int, int], None] = {}
+        self._t4: np.ndarray | None = None
 
     @property
     def real(self) -> bool:
         return self.array is not None
+
+    # ------------------------------------------------------------------ taint
 
     def taint_of(self, key: tuple[int, int]) -> TaintState:
         """The (mutable) taint state of tile *key*, created clean on demand."""
         state = self._taint.get(key)
         if state is None:
             state = TaintState()
+            state.bind(self, key)
             self._taint[key] = state
         return state
 
+    def mark_taint(self, key: tuple[int, int], dirty: bool) -> None:
+        """Taint-change notification hook (called by TaintState)."""
+        if dirty:
+            self._dirty[key] = None
+        else:
+            self._dirty.pop(key, None)
+
     def any_taint(self) -> bool:
-        return any(not t.is_clean() for t in self._taint.values())
+        return bool(self._dirty)
 
     def tainted_keys(self) -> list[tuple[int, int]]:
-        return [k for k, t in self._taint.items() if not t.is_clean()]
+        return list(self._dirty)
 
     def snapshot_taint(self) -> dict[tuple[int, int], TaintState]:
         """Deep copy of the current taint map (checkpointing support)."""
@@ -53,10 +178,74 @@ class DeviceBuffer:
 
     def restore_taint(self, snapshot: dict[tuple[int, int], TaintState]) -> None:
         """Replace the taint map with a prior snapshot (rollback support)."""
-        self._taint = {k: t.copy() for k, t in snapshot.items()}
+        self._taint = {}
+        self._dirty = {}
+        for k, t in snapshot.items():
+            state = t.copy()
+            state.bind(self, k)
+            self._taint[k] = state
+            if not state.is_clean():
+                self._dirty[k] = None
+
+    # ------------------------------------------------------------- tile views
 
     def tile_view(self, key: tuple[int, int]) -> np.ndarray:
-        raise NotImplementedError
+        """The ``h × w`` view of one tile (zero-copy)."""
+        i, j = key
+        self._check_key(i, j)
+        return self.tiles4[i, :, j, :]
+
+    @property
+    def tiles4(self) -> np.ndarray:
+        """Tile-major 4-D view ``(nb, h, nb, w)`` of the backing array.
+
+        ``tiles4[i, :, j, :]`` is tile (i, j).  A zero-copy reshape —
+        requires the backing storage to be C-contiguous, which every
+        allocation path guarantees.
+        """
+        if self._t4 is None:
+            require(self.array is not None, f"{self.name}: no storage in shadow mode")
+            require(
+                self.array.flags["C_CONTIGUOUS"],
+                f"{self.name}: tile-major views need C-contiguous storage",
+            )
+            h, w = self.tile_shape
+            self._t4 = self.array.reshape(self.nb, h, self.nb, w)
+        return self._t4
+
+    def col_run_view(self, i0: int, i1: int, j: int) -> np.ndarray:
+        """Tiles ``(i0..i1-1, j)`` stacked as a ``(k, h, w)`` strided view."""
+        self._check_key(i0, j)
+        self._check_key(i1 - 1, j)
+        return self.tiles4[i0:i1, :, j, :]
+
+    def row_run_view(self, i: int, j0: int, j1: int) -> np.ndarray:
+        """Tiles ``(i, j0..j1-1)`` fused as one 2-D ``h × k·w`` view."""
+        self._check_key(i, j0)
+        self._check_key(i, j1 - 1)
+        h, w = self.tile_shape
+        return self.array[i * h : (i + 1) * h, j0 * w : j1 * w]
+
+    def rect_run_view(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        """Tile rectangle as a ``(ki, kj, h, w)`` strided view (row-major)."""
+        self._check_key(i0, j0)
+        self._check_key(i1 - 1, j1 - 1)
+        return self.tiles4[i0:i1, :, j0:j1, :].transpose(0, 2, 1, 3)
+
+    def run_view(self, run: TileRun) -> np.ndarray:
+        """The zero-copy stacked view of one :class:`TileRun`."""
+        if run.kind == "col":
+            return self.col_run_view(run.i0, run.i1, run.j0)
+        if run.kind == "row":
+            return self.row_run_view(run.i0, run.j0, run.j1)
+        return self.rect_run_view(run.i0, run.i1, run.j0, run.j1)
+
+    def _check_key(self, i: int, j: int) -> None:
+        require(self.array is not None, f"{self.name}: no storage in shadow mode")
+        require(
+            0 <= i < self.nb and 0 <= j < self.nb,
+            f"tile ({i}, {j}) out of range for {self.nb}×{self.nb} grid",
+        )
 
 
 class DeviceMatrix(DeviceBuffer):
@@ -75,7 +264,7 @@ class DeviceMatrix(DeviceBuffer):
     ) -> None:
         self.n = n
         self.block_size = block_size
-        self.nb = check_block_size(n, block_size)
+        nb = check_block_size(n, block_size)
         if blocked is not None:
             require(blocked.n == n, "blocked matrix order mismatch")
             require(blocked.block_size == block_size, "block size mismatch")
@@ -84,11 +273,9 @@ class DeviceMatrix(DeviceBuffer):
             name,
             nbytes=n * n * _DOUBLE,
             array=None if blocked is None else blocked.data,
+            nb=nb,
+            tile_shape=(block_size, block_size),
         )
-
-    def tile_view(self, key: tuple[int, int]) -> np.ndarray:
-        require(self.blocked is not None, f"{self.name}: no storage in shadow mode")
-        return self.blocked.block(*key)
 
     def block(self, i: int, j: int) -> np.ndarray:
         return self.tile_view((i, j))
@@ -116,15 +303,19 @@ class DeviceChecksums(DeviceBuffer):
         self.n = n
         self.block_size = block_size
         self.rows_per_tile = rows_per_tile
-        self.nb = check_block_size(n, block_size)
+        nb = check_block_size(n, block_size)
         if array is not None:
             require(
-                array.shape == (rows_per_tile * self.nb, n),
-                f"checksum array must be {(rows_per_tile * self.nb, n)}, "
+                array.shape == (rows_per_tile * nb, n),
+                f"checksum array must be {(rows_per_tile * nb, n)}, "
                 f"got {array.shape}",
             )
         super().__init__(
-            name, nbytes=rows_per_tile * self.nb * n * _DOUBLE, array=array
+            name,
+            nbytes=rows_per_tile * nb * n * _DOUBLE,
+            array=array,
+            nb=nb,
+            tile_shape=(rows_per_tile, block_size),
         )
 
     @classmethod
@@ -140,19 +331,22 @@ class DeviceChecksums(DeviceBuffer):
         arr = np.zeros((rows_per_tile * nb, n), dtype=np.float64) if real else None
         return cls(name, n, block_size, arr, rows_per_tile=rows_per_tile)
 
-    def tile_view(self, key: tuple[int, int]) -> np.ndarray:
-        """The r×B strip of tile *key* (zero-copy view)."""
-        require(self.array is not None, f"{self.name}: no storage in shadow mode")
-        i, j = key
-        b, r = self.block_size, self.rows_per_tile
-        require(0 <= i < self.nb and 0 <= j < self.nb, f"tile {key} out of range")
-        return self.array[r * i : r * (i + 1), j * b : (j + 1) * b]
-
     def strip(self, i: int, j: int) -> np.ndarray:
+        """The r×B strip of tile (i, j) (zero-copy view)."""
         return self.tile_view((i, j))
 
     def strip_row(self, i: int, j0: int, j1: int) -> np.ndarray:
         """Strips of tiles (i, j0..j1-1) as one r × (j1-j0)·B view."""
-        require(self.array is not None, f"{self.name}: no storage in shadow mode")
+        return self.row_run_view(i, j0, j1)
+
+    def strip_panel(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        """Strips of the tile rectangle stacked as one 2-D view.
+
+        Shape ``((i1-i0)·r, (j1-j0)·B)``: block row *i*'s strips occupy
+        rows ``[r·(i-i0), r·(i-i0+1))``.  This is the fused operand of the
+        batched GEMM/TRSM strip updates (:mod:`repro.core.update`).
+        """
+        self._check_key(i0, j0)
+        self._check_key(i1 - 1, j1 - 1)
         b, r = self.block_size, self.rows_per_tile
-        return self.array[r * i : r * (i + 1), j0 * b : j1 * b]
+        return self.array[r * i0 : r * i1, j0 * b : j1 * b]

@@ -145,6 +145,50 @@ class TestRPL005HandlerTimeout:
         assert _lint_snippet(tmp_path, "service/core.py", src) == []
 
 
+class TestRPL006PerTileLoops:
+    _BAD = (
+        "def check(verifier, keys):\n"
+        "    for key in keys:\n"
+        "        tile = verifier.matrix.tile_view(key)\n"
+    )
+
+    def test_per_tile_loop_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "core/correct.py", self._BAD)
+        assert [f.rule for f in findings] == ["RPL006"]
+        assert findings[0].severity == "error"
+
+    def test_strip_accessor_also_flagged(self, tmp_path):
+        src = (
+            "def upd(chk, nb, j):\n"
+            "    while j < nb:\n"
+            "        chk.strip(j, j)[:] = 0.0\n"
+            "        j += 1\n"
+        )
+        findings = _lint_snippet(tmp_path, "core/update.py", src)
+        assert [f.rule for f in findings] == ["RPL006"]
+
+    def test_fused_run_accessors_are_fine(self, tmp_path):
+        src = (
+            "def upd(chk, nb, j):\n"
+            "    for i in range(j):\n"
+            "        chk.strip_panel(j + 1, nb, 0, j)[:] = 0.0\n"
+        )
+        assert _lint_snippet(tmp_path, "core/update.py", src) == []
+
+    def test_loopless_accessor_is_fine(self, tmp_path):
+        src = "def one(chk, j):\n    return chk.strip(j, j)\n"
+        assert _lint_snippet(tmp_path, "core/update.py", src) == []
+
+    def test_outside_hot_modules_ignored(self, tmp_path):
+        assert _lint_snippet(tmp_path, "faults/injector.py", self._BAD) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        src = self._BAD.replace(
+            "for key in keys:", "for key in keys:  # noqa: RPL006"
+        )
+        assert _lint_snippet(tmp_path, "core/correct.py", src) == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses(self, tmp_path):
         src = "raise ValueError('x')  # noqa\n"
@@ -170,8 +214,15 @@ class TestDriver:
         findings = _lint_snippet(tmp_path, "mod.py", "def f(:\n")
         assert [f.rule for f in findings] == ["parse-error"]
 
-    def test_registry_has_all_five_rules(self):
-        assert set(RULES) >= {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
+    def test_registry_has_all_rules(self):
+        assert set(RULES) >= {
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL006",
+        }
 
     def test_repo_source_tree_is_clean(self):
         package_root = Path(repro.__file__).parent
