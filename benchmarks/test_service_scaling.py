@@ -1,0 +1,77 @@
+"""Service scaling: execution backends × pool widths, with gates.
+
+Regenerates ``results/BENCH_service.json`` — the multicore counterpart of
+the hotpath perf trajectory.  Two assertions ride along:
+
+- **determinism, always**: per-job results and raw factor bits are
+  identical across inline/thread/process, whatever the host;
+- **scaling, when the host can show it**: on a ≥ 4-core machine the
+  process pool at 4 workers must clear 1.5× the 1-worker jobs/sec.  On
+  smaller hosts (CI runners, laptops on battery) the gate is *skipped
+  with a visible notice* — a 1-core box measuring no speedup is the
+  expected physics, not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from conftest import save_artifact
+
+from repro.experiments import scaling
+
+_MIN_CORES = 4
+_MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def scaling_doc():
+    return scaling.run(jobs=8, workers=(1, 2, 4))
+
+
+def test_regenerate_bench_service(benchmark, results_dir):
+    doc = benchmark.pedantic(
+        scaling.run,
+        kwargs={"jobs": 4, "workers": (1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(doc["bit_identical"].values())
+
+
+def test_write_service_artifacts(scaling_doc, results_dir):
+    save_artifact(
+        results_dir,
+        "BENCH_service.json",
+        json.dumps(scaling_doc, indent=2, sort_keys=True),
+    )
+    save_artifact(results_dir, "service_scaling_summary.txt", scaling.render(scaling_doc))
+
+
+def test_backends_bit_identical(scaling_doc):
+    """The determinism half of the contract holds on every host."""
+    assert scaling_doc["bit_identical"]["job_results"]
+    assert scaling_doc["bit_identical"]["factors"]
+
+
+def test_every_cell_completed_all_jobs(scaling_doc):
+    for cells in scaling_doc["grid"].values():
+        for cell in cells.values():
+            assert cell["completed"] == scaling_doc["jobs_per_cell"]
+
+
+def test_process_pool_scales_on_multicore_hosts(scaling_doc):
+    cores = os.cpu_count() or 1
+    if cores < _MIN_CORES:
+        pytest.skip(
+            f"NOTICE: host has {cores} core(s) (< {_MIN_CORES}); the "
+            f"{_MIN_SPEEDUP:g}x process-scaling gate needs real parallelism "
+            "and is skipped here"
+        )
+    ratio = scaling_doc["speedup_vs_1_worker"]["process"]
+    assert ratio >= _MIN_SPEEDUP, (
+        f"process pool at 4 workers reached only {ratio:.2f}x the 1-worker "
+        f"throughput on a {cores}-core host (gate: {_MIN_SPEEDUP:g}x)"
+    )

@@ -1,4 +1,4 @@
-"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL006).
+"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL007).
 
 The rules guard properties the test suite cannot see directly:
 
@@ -38,6 +38,16 @@ The rules guard properties the test suite cannot see directly:
   the swarm of small kernels Optimization 1 removed.  Cold paths
   (diagnostics, host reference implementations) opt out with
   ``# noqa: RPL006`` on the loop line.
+- **RPL007** — no ndarray passed positionally into a cross-process submit
+  call (``put`` / ``put_nowait`` / ``submit`` / ``apply_async`` / ``send``)
+  inside ``exec/`` and ``service/``.  The process backend's zero-copy
+  contract says matrices cross the worker boundary as
+  :class:`~repro.hetero.memory.ShmDescriptor` records over shared memory;
+  a pickled ndarray in a queue payload silently reintroduces the copy
+  (and the multi-MB IPC) the transport exists to avoid.  The check is a
+  conservative heuristic: it flags direct ``np.*`` / known-producer calls
+  (``job_matrix``, ``random_spd``, ``.copy()``), names assigned from
+  them, and parameters annotated ``np.ndarray``.
 
 Suppression: ``# noqa`` on a line suppresses every rule there;
 ``# noqa: RPL001,RPL003`` suppresses just those.  Rules live in a registry
@@ -300,6 +310,79 @@ def _check_per_tile_loops(target: LintTarget) -> list[tuple[int, str]]:
                     )
                 )
                 break
+    return out
+
+
+#: Queue/pool methods that move a payload toward another process.
+_SUBMIT_CALLS = {"put", "put_nowait", "submit", "apply_async", "send", "send_bytes"}
+
+#: Call roots/names that produce ndarrays (the transport must never carry).
+_ARRAY_PRODUCERS = {"job_matrix", "random_spd", "empty_like", "zeros_like", "ones_like"}
+
+
+def _looks_like_array(node: ast.expr, arrayish: set[str]) -> bool:
+    """Conservatively: does this expression evaluate to an ndarray?"""
+    if isinstance(node, ast.Name):
+        return node.id in arrayish
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain and chain[0] in ("np", "numpy"):
+            return True
+        if chain and chain[-1] in _ARRAY_PRODUCERS:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "copy":
+            return True
+    return False
+
+
+def _is_ndarray_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return "ndarray" in text
+
+
+@rule("RPL007", "no ndarray positionally into cross-process submit calls")
+def _check_ndarray_transport(target: LintTarget) -> list[tuple[int, str]]:
+    if not any(part in ("exec", "service") for part in target.path.parts):
+        return []
+    out = []
+    for scope in ast.walk(target.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arrayish: set[str] = set()
+        all_args = scope.args.posonlyargs + scope.args.args + scope.args.kwonlyargs
+        for arg in all_args:
+            if _is_ndarray_annotation(arg.annotation):
+                arrayish.add(arg.arg)
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                if _looks_like_array(node.value, arrayish):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            arrayish.add(tgt.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_ndarray_annotation(node.annotation) or (
+                    node.value is not None and _looks_like_array(node.value, arrayish)
+                ):
+                    arrayish.add(node.target.id)
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _SUBMIT_CALLS:
+                continue
+            for arg in node.args:
+                candidates = arg.elts if isinstance(arg, (ast.Tuple, ast.List)) else [arg]
+                for el in candidates:
+                    if _looks_like_array(el, arrayish):
+                        out.append(
+                            (
+                                node.lineno,
+                                f"ndarray passed positionally into .{node.func.attr}(); "
+                                "cross-process payloads must carry a ShmDescriptor "
+                                "(repro.hetero.memory), never a pickled matrix",
+                            )
+                        )
     return out
 
 

@@ -15,7 +15,7 @@ Commands:
     Statically check a schedule (a dumped trace or a fresh shadow run)
     against the ABFT protocol invariants and scan it for RAW/WAW hazards.
 ``lint``
-    Run the repo lint rules (RPL001–RPL006) over source trees.
+    Run the repo lint rules (RPL001–RPL007) over source trees.
 ``bench``
     Benchmark the verification hot path (batched engine vs per-tile
     loop) and write ``BENCH_hotpath.json``.
@@ -243,6 +243,8 @@ def _service_from_args(args: argparse.Namespace):
         job_timeout_s=args.job_timeout,
         retry=RetryPolicy(max_retries=args.max_retries),
         trace_dir=args.trace_dir,
+        executor=args.executor,
+        exec_workers=args.exec_workers,
     )
     return SolveService(config)
 
@@ -321,6 +323,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     async def drive() -> None:
         import time
 
+        await service.start_executor()  # pool spawn is not billed to job 0
         service.start()
         t0 = time.monotonic()
         for job in jobs:
@@ -376,6 +379,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments import hotpath
 
+    if args.service:
+        return _cmd_bench_service(args)
     doc = hotpath.run(
         n=args.n,
         block_size=args.block_size or 32,
@@ -388,6 +393,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         path = hotpath.write(doc, args.out)
         print(f"bench JSON written to {path}")
+    if args.history:
+        from repro.experiments.stamp import append_history
+
+        print(f"run appended to {append_history(doc, bench='hotpath', path=args.history)}")
     if not all(doc["bit_identical"].values()):
         print("repro: bench: batched results diverge from per-tile", file=sys.stderr)
         return 1
@@ -398,6 +407,45 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments import scaling
+    from repro.experiments.stamp import append_history
+
+    doc = scaling.run(
+        jobs=args.service_jobs,
+        executors=tuple(args.executors),
+        workers=tuple(args.workers_sweep),
+    )
+    print(scaling.render(doc))
+    if args.service_out:
+        path = scaling.write(doc, args.service_out)
+        print(f"bench JSON written to {path}")
+    if args.history:
+        print(f"run appended to {append_history(doc, bench='service', path=args.history)}")
+    if not all(doc["bit_identical"].values()):
+        print("repro: bench: backends disagree on job results/factors", file=sys.stderr)
+        return 1
+    ratio = doc["speedup_vs_1_worker"].get("process")
+    if args.fail_below is not None:
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            print(
+                f"repro: bench: NOTICE — host has {cores} core(s) (< 4); "
+                f"the --fail-below {args.fail_below:g}x process-scaling gate is skipped",
+                file=sys.stderr,
+            )
+        elif ratio is not None and ratio < args.fail_below:
+            print(
+                f"repro: bench: process scaling {ratio:.2f}x below the "
+                f"--fail-below {args.fail_below:g}x gate",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -500,6 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-dir", default=None, help="dump per-job timelines here")
         p.add_argument("--metrics-out", default=None, help="write metrics JSON here")
         p.add_argument("--prometheus-out", default=None, help="write Prometheus text here")
+        p.add_argument(
+            "--executor", default="thread", choices=["inline", "thread", "process"],
+            help="execution backend for blocking attempts",
+        )
+        p.add_argument(
+            "--exec-workers", type=int, default=None, metavar="N",
+            help="backend concurrency (thread width / process pool size; "
+            "default: the scheduler's total worker concurrency)",
+        )
 
     p = sub.add_parser("serve", help="run the async solve service over a job stream")
     add_service_common(p)
@@ -535,12 +592,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path ('' to skip writing)",
     )
     p.add_argument(
+        "--history", default="results/bench_history.jsonl",
+        help="append the run to this JSONL perf trajectory ('' to skip)",
+    )
+    p.add_argument(
         "--fail-below", type=float, default=None, metavar="X",
-        help="exit nonzero if the verify speedup is below X (CI gate)",
+        help="exit nonzero if the verify speedup (or, with --service, the "
+        "process pool's jobs/sec scaling) is below X (CI gate; the "
+        "service gate is skipped with a notice on hosts under 4 cores)",
+    )
+    p.add_argument(
+        "--service", action="store_true",
+        help="benchmark service scaling across execution backends instead "
+        "of the verification hot path (writes BENCH_service.json)",
+    )
+    p.add_argument("--service-jobs", type=int, default=12, help="jobs per scaling cell")
+    p.add_argument(
+        "--executors", nargs="+", default=["inline", "thread", "process"],
+        choices=["inline", "thread", "process"], help="backends to sweep (with --service)",
+    )
+    p.add_argument(
+        "--workers-sweep", nargs="+", type=int, default=[1, 2, 4],
+        help="pool widths to sweep (with --service)",
+    )
+    p.add_argument(
+        "--service-out", default="BENCH_service.json",
+        help="service bench output JSON path ('' to skip writing)",
     )
     p.set_defaults(fn=cmd_bench)
 
-    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL006)")
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL007)")
     p.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories (default: the installed repro package)",

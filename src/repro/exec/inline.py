@@ -1,0 +1,51 @@
+"""Inline backend: attempts run on the caller's thread, no concurrency.
+
+The reference backend: zero dispatch machinery, deterministic by
+construction, and the baseline the scaling benchmark normalizes against.
+Because an attempt blocks the event loop, the service's per-attempt
+``asyncio.wait_for`` cannot preempt it mid-flight — timeouts are only
+observed between attempts.  Use it for debugging and determinism pinning,
+never for serving.
+"""
+
+from __future__ import annotations
+
+from repro.exec.base import AttemptRequest, Executor, _SlotTimer
+from repro.hetero.machine import Machine
+from repro.service import policy
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import AttemptOutcome
+
+
+def run_request(request: AttemptRequest) -> AttemptOutcome:
+    """Resolve and run one request in this process (shared by inline/thread).
+
+    ``execute_attempt`` / ``execute_fallback`` are looked up through the
+    policy module at call time so tests can monkeypatch them there and
+    reach every in-process backend.
+    """
+    machine = request.machine if request.machine is not None else Machine.preset(request.preset)
+    if request.kind == "attempt":
+        return policy.execute_attempt(request.job, machine)
+    return policy.execute_fallback(request.job, machine, request.retry)
+
+
+class InlineExecutor(Executor):
+    """Run every attempt synchronously in the calling thread."""
+
+    name = "inline"
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        super().__init__(capacity=1, metrics=metrics)
+
+    def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
+        timer = _SlotTimer()
+        self._note_dispatch(timer.waited(), request)
+        try:
+            return run_request(request)
+        finally:
+            self._note_done()
+
+    async def execute(self, request: AttemptRequest) -> AttemptOutcome:
+        # Deliberately NOT off-thread: inline means "block right here".
+        return self.run_sync(request)

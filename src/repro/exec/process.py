@@ -1,0 +1,236 @@
+"""Process backend: a persistent spawn pool with shared-memory transport.
+
+This is the multicore path: *workers* long-lived processes (spawned once,
+kept warm — see :mod:`repro.exec.worker`), each owning one inbox/outbox
+queue pair and one parent-owned :class:`~repro.hetero.memory.SharedArena`.
+Dispatching an attempt:
+
+1. the parent leases an ``n × n`` view from the checked-out worker's
+   arena and fills it with the job's deterministic input matrix —
+   **this, not a pickle, is how the matrix travels** (rule RPL007);
+2. the task payload (job record, preset name, shm *descriptor*) is
+   pickled and queued; the worker factors the shared view in place and
+   writes the factor bytes back through the same segment;
+3. the parent polls the outbox while watching worker liveness — a dead
+   process (crash, OOM kill, test-injected ``os._exit``) raises
+   :class:`~repro.util.exceptions.WorkerCrashedError` after the pool
+   respawns a replacement, and the service's retry ladder requeues the
+   attempt.
+
+``stop()`` drains: every worker gets a stop sentinel, is joined (then
+terminated if wedged), and every arena segment is unlinked — the parent
+is the only owner of shared memory, always.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import queue as queue_mod
+import threading
+
+import numpy as np
+
+from repro.exec.base import AttemptRequest, Executor, _SlotTimer
+from repro.exec.worker import worker_main
+from repro.hetero.memory import SharedArena
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import AttemptOutcome, job_matrix
+from repro.util.exceptions import WorkerCrashedError, WorkerTaskError
+from repro.util.validation import require
+
+#: How often the result wait re-checks worker liveness (seconds).
+_POLL_S = 0.05
+#: How long a spawning worker may take to report ready (imports included).
+_READY_TIMEOUT_S = 120.0
+
+
+class _WorkerHandle:
+    """Parent-side record of one pool worker slot."""
+
+    def __init__(self, worker_id: int, ctx, arena_tag: str) -> None:
+        self.worker_id = worker_id
+        self.ctx = ctx
+        self.arena = SharedArena(arena_tag)
+        self.process = None
+        self.inbox = None
+        self.outbox = None
+
+    def spawn(self) -> None:
+        self.inbox = self.ctx.Queue()
+        self.outbox = self.ctx.Queue()
+        self.process = self.ctx.Process(
+            target=worker_main,
+            args=(self.worker_id, self.inbox, self.outbox),
+            daemon=True,
+            name=f"repro-exec-w{self.worker_id}",
+        )
+        self.process.start()
+        msg = self.outbox.get(timeout=_READY_TIMEOUT_S)
+        require(msg[0] == "ready", f"worker {self.worker_id} failed its ready handshake: {msg!r}")
+
+    def kill(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+
+    def close(self) -> None:
+        self.kill()
+        for q in (self.inbox, self.outbox):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self.arena.release()
+
+
+class ProcessExecutor(Executor):
+    """Persistent multi-process pool with zero-copy matrix transport."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, metrics: MetricsRegistry | None = None) -> None:
+        super().__init__(capacity=workers, metrics=metrics)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._slots = threading.Semaphore(workers)
+        self._lock = threading.Lock()
+        self._idle: list[_WorkerHandle] = []
+        self._handles: list[_WorkerHandle] = []
+        self._task_ids = itertools.count(1)
+        self._started = False
+        self._crash_next = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start_sync(self, warm: list[tuple[int, int]] | None = None) -> None:
+        """Spawn the pool (idempotent); optionally pre-warm geometries."""
+        if self._started:
+            return
+        base = f"rx-{multiprocessing.current_process().pid}-{id(self) & 0xFFFF:x}"
+        for wid in range(self.capacity):
+            handle = _WorkerHandle(wid, self._ctx, f"{base}-w{wid}")
+            handle.spawn()
+            if warm:
+                handle.inbox.put(("warm", [(int(n), int(b)) for n, b in warm]))
+            self._handles.append(handle)
+            self._idle.append(handle)
+        self._started = True
+
+    async def start(self) -> None:
+        import asyncio
+
+        await asyncio.to_thread(self.start_sync)
+
+    def stop_sync(self) -> None:
+        """Graceful drain: stop sentinels, join, then hard teardown."""
+        if not self._started:
+            return
+        # Taking every slot guarantees no attempt is in flight.
+        for _ in range(self.capacity):
+            self._slots.acquire()
+        try:
+            for handle in self._handles:
+                if handle.process is not None and handle.process.is_alive():
+                    handle.inbox.put(("stop",))
+            for handle in self._handles:
+                if handle.process is not None:
+                    handle.process.join(timeout=5.0)
+                handle.close()
+        finally:
+            self._handles.clear()
+            self._idle.clear()
+            self._started = False
+            for _ in range(self.capacity):
+                self._slots.release()
+
+    async def stop(self) -> None:
+        import asyncio
+
+        await asyncio.to_thread(self.stop_sync)
+
+    # -- test hook ---------------------------------------------------------------
+
+    def inject_crash(self) -> None:
+        """Arm a one-shot worker crash on the next dispatched attempt.
+
+        Deterministic stand-in for an OOM kill mid-attempt; used by the
+        retry-ladder requeue tests.
+        """
+        self._crash_next = True
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
+        require(self._started or not self._handles, "executor is stopping")
+        if not self._started:
+            self.start_sync()
+        timer = _SlotTimer()
+        self._slots.acquire()
+        with self._lock:
+            handle = self._idle.pop()
+        self._note_dispatch(timer.waited(), request)
+        try:
+            return self._dispatch(handle, request)
+        finally:
+            with self._lock:
+                self._idle.append(handle)
+            self._slots.release()
+            self._note_done()
+
+    def _dispatch(self, handle: _WorkerHandle, request: AttemptRequest) -> AttemptOutcome:
+        job = request.job
+        view = desc = None
+        if job.numerics == "real":
+            view, desc = handle.arena.lease((job.n, job.n))
+            np.copyto(view, job_matrix(job))
+        payload = {
+            "job": job,
+            "preset": request.preset,
+            "kind": request.kind,
+            "retry": request.retry,
+            "input": desc,
+        }
+        if self._crash_next:
+            self._crash_next = False
+            payload["crash"] = True
+        blob = pickle.dumps(payload)
+        self._note_ipc(len(blob) + (desc.nbytes if desc is not None else 0), "to_worker")
+        task_id = next(self._task_ids)
+        handle.inbox.put(("task", task_id, blob))
+        reply = self._await_reply(handle, task_id)
+        if reply[0] == "err":
+            _, _, exc_type, message = reply
+            raise WorkerTaskError(exc_type, message)
+        outcome: AttemptOutcome = pickle.loads(reply[2])
+        self._note_ipc(len(reply[2]) + (desc.nbytes if desc is not None else 0), "from_worker")
+        if outcome.extras.pop("factor_in_shm", False) and view is not None:
+            outcome.factor = np.array(view)  # detach from the arena before reuse
+        return outcome
+
+    def _await_reply(self, handle: _WorkerHandle, task_id: int):
+        """Poll the worker's outbox, watching liveness; respawn on death."""
+        process, outbox = handle.process, handle.outbox
+        while True:
+            try:
+                reply = outbox.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                if not process.is_alive():
+                    exitcode = process.exitcode
+                    self._respawn(handle, reason="crash")
+                    raise WorkerCrashedError(
+                        f"pool worker {handle.worker_id} died mid-attempt "
+                        f"(exitcode {exitcode}); attempt requeued"
+                    ) from None
+                continue
+            if reply[0] in ("ok", "err") and reply[1] == task_id:
+                return reply
+            # Stale reply from a cancelled/abandoned attempt: drop it.
+
+    def _respawn(self, handle: _WorkerHandle, reason: str) -> None:
+        handle.kill()
+        for q in (handle.inbox, handle.outbox):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        handle.spawn()
+        self._note_restart(reason)

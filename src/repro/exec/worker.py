@@ -1,0 +1,130 @@
+"""Pool-worker entry point and warm per-worker state (spawn-safe).
+
+Each process-pool worker runs :func:`worker_main`: a loop over its inbox
+queue, executing one attempt per message and replying on its outbox.  The
+expensive things happen once per worker lifetime, not once per attempt —
+that is the pool's whole reason to be persistent:
+
+- module imports (NumPy/SciPy + the repro numerics) are paid at spawn;
+- :class:`~repro.hetero.machine.Machine` presets are cached by name;
+- shared-memory segments are attached once per segment name and reused
+  (the parent leases the same arena per worker slot, so steady-state
+  traffic attaches nothing);
+- per-geometry scratch workspaces (the pristine-copy buffer every
+  real-mode attempt needs) are cached by matrix order, so repeat
+  geometries allocate nothing.
+
+Message protocol (parent → worker): ``("task", task_id, payload_bytes)``,
+``("warm", [(n, block_size), ...])``, ``("stop",)``.  Worker → parent:
+``("ready", worker_id, pid)`` once at startup, then ``("ok", task_id,
+reply_bytes)`` or ``("err", task_id, exc_type, message)`` per task.
+Payloads and replies are pre-pickled bytes — matrices never ride in them;
+they cross through the shared-memory segment named by the payload's
+:class:`~repro.hetero.memory.ShmDescriptor`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.hetero.machine import Machine
+from repro.hetero.memory import ShmDescriptor, attach_shared_array
+from repro.service.policy import execute_attempt, execute_fallback
+from repro.util.exceptions import ReproError
+
+
+class WorkerState:
+    """Everything a worker keeps warm across attempts."""
+
+    def __init__(self) -> None:
+        self.machines: dict[str, Machine] = {}
+        self.segments: dict[str, Any] = {}  # name -> SharedMemory attachment
+        self.scratch: dict[tuple[int, ...], np.ndarray] = {}
+
+    def machine(self, preset: str) -> Machine:
+        mach = self.machines.get(preset)
+        if mach is None:
+            mach = self.machines[preset] = Machine.preset(preset)
+        return mach
+
+    def view(self, desc: ShmDescriptor) -> np.ndarray:
+        """A zero-copy ndarray over the descriptor's segment (attach-once)."""
+        shm = self.segments.get(desc.name)
+        if shm is None:
+            shm, _ = attach_shared_array(desc)
+            self.segments[desc.name] = shm
+        return np.ndarray(desc.shape, dtype=desc.dtype, buffer=shm.buf, offset=desc.offset)
+
+    def scratch_for(self, shape: tuple[int, ...]) -> np.ndarray:
+        """The warmed per-geometry workspace (allocated on first use)."""
+        buf = self.scratch.get(shape)
+        if buf is None:
+            buf = self.scratch[shape] = np.empty(shape, dtype=np.float64)
+        return buf
+
+    def warm(self, geometries: list[tuple[int, int]]) -> None:
+        """Pre-touch the caches for the given (n, block_size) geometries."""
+        for n, _block in geometries:
+            self.scratch_for((int(n), int(n)))
+
+    def close(self) -> None:
+        for shm in self.segments.values():
+            shm.close()
+        self.segments.clear()
+
+
+def run_task(payload: dict, state: WorkerState) -> Any:
+    """Execute one attempt/fallback payload; returns the reply outcome.
+
+    Real-mode matrices arrive and leave through the payload's shm
+    descriptor: the parent filled the segment with the job's input bits,
+    and the factored bytes are written back into the same segment (the
+    outcome's ``factor`` field is stripped before pickling —
+    ``extras["factor_in_shm"]`` tells the parent to reattach it).
+    """
+    job = payload["job"]
+    machine = state.machine(payload["preset"])
+    desc: ShmDescriptor | None = payload.get("input")
+    a = state.view(desc) if desc is not None else None
+    scratch = state.scratch_for(a.shape) if a is not None else None
+    if payload["kind"] == "attempt":
+        outcome = execute_attempt(job, machine, a=a, scratch=scratch)
+    else:
+        outcome = execute_fallback(job, machine, payload["retry"], a=a, scratch=scratch)
+    if desc is not None and outcome.factor is not None:
+        view = state.view(desc)
+        np.copyto(view, outcome.factor)
+        outcome.factor = None
+        outcome.extras["factor_in_shm"] = True
+    return outcome
+
+
+def worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
+    """The worker process's main loop (spawn target; must stay top-level)."""
+    state = WorkerState()
+    outbox.put(("ready", worker_id, os.getpid()))
+    while True:
+        msg = inbox.get()
+        tag = msg[0]
+        if tag == "stop":
+            state.close()
+            outbox.put(("bye", worker_id))
+            return
+        if tag == "warm":
+            state.warm(msg[1])
+            continue
+        _, task_id, blob = msg
+        payload = pickle.loads(blob)
+        if payload.get("crash"):  # test hook: die mid-attempt, hard
+            os._exit(43)
+        try:
+            reply = run_task(payload, state)
+            outbox.put(("ok", task_id, pickle.dumps(reply)))
+        except ReproError as exc:
+            outbox.put(("err", task_id, type(exc).__name__, str(exc)))
+        except BaseException as exc:  # defensive: report, keep serving
+            outbox.put(("err", task_id, type(exc).__name__, str(exc)))

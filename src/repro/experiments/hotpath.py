@@ -26,11 +26,14 @@ from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
 from repro.core.base import FtPotrfResult
 from repro.core.checksum import issue_encoding
 from repro.core.correct import Verifier
+from repro.experiments.stamp import run_stamp
 from repro.faults.injector import single_storage_fault
 from repro.hetero.machine import Machine
 from repro.util.validation import require
 
-SCHEMA_VERSION = 1
+#: Schema 2 added the ``stamp`` provenance block (git rev, hostname, CPU
+#: count, timestamp).  :func:`read` still accepts schema-1 documents.
+SCHEMA_VERSION = 2
 
 _SCHEMES = {
     "offline": offline_potrf,
@@ -136,6 +139,7 @@ def run(
     return {
         "schema": SCHEMA_VERSION,
         "generated_by": "python -m repro bench",
+        "stamp": run_stamp(),
         "machine": machine,
         "scheme": scheme,
         "n": n,
@@ -165,6 +169,22 @@ def write(doc: dict[str, Any], path: str | Path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def read(path: str | Path) -> dict[str, Any]:
+    """Load a bench document, accepting schema 1 (pre-stamp) and 2.
+
+    Schema-1 documents are normalized in place: they gain an empty
+    ``stamp`` block so readers can always index ``doc["stamp"]``.
+    """
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    require(
+        schema in (1, SCHEMA_VERSION),
+        f"unsupported bench schema {schema!r} in {path} (have 1..{SCHEMA_VERSION})",
+    )
+    doc.setdefault("stamp", {})
+    return doc
 
 
 def render(doc: dict[str, Any]) -> str:

@@ -1,0 +1,60 @@
+"""Provenance stamping for benchmark documents.
+
+Every benchmark JSON the repo tracks (``BENCH_hotpath.json``,
+``BENCH_service.json``) carries a ``stamp`` block — git revision,
+hostname, CPU count, ISO timestamp — so a number in the perf trajectory
+is always attributable to a machine and a commit.  Runs are additionally
+appended to ``results/bench_history.jsonl`` (one compact JSON document
+per line) so the trajectory is queryable with a one-liner::
+
+    jq 'select(.bench=="hotpath") | [.stamp.git_rev, .speedup.verify_check]' \
+        results/bench_history.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+#: default history sink, relative to the current working directory
+HISTORY_PATH = Path("results") / "bench_history.jsonl"
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def run_stamp() -> dict[str, Any]:
+    """The provenance block benchmarks embed under ``"stamp"``."""
+    return {
+        "git_rev": git_revision(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count() or 1,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def append_history(doc: dict[str, Any], bench: str, path: str | Path | None = None) -> Path:
+    """Append *doc* (tagged with the benchmark name) to the history JSONL."""
+    path = Path(path) if path is not None else HISTORY_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps({"bench": bench, **doc}, sort_keys=True)
+    with path.open("a") as fh:
+        fh.write(line + "\n")
+    return path

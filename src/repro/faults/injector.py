@@ -112,6 +112,18 @@ class FaultInjector:
         require(target in ("matrix", "checksum"), f"bad target {target!r}")
         self._buffers[target] = buffer
 
+    def __getstate__(self) -> dict:
+        """Pickle without device buffers (they hold the actual matrices).
+
+        An injector crossing the process boundary (as part of a service
+        job) carries only its plans and fired records; the executing side
+        re-binds fresh buffers, and matrices travel through shared memory
+        — never inside a pickled injector.
+        """
+        state = self.__dict__.copy()
+        state["_buffers"] = {}
+        return state
+
     def add(self, plan: FaultPlan) -> FaultPlan:
         self.plans.append(plan)
         return plan

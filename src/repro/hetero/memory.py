@@ -30,6 +30,7 @@ Taint scans are incremental: buffers keep a dirty-key set maintained by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -38,6 +39,119 @@ from repro.faults.taint import TaintState
 from repro.util.validation import check_block_size, check_positive, require
 
 _DOUBLE = 8
+
+
+# -- cross-process matrix transport --------------------------------------------
+#
+# The process execution backend (:mod:`repro.exec.process`) never pickles
+# ndarrays across the worker boundary: matrices live in
+# ``multiprocessing.shared_memory`` segments owned by the parent, and only
+# the (name, shape, dtype, offset) descriptor crosses as part of the task
+# payload.  Ownership rules:
+#
+# - the **parent** creates segments (one arena per pool worker slot, grown
+#   on demand) and is the only side that ever calls ``unlink``;
+# - a **worker** attaches by descriptor, keeps the attachment cached for
+#   the life of the pool (warm state), and only ``close``s it on drain —
+#   it never unlinks.  Pool workers are spawned children, so they inherit
+#   the parent's resource-tracker fd: a worker's attach re-registers the
+#   same name in the *same* tracker (a set — idempotent), and the segment
+#   is reaped exactly once, by the parent's ``unlink``.  A worker exiting
+#   or crashing therefore never tears down a segment the parent still
+#   owns.
+
+
+@dataclass(frozen=True, slots=True)
+class ShmDescriptor:
+    """Addressing record for an ndarray inside a shared-memory segment.
+
+    This — not the array — is what crosses the process boundary.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+def create_shared_array(
+    name: str, shape: tuple[int, ...], dtype: str = "float64"
+) -> tuple[shared_memory.SharedMemory, np.ndarray, ShmDescriptor]:
+    """Create an owned segment sized for ``shape``/``dtype`` (parent side).
+
+    Returns the segment handle (keep it alive; ``close``+``unlink`` when
+    done), a zero-copy ndarray view of it, and the descriptor to send to
+    workers.
+    """
+    desc = ShmDescriptor(name=name, shape=tuple(int(d) for d in shape), dtype=str(dtype))
+    check_positive("shared array nbytes", desc.nbytes)
+    shm = shared_memory.SharedMemory(name=name, create=True, size=desc.nbytes)
+    view = np.ndarray(desc.shape, dtype=desc.dtype, buffer=shm.buf)
+    return shm, view, desc
+
+
+def attach_shared_array(
+    desc: ShmDescriptor,
+) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to a parent-owned segment and view it as an ndarray (worker side).
+
+    The worker must only ever ``close()`` the returned handle — the parent
+    owns the segment's lifetime and is the only side that ``unlink``s.
+    Spawned pool workers share the parent's resource tracker, so the
+    duplicate registration this attach makes is idempotent there and the
+    segment is reaped exactly once.
+    """
+    shm = shared_memory.SharedMemory(name=desc.name, create=False)
+    view = np.ndarray(desc.shape, dtype=desc.dtype, buffer=shm.buf, offset=desc.offset)
+    return shm, view
+
+
+class SharedArena:
+    """One parent-owned, grow-on-demand shared segment (per worker slot).
+
+    ``lease(shape)`` returns a ``(view, descriptor)`` pair backed by a
+    segment at least large enough for the request; a larger request
+    replaces the segment (the old one is unlinked).  Because each pool
+    worker slot owns exactly one arena and a slot runs one attempt at a
+    time, leases never alias.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self._shm: shared_memory.SharedMemory | None = None
+        self._seq = 0
+
+    def lease(self, shape: tuple[int, ...], dtype: str = "float64") -> tuple[np.ndarray, ShmDescriptor]:
+        nbytes = ShmDescriptor("", tuple(int(d) for d in shape), str(dtype)).nbytes
+        check_positive("arena lease nbytes", nbytes)
+        if self._shm is None or self._shm.size < nbytes:
+            self.release()
+            self._seq += 1
+            self._shm = shared_memory.SharedMemory(
+                name=f"{self.tag}-{self._seq}", create=True, size=nbytes
+            )
+        desc = ShmDescriptor(
+            name=self._shm.name, shape=tuple(int(d) for d in shape), dtype=str(dtype)
+        )
+        view = np.ndarray(desc.shape, dtype=desc.dtype, buffer=self._shm.buf)
+        return view, desc
+
+    def release(self) -> None:
+        """Unlink the backing segment (parent-side ownership teardown)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+            self._shm = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -4,10 +4,11 @@ One :class:`SolveService` owns a :class:`~repro.service.queue.JobQueue`, a
 :class:`~repro.service.scheduler.Scheduler` over simulated heterogeneous
 workers, a :class:`~repro.service.metrics.MetricsRegistry`, and the
 fault-handling ladder of :mod:`repro.service.policy`.  Factorizations are
-blocking (NumPy + the discrete-event simulator), so each attempt runs in a
-worker thread via ``asyncio.to_thread`` under an ``asyncio.wait_for``
-timeout; everything else — admission, packing, backoff, metrics — happens
-on the event loop.
+blocking (NumPy + the discrete-event simulator), so each attempt is handed
+to a pluggable execution backend (:mod:`repro.exec` — inline, thread pool,
+or multicore process pool) under an ``asyncio.wait_for`` timeout;
+everything else — admission, packing, backoff, metrics — happens on the
+event loop.
 
 Determinism: a job's randomness (input matrix, fault plans) is derived
 from ``(job.seed, job.job_id)`` alone (:func:`repro.util.rng.derive_rng`),
@@ -26,7 +27,7 @@ from repro.analysis.trace_io import dump_trace
 from repro.desim.trace import META_JOB, Span, Timeline
 from repro.service.job import Job, JobResult, JobStatus, Priority
 from repro.service.metrics import MetricsRegistry
-from repro.service.policy import RetryPolicy, execute_attempt, execute_fallback
+from repro.service.policy import RetryPolicy
 from repro.service.queue import AdmissionDecision, JobQueue
 from repro.service.scheduler import Assignment, Scheduler, Worker
 from repro.util.exceptions import ReproError
@@ -49,12 +50,24 @@ class ServiceConfig:
     #: when set, every completed job's timeline is dumped here as
     #: ``job-<id>.json`` (trace schema v2, spans tagged with the job id)
     trace_dir: str | Path | None = None
+    #: execution backend for blocking attempts: ``inline`` | ``thread`` |
+    #: ``process`` (see :mod:`repro.exec`); ``thread`` is the historical
+    #: single-process behaviour
+    executor: str = "thread"
+    #: backend concurrency (thread-pool width / process-pool size);
+    #: ``None`` sizes it to the scheduler's total worker concurrency
+    exec_workers: int | None = None
 
     def __post_init__(self) -> None:
         require(bool(self.workers), "need at least one worker spec")
         check_positive("max_queue_depth", self.max_queue_depth)
         check_positive("job_timeout_s", self.job_timeout_s)
         check_positive("residual_tolerance", self.residual_tolerance)
+        from repro.exec.base import BACKENDS
+
+        require(self.executor in BACKENDS, f"unknown executor {self.executor!r}; have {BACKENDS}")
+        if self.exec_workers is not None:
+            check_positive("exec_workers", self.exec_workers)
 
 
 def tag_timeline(timeline: Timeline, job_id: int) -> Timeline:
@@ -79,6 +92,8 @@ class SolveService:
     """Accepts solve jobs and runs them fault-tolerantly across the pool."""
 
     def __init__(self, config: ServiceConfig, metrics: MetricsRegistry | None = None) -> None:
+        from repro.exec import make_executor
+
         self.config = config
         self.queue = JobQueue(
             max_depth=config.max_queue_depth, class_limits=config.class_limits
@@ -87,10 +102,19 @@ class SolveService:
             [Worker.from_spec(spec, i) for i, spec in enumerate(config.workers)]
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        exec_workers = (
+            config.exec_workers
+            if config.exec_workers is not None
+            else self.scheduler.total_concurrency
+        )
+        self.executor = make_executor(config.executor, workers=exec_workers, metrics=self.metrics)
         #: pool-wide slot count; the dispatcher holds a slot per dequeued job
         #: so the queue visibly backs up (and depth-based admission control
-        #: engages) once every worker is saturated
-        self._capacity = asyncio.Semaphore(self.scheduler.total_concurrency)
+        #: engages) once every worker is saturated — capped by the execution
+        #: backend's real host-side parallelism
+        self._capacity = asyncio.Semaphore(
+            self.scheduler.effective_concurrency(self.executor.capacity)
+        )
         self.results: dict[int, JobResult] = {}
         self.completions: asyncio.Queue[JobResult] = asyncio.Queue()
         self._inflight: set[asyncio.Task] = set()
@@ -146,13 +170,22 @@ class SolveService:
         require(self._dispatcher is None, "service already started")
         self._dispatcher = asyncio.get_running_loop().create_task(self._dispatch())
 
+    async def start_executor(self) -> None:
+        """Bring the execution backend up eagerly (worker spawn, warm state).
+
+        Optional — the first dispatched attempt also starts it — but
+        load generators call this before timing so pool spawn cost is
+        not billed to the first job's latency.
+        """
+        await self.executor.start()
+
     async def drain(self, poll_s: float = 0.005) -> None:
         """Wait until the queue is empty and nothing is executing."""
         while self.queue.depth or self._inflight:
             await asyncio.sleep(poll_s)
 
     async def stop(self) -> None:
-        """Drain accepted work, then shut the dispatcher down."""
+        """Drain accepted work, then shut the dispatcher and backend down."""
         await self.drain()
         await self.queue.close()
         if self._dispatcher is not None:
@@ -160,6 +193,7 @@ class SolveService:
             self._dispatcher = None
         if self._inflight:
             await asyncio.gather(*self._inflight)
+        await self.executor.stop()
 
     # -- internals ---------------------------------------------------------------
 
@@ -192,6 +226,10 @@ class SolveService:
 
     async def handle_job(self, job: Job, worker: Worker) -> JobResult:
         """Run one admitted job to a terminal state (the timeout-guarded handler)."""
+        # Deferred: repro.exec.base imports service modules, so a module-level
+        # import here would be circular when repro.exec loads first.
+        from repro.exec.base import AttemptRequest
+
         started = time.monotonic()
         wait_s = max(0.0, started - job.submit_time)
         timeout = job.timeout_s if job.timeout_s is not None else self.config.job_timeout_s
@@ -202,14 +240,16 @@ class SolveService:
         while outcome is None:
             attempts += 1
             try:
-                outcome = await asyncio.wait_for(
-                    asyncio.to_thread(execute_attempt, job, worker.machine), timeout
-                )
+                request = AttemptRequest(job=job, preset=worker.preset, machine=worker.machine)
+                outcome = await asyncio.wait_for(self.executor.execute(request), timeout)
                 break
             except asyncio.TimeoutError:
                 error = f"attempt {attempts} timed out after {timeout:g}s"
                 self._timeouts.inc()
             except ReproError as exc:
+                # Scheme-level failures AND executor infrastructure failures
+                # (a crashed pool worker) land here: the attempt is requeued
+                # through the same backoff ladder either way.
                 error = f"attempt {attempts}: {exc}"
             delay = self.config.retry.backoff_s(retries + 1)
             if delay is None:
@@ -222,10 +262,14 @@ class SolveService:
         if outcome is None and self.config.retry.fallback_to_checkpoint:
             self._fallbacks.inc()
             try:
-                outcome = await asyncio.wait_for(
-                    asyncio.to_thread(execute_fallback, job, worker.machine, self.config.retry),
-                    timeout,
+                request = AttemptRequest(
+                    job=job,
+                    preset=worker.preset,
+                    machine=worker.machine,
+                    kind="fallback",
+                    retry=self.config.retry,
                 )
+                outcome = await asyncio.wait_for(self.executor.execute(request), timeout)
             except asyncio.TimeoutError:
                 error = f"fallback timed out after {timeout:g}s"
                 self._timeouts.inc()
@@ -264,6 +308,7 @@ class SolveService:
             attempts=attempts,
             retries=retries,
             corrected_errors=outcome.corrected_errors,
+            corrected_sites=list(outcome.corrected_sites),
             restarts=outcome.restarts,
             fallback_used=outcome.fallback_used,
             wait_s=wait_s,

@@ -90,6 +90,9 @@ class JobResult:
     attempts: int = 1
     retries: int = 0
     corrected_errors: int = 0
+    #: (tile, row, col) sites ABFT corrected — part of the determinism
+    #: contract: identical across execution backends for the same job
+    corrected_sites: list = field(default_factory=list)
     restarts: int = 0
     fallback_used: bool = False
     wait_s: float = 0.0

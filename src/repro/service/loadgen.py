@@ -204,6 +204,9 @@ async def run_closed_loop(service: SolveService, cfg: LoadGenConfig) -> list[Job
 
 async def run_load(service: SolveService, cfg: LoadGenConfig) -> tuple[LoadReport, list[JobResult]]:
     """Drive *service* with *cfg* end to end and report."""
+    # Spawn the execution backend before the clock starts so pool startup
+    # cost is a fixed setup charge, not part of job 0's measured latency.
+    await service.start_executor()
     service.start()
     t0 = time.monotonic()
     if cfg.rate is not None:

@@ -29,6 +29,7 @@ import numpy as np
 from repro.baselines.checkpoint import checkpoint_potrf
 from repro.blas.spd import random_spd
 from repro.core import AbftConfig, enhanced_potrf, offline_potrf, online_potrf
+from repro.core.correct import VerifyStats
 from repro.desim.trace import Timeline
 from repro.hetero.machine import Machine
 from repro.magma.host import factorization_residual
@@ -74,7 +75,15 @@ class RetryPolicy:
 
 @dataclass
 class AttemptOutcome:
-    """What one (successful) execution attempt produced."""
+    """What one (successful) execution attempt produced.
+
+    Every field the service's determinism contract covers is here:
+    ``factor``, ``corrected_sites`` and ``stats`` must be bit-identical
+    whichever execution backend (:mod:`repro.exec`) ran the attempt.  The
+    process backend strips ``factor`` before pickling the outcome back —
+    the bytes travel through the shared-memory segment instead — and the
+    parent reattaches it, so callers never see the difference.
+    """
 
     sim_makespan: float
     corrected_errors: int
@@ -83,6 +92,9 @@ class AttemptOutcome:
     timeline: Timeline
     fallback_used: bool = False
     extras: dict = field(default_factory=dict)
+    corrected_sites: list = field(default_factory=list)
+    stats: VerifyStats | None = None
+    factor: np.ndarray | None = field(default=None, repr=False)
 
 
 def job_matrix(job: Job) -> np.ndarray:
@@ -90,8 +102,33 @@ def job_matrix(job: Job) -> np.ndarray:
     return random_spd(job.n, rng=derive_rng(job.seed, job.job_id, MATRIX_RNG_KEY))
 
 
-def execute_attempt(job: Job, machine: Machine) -> AttemptOutcome:
+def _pristine_copy(a: np.ndarray, scratch: np.ndarray | None) -> np.ndarray:
+    """Copy of *a* for the residual check, reusing *scratch* when it fits.
+
+    Process-pool workers pass their warmed per-geometry workspace here so
+    steady-state traffic on a repeated matrix order allocates nothing.
+    """
+    if scratch is not None and scratch.shape == a.shape and scratch.dtype == a.dtype:
+        np.copyto(scratch, a)
+        return scratch
+    return a.copy()
+
+
+def execute_attempt(
+    job: Job,
+    machine: Machine,
+    a: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> AttemptOutcome:
     """Run *job* once under its ABFT scheme on *machine* (blocking).
+
+    *a* optionally supplies the pre-materialized input matrix (the process
+    backend passes a shared-memory view already filled with
+    :func:`job_matrix` bits); when omitted, the matrix is generated here.
+    Either way the input is the same pure function of ``(seed, job_id)``,
+    so results are backend-independent.  On return, *a* (when given) holds
+    the factored bytes — that in-place write is the output half of the
+    zero-copy transport.
 
     Raises the scheme's own exceptions (``RestartExhaustedError`` etc.) on
     unrecoverable outcomes; the async layer turns those into retries.
@@ -100,10 +137,12 @@ def execute_attempt(job: Job, machine: Machine) -> AttemptOutcome:
     config = AbftConfig(verify_interval=job.verify_interval)
     injector = job.injector
     if job.numerics == "real":
-        a = job_matrix(job)
-        pristine = a.copy()
+        if a is None:
+            a = job_matrix(job)
+        pristine = _pristine_copy(a, scratch)
         res = potrf(machine, a=a, block_size=job.block_size, config=config, injector=injector)
         residual = factorization_residual(pristine, res.factor)
+        factor = res.factor
     else:
         res = potrf(
             machine,
@@ -114,22 +153,33 @@ def execute_attempt(job: Job, machine: Machine) -> AttemptOutcome:
             numerics="shadow",
         )
         residual = None
+        factor = None
     return AttemptOutcome(
         sim_makespan=res.makespan,
         corrected_errors=res.stats.data_corrections + res.stats.checksum_corrections,
         restarts=res.restarts,
         residual=residual,
         timeline=res.timeline,
+        corrected_sites=list(res.stats.corrected_sites),
+        stats=res.stats,
+        factor=factor,
     )
 
 
-def execute_fallback(job: Job, machine: Machine, policy: RetryPolicy) -> AttemptOutcome:
+def execute_fallback(
+    job: Job,
+    machine: Machine,
+    policy: RetryPolicy,
+    a: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> AttemptOutcome:
     """Last-rung execution under the checkpoint/rollback baseline (blocking)."""
     if job.injector is not None:
         job.injector.disarm()  # the fault already happened; replay clean
     if job.numerics == "real":
-        a = job_matrix(job)
-        pristine = a.copy()
+        if a is None:
+            a = job_matrix(job)
+        pristine = _pristine_copy(a, scratch)
         res = checkpoint_potrf(
             machine,
             a=a,
@@ -156,4 +206,7 @@ def execute_fallback(job: Job, machine: Machine, policy: RetryPolicy) -> Attempt
         timeline=res.timeline,
         fallback_used=True,
         extras={"checkpoints_taken": res.checkpoints_taken},
+        corrected_sites=list(res.stats.corrected_sites),
+        stats=res.stats,
+        factor=res.factor if job.numerics == "real" else None,
     )

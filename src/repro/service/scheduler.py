@@ -28,10 +28,15 @@ from repro.util.validation import check_positive, require
 class Worker:
     """One machine replica with an admission slot count."""
 
-    def __init__(self, name: str, machine: Machine, concurrency: int = 1) -> None:
+    def __init__(
+        self, name: str, machine: Machine, concurrency: int = 1, preset: str | None = None
+    ) -> None:
         check_positive("concurrency", concurrency)
         self.name = name
         self.machine = machine
+        #: the machine's preset name — the form a worker identity takes
+        #: across a process boundary (execution backends re-resolve it)
+        self.preset = preset if preset is not None else machine.name
         self.concurrency = concurrency
         self.semaphore = asyncio.Semaphore(concurrency)
         #: predicted seconds of assigned-but-unfinished work
@@ -44,7 +49,7 @@ class Worker:
         """Parse ``preset`` or ``preset:concurrency`` (CLI ``--workers`` form)."""
         preset, _, conc = spec.partition(":")
         concurrency = int(conc) if conc else 1
-        return cls(f"{preset}-{index}", Machine.preset(preset), concurrency)
+        return cls(f"{preset}-{index}", Machine.preset(preset), concurrency, preset=preset)
 
     def estimate_seconds(self, job: Job) -> float:
         """Predicted solo execution seconds for *job* on this machine."""
@@ -95,3 +100,19 @@ class Scheduler:
     @property
     def total_concurrency(self) -> int:
         return sum(w.concurrency for w in self.workers)
+
+    def effective_concurrency(self, executor_capacity: int | None = None) -> int:
+        """Pool-wide dispatch slots, capped by the execution backend.
+
+        The scheduler's worker slots say how many factorizations the
+        *simulated machines* admit; the execution backend says how many
+        the *host* can actually run at once (1 for inline, the pool size
+        for process).  Dispatching beyond the smaller bound only parks
+        jobs in executor queues where admission control cannot see them,
+        so the service sizes its capacity semaphore with this minimum.
+        """
+        total = self.total_concurrency
+        if executor_capacity is None:
+            return total
+        require(executor_capacity >= 1, "executor capacity must be >= 1")
+        return min(total, executor_capacity)

@@ -66,3 +66,29 @@ class DeadlockError(SimulationError):
 
 class DeviceMemoryError(ReproError, MemoryError):
     """A simulated device allocation exceeded the device's capacity."""
+
+
+class ExecutorError(ReproError, RuntimeError):
+    """Base class for execution-backend failures (:mod:`repro.exec`)."""
+
+
+class WorkerCrashedError(ExecutorError):
+    """A pool worker process died (crash/OOM/kill) while owning an attempt.
+
+    The service's retry ladder treats this exactly like a failed attempt:
+    the job is requeued with backoff, the pool respawns the worker, and
+    nothing is lost but the attempt's wall time.
+    """
+
+
+class WorkerTaskError(ExecutorError):
+    """An attempt raised inside a pool worker; re-raised parent-side.
+
+    Carries the worker-side exception's class name so callers (and tests)
+    can distinguish scheme-level outcomes (``RestartExhaustedError``) from
+    infrastructure failures without unpickling arbitrary objects.
+    """
+
+    def __init__(self, exc_type: str, message: str) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type

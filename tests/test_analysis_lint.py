@@ -189,6 +189,50 @@ class TestRPL006PerTileLoops:
         assert _lint_snippet(tmp_path, "core/correct.py", src) == []
 
 
+class TestNdarrayTransport:
+    def test_np_call_arg_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def dispatch(inbox):\n"
+            "    inbox.put(np.zeros((4, 4)))\n"
+        )
+        findings = _lint_snippet(tmp_path, "exec/process.py", src, select=["RPL007"])
+        assert [f.rule for f in findings] == ["RPL007"]
+
+    def test_name_assigned_from_producer_flagged(self, tmp_path):
+        src = (
+            "def dispatch(inbox, job):\n"
+            "    a = job_matrix(job)\n"
+            "    inbox.put((\"task\", 1, a))\n"
+        )
+        findings = _lint_snippet(tmp_path, "exec/process.py", src, select=["RPL007"])
+        assert [f.rule for f in findings] == ["RPL007"]
+
+    def test_annotated_param_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def dispatch(pool, a: np.ndarray):\n"
+            "    pool.submit(a)\n"
+        )
+        findings = _lint_snippet(tmp_path, "service/core.py", src, select=["RPL007"])
+        assert [f.rule for f in findings] == ["RPL007"]
+
+    def test_descriptor_payload_is_fine(self, tmp_path):
+        src = (
+            "def dispatch(inbox, blob, desc):\n"
+            "    inbox.put((\"task\", 1, blob, desc))\n"
+        )
+        assert _lint_snippet(tmp_path, "exec/process.py", src, select=["RPL007"]) == []
+
+    def test_outside_exec_and_service_ignored(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def dispatch(inbox):\n"
+            "    inbox.put(np.zeros((4, 4)))\n"
+        )
+        assert _lint_snippet(tmp_path, "core/mod.py", src, select=["RPL007"]) == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses(self, tmp_path):
         src = "raise ValueError('x')  # noqa\n"
@@ -222,6 +266,7 @@ class TestDriver:
             "RPL004",
             "RPL005",
             "RPL006",
+            "RPL007",
         }
 
     def test_repo_source_tree_is_clean(self):

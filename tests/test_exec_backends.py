@@ -1,0 +1,154 @@
+"""Execution backends: determinism parity and crash-requeue semantics.
+
+The :mod:`repro.exec` contract (see ``exec/base.py``) is the service-level
+version of the batched-verify bit-parity harness: an attempt's ``factor``,
+``corrected_sites`` and ``stats`` must be identical whichever backend —
+inline, thread pool, or process pool with shared-memory transport —
+executed it.  The process pool additionally promises that a worker death
+mid-attempt surfaces as :class:`~repro.util.exceptions.WorkerCrashedError`
+(a retryable :class:`~repro.util.exceptions.ReproError`), never as a hung
+or failed service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exec import AttemptRequest, InlineExecutor, ProcessExecutor, ThreadExecutor
+from repro.faults.injector import single_storage_fault
+from repro.hetero.machine import Machine
+from repro.service.core import ServiceConfig, SolveService
+from repro.service.job import Job, JobStatus
+from repro.service.policy import RetryPolicy
+from repro.util.exceptions import ReproError, WorkerCrashedError, WorkerTaskError
+
+#: Same fault site the hotpath bench pins: one storage error the enhanced
+#: scheme detects and corrects, so parity also covers the correction path.
+_FAULT_BLOCK, _FAULT_ITERATION = (3, 1), 1
+
+
+def _job(job_id: int = 0, inject: bool = False, scheme: str = "enhanced") -> Job:
+    injector = (
+        single_storage_fault(block=_FAULT_BLOCK, iteration=_FAULT_ITERATION)
+        if inject
+        else None
+    )
+    return Job(job_id=job_id, n=128, block_size=32, scheme=scheme, seed=11, injector=injector)
+
+
+def _request(job: Job, kind: str = "attempt") -> AttemptRequest:
+    retry = RetryPolicy() if kind == "fallback" else None
+    return AttemptRequest(
+        job=job, preset="tardis", machine=Machine.preset("tardis"), kind=kind, retry=retry
+    )
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    executor = ProcessExecutor(workers=1)
+    executor.start_sync()
+    yield executor
+    executor.stop_sync()
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("inject", [False, True], ids=["fault_free", "corrected_fault"])
+    def test_attempt_outcomes_bit_identical(self, process_pool, inject):
+        reference = InlineExecutor().run_sync(_request(_job(inject=inject)))
+        if inject:
+            assert reference.corrected_sites  # the harness must exercise corrections
+        for executor in (ThreadExecutor(workers=1), process_pool):
+            outcome = executor.run_sync(_request(_job(inject=inject)))
+            assert np.array_equal(outcome.factor, reference.factor)
+            assert outcome.corrected_sites == reference.corrected_sites
+            assert outcome.stats == reference.stats
+            assert outcome.corrected_errors == reference.corrected_errors
+            assert outcome.residual == reference.residual
+            assert outcome.sim_makespan == reference.sim_makespan
+
+    def test_fallback_outcomes_bit_identical(self, process_pool):
+        reference = InlineExecutor().run_sync(_request(_job(), kind="fallback"))
+        assert reference.fallback_used
+        for executor in (ThreadExecutor(workers=1), process_pool):
+            outcome = executor.run_sync(_request(_job(), kind="fallback"))
+            assert outcome.fallback_used
+            assert np.array_equal(outcome.factor, reference.factor)
+            assert outcome.stats == reference.stats
+            assert outcome.residual == reference.residual
+
+    def test_shadow_jobs_skip_the_shm_transport(self, process_pool):
+        job = Job(job_id=5, n=256, block_size=64, scheme="enhanced", numerics="shadow", seed=3)
+        outcome = process_pool.run_sync(_request(job))
+        assert outcome.factor is None
+        assert outcome.residual is None
+        assert outcome.sim_makespan > 0
+
+    def test_scheme_errors_cross_the_boundary_typed(self, process_pool):
+        # An impossible geometry fails validation inside the worker; the
+        # parent must see a ReproError (retryable), not a dead pool.
+        bad = Job(job_id=9, n=48, block_size=32, scheme="enhanced", seed=0)
+        with pytest.raises(WorkerTaskError) as err:
+            process_pool.run_sync(_request(bad))
+        assert isinstance(err.value, ReproError)
+        assert "evenly divide" in str(err.value)
+        # The worker survived and keeps serving.
+        ok = process_pool.run_sync(_request(_job()))
+        assert ok.factor is not None
+
+
+class TestWorkerCrash:
+    def test_injected_crash_raises_and_respawns(self):
+        executor = ProcessExecutor(workers=1)
+        executor.start_sync()
+        try:
+            executor.inject_crash()
+            with pytest.raises(WorkerCrashedError):
+                executor.run_sync(_request(_job()))
+            assert executor.metrics["executor_worker_restarts_total"].value(reason="crash") == 1
+            # The respawned worker completes the retried attempt correctly.
+            reference = InlineExecutor().run_sync(_request(_job()))
+            outcome = executor.run_sync(_request(_job()))
+            assert np.array_equal(outcome.factor, reference.factor)
+        finally:
+            executor.stop_sync()
+
+    def test_externally_killed_worker_is_detected(self):
+        executor = ProcessExecutor(workers=1)
+        executor.start_sync()
+        try:
+            executor._handles[0].process.terminate()  # simulate an OOM kill
+            with pytest.raises(WorkerCrashedError, match="died mid-attempt"):
+                executor.run_sync(_request(_job()))
+            outcome = executor.run_sync(_request(_job()))
+            assert outcome.factor is not None
+        finally:
+            executor.stop_sync()
+
+    def test_service_requeues_crashed_attempt_through_retry_ladder(self):
+        async def drive():
+            service = SolveService(
+                ServiceConfig(
+                    workers=("tardis:1",),
+                    executor="process",
+                    exec_workers=1,
+                    retry=RetryPolicy(max_retries=2),
+                )
+            )
+            await service.start_executor()
+            service.executor.inject_crash()
+            service.start()
+            service.submit(_job(job_id=42, inject=True))
+            await service.stop()
+            return service
+
+        service = asyncio.run(drive())
+        result = service.results[42]
+        assert result.status is JobStatus.COMPLETED
+        assert result.attempts == 2 and result.retries == 1
+        assert not result.fallback_used
+        assert result.residual is not None and result.residual < 1e-10
+        assert service.metrics["executor_worker_restarts_total"].value(reason="crash") == 1
+        assert service.metrics["service_retries_total"].value() == 1

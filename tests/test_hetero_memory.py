@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.blas.blocked import BlockedMatrix
-from repro.hetero.memory import DeviceChecksums, DeviceMatrix
+from repro.hetero.memory import (
+    DeviceChecksums,
+    DeviceMatrix,
+    SharedArena,
+    ShmDescriptor,
+    attach_shared_array,
+    create_shared_array,
+    plan_tile_runs,
+)
 from repro.util.exceptions import ValidationError
 
 
@@ -88,3 +96,93 @@ class TestDeviceChecksums:
         c = DeviceChecksums.zeros("chk", n, b, real=False)
         m = make_matrix(real=False, n=n, b=b)
         assert c.nbytes / m.nbytes == pytest.approx(2.0 / b)
+
+
+class TestPlanTileRunsDegenerate:
+    """Geometry edge cases: nb=1, singletons, and trailing partial runs."""
+
+    def test_empty_key_list(self):
+        assert plan_tile_runs([]) == []
+
+    def test_single_tile_grid(self):
+        # nb=1: the whole lower triangle is one key.
+        [run] = plan_tile_runs([(0, 0)])
+        assert (run.kind, len(run)) == ("col", 1)
+        assert run.keys() == [(0, 0)]
+
+    def test_isolated_singletons_stay_length_one_runs(self):
+        keys = [(0, 0), (2, 1), (4, 3)]
+        runs = plan_tile_runs(keys)
+        assert [len(r) for r in runs] == [1, 1, 1]
+        assert [k for r in runs for k in r.keys()] == keys
+
+    def test_trailing_partial_row_after_rectangle(self):
+        # Two full rows coalesce into a rect; the short trailing row must
+        # stay its own run, not be folded into the rectangle.
+        keys = [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]
+        runs = plan_tile_runs(keys)
+        assert [r.kind for r in runs] == ["rect", "col"]
+        assert [k for r in runs for k in r.keys()] == keys
+
+    def test_trailing_partial_column(self):
+        keys = [(0, 0), (1, 0), (2, 0), (5, 3)]
+        runs = plan_tile_runs(keys)
+        assert [r.kind for r in runs] == ["col", "col"]
+        assert [len(r) for r in runs] == [3, 1]
+        assert [k for r in runs for k in r.keys()] == keys
+
+    @pytest.mark.parametrize("nb", [1, 2, 3, 5])
+    def test_lower_triangle_order_is_always_reproduced(self, nb):
+        keys = [(i, j) for i in range(nb) for j in range(i + 1)]
+        runs = plan_tile_runs(keys)
+        assert [k for r in runs for k in r.keys()] == keys
+
+
+class TestShmTransport:
+    """Parent-owned shared segments: descriptors, round trips, arenas."""
+
+    def test_descriptor_nbytes(self):
+        assert ShmDescriptor("x", (4, 8), "float64").nbytes == 4 * 8 * 8
+
+    def test_create_attach_round_trip(self):
+        shm, view, desc = create_shared_array("repro-test-rt", (6, 6))
+        try:
+            view[:] = np.arange(36, dtype=np.float64).reshape(6, 6)
+            other, other_view = attach_shared_array(desc)
+            try:
+                assert np.array_equal(other_view, view)
+                other_view[0, 0] = -1.0  # writes are visible both ways
+                assert view[0, 0] == -1.0
+            finally:
+                other.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_arena_reuses_segment_for_fitting_leases(self):
+        arena = SharedArena("repro-test-arena-a")
+        try:
+            _, d1 = arena.lease((8, 8))
+            _, d2 = arena.lease((4, 4))  # smaller: same segment, new shape
+            assert d1.name == d2.name
+            assert d2.shape == (4, 4)
+        finally:
+            arena.release()
+
+    def test_arena_grows_by_replacing_the_segment(self):
+        arena = SharedArena("repro-test-arena-b")
+        try:
+            _, d1 = arena.lease((4, 4))
+            _, d2 = arena.lease((16, 16))
+            assert d1.name != d2.name
+            # The outgrown segment was unlinked; attaching must fail.
+            with pytest.raises(FileNotFoundError):
+                attach_shared_array(d1)
+        finally:
+            arena.release()
+
+    def test_release_is_idempotent(self):
+        arena = SharedArena("repro-test-arena-c")
+        arena.lease((4, 4))
+        arena.release()
+        arena.release()  # no segment left: a no-op, not an error

@@ -100,9 +100,9 @@ class TestOpenLoopBackpressure:
 class TestRetryLadder:
     def test_transient_failures_retry_with_backoff(self, monkeypatch):
         calls = {"n": 0}
-        from repro.service import core as service_core
+        from repro.service import policy as service_policy
 
-        real_execute = service_core.execute_attempt
+        real_execute = service_policy.execute_attempt
 
         def flaky(job, machine):
             calls["n"] += 1
@@ -110,7 +110,7 @@ class TestRetryLadder:
                 raise UnrecoverableError("injected transient failure")
             return real_execute(job, machine)
 
-        monkeypatch.setattr(service_core, "execute_attempt", flaky)
+        monkeypatch.setattr(service_policy, "execute_attempt", flaky)
         service = SolveService(
             ServiceConfig(workers=("tardis:1",), retry=RetryPolicy(max_retries=3))
         )
@@ -123,12 +123,12 @@ class TestRetryLadder:
         assert service.metrics["service_retries_total"].value() == 2
 
     def test_exhausted_retries_fall_back_to_checkpoint(self, monkeypatch):
-        from repro.service import core as service_core
+        from repro.service import policy as service_policy
 
         def always_fails(job, machine):
             raise UnrecoverableError("injected persistent failure")
 
-        monkeypatch.setattr(service_core, "execute_attempt", always_fails)
+        monkeypatch.setattr(service_policy, "execute_attempt", always_fails)
         service = SolveService(
             ServiceConfig(workers=("tardis:1",), retry=RetryPolicy(max_retries=1))
         )
@@ -141,12 +141,12 @@ class TestRetryLadder:
         assert service.metrics["service_fallbacks_total"].value() == 1
 
     def test_fallback_disabled_fails_the_job(self, monkeypatch):
-        from repro.service import core as service_core
+        from repro.service import policy as service_policy
 
         def always_fails(job, machine):
             raise UnrecoverableError("injected persistent failure")
 
-        monkeypatch.setattr(service_core, "execute_attempt", always_fails)
+        monkeypatch.setattr(service_policy, "execute_attempt", always_fails)
         service = SolveService(
             ServiceConfig(
                 workers=("tardis:1",),
