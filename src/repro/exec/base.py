@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING
 
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import AttemptOutcome, RetryPolicy
-from repro.util.validation import require
+from repro.util.validation import check_positive, require
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hetero.machine import Machine
@@ -53,6 +53,13 @@ class AttemptRequest:
     scheduler's live object); ``preset`` is the cross-process form — a
     name the worker resolves against its warm preset cache, because a
     :class:`~repro.hetero.machine.Machine` never crosses the boundary.
+
+    ``timeout_s`` is the caller's per-attempt budget (the service passes
+    its ``job_timeout_s``): backends with out-of-process workers use it to
+    bound how long a dispatched attempt may go silent before the worker is
+    declared wedged, killed, and its slot reclaimed — an async caller's
+    ``asyncio.wait_for`` alone cannot do that, because cancelling the
+    awaiting thread does not stop ``run_sync``.
     """
 
     job: "Job"
@@ -60,11 +67,14 @@ class AttemptRequest:
     machine: "Machine | None" = None
     kind: str = "attempt"  # "attempt" | "fallback"
     retry: RetryPolicy | None = None
+    timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         require(self.kind in ("attempt", "fallback"), f"bad request kind {self.kind!r}")
         if self.kind == "fallback":
             require(self.retry is not None, "fallback requests need the retry policy")
+        if self.timeout_s is not None:
+            check_positive("timeout_s", self.timeout_s)
 
 
 class Executor(ABC):

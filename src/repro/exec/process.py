@@ -29,21 +29,30 @@ import multiprocessing
 import pickle
 import queue as queue_mod
 import threading
+import time
 
 import numpy as np
 
 from repro.exec.base import AttemptRequest, Executor, _SlotTimer
 from repro.exec.worker import worker_main
+from repro.faults.injector import FiredFault
 from repro.hetero.memory import SharedArena
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import AttemptOutcome, job_matrix
-from repro.util.exceptions import WorkerCrashedError, WorkerTaskError
+from repro.util.exceptions import ExecutorError, WorkerCrashedError, WorkerTaskError
 from repro.util.validation import require
 
 #: How often the result wait re-checks worker liveness (seconds).
 _POLL_S = 0.05
 #: How long a spawning worker may take to report ready (imports included).
 _READY_TIMEOUT_S = 120.0
+#: Per-attempt silence ceiling when the request carries no timeout
+#: (synchronous bench/test callers); the service always passes one.
+_DEFAULT_DEADLINE_S = 600.0
+#: Slack added to the request timeout before a silent worker is declared
+#: wedged, so the caller's own ``asyncio.wait_for`` fires first and the
+#: kill only reclaims slots the async layer already abandoned.
+_DEADLINE_GRACE_S = 2.0
 
 
 class _WorkerHandle:
@@ -98,14 +107,23 @@ class ProcessExecutor(Executor):
         self._handles: list[_WorkerHandle] = []
         self._task_ids = itertools.count(1)
         self._started = False
+        self._stopping = False
         self._crash_next = False
+        self._wedge_next: float | None = None
 
     # -- lifecycle ---------------------------------------------------------------
 
     def start_sync(self, warm: list[tuple[int, int]] | None = None) -> None:
-        """Spawn the pool (idempotent); optionally pre-warm geometries."""
+        """Spawn the pool (idempotent, thread-safe); optionally pre-warm."""
+        with self._lock:
+            self._start_locked(warm)
+
+    def _start_locked(self, warm: list[tuple[int, int]] | None = None) -> None:
+        """Spawn under ``self._lock`` — concurrent first dispatches through
+        ``run_sync`` must not each bring up a full pool."""
         if self._started:
             return
+        require(not self._stopping, "executor is stopping")
         base = f"rx-{multiprocessing.current_process().pid}-{id(self) & 0xFFFF:x}"
         for wid in range(self.capacity):
             handle = _WorkerHandle(wid, self._ctx, f"{base}-w{wid}")
@@ -123,23 +141,31 @@ class ProcessExecutor(Executor):
 
     def stop_sync(self) -> None:
         """Graceful drain: stop sentinels, join, then hard teardown."""
-        if not self._started:
-            return
+        with self._lock:
+            if not self._started or self._stopping:
+                return
+            # Turns away new dispatches while we wait for the in-flight
+            # ones; the slot acquisition below must happen outside the
+            # lock, because finishing attempts need it to check back in.
+            self._stopping = True
         # Taking every slot guarantees no attempt is in flight.
         for _ in range(self.capacity):
             self._slots.acquire()
         try:
-            for handle in self._handles:
-                if handle.process is not None and handle.process.is_alive():
-                    handle.inbox.put(("stop",))
-            for handle in self._handles:
-                if handle.process is not None:
-                    handle.process.join(timeout=5.0)
-                handle.close()
+            with self._lock:
+                for handle in self._handles:
+                    if handle.process is not None and handle.process.is_alive():
+                        handle.inbox.put(("stop",))
+                for handle in self._handles:
+                    if handle.process is not None:
+                        handle.process.join(timeout=5.0)
+                    handle.close()
+                self._handles.clear()
+                self._idle.clear()
+                self._started = False
         finally:
-            self._handles.clear()
-            self._idle.clear()
-            self._started = False
+            with self._lock:
+                self._stopping = False
             for _ in range(self.capacity):
                 self._slots.release()
 
@@ -158,15 +184,28 @@ class ProcessExecutor(Executor):
         """
         self._crash_next = True
 
+    def inject_wedge(self, seconds: float) -> None:
+        """Arm a one-shot stall: the next attempt's worker hangs *seconds*.
+
+        Deterministic stand-in for a worker stuck in native code; used by
+        the deadline-reclaim tests.
+        """
+        self._wedge_next = float(seconds)
+
     # -- execution ---------------------------------------------------------------
 
     def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
-        require(self._started or not self._handles, "executor is stopping")
-        if not self._started:
-            self.start_sync()
+        with self._lock:
+            require(not self._stopping, "executor is stopping")
+            self._start_locked()
         timer = _SlotTimer()
         self._slots.acquire()
         with self._lock:
+            if not self._idle:
+                # stop_sync won the race for this slot and tore the pool
+                # down while we waited; there is no worker to dispatch to.
+                self._slots.release()
+                raise ExecutorError("executor stopped while the attempt waited for a slot")
             handle = self._idle.pop()
         self._note_dispatch(timer.waited(), request)
         try:
@@ -193,13 +232,19 @@ class ProcessExecutor(Executor):
         if self._crash_next:
             self._crash_next = False
             payload["crash"] = True
+        if self._wedge_next is not None:
+            payload["wedge"] = self._wedge_next
+            self._wedge_next = None
         blob = pickle.dumps(payload)
         self._note_ipc(len(blob) + (desc.nbytes if desc is not None else 0), "to_worker")
         task_id = next(self._task_ids)
+        budget = request.timeout_s if request.timeout_s is not None else _DEFAULT_DEADLINE_S
+        deadline = time.monotonic() + budget + _DEADLINE_GRACE_S
         handle.inbox.put(("task", task_id, blob))
-        reply = self._await_reply(handle, task_id)
+        reply = self._await_reply(handle, task_id, deadline)
+        self._sync_injector(job, reply[-1])
         if reply[0] == "err":
-            _, _, exc_type, message = reply
+            _, _, exc_type, message, _ = reply
             raise WorkerTaskError(exc_type, message)
         outcome: AttemptOutcome = pickle.loads(reply[2])
         self._note_ipc(len(reply[2]) + (desc.nbytes if desc is not None else 0), "from_worker")
@@ -207,10 +252,42 @@ class ProcessExecutor(Executor):
             outcome.factor = np.array(view)  # detach from the arena before reuse
         return outcome
 
-    def _await_reply(self, handle: _WorkerHandle, task_id: int):
-        """Poll the worker's outbox, watching liveness; respawn on death."""
+    @staticmethod
+    def _sync_injector(job, state: dict | None) -> None:
+        """Apply the worker's post-run injector delta to the parent's copy.
+
+        The worker ran against a pickled snapshot, so fired plans and
+        fired-fault records must be mirrored here for the parent-side
+        ``job.injector`` to match what the in-process backends leave
+        behind — a fault that fired in the worker stays one-shot across
+        retries ("a restarted run must not re-inject").
+        """
+        injector = job.injector
+        if injector is None or state is None:
+            return
+        for idx, iteration, old_value in state["records"]:
+            injector.fired.append(
+                FiredFault(plan=injector.plans[idx], iteration=iteration, old_value=old_value)
+            )
+        for idx in state["fired"]:
+            injector.plans[idx].fired = True
+
+    def _await_reply(self, handle: _WorkerHandle, task_id: int, deadline: float):
+        """Poll the worker's outbox, watching liveness; respawn on death.
+
+        *deadline* (monotonic seconds) bounds the wait: a worker that is
+        alive but silent past it — wedged in native code, say — is killed
+        and respawned so the pool slot is always reclaimed, even though
+        the caller's ``asyncio.wait_for`` cannot cancel this thread.
+        """
         process, outbox = handle.process, handle.outbox
         while True:
+            if time.monotonic() > deadline:
+                self._respawn(handle, reason="wedged")
+                raise WorkerCrashedError(
+                    f"pool worker {handle.worker_id} missed its attempt deadline; "
+                    "killed and respawned, attempt requeued"
+                )
             try:
                 reply = outbox.get(timeout=_POLL_S)
             except queue_mod.Empty:

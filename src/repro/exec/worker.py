@@ -17,16 +17,22 @@ that is the pool's whole reason to be persistent:
 Message protocol (parent → worker): ``("task", task_id, payload_bytes)``,
 ``("warm", [(n, block_size), ...])``, ``("stop",)``.  Worker → parent:
 ``("ready", worker_id, pid)`` once at startup, then ``("ok", task_id,
-reply_bytes)`` or ``("err", task_id, exc_type, message)`` per task.
-Payloads and replies are pre-pickled bytes — matrices never ride in them;
-they cross through the shared-memory segment named by the payload's
-:class:`~repro.hetero.memory.ShmDescriptor`.
+reply_bytes, injector_state)`` or ``("err", task_id, exc_type, message,
+injector_state)`` per task.  Payloads and replies are pre-pickled bytes —
+matrices never ride in them; they cross through the shared-memory segment
+named by the payload's :class:`~repro.hetero.memory.ShmDescriptor`.
+``injector_state`` (:func:`injector_state`) carries the run's fault
+bookkeeping back: the parent pickles ``job.injector`` fresh per attempt,
+so without it a fault fired inside the worker would stay armed on the
+parent and re-inject on retry — unlike the in-process backends, which
+mutate the caller's injector directly.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from typing import Any
 
 import numpy as np
@@ -52,11 +58,22 @@ class WorkerState:
         return mach
 
     def view(self, desc: ShmDescriptor) -> np.ndarray:
-        """A zero-copy ndarray over the descriptor's segment (attach-once)."""
-        shm = self.segments.get(desc.name)
+        """A zero-copy ndarray over the descriptor's segment (attach-once).
+
+        Cached per arena slot, not per segment name: when the parent grows
+        an arena it unlinks the outgrown segment and leases from a fresh
+        one, so the stale attachment is closed here the moment its
+        replacement arrives — otherwise every outgrown geometry's memory
+        would stay mapped in each worker for the pool's lifetime.
+        """
+        key = desc.arena or desc.name
+        shm = self.segments.get(key)
+        if shm is not None and shm.name != desc.name:
+            shm.close()  # superseded by a grown arena segment
+            shm = None
         if shm is None:
             shm, _ = attach_shared_array(desc)
-            self.segments[desc.name] = shm
+            self.segments[key] = shm
         return np.ndarray(desc.shape, dtype=desc.dtype, buffer=shm.buf, offset=desc.offset)
 
     def scratch_for(self, shape: tuple[int, ...]) -> np.ndarray:
@@ -75,6 +92,29 @@ class WorkerState:
         for shm in self.segments.values():
             shm.close()
         self.segments.clear()
+
+
+def injector_state(payload: dict, fired_before: int) -> dict | None:
+    """The post-run injector delta to ship back to the parent (plain data).
+
+    ``fired``: indices of every plan now marked fired (covers both actual
+    firing and in-worker ``disarm()``).  ``records``: the
+    :class:`~repro.faults.injector.FiredFault` entries this run appended,
+    as ``(plan_index, iteration, old_value)`` triples the parent rebuilds
+    against its own plan objects.
+    """
+    injector = payload["job"].injector
+    if injector is None:
+        return None
+    plans = injector.plans
+    records = [
+        (next(i for i, p in enumerate(plans) if p is fault.plan), fault.iteration, fault.old_value)
+        for fault in injector.fired[fired_before:]
+    ]
+    return {
+        "fired": [i for i, p in enumerate(plans) if p.fired],
+        "records": records,
+    }
 
 
 def run_task(payload: dict, state: WorkerState) -> Any:
@@ -121,10 +161,21 @@ def worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
         payload = pickle.loads(blob)
         if payload.get("crash"):  # test hook: die mid-attempt, hard
             os._exit(43)
+        if payload.get("wedge"):  # test hook: hang mid-attempt
+            time.sleep(payload["wedge"])
+        injector = payload["job"].injector
+        fired_before = len(injector.fired) if injector is not None else 0
+        # Exception only: SystemExit / KeyboardInterrupt / other
+        # BaseExceptions mean this process should die and let the parent's
+        # respawn path take over, not keep serving in an unknown state.
         try:
             reply = run_task(payload, state)
-            outbox.put(("ok", task_id, pickle.dumps(reply)))
+            outbox.put(("ok", task_id, pickle.dumps(reply), injector_state(payload, fired_before)))
         except ReproError as exc:
-            outbox.put(("err", task_id, type(exc).__name__, str(exc)))
-        except BaseException as exc:  # defensive: report, keep serving
-            outbox.put(("err", task_id, type(exc).__name__, str(exc)))
+            outbox.put(
+                ("err", task_id, type(exc).__name__, str(exc), injector_state(payload, fired_before))
+            )
+        except Exception as exc:  # defensive: report, keep serving
+            outbox.put(
+                ("err", task_id, type(exc).__name__, str(exc), injector_state(payload, fired_before))
+            )

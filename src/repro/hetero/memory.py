@@ -72,6 +72,10 @@ class ShmDescriptor:
     shape: tuple[int, ...]
     dtype: str
     offset: int = 0
+    #: owning :class:`SharedArena` tag (empty for standalone segments).
+    #: Workers cache attachments per arena, so a descriptor naming a new
+    #: segment under the same tag tells them to drop the outgrown one.
+    arena: str = ""
 
     @property
     def nbytes(self) -> int:
@@ -138,7 +142,10 @@ class SharedArena:
                 name=f"{self.tag}-{self._seq}", create=True, size=nbytes
             )
         desc = ShmDescriptor(
-            name=self._shm.name, shape=tuple(int(d) for d in shape), dtype=str(dtype)
+            name=self._shm.name,
+            shape=tuple(int(d) for d in shape),
+            dtype=str(dtype),
+            arena=self.tag,
         )
         view = np.ndarray(desc.shape, dtype=desc.dtype, buffer=self._shm.buf)
         return view, desc

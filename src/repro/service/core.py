@@ -240,7 +240,9 @@ class SolveService:
         while outcome is None:
             attempts += 1
             try:
-                request = AttemptRequest(job=job, preset=worker.preset, machine=worker.machine)
+                request = AttemptRequest(
+                    job=job, preset=worker.preset, machine=worker.machine, timeout_s=timeout
+                )
                 outcome = await asyncio.wait_for(self.executor.execute(request), timeout)
                 break
             except asyncio.TimeoutError:
@@ -268,6 +270,7 @@ class SolveService:
                     machine=worker.machine,
                     kind="fallback",
                     retry=self.config.retry,
+                    timeout_s=timeout,
                 )
                 outcome = await asyncio.wait_for(self.executor.execute(request), timeout)
             except asyncio.TimeoutError:

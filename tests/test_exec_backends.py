@@ -13,6 +13,7 @@ or failed service.
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import numpy as np
 import pytest
@@ -39,10 +40,15 @@ def _job(job_id: int = 0, inject: bool = False, scheme: str = "enhanced") -> Job
     return Job(job_id=job_id, n=128, block_size=32, scheme=scheme, seed=11, injector=injector)
 
 
-def _request(job: Job, kind: str = "attempt") -> AttemptRequest:
+def _request(job: Job, kind: str = "attempt", timeout_s: float | None = None) -> AttemptRequest:
     retry = RetryPolicy() if kind == "fallback" else None
     return AttemptRequest(
-        job=job, preset="tardis", machine=Machine.preset("tardis"), kind=kind, retry=retry
+        job=job,
+        preset="tardis",
+        machine=Machine.preset("tardis"),
+        kind=kind,
+        retry=retry,
+        timeout_s=timeout_s,
     )
 
 
@@ -86,6 +92,33 @@ class TestBackendParity:
         assert outcome.residual is None
         assert outcome.sim_makespan > 0
 
+    def test_injector_state_propagates_back_to_parent(self, process_pool):
+        # Inline mutates the caller's injector directly; the process pool
+        # must leave the parent-side injector in the identical state even
+        # though the worker ran against a pickled snapshot.
+        ref_job = _job(inject=True)
+        InlineExecutor().run_sync(_request(ref_job))
+        job = _job(inject=True)
+        process_pool.run_sync(_request(job))
+        assert not job.injector.armed
+        assert [p.fired for p in job.injector.plans] == [p.fired for p in ref_job.injector.plans]
+        assert [(f.iteration, f.old_value) for f in job.injector.fired] == [
+            (f.iteration, f.old_value) for f in ref_job.injector.fired
+        ]
+        # Records reference the parent's own plan objects, not copies.
+        assert all(f.plan in job.injector.plans for f in job.injector.fired)
+
+    def test_retry_after_worker_fired_fault_runs_clean(self, process_pool):
+        # "A restarted run must not re-inject": once the fault fired in a
+        # worker, redispatching the same job must replay fault-free.
+        job = _job(inject=True)
+        first = process_pool.run_sync(_request(job))
+        assert first.corrected_sites
+        second = process_pool.run_sync(_request(job))
+        assert not second.corrected_sites
+        reference = InlineExecutor().run_sync(_request(_job()))
+        assert np.array_equal(second.factor, reference.factor)
+
     def test_scheme_errors_cross_the_boundary_typed(self, process_pool):
         # An impossible geometry fails validation inside the worker; the
         # parent must see a ReproError (retryable), not a dead pool.
@@ -127,6 +160,23 @@ class TestWorkerCrash:
         finally:
             executor.stop_sync()
 
+    def test_wedged_worker_misses_deadline_and_is_respawned(self):
+        # A worker that is alive but silent past the attempt deadline must
+        # be killed so the pool slot is reclaimed — asyncio.wait_for alone
+        # cannot stop the blocked run_sync thread.
+        executor = ProcessExecutor(workers=1)
+        executor.start_sync()
+        try:
+            executor.inject_wedge(60.0)
+            with pytest.raises(WorkerCrashedError, match="deadline"):
+                executor.run_sync(_request(_job(), timeout_s=0.2))
+            assert executor.metrics["executor_worker_restarts_total"].value(reason="wedged") == 1
+            # The respawned worker serves the requeued attempt correctly.
+            outcome = executor.run_sync(_request(_job()))
+            assert outcome.factor is not None
+        finally:
+            executor.stop_sync()
+
     def test_service_requeues_crashed_attempt_through_retry_ladder(self):
         async def drive():
             service = SolveService(
@@ -152,3 +202,50 @@ class TestWorkerCrash:
         assert result.residual is not None and result.residual < 1e-10
         assert service.metrics["executor_worker_restarts_total"].value(reason="crash") == 1
         assert service.metrics["service_retries_total"].value() == 1
+
+
+class TestPoolLifecycle:
+    def test_concurrent_first_dispatch_starts_exactly_one_pool(self):
+        # run_sync's lazy start races when attempts arrive via
+        # asyncio.to_thread before start_executor(); only one pool (one
+        # process, one arena per slot) may come up.
+        executor = ProcessExecutor(workers=1)
+        outcomes: list = []
+        errors: list = []
+
+        def run() -> None:
+            try:
+                outcomes.append(executor.run_sync(_request(_job())))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(3)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(outcomes) == 3
+            assert len(executor._handles) == 1
+        finally:
+            executor.stop_sync()
+
+    def test_worker_segment_cache_evicts_outgrown_arena_segments(self):
+        from repro.exec.worker import WorkerState
+        from repro.hetero.memory import SharedArena
+
+        arena = SharedArena("repro-test-evict")
+        state = WorkerState()
+        try:
+            _, d1 = arena.lease((8, 8))
+            assert state.view(d1).shape == (8, 8)
+            _, d2 = arena.lease((16, 16))  # grows: new segment, old unlinked
+            assert d2.name != d1.name and d2.arena == d1.arena
+            assert state.view(d2).shape == (16, 16)
+            # The stale attachment was closed and replaced, not accumulated.
+            assert len(state.segments) == 1
+            assert state.segments[d2.arena].name == d2.name
+        finally:
+            state.close()
+            arena.release()
