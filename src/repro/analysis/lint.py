@@ -1,4 +1,4 @@
-"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL007).
+"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL008).
 
 The rules guard properties the test suite cannot see directly:
 
@@ -48,6 +48,17 @@ The rules guard properties the test suite cannot see directly:
   conservative heuristic: it flags direct ``np.*`` / known-producer calls
   (``job_matrix``, ``random_spd``, ``.copy()``), names assigned from
   them, and parameters annotated ``np.ndarray``.
+
+- **RPL008** — no swallowed cancellation or silenced broad excepts in the
+  concurrency layers (``exec/``, ``service/``, ``resilience/``).  Two
+  shapes are flagged: (a) an ``except`` naming ``asyncio.CancelledError``
+  whose body never re-raises — cancellation is control flow, and eating
+  it detaches a task from ``stop()``/``abort()`` and deadlocks drains;
+  (b) an ``except Exception`` / ``except BaseException`` / bare ``except``
+  whose body does nothing but ``pass``/``continue`` — a silently dropped
+  infrastructure failure is exactly the signal the circuit breaker and
+  the retry ladder need to see.  Genuinely-intentional sinks opt out with
+  ``# noqa: RPL008`` on the ``except`` line.
 
 Suppression: ``# noqa`` on a line suppresses every rule there;
 ``# noqa: RPL001,RPL003`` suppresses just those.  Rules live in a registry
@@ -383,6 +394,67 @@ def _check_ndarray_transport(target: LintTarget) -> list[tuple[int, str]]:
                                 "(repro.hetero.memory), never a pickled matrix",
                             )
                         )
+    return out
+
+
+#: Catch-alls whose silent bodies hide the failures resilience reacts to.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    """Dotted names this handler catches (last segment each), "" for bare."""
+    if handler.type is None:
+        return [""]
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for node in nodes:
+        chain = _attr_chain(node)
+        names.append(chain[-1] if chain else "?")
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the body only passes/continues (or evaluates a constant)."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+@rule("RPL008", "no swallowed CancelledError / silenced broad excepts in exec//service//resilience/")
+def _check_swallowed_failures(target: LintTarget) -> list[tuple[int, str]]:
+    if not any(part in ("exec", "service", "resilience") for part in target.path.parts):
+        return []
+    out = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        names = _handler_names(node)
+        if "CancelledError" in names and not _reraises(node):
+            out.append(
+                (
+                    node.lineno,
+                    "except CancelledError without re-raise; cancellation is "
+                    "control flow — handle-and-raise, or let it propagate",
+                )
+            )
+        elif (set(names) & _BROAD_EXCEPTIONS or "" in names) and _body_is_silent(node):
+            caught = " | ".join(n or "<bare>" for n in names)
+            out.append(
+                (
+                    node.lineno,
+                    f"except {caught} with a silent body; a dropped failure "
+                    "never reaches the retry ladder or circuit breaker "
+                    "(# noqa: RPL008 for an intentional sink)",
+                )
+            )
     return out
 
 

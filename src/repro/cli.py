@@ -15,7 +15,7 @@ Commands:
     Statically check a schedule (a dumped trace or a fresh shadow run)
     against the ABFT protocol invariants and scan it for RAW/WAW hazards.
 ``lint``
-    Run the repo lint rules (RPL001–RPL007) over source trees.
+    Run the repo lint rules (RPL001–RPL008) over source trees.
 ``bench``
     Benchmark the verification hot path (batched engine vs per-tile
     loop) and write ``BENCH_hotpath.json``.
@@ -25,6 +25,11 @@ Commands:
 ``loadgen``
     Drive the service with a Poisson open-loop or closed-loop workload
     and print a latency/throughput report.
+``chaos``
+    Run the chaos campaign: system-level fault scenarios (worker kill,
+    wedge, shm corruption, queue flood, kill-and-restart recovery …)
+    against the service with per-scenario invariants; writes
+    ``BENCH_chaos.json`` and exits nonzero on any violation.
 (Regenerating every paper figure is ``python examples/paper_figures.py``.)
 """
 
@@ -449,6 +454,42 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import chaos
+
+    if args.list:
+        for name, fn in chaos.SCENARIOS.items():
+            quick = " [quick]" if name in chaos.QUICK_SCENARIOS else ""
+            print(f"{name:18} {(fn.__doc__ or '').splitlines()[0]}{quick}")
+        return 0
+    if args.scenarios:
+        names = tuple(args.scenarios)
+    elif args.quick:
+        names = chaos.QUICK_SCENARIOS
+    else:
+        names = tuple(chaos.SCENARIOS)
+    cfg = chaos.ChaosConfig(
+        jobs=args.jobs,
+        n=args.n,
+        block_size=args.block_size,
+        seed=args.seed,
+        exec_workers=args.exec_workers,
+    )
+    doc = chaos.run_chaos(cfg, names)
+    print(chaos.render(doc))
+    if args.out:
+        path = chaos.write(doc, args.out)
+        print(f"chaos scorecard written to {path}")
+    if args.history:
+        from repro.experiments.stamp import append_history
+
+        print(f"run appended to {append_history(doc, bench='chaos', path=args.history)}")
+    if not doc["ok"]:
+        print("repro: chaos: invariant violations detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -621,7 +662,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_bench)
 
-    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL007)")
+    p = sub.add_parser(
+        "chaos", help="system-level chaos campaign against the solve service"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke subset: {', '.join(('worker_crash', 'breaker_failover', 'kill_restart'))}",
+    )
+    p.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="explicit scenario names (see --list); overrides --quick",
+    )
+    p.add_argument("--list", action="store_true", help="list scenarios and exit")
+    p.add_argument("--jobs", type=int, default=6, help="jobs per scenario")
+    p.add_argument("--n", type=int, default=64, help="matrix size per job")
+    p.add_argument("--block-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--exec-workers", type=int, default=2, help="backend pool width per scenario"
+    )
+    p.add_argument(
+        "--out", default="BENCH_chaos.json",
+        help="scorecard JSON path ('' to skip writing)",
+    )
+    p.add_argument(
+        "--history", default="results/bench_history.jsonl",
+        help="append the run to this JSONL perf trajectory ('' to skip)",
+    )
+    p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL008)")
     p.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories (default: the installed repro package)",

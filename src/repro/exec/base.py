@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import AttemptOutcome, RetryPolicy
+from repro.util.exceptions import ExecutorError, WorkerTaskError
 from repro.util.validation import check_positive, require
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,6 +44,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Registered backend names, in increasing order of parallelism.
 BACKENDS = ("inline", "thread", "process")
+
+
+def is_infra_error(exc: BaseException) -> bool:
+    """Was this failure the *backend's* fault rather than the job's?
+
+    Infrastructure failures — a crashed or wedged worker, a lost or
+    corrupted shared-memory segment — indict the executor and feed its
+    circuit breaker (:mod:`repro.resilience.breaker`).  A
+    :class:`~repro.util.exceptions.WorkerTaskError` is the job's own
+    exception relayed across the boundary: any backend would have failed
+    identically, so it must never open a breaker.
+    """
+    return isinstance(exc, ExecutorError) and not isinstance(exc, WorkerTaskError)
 
 
 @dataclass
@@ -106,6 +120,10 @@ class Executor(ABC):
         self._restarts = metrics.counter(
             "executor_worker_restarts_total", "pool workers respawned after a crash or cancel"
         )
+        self._transport_errs = metrics.counter(
+            "executor_transport_errors_total",
+            "shared-memory transport faults detected parent-side",
+        )
         with self._mlock:
             self._busy_g.set(self.capacity, kind="capacity")
             self._busy_g.set(0.0, kind="busy")
@@ -149,6 +167,10 @@ class Executor(ABC):
     def _note_restart(self, reason: str) -> None:
         with self._mlock:
             self._restarts.inc(reason=reason)
+
+    def _note_transport_error(self, kind: str) -> None:
+        with self._mlock:
+            self._transport_errs.inc(kind=kind)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(capacity={self.capacity})"

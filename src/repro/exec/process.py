@@ -30,6 +30,8 @@ import pickle
 import queue as queue_mod
 import threading
 import time
+import zlib
+from collections import deque
 
 import numpy as np
 
@@ -39,7 +41,13 @@ from repro.faults.injector import FiredFault
 from repro.hetero.memory import SharedArena
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import AttemptOutcome, job_matrix
-from repro.util.exceptions import ExecutorError, WorkerCrashedError, WorkerTaskError
+from repro.util.exceptions import (
+    ExecutorError,
+    ShmIntegrityError,
+    ShmTransportError,
+    WorkerCrashedError,
+    WorkerTaskError,
+)
 from repro.util.validation import require
 
 #: How often the result wait re-checks worker liveness (seconds).
@@ -85,12 +93,17 @@ class _WorkerHandle:
             self.process.join(timeout=5.0)
 
     def close(self) -> None:
-        self.kill()
-        for q in (self.inbox, self.outbox):
-            if q is not None:
-                q.close()
-                q.cancel_join_thread()
-        self.arena.release()
+        # The arena release is the part that frees /dev/shm; it must run
+        # even when the kill or queue teardown throws (a worker that died
+        # mid-dispatch can leave queue feeder threads in odd states).
+        try:
+            self.kill()
+            for q in (self.inbox, self.outbox):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+        finally:
+            self.arena.release()
 
 
 class ProcessExecutor(Executor):
@@ -108,8 +121,11 @@ class ProcessExecutor(Executor):
         self._task_ids = itertools.count(1)
         self._started = False
         self._stopping = False
-        self._crash_next = False
-        self._wedge_next: float | None = None
+        # One-shot chaos overlays, consumed FIFO by the next dispatches.
+        # Worker-side keys ("crash", "wedge") ride in the task payload;
+        # parent-side keys ("truncate_shm", "corrupt_shm") are acted on
+        # around the shm transport without the worker's knowledge.
+        self._chaos: deque[dict] = deque()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -125,13 +141,23 @@ class ProcessExecutor(Executor):
             return
         require(not self._stopping, "executor is stopping")
         base = f"rx-{multiprocessing.current_process().pid}-{id(self) & 0xFFFF:x}"
-        for wid in range(self.capacity):
-            handle = _WorkerHandle(wid, self._ctx, f"{base}-w{wid}")
-            handle.spawn()
-            if warm:
-                handle.inbox.put(("warm", [(int(n), int(b)) for n, b in warm]))
-            self._handles.append(handle)
-            self._idle.append(handle)
+        try:
+            for wid in range(self.capacity):
+                handle = _WorkerHandle(wid, self._ctx, f"{base}-w{wid}")
+                # Track before spawn: if spawn itself fails the cleanup
+                # below still releases this slot's arena and queues.
+                self._handles.append(handle)
+                handle.spawn()
+                if warm:
+                    handle.inbox.put(("warm", [(int(n), int(b)) for n, b in warm]))
+                self._idle.append(handle)
+        except BaseException:
+            # Partial start must not leak workers or /dev/shm segments.
+            for handle in self._handles:
+                handle.close()
+            self._handles.clear()
+            self._idle.clear()
+            raise
         self._started = True
 
     async def start(self) -> None:
@@ -174,23 +200,52 @@ class ProcessExecutor(Executor):
 
         await asyncio.to_thread(self.stop_sync)
 
-    # -- test hook ---------------------------------------------------------------
+    # -- chaos hooks -------------------------------------------------------------
 
-    def inject_crash(self) -> None:
-        """Arm a one-shot worker crash on the next dispatched attempt.
+    def _arm(self, overlay: dict, count: int) -> None:
+        require(count >= 1, "injection count must be >= 1")
+        with self._lock:
+            self._chaos.extend(dict(overlay) for _ in range(count))
+
+    def inject_crash(self, count: int = 1) -> None:
+        """Arm worker crashes on the next *count* dispatched attempts.
 
         Deterministic stand-in for an OOM kill mid-attempt; used by the
-        retry-ladder requeue tests.
+        retry-ladder requeue tests (``count > 1`` exhausts the ladder).
         """
-        self._crash_next = True
+        self._arm({"crash": True}, count)
 
-    def inject_wedge(self, seconds: float) -> None:
-        """Arm a one-shot stall: the next attempt's worker hangs *seconds*.
+    def inject_wedge(self, seconds: float, count: int = 1) -> None:
+        """Arm one-shot stalls: the next attempts' workers hang *seconds*.
 
         Deterministic stand-in for a worker stuck in native code; used by
         the deadline-reclaim tests.
         """
-        self._wedge_next = float(seconds)
+        self._arm({"wedge": float(seconds)}, count)
+
+    def inject_shm_truncation(self, count: int = 1) -> None:
+        """Arm /dev/shm segment removal under the next dispatched attempts.
+
+        The parent unlinks the segment *after* filling it, so a worker
+        without a warm mapping fails its attach (``FileNotFoundError`` →
+        :class:`ShmTransportError` parent-side) and the arena heals on
+        the next lease.  A worker already attached keeps its mapping —
+        exactly the asymmetry a real tmpfs sweep exhibits.
+        """
+        self._arm({"truncate_shm": True}, count)
+
+    def inject_shm_corruption(self, count: int = 1) -> None:
+        """Arm in-transit factor corruption for the next dispatched attempts.
+
+        The parent scribbles on the shared view after the worker's reply
+        (between the worker's CRC stamp and the parent's copy-out), so the
+        integrity check must catch it and raise :class:`ShmIntegrityError`.
+        """
+        self._arm({"corrupt_shm": True}, count)
+
+    def _next_chaos(self) -> dict:
+        with self._lock:
+            return self._chaos.popleft() if self._chaos else {}
 
     # -- execution ---------------------------------------------------------------
 
@@ -218,10 +273,13 @@ class ProcessExecutor(Executor):
 
     def _dispatch(self, handle: _WorkerHandle, request: AttemptRequest) -> AttemptOutcome:
         job = request.job
+        chaos = self._next_chaos()
         view = desc = None
         if job.numerics == "real":
             view, desc = handle.arena.lease((job.n, job.n))
             np.copyto(view, job_matrix(job))
+            if chaos.get("truncate_shm"):
+                handle.arena.unlink_backing()
         payload = {
             "job": job,
             "preset": request.preset,
@@ -229,12 +287,9 @@ class ProcessExecutor(Executor):
             "retry": request.retry,
             "input": desc,
         }
-        if self._crash_next:
-            self._crash_next = False
-            payload["crash"] = True
-        if self._wedge_next is not None:
-            payload["wedge"] = self._wedge_next
-            self._wedge_next = None
+        for key in ("crash", "wedge"):
+            if key in chaos:
+                payload[key] = chaos[key]
         blob = pickle.dumps(payload)
         self._note_ipc(len(blob) + (desc.nbytes if desc is not None else 0), "to_worker")
         task_id = next(self._task_ids)
@@ -245,11 +300,33 @@ class ProcessExecutor(Executor):
         self._sync_injector(job, reply[-1])
         if reply[0] == "err":
             _, _, exc_type, message, _ = reply
+            if exc_type == "FileNotFoundError":
+                # The worker's attach found the segment gone from /dev/shm
+                # (external sweep, or the truncation chaos hook).  Mark the
+                # arena stale so the next lease re-creates the segment; the
+                # attempt itself is retryable.
+                handle.arena.mark_stale()
+                self._note_transport_error("missing_segment")
+                raise ShmTransportError(
+                    f"worker {handle.worker_id} lost its shm segment mid-attempt "
+                    f"({message}); arena re-created, attempt requeued"
+                )
             raise WorkerTaskError(exc_type, message)
         outcome: AttemptOutcome = pickle.loads(reply[2])
         self._note_ipc(len(reply[2]) + (desc.nbytes if desc is not None else 0), "from_worker")
         if outcome.extras.pop("factor_in_shm", False) and view is not None:
+            expected_crc = outcome.extras.pop("factor_crc", None)
+            if chaos.get("corrupt_shm"):
+                view[0, -1] += 1.0  # scribble between the worker's CRC stamp and our read
+            if expected_crc is not None and zlib.crc32(view) != expected_crc:
+                self._note_transport_error("corrupt_factor")
+                raise ShmIntegrityError(
+                    f"worker {handle.worker_id}'s factor failed its CRC check crossing "
+                    "shared memory; result discarded, attempt requeued"
+                )
             outcome.factor = np.array(view)  # detach from the arena before reuse
+        else:
+            outcome.extras.pop("factor_crc", None)
         return outcome
 
     @staticmethod

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import zlib
 from typing import Any
 
 import numpy as np
@@ -140,6 +141,10 @@ def run_task(payload: dict, state: WorkerState) -> Any:
         np.copyto(view, outcome.factor)
         outcome.factor = None
         outcome.extras["factor_in_shm"] = True
+        # Integrity stamp: the parent re-hashes the segment after copying
+        # the factor out; a mismatch means the bytes were scribbled on in
+        # transit and the attempt is retried instead of returned.
+        outcome.extras["factor_crc"] = zlib.crc32(view)
     return outcome
 
 

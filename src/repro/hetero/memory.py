@@ -29,6 +29,7 @@ Taint scans are incremental: buffers keep a dirty-key set maintained by
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -117,6 +118,23 @@ def attach_shared_array(
     return shm, view
 
 
+def _reap_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink one segment, tolerating partial prior teardown.
+
+    ``close`` fails with :class:`BufferError` while live ndarray views
+    still map the segment — the mapping then outlives the name, which is
+    harmless; the ``unlink`` (the part that frees /dev/shm) still runs.
+    """
+    try:
+        shm.close()
+    except BufferError:  # live views keep the mapping; unlink still frees the name
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
 class SharedArena:
     """One parent-owned, grow-on-demand shared segment (per worker slot).
 
@@ -125,22 +143,54 @@ class SharedArena:
     replaces the segment (the old one is unlinked).  Because each pool
     worker slot owns exactly one arena and a slot runs one attempt at a
     time, leases never alias.
+
+    Every created segment is additionally registered with a
+    ``weakref.finalize`` safety net: if the owning executor dies without
+    running :meth:`release` (abnormal shutdown), the segment is still
+    unlinked at arena collection or interpreter exit, so /dev/shm never
+    accumulates residue.
     """
 
     def __init__(self, tag: str) -> None:
         self.tag = tag
         self._shm: shared_memory.SharedMemory | None = None
         self._seq = 0
+        self._stale = False
+        self._finalizer: weakref.finalize | None = None
+
+    def mark_stale(self) -> None:
+        """Flag the backing segment as gone/corrupt underneath us.
+
+        Healing is deferred to the next :meth:`lease` — by then the
+        caller's views of the old segment are out of scope, so the
+        release can actually close the mapping.
+        """
+        self._stale = True
+
+    def unlink_backing(self) -> None:
+        """Remove the /dev/shm file while keeping the mapping alive.
+
+        Chaos-test hook simulating an external tmpfs sweep: existing
+        attachments keep working (the mapping survives the unlink) but
+        any *new* attach by name fails with ``FileNotFoundError``.
+        """
+        if self._shm is not None:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
 
     def lease(self, shape: tuple[int, ...], dtype: str = "float64") -> tuple[np.ndarray, ShmDescriptor]:
         nbytes = ShmDescriptor("", tuple(int(d) for d in shape), str(dtype)).nbytes
         check_positive("arena lease nbytes", nbytes)
-        if self._shm is None or self._shm.size < nbytes:
+        if self._stale or self._shm is None or self._shm.size < nbytes:
             self.release()
             self._seq += 1
             self._shm = shared_memory.SharedMemory(
                 name=f"{self.tag}-{self._seq}", create=True, size=nbytes
             )
+            self._finalizer = weakref.finalize(self, _reap_segment, self._shm)
+            self._stale = False
         desc = ShmDescriptor(
             name=self._shm.name,
             shape=tuple(int(d) for d in shape),
@@ -152,13 +202,13 @@ class SharedArena:
 
     def release(self) -> None:
         """Unlink the backing segment (parent-side ownership teardown)."""
-        if self._shm is not None:
-            self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reaped
-                pass
-            self._shm = None
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _reap_segment(shm)
 
 
 @dataclass(frozen=True, slots=True)

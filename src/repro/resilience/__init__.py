@@ -1,0 +1,39 @@
+"""System-level resilience: chaos harness, circuit breaker, job journal."""
+
+from repro.resilience.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    FailoverExecutor,
+    failover_chain,
+)
+from repro.resilience.chaos import (
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    ChaosConfig,
+    ScenarioResult,
+    run_chaos,
+)
+from repro.resilience.journal import (
+    TERMINAL_EVENTS,
+    JobJournal,
+    incomplete_jobs,
+    read_journal,
+)
+
+__all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "FailoverExecutor",
+    "JobJournal",
+    "QUICK_SCENARIOS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "TERMINAL_EVENTS",
+    "failover_chain",
+    "incomplete_jobs",
+    "read_journal",
+    "run_chaos",
+]

@@ -1,0 +1,303 @@
+"""Circuit breaker + automatic backend failover for the executor layer.
+
+A repeatedly failing execution backend (a process pool whose workers keep
+dying, a host whose /dev/shm keeps vanishing) must not keep eating one
+retry per job forever.  :class:`FailoverExecutor` wraps an ordered chain
+of backends — canonically ``process → thread → inline``, fastest first —
+behind per-backend :class:`CircuitBreaker` instances:
+
+- **closed** (healthy): dispatches flow to the backend; each
+  *infrastructure* failure (:func:`repro.exec.base.is_infra_error` — a
+  crashed/wedged worker, a lost or corrupt shm segment; never the job's
+  own exception) lands in a rolling window, and ``failure_threshold``
+  consecutive ones within ``window_s`` trip the breaker;
+- **open**: the backend is skipped and dispatches degrade to the next
+  chain member; after an exponentially escalating backoff
+  (``probe_backoff_s · backoff_factor^k``, capped) the breaker moves to
+- **half-open**: exactly one dispatch is let through as a probe.  Probe
+  success closes the breaker — traffic *recovers back* to the faster
+  backend — and resets the escalation; probe failure re-opens it with a
+  longer backoff.
+
+The last chain member is the operator's floor: if every breaker is open
+and unprobeable, dispatches still run there (degraded beats down), so the
+service never refuses work just because its fast backends are sick.
+
+Metrics: ``executor_breaker_state{backend}`` (0 closed / 1 half-open /
+2 open), ``executor_failovers_total{from,to}`` (breaker-open transitions),
+``executor_breaker_probes_total{backend,outcome}`` and
+``executor_breaker_recoveries_total{backend}``.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exec.base import BACKENDS, AttemptRequest, Executor, _SlotTimer, is_infra_error, make_executor
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import AttemptOutcome
+from repro.util.validation import check_positive, require
+
+
+class BreakerState(enum.Enum):
+    CLOSED = 0
+    HALF_OPEN = 1
+    OPEN = 2
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs for one backend's breaker."""
+
+    #: consecutive infra failures within ``window_s`` that trip the breaker
+    failure_threshold: int = 3
+    #: rolling window the failures must fall inside
+    window_s: float = 30.0
+    #: backoff before the first half-open probe
+    probe_backoff_s: float = 1.0
+    #: escalation factor applied per consecutive re-open
+    backoff_factor: float = 2.0
+    #: ceiling on the escalated probe backoff
+    max_backoff_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        check_positive("failure_threshold", self.failure_threshold)
+        check_positive("window_s", self.window_s)
+        check_positive("probe_backoff_s", self.probe_backoff_s)
+        require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        check_positive("max_backoff_s", self.max_backoff_s)
+
+
+class CircuitBreaker:
+    """One backend's failure bookkeeping (not thread-safe on its own).
+
+    :class:`FailoverExecutor` serializes all calls under its selection
+    lock; the injected *clock* keeps the unit tests instantaneous.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: BreakerPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._clock = clock
+        self.state = BreakerState.CLOSED
+        self._failures: list[float] = []
+        self._probe_at = 0.0
+        self._probe_inflight = False
+        #: consecutive opens without an intervening recovery (escalation k)
+        self.opened_streak = 0
+        self.opened_total = 0
+
+    def allow(self) -> bool:
+        """May a dispatch use this backend right now?
+
+        In OPEN, reaching the probe deadline transitions to HALF_OPEN and
+        admits the caller as the (single) probe; further callers are
+        refused until the probe reports back.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self._clock() < self._probe_at:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = True
+            return True
+        # HALF_OPEN: one probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    @property
+    def probing(self) -> bool:
+        return self.state is BreakerState.HALF_OPEN and self._probe_inflight
+
+    def record_success(self) -> bool:
+        """Note a healthy dispatch; returns True when this *closed* the breaker."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._probe_inflight = False
+            self._failures.clear()
+            self.opened_streak = 0
+            return True
+        self._failures.clear()
+        return False
+
+    def record_failure(self) -> bool:
+        """Note an infra failure; returns True when this *opened* the breaker."""
+        now = self._clock()
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+            self._open(now)
+            return True
+        if self.state is BreakerState.OPEN:
+            return False
+        self._failures.append(now)
+        horizon = now - self.policy.window_s
+        self._failures = [t for t in self._failures if t >= horizon]
+        if len(self._failures) >= self.policy.failure_threshold:
+            self._open(now)
+            return True
+        return False
+
+    def _open(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self._failures.clear()
+        backoff = min(
+            self.policy.max_backoff_s,
+            self.policy.probe_backoff_s * self.policy.backoff_factor**self.opened_streak,
+        )
+        self._probe_at = now + backoff
+        self.opened_streak += 1
+        self.opened_total += 1
+
+
+class FailoverExecutor(Executor):
+    """An executor chain behind per-backend circuit breakers.
+
+    ``chain`` is ordered by preference (fastest first); ``capacity`` is
+    the primary's, so the service sizes its dispatch slots for the happy
+    path and a degraded backend simply queues a little more.
+    """
+
+    name = "failover"
+
+    def __init__(
+        self,
+        chain: Sequence[Executor],
+        policy: BreakerPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        require(bool(chain), "failover chain cannot be empty")
+        names = [member.name for member in chain]
+        require(len(set(names)) == len(names), f"duplicate backends in chain: {names}")
+        self.chain = list(chain)
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.breakers = {member.name: CircuitBreaker(member.name, self.policy, clock) for member in chain}
+        self._flock = threading.Lock()
+        super().__init__(capacity=self.chain[0].capacity, metrics=metrics)
+
+    @property
+    def primary(self) -> Executor:
+        return self.chain[0]
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        super().bind_metrics(metrics)
+        self._breaker_g = metrics.gauge(
+            "executor_breaker_state", "per-backend breaker state (0 closed, 1 half-open, 2 open)"
+        )
+        self._failovers = metrics.counter(
+            "executor_failovers_total", "breaker-open transitions diverting traffic between backends"
+        )
+        self._probes = metrics.counter(
+            "executor_breaker_probes_total", "half-open probe dispatches by outcome"
+        )
+        self._recoveries = metrics.counter(
+            "executor_breaker_recoveries_total", "breakers closed again after a successful probe"
+        )
+        # Re-entrant: Executor.__init__ binds before subclass state exists.
+        # Chain members are constructed against the same registry (see
+        # failover_chain), so only the breaker gauges need publishing here.
+        if hasattr(self, "breakers"):
+            for name in self.breakers:
+                self._breaker_g.set(BreakerState.CLOSED.value, backend=name)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up the primary; fallbacks start lazily on first use."""
+        await self.primary.start()
+
+    async def stop(self) -> None:
+        for member in self.chain:
+            await member.stop()
+
+    # -- selection ---------------------------------------------------------------
+
+    def _select(self) -> tuple[Executor, bool]:
+        """Pick the first chain member whose breaker admits a dispatch.
+
+        Falls back to the last member unconditionally when everything is
+        open: degraded execution always beats refusing the job.
+        """
+        with self._flock:
+            for member in self.chain:
+                breaker = self.breakers[member.name]
+                if breaker.allow():
+                    self._breaker_g.set(breaker.state.value, backend=member.name)
+                    return member, breaker.probing
+            return self.chain[-1], False
+
+    def _settle(self, member: Executor, failed: bool) -> None:
+        """Feed a dispatch outcome back into the member's breaker."""
+        breaker = self.breakers[member.name]
+        with self._flock:
+            was_probe = breaker.probing
+            if failed:
+                if breaker.record_failure():
+                    self._failovers.inc(**{"from": member.name, "to": self._next_after(member)})
+                if was_probe:
+                    self._probes.inc(backend=member.name, outcome="failure")
+            else:
+                if breaker.record_success():
+                    self._recoveries.inc(backend=member.name)
+                if was_probe:
+                    self._probes.inc(backend=member.name, outcome="success")
+            self._breaker_g.set(breaker.state.value, backend=member.name)
+
+    def _next_after(self, member: Executor) -> str:
+        """Name of the backend traffic falls to once *member* opens."""
+        idx = self.chain.index(member)
+        for candidate in self.chain[idx + 1 :]:
+            if self.breakers[candidate.name].state is not BreakerState.OPEN:
+                return candidate.name
+        return self.chain[-1].name
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
+        timer = _SlotTimer()
+        member, _probing = self._select()
+        self._note_dispatch(timer.waited(), request)
+        try:
+            outcome = member.run_sync(request)
+        except Exception as exc:
+            # Only infrastructure failures indict the backend; the job's
+            # own exception (WorkerTaskError, a scheme error) would have
+            # failed identically anywhere and counts as a healthy dispatch.
+            self._settle(member, failed=is_infra_error(exc))
+            raise
+        finally:
+            self._note_done()
+        self._settle(member, failed=False)
+        return outcome
+
+
+def failover_chain(
+    primary: str,
+    workers: int | None = None,
+    metrics: MetricsRegistry | None = None,
+    policy: BreakerPolicy | None = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> FailoverExecutor:
+    """The canonical degradation chain below *primary*.
+
+    ``process`` degrades through ``thread`` to ``inline``; ``thread``
+    through ``inline``; ``inline`` has nowhere to fall and simply gets a
+    breaker that never diverts (the last member is always served).
+    """
+    require(primary in BACKENDS, f"unknown executor {primary!r}; have {BACKENDS}")
+    registry = metrics if metrics is not None else MetricsRegistry()
+    order = tuple(reversed(BACKENDS[: BACKENDS.index(primary) + 1]))
+    chain = [make_executor(kind, workers=workers, metrics=registry) for kind in order]
+    return FailoverExecutor(chain, policy=policy, metrics=registry, clock=clock)

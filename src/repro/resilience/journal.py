@@ -1,0 +1,179 @@
+"""Durable job journal: an append-only JSONL write-ahead log.
+
+The service records every job lifecycle transition — ``admitted`` →
+``dispatched`` → ``attempt`` (one per rung of the retry ladder) →
+``completed`` / ``failed`` / ``rejected`` — as one JSON line.  The point
+is crash recovery: a service that dies mid-run leaves the journal as the
+only truth about which admitted jobs never reached a terminal state, and
+a restarted service replays it (:func:`incomplete_jobs` →
+``SolveService.recover``) to resubmit exactly those.
+
+Semantics are **at-least-once**: a job whose terminal record was lost
+(crash between completion and the batched fsync) is re-executed on
+replay.  That is safe here because jobs are deterministic pure
+computations keyed by ``(seed, job_id)`` (:attr:`repro.service.job.Job.key`)
+— re-running one produces the bit-identical factor — and replay dedups by
+that key, so a job is resubmitted at most once per recovery no matter how
+many lifecycle records it left behind.
+
+Durability policy: ``admitted`` records are fsynced immediately — they
+are what recovery is *for*; losing one loses a job.  All other records
+ride a batched fsync (every ``fsync_batch`` appends), trading a bounded
+window of lost telemetry for not paying an fsync per transition; a lost
+non-terminal record only ever causes a redundant (idempotent) replay.
+
+A crash can tear the final line mid-append.  The reader tolerates this:
+it stops at the first undecodable line — everything before the tear is
+intact because appends are sequential and the file is never rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.service.job import Job
+from repro.util.exceptions import JournalError
+from repro.util.validation import check_positive
+
+#: Events after which a job needs no replay.
+TERMINAL_EVENTS = frozenset({"completed", "failed", "rejected"})
+
+
+class JobJournal:
+    """Append-only JSONL WAL of job lifecycle transitions (single writer)."""
+
+    def __init__(self, path: str | Path, fsync_batch: int = 8) -> None:
+        check_positive("fsync_batch", fsync_batch)
+        self.path = Path(path)
+        self.fsync_batch = fsync_batch
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            _repair_torn_tail(self.path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+        self._pending = 0
+        self.records_written = 0
+        self.syncs_total = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def record(self, event: str, key: str, **fields: object) -> None:
+        """Append one lifecycle record (and maybe fsync — see module doc)."""
+        if self._fh.closed:
+            raise JournalError(f"journal {self.path} is closed")
+        entry = {"event": event, "key": key, **fields}
+        try:
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        except (OSError, TypeError) as exc:
+            raise JournalError(f"journal append failed: {exc}") from exc
+        self._pending += 1
+        self.records_written += 1
+        if event == "admitted" or self._pending >= self.fsync_batch:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered records to stable storage (flush + fsync)."""
+        if self._fh.closed or self._pending == 0:
+            return
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise JournalError(f"journal fsync failed: {exc}") from exc
+        self._pending = 0
+        self.syncs_total += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.sync()
+            self._fh.close()
+
+
+def _repair_torn_tail(path: Path) -> None:
+    """Truncate a torn final record before appending to an existing journal.
+
+    A crash mid-append can leave the file without a trailing newline.
+    Appending after that tear would concatenate the next record onto the
+    garbage and render *everything after it* unreadable — so a new writer
+    first drops the partial line (it was never durable: a record is only
+    trusted once its newline hit the disk).
+    """
+    try:
+        with open(path, "rb+") as fh:
+            size = fh.seek(0, os.SEEK_END)
+            if size == 0:
+                return
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+            # Walk back to the last newline (or the file start) and cut.
+            data = Path(path).read_bytes()
+            keep = data.rfind(b"\n") + 1
+            fh.truncate(keep)
+    except FileNotFoundError:
+        return
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a journal file, tolerating a torn final line.
+
+    A missing file is an empty journal (a service that never admitted
+    anything has nothing to recover).  Parsing stops at the first
+    undecodable line: with a sequential single-writer append log, only
+    the tail can be torn, and anything at or after a tear is untrusted.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    records: list[dict] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            break  # torn tail — everything before it is intact
+        if not isinstance(entry, dict) or "event" not in entry or "key" not in entry:
+            break
+        records.append(entry)
+    return records
+
+
+def incomplete_jobs(records: list[dict]) -> list[Job]:
+    """Jobs with an ``admitted`` record but no terminal one, admission order.
+
+    Deduped by job key: re-admissions of the same ``(seed, job_id)``
+    (e.g. a previous recovery's replay) collapse to one job, rebuilt from
+    the *latest* admitted spec.  Jobs whose admitted record carries no
+    spec (pre-journal formats) are skipped — they cannot be rebuilt.
+    """
+    admitted: dict[str, dict | None] = {}
+    done: set[str] = set()
+    order: list[str] = []
+    for entry in records:
+        key = str(entry["key"])
+        event = entry["event"]
+        if event == "admitted":
+            if key not in admitted:
+                order.append(key)
+            admitted[key] = entry.get("spec")
+            done.discard(key)  # a re-admission re-opens the job
+        elif event in TERMINAL_EVENTS:
+            done.add(key)
+    jobs: list[Job] = []
+    for key in order:
+        if key in done:
+            continue
+        spec = admitted[key]
+        if spec is None:
+            continue
+        jobs.append(Job.from_spec(spec))
+    return jobs

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.trace_io import dump_trace
 from repro.desim.trace import META_JOB, Span, Timeline
 from repro.service.job import Job, JobResult, JobStatus, Priority
@@ -32,6 +34,10 @@ from repro.service.queue import AdmissionDecision, JobQueue
 from repro.service.scheduler import Assignment, Scheduler, Worker
 from repro.util.exceptions import ReproError
 from repro.util.validation import check_positive, require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.breaker import BreakerPolicy
+    from repro.resilience.journal import JobJournal
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,19 @@ class ServiceConfig:
     #: backend concurrency (thread-pool width / process-pool size);
     #: ``None`` sizes it to the scheduler's total worker concurrency
     exec_workers: int | None = None
+    #: when set, every job lifecycle transition is journaled here
+    #: (append-only JSONL WAL) and a restarted service can ``recover()``
+    #: admitted-but-unfinished jobs from it
+    journal_path: str | Path | None = None
+    #: wrap the executor in a circuit-breaker failover chain
+    #: (``process → thread → inline`` below the configured backend) so a
+    #: repeatedly failing backend degrades instead of eating retries
+    failover: bool = False
+    #: breaker tuning for the failover chain (defaults apply when ``None``)
+    breaker: "BreakerPolicy | None" = None
+    #: keep each completed job's factor on its :class:`JobResult` — the
+    #: chaos harness compares factors bit-for-bit across scenarios
+    keep_factors: bool = False
 
     def __post_init__(self) -> None:
         require(bool(self.workers), "need at least one worker spec")
@@ -107,7 +126,24 @@ class SolveService:
             if config.exec_workers is not None
             else self.scheduler.total_concurrency
         )
-        self.executor = make_executor(config.executor, workers=exec_workers, metrics=self.metrics)
+        if config.failover:
+            from repro.resilience.breaker import failover_chain
+
+            self.executor = failover_chain(
+                config.executor,
+                workers=exec_workers,
+                metrics=self.metrics,
+                policy=config.breaker,
+            )
+        else:
+            self.executor = make_executor(
+                config.executor, workers=exec_workers, metrics=self.metrics
+            )
+        self.journal: JobJournal | None = None
+        if config.journal_path is not None:
+            from repro.resilience.journal import JobJournal
+
+            self.journal = JobJournal(config.journal_path)
         #: pool-wide slot count; the dispatcher holds a slot per dequeued job
         #: so the queue visibly backs up (and depth-based admission control
         #: engages) once every worker is saturated — capped by the execution
@@ -133,6 +169,12 @@ class SolveService:
             "service_incorrect_results_total", "completed factorizations failing the residual gate"
         )
         self._flops = m.counter("service_useful_flops_total", "useful flops of completed jobs")
+        self._journal_records = m.counter(
+            "service_journal_records_total", "job lifecycle records appended to the journal"
+        )
+        self._recovered = m.counter(
+            "service_jobs_recovered_total", "jobs resubmitted from journal replay"
+        )
         self._depth = m.gauge("service_queue_depth", "queued jobs by class")
         self._inflight_g = m.gauge("service_inflight_jobs", "jobs currently executing")
         self._wait_h = m.histogram("service_wait_seconds", "admission-to-execution wait")
@@ -142,17 +184,54 @@ class SolveService:
             "service_sim_makespan_seconds", "simulated device makespan per job"
         )
 
+    # -- journal -----------------------------------------------------------------
+
+    def _journal_record(self, event: str, job: Job, **fields: object) -> None:
+        if self.journal is None or self.journal.closed:
+            return
+        self.journal.record(event, job.key, **fields)
+        self._journal_records.inc(event=event)
+
+    def recover(self) -> list[Job]:
+        """Replay the journal: resubmit every admitted-but-unfinished job.
+
+        Call on a fresh service instance pointed at a crashed
+        predecessor's ``journal_path``, before (or after) ``start()``.
+        At-least-once, idempotent per recovery: jobs are deduped by
+        :attr:`~repro.service.job.Job.key` and force-admitted past the
+        depth caps — the predecessor already accepted them once.
+        Recovered jobs replay fault-free (the journal persists no
+        injector), matching the ladder's own one-shot fault semantics.
+        """
+        from repro.resilience.journal import incomplete_jobs, read_journal
+
+        require(self.journal is not None, "recovery needs a configured journal_path")
+        jobs = incomplete_jobs(read_journal(self.journal.path))
+        recovered: list[Job] = []
+        for job in jobs:
+            self._journal_record("recovered", job)
+            if self.submit(job, force=True).accepted:
+                self._recovered.inc()
+                recovered.append(job)
+        return recovered
+
     # -- producer API ------------------------------------------------------------
 
-    def submit(self, job: Job) -> AdmissionDecision:
-        """Offer *job* to admission control; never blocks."""
+    def submit(self, job: Job, force: bool = False) -> AdmissionDecision:
+        """Offer *job* to admission control; never blocks.
+
+        ``force`` (journal recovery only) bypasses the depth and class
+        caps — the job was already admitted once by a prior incarnation.
+        """
         self._submitted.inc(priority=job.priority.name.lower())
-        decision = self.queue.submit(job)
+        decision = self.queue.submit(job, force=force)
         if decision.accepted:
             job.submit_time = time.monotonic()
             self._depth.set(self.queue.depth_of(job.priority), priority=job.priority.name.lower())
+            self._journal_record("admitted", job, spec=job.to_spec())
         else:
             self._rejected.inc(priority=job.priority.name.lower())
+            self._journal_record("rejected", job, reason=decision.reason)
             self.results[job.job_id] = JobResult(
                 job_id=job.job_id,
                 status=JobStatus.REJECTED,
@@ -194,6 +273,32 @@ class SolveService:
         if self._inflight:
             await asyncio.gather(*self._inflight)
         await self.executor.stop()
+        if self.journal is not None:
+            self.journal.close()
+
+    async def abort(self) -> None:
+        """Crash-like shutdown: stop *now*, abandoning queued and in-flight work.
+
+        The chaos harness's stand-in for a service-process kill: nothing
+        drains, so admitted jobs stay unfinished in the journal and a
+        successor instance can :meth:`recover` them.  Cancellations are
+        collected with ``return_exceptions=True`` — the cancelled tasks'
+        ``CancelledError`` is their expected terminal state here, not a
+        failure to hide (rule RPL008 forbids swallowing it in handlers).
+        """
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            await asyncio.gather(self._dispatcher, return_exceptions=True)
+            self._dispatcher = None
+        inflight = list(self._inflight)
+        for task in inflight:
+            task.cancel()
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+        await self.queue.close()
+        await self.executor.stop()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- internals ---------------------------------------------------------------
 
@@ -212,6 +317,7 @@ class SolveService:
 
     async def _run_job(self, job: Job, assignment: Assignment) -> None:
         worker = assignment.worker
+        self._journal_record("dispatched", job, worker=worker.name)
         try:
             async with worker.semaphore:
                 self._inflight_g.inc()
@@ -239,6 +345,7 @@ class SolveService:
         error: str | None = None
         while outcome is None:
             attempts += 1
+            self._journal_record("attempt", job, number=attempts, kind="attempt")
             try:
                 request = AttemptRequest(
                     job=job, preset=worker.preset, machine=worker.machine, timeout_s=timeout
@@ -263,6 +370,7 @@ class SolveService:
             await asyncio.sleep(delay)
         if outcome is None and self.config.retry.fallback_to_checkpoint:
             self._fallbacks.inc()
+            self._journal_record("attempt", job, number=attempts + 1, kind="fallback")
             try:
                 request = AttemptRequest(
                     job=job,
@@ -321,6 +429,7 @@ class SolveService:
             residual=outcome.residual,
             error=error if status is JobStatus.FAILED else None,
             timeline=outcome.timeline,
+            factor=outcome.factor if self.config.keep_factors else None,
         )
         if status is JobStatus.COMPLETED and self.config.trace_dir is not None:
             self._dump_job_trace(job, result)
@@ -342,6 +451,13 @@ class SolveService:
 
     def _record(self, job: Job, result: JobResult) -> None:
         self.results[job.job_id] = result
+        self._journal_record(
+            result.status.value,
+            job,
+            attempts=result.attempts,
+            retries=result.retries,
+            fallback=result.fallback_used,
+        )
         self.queue.note_service_time(result.exec_s)
         if result.completed:
             self._completed.inc(worker=result.worker or "?")

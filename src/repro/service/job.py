@@ -76,6 +76,51 @@ class Job:
         """Useful factorization flops this job represents."""
         return potrf_flops(self.n)
 
+    @property
+    def key(self) -> str:
+        """The job's identity for journal dedup: ``(seed, job_id)``.
+
+        Everything deterministic about a job — input matrix, fault plans —
+        derives from this pair, so it is exactly the granularity at which
+        a replayed submission is "the same job".
+        """
+        return f"{self.seed}:{self.job_id}"
+
+    def to_spec(self) -> dict:
+        """The job as a plain-JSON dict the journal can persist.
+
+        The injector is deliberately excluded: injected faults are
+        one-shot *events*, not properties of the job, so a journal-replayed
+        job runs fault-free — the same restart semantics the retry ladder
+        applies when it disarms the injector before a retry.
+        """
+        return {
+            "job_id": int(self.job_id),
+            "n": int(self.n),
+            "scheme": self.scheme,
+            "priority": self.priority.name.lower(),
+            "block_size": None if self.block_size is None else int(self.block_size),
+            "numerics": self.numerics,
+            "verify_interval": int(self.verify_interval),
+            "seed": int(self.seed),
+            "timeout_s": None if self.timeout_s is None else float(self.timeout_s),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Job":
+        """Rebuild a job from :meth:`to_spec` output (journal replay)."""
+        return cls(
+            job_id=int(spec["job_id"]),
+            n=int(spec["n"]),
+            scheme=spec.get("scheme", "enhanced"),
+            priority=Priority.parse(spec.get("priority", "batch")),
+            block_size=spec.get("block_size"),
+            numerics=spec.get("numerics", "real"),
+            verify_interval=int(spec.get("verify_interval", 1)),
+            seed=int(spec.get("seed", 0)),
+            timeout_s=spec.get("timeout_s"),
+        )
+
 
 @dataclass
 class JobResult:
@@ -102,6 +147,9 @@ class JobResult:
     residual: float | None = None
     error: str | None = None
     timeline: object | None = field(default=None, repr=False, compare=False)
+    #: the factor itself, kept only when ``ServiceConfig.keep_factors`` is
+    #: set (chaos invariants compare factors bit-for-bit across scenarios)
+    factor: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def completed(self) -> bool:

@@ -207,3 +207,34 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             lines.extend(self._metrics[name].to_prometheus())
         return "\n".join(lines) + "\n"
+
+    def counters_snapshot(self) -> dict[str, dict[str, float]]:
+        """Every counter's per-label values, deep-copied.
+
+        The chaos harness samples this mid-run and at the end and asserts
+        monotonicity with :func:`counter_regressions` — a counter that
+        ever decreases means some code path resets or overwrites totals.
+        """
+        return {
+            metric.name: {_label_suffix(k) or "total": v for k, v in metric._values.items()}
+            for metric in self._metrics.values()
+            if isinstance(metric, Counter)
+        }
+
+
+def counter_regressions(
+    before: dict[str, dict[str, float]], after: dict[str, dict[str, float]]
+) -> list[str]:
+    """Counter series that *decreased* between two snapshots (should be none).
+
+    A label series missing from *after* counts as a regression too: a
+    counter's series can only ever be created, never dropped.
+    """
+    regressions: list[str] = []
+    for name, series in before.items():
+        later = after.get(name)
+        for label, value in series.items():
+            later_value = None if later is None else later.get(label)
+            if later_value is None or later_value < value:
+                regressions.append(f"{name}{'' if label == 'total' else label}: {value:g} -> {later_value}")
+    return regressions

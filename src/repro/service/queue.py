@@ -88,10 +88,20 @@ class JobQueue:
 
     # -- producer side -----------------------------------------------------------
 
-    def submit(self, job: Job) -> AdmissionDecision:
-        """Admit *job* or reject it with a retry-after hint (synchronous)."""
+    def submit(self, job: Job, force: bool = False) -> AdmissionDecision:
+        """Admit *job* or reject it with a retry-after hint (synchronous).
+
+        ``force`` bypasses the depth and class caps (never the closed
+        check): journal recovery re-admits jobs the service already
+        accepted once, so bouncing them off admission control would turn
+        an at-least-once replay into a lossy one.
+        """
         if self._closed:
             return AdmissionDecision(False, reason="queue closed")
+        if force:
+            self._queues[job.priority].append(job)
+            self._wake()
+            return AdmissionDecision(True, reason="forced")
         if self.depth >= self.max_depth:
             return AdmissionDecision(
                 False,

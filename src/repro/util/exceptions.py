@@ -92,3 +92,27 @@ class WorkerTaskError(ExecutorError):
     def __init__(self, exc_type: str, message: str) -> None:
         super().__init__(f"{exc_type}: {message}")
         self.exc_type = exc_type
+
+
+class ShmTransportError(ExecutorError):
+    """A shared-memory segment vanished or could not be attached mid-dispatch.
+
+    Models the /dev/shm file being truncated or removed underneath the
+    pool (an external tmpfs sweep, a resource-tracker race).  The executor
+    marks the slot's arena stale so the next dispatch re-creates the
+    segment; the attempt itself is retryable.
+    """
+
+
+class ShmIntegrityError(ExecutorError):
+    """A factor crossed the shared-memory transport corrupted.
+
+    The worker stamps each in-segment factor with a CRC32 of its bytes;
+    the parent re-hashes after copying out.  A mismatch means the segment
+    was scribbled on between the worker's write and the parent's read —
+    the result is discarded and the attempt retried, never returned.
+    """
+
+
+class JournalError(ReproError, RuntimeError):
+    """The durable job journal could not be written or replayed."""

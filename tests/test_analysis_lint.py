@@ -233,6 +233,59 @@ class TestNdarrayTransport:
         assert _lint_snippet(tmp_path, "core/mod.py", src, select=["RPL007"]) == []
 
 
+class TestRPL008SwallowedFailures:
+    def test_swallowed_cancellation_flagged(self, tmp_path):
+        src = (
+            "import asyncio\n"
+            "async def f(task):\n"
+            "    try:\n"
+            "        await task\n"
+            "    except asyncio.CancelledError:\n"
+            "        pass\n"
+        )
+        findings = _lint_snippet(tmp_path, "service/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL008"]
+        assert "CancelledError" in findings[0].message
+
+    def test_cancellation_with_reraise_is_fine(self, tmp_path):
+        src = (
+            "import asyncio\n"
+            "async def f(task):\n"
+            "    try:\n"
+            "        await task\n"
+            "    except asyncio.CancelledError:\n"
+            "        cleanup = True\n"
+            "        raise\n"
+        )
+        assert _lint_snippet(tmp_path, "exec/mod.py", src) == []
+
+    def test_silent_broad_except_flagged(self, tmp_path):
+        src = "try:\n    risky()\nexcept Exception:\n    pass\n"
+        findings = _lint_snippet(tmp_path, "resilience/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL008"]
+
+    def test_silent_bare_except_flagged(self, tmp_path):
+        src = "for x in items:\n    try:\n        risky(x)\n    except:\n        continue\n"
+        findings = _lint_snippet(tmp_path, "exec/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL008"]
+
+    def test_broad_except_with_real_handling_is_fine(self, tmp_path):
+        src = "try:\n    risky()\nexcept BaseException as exc:\n    report(exc)\n    raise\n"
+        assert _lint_snippet(tmp_path, "exec/mod.py", src) == []
+
+    def test_narrow_except_is_fine(self, tmp_path):
+        src = "try:\n    risky()\nexcept FileNotFoundError:\n    pass\n"
+        assert _lint_snippet(tmp_path, "service/mod.py", src) == []
+
+    def test_outside_concurrency_layers_ignored(self, tmp_path):
+        src = "try:\n    risky()\nexcept Exception:\n    pass\n"
+        assert _lint_snippet(tmp_path, "experiments/mod.py", src) == []
+
+    def test_noqa_marks_an_intentional_sink(self, tmp_path):
+        src = "try:\n    risky()\nexcept Exception:  # noqa: RPL008\n    pass\n"
+        assert _lint_snippet(tmp_path, "service/mod.py", src) == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses(self, tmp_path):
         src = "raise ValueError('x')  # noqa\n"
@@ -267,6 +320,7 @@ class TestDriver:
             "RPL005",
             "RPL006",
             "RPL007",
+            "RPL008",
         }
 
     def test_repo_source_tree_is_clean(self):

@@ -1,0 +1,240 @@
+"""Circuit breaker + failover chain: state machine, probes, degradation."""
+
+import pytest
+
+from repro.exec.base import AttemptRequest, Executor, is_infra_error
+from repro.resilience.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    FailoverExecutor,
+    failover_chain,
+)
+from repro.service.job import Job
+from repro.service.metrics import MetricsRegistry
+from repro.util.exceptions import (
+    ShmTransportError,
+    ValidationError,
+    WorkerCrashedError,
+    WorkerTaskError,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+POLICY = BreakerPolicy(failure_threshold=2, window_s=10.0, probe_backoff_s=1.0)
+
+
+def _breaker(policy=POLICY):
+    clock = FakeClock()
+    return CircuitBreaker("process", policy, clock), clock
+
+
+class TestCircuitBreaker:
+    def test_threshold_failures_open_it(self):
+        breaker, _ = _breaker()
+        assert not breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_failures_outside_the_window_are_pruned(self):
+        breaker, clock = _breaker()
+        breaker.record_failure()
+        clock.now = 11.0  # the first failure aged out of the 10s window
+        assert not breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_success_clears_the_failure_run(self):
+        breaker, _ = _breaker()
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()
+
+    def test_open_refuses_until_probe_backoff_elapses(self):
+        breaker, clock = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 1.0
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        assert not breaker.allow()  # the probe token is taken
+
+    def test_probe_success_closes_and_resets_escalation(self):
+        breaker, clock = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 1.0
+        breaker.allow()
+        assert breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.opened_streak == 0
+
+    def test_probe_failure_reopens_with_escalated_backoff(self):
+        breaker, clock = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()  # open #1: next probe at t=1
+        clock.now = 1.0
+        breaker.allow()
+        assert breaker.record_failure()  # probe fails -> open #2, backoff 2s
+        clock.now = 2.5
+        assert not breaker.allow()
+        clock.now = 3.0
+        assert breaker.allow()
+
+    def test_backoff_escalation_is_capped(self):
+        policy = BreakerPolicy(
+            failure_threshold=1, probe_backoff_s=1.0, backoff_factor=10.0, max_backoff_s=5.0
+        )
+        breaker, clock = _breaker(policy)
+        for _ in range(4):  # repeated probe failures
+            clock.now += 100.0
+            breaker.allow()
+            breaker.record_failure()
+        opened_at = clock.now
+        clock.now = opened_at + 4.9
+        assert not breaker.allow()
+        clock.now = opened_at + 5.0
+        assert breaker.allow()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            BreakerPolicy(backoff_factor=0.5)
+
+
+class ScriptedExecutor(Executor):
+    """A chain member whose dispatch outcomes follow a script."""
+
+    def __init__(self, name, metrics, script=()):
+        self.name = name
+        self.script = list(script)
+        self.calls = 0
+        super().__init__(capacity=2, metrics=metrics)
+
+    def run_sync(self, request):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else "ok"
+        if action == "crash":
+            raise WorkerCrashedError(f"{self.name} worker died")
+        if action == "shm":
+            raise ShmTransportError(f"{self.name} lost its segment")
+        if action == "task":
+            raise WorkerTaskError("ValidationError", "the job itself is bad")
+        return f"{self.name}-ok"
+
+
+def _chain(primary_script=(), fallback_script=()):
+    metrics = MetricsRegistry()
+    clock = FakeClock()
+    primary = ScriptedExecutor("process", metrics, primary_script)
+    fallback = ScriptedExecutor("thread", metrics, fallback_script)
+    exec_ = FailoverExecutor([primary, fallback], POLICY, metrics=metrics, clock=clock)
+    return exec_, primary, fallback, clock
+
+
+def _request():
+    return AttemptRequest(job=Job(job_id=0, n=64), preset="tardis")
+
+
+class TestFailoverExecutor:
+    def test_infra_error_classification(self):
+        assert is_infra_error(WorkerCrashedError("boom"))
+        assert is_infra_error(ShmTransportError("gone"))
+        assert not is_infra_error(WorkerTaskError("ValueError", "job bug"))
+        assert not is_infra_error(ValueError("unrelated"))
+
+    def test_healthy_primary_serves_everything(self):
+        exec_, primary, fallback, _ = _chain()
+        assert exec_.run_sync(_request()) == "process-ok"
+        assert (primary.calls, fallback.calls) == (1, 0)
+
+    def test_threshold_crashes_divert_to_fallback(self):
+        exec_, primary, fallback, _ = _chain(primary_script=["crash", "crash"])
+        for _ in range(2):
+            with pytest.raises(WorkerCrashedError):
+                exec_.run_sync(_request())
+        assert exec_.run_sync(_request()) == "thread-ok"
+        assert primary.calls == 2
+        failovers = exec_.metrics["executor_failovers_total"]
+        assert failovers.value(**{"from": "process", "to": "thread"}) == 1
+        assert exec_.metrics["executor_breaker_state"].value(backend="process") == 2
+
+    def test_job_errors_never_open_the_breaker(self):
+        exec_, primary, _, _ = _chain(primary_script=["task", "task", "task"])
+        for _ in range(3):
+            with pytest.raises(WorkerTaskError):
+                exec_.run_sync(_request())
+        assert exec_.breakers["process"].state is BreakerState.CLOSED
+        assert primary.calls == 3
+
+    def test_probe_success_recovers_to_primary(self):
+        exec_, primary, fallback, clock = _chain(primary_script=["crash", "crash"])
+        for _ in range(2):
+            with pytest.raises(WorkerCrashedError):
+                exec_.run_sync(_request())
+        assert exec_.run_sync(_request()) == "thread-ok"  # degraded
+        clock.now = 1.5  # past probe_backoff_s
+        assert exec_.run_sync(_request()) == "process-ok"  # the probe itself
+        assert exec_.breakers["process"].state is BreakerState.CLOSED
+        assert exec_.run_sync(_request()) == "process-ok"  # recovered
+        m = exec_.metrics
+        assert m["executor_breaker_recoveries_total"].value(backend="process") == 1
+        assert m["executor_breaker_probes_total"].value(backend="process", outcome="success") == 1
+        assert m["executor_breaker_state"].value(backend="process") == 0
+
+    def test_all_open_still_serves_on_the_last_member(self):
+        exec_, primary, fallback, _ = _chain(
+            primary_script=["crash"] * 2, fallback_script=["crash"] * 2 + ["ok"]
+        )
+        for _ in range(4):
+            with pytest.raises(WorkerCrashedError):
+                exec_.run_sync(_request())
+        # Both breakers open, probes not yet due: the floor still serves.
+        assert exec_.run_sync(_request()) == "thread-ok"
+
+    def test_duplicate_chain_names_rejected(self):
+        metrics = MetricsRegistry()
+        a = ScriptedExecutor("thread", metrics)
+        b = ScriptedExecutor("thread", metrics)
+        with pytest.raises(ValidationError):
+            FailoverExecutor([a, b], POLICY, metrics=metrics)
+
+    def test_capacity_is_the_primarys(self):
+        exec_, primary, _, _ = _chain()
+        assert exec_.capacity == primary.capacity
+
+
+class TestFailoverChain:
+    def test_process_degrades_through_thread_to_inline(self):
+        exec_ = failover_chain("process", workers=1)
+        assert [m.name for m in exec_.chain] == ["process", "thread", "inline"]
+
+    def test_inline_primary_has_no_fallbacks(self):
+        exec_ = failover_chain("inline")
+        assert [m.name for m in exec_.chain] == ["inline"]
+
+    def test_chain_shares_one_registry(self):
+        metrics = MetricsRegistry()
+        exec_ = failover_chain("thread", metrics=metrics)
+        assert exec_.metrics is metrics
+        assert all(member.metrics is metrics for member in exec_.chain)
+
+    def test_unknown_primary_rejected(self):
+        with pytest.raises(ValidationError):
+            failover_chain("gpu")

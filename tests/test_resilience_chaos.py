@@ -1,0 +1,107 @@
+"""Chaos harness: scenario mechanics and scorecard contract.
+
+The thread-backed scenarios (flood, stop race, kill-and-restart) run here
+in full — they are fast and deterministic.  The process-pool scenarios are
+exercised by ``repro chaos --quick`` in CI (and their building blocks by
+``tests/test_exec_shm.py``); spawning several pools per test run would
+dominate the suite's wall clock for no extra coverage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import chaos
+from repro.util.exceptions import ValidationError
+
+CFG = chaos.ChaosConfig(jobs=4, n=48, block_size=16, exec_workers=1)
+
+
+class TestScenarioRegistry:
+    def test_quick_subset_is_registered(self):
+        assert set(chaos.QUICK_SCENARIOS) <= set(chaos.SCENARIOS)
+
+    def test_quick_includes_kill_and_restart(self):
+        assert "kill_restart" in chaos.QUICK_SCENARIOS
+
+    def test_at_least_six_scenarios(self):
+        # The acceptance floor: worker kill, wedge, shm corruption and
+        # truncation, flood, stop race (+ breaker, journal recovery).
+        assert len(chaos.SCENARIOS) >= 6
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError):
+            chaos.run_chaos(CFG, ("no_such_fault",))
+
+
+class TestCheapScenarios:
+    def test_queue_flood_rejects_and_loses_nothing(self):
+        result = chaos.scenario_queue_flood(CFG)
+        assert result.ok, result.violations
+        assert result.rejected > 0
+        assert result.invariants["rejections_have_retry_after"]
+        assert result.invariants["no_lost_jobs"]
+        assert result.invariants["metrics_consistent"]
+
+    def test_stop_race_settles_every_job(self):
+        result = chaos.scenario_stop_race(CFG)
+        assert result.ok, result.violations
+        assert result.submitted == result.completed + result.failed + result.rejected
+
+    def test_kill_restart_recovers_the_backlog(self, tmp_path):
+        cfg = chaos.ChaosConfig(
+            jobs=4, n=48, block_size=16, exec_workers=1, workdir=tmp_path
+        )
+        result = chaos.scenario_kill_restart(cfg)
+        assert result.ok, result.violations
+        assert result.invariants["journal_replay_complete"]
+        assert result.invariants["journal_drained"]
+        assert result.notes["admitted"] == 4
+        assert result.notes["incomplete_after_recovery"] == 0
+        assert (tmp_path / "kill_restart.journal.jsonl").exists()
+
+
+class TestScorecard:
+    def test_doc_shape_and_render(self, tmp_path):
+        doc = chaos.run_chaos(CFG, ("stop_race",))
+        assert doc["schema"] == chaos.SCHEMA_VERSION
+        assert doc["generated_by"] == "python -m repro chaos"
+        assert "stamp" in doc and "scenarios" in doc
+        assert doc["ok"] is True
+        path = chaos.write(doc, tmp_path / "BENCH_chaos.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["scenarios"]["stop_race"]["ok"]
+        text = chaos.render(doc)
+        assert "stop_race" in text and "PASS" in text
+
+    def test_render_lists_violations(self):
+        doc = {
+            "config": {"jobs": 1, "n": 8, "block_size": 4, "exec_workers": 1},
+            "scenarios": {
+                "x": {
+                    "ok": False,
+                    "violations": ["no_lost_jobs"],
+                    "completed": 0,
+                    "failed": 1,
+                    "rejected": 0,
+                    "retries": 0,
+                    "p99_s": 0.0,
+                    "wall_s": 0.0,
+                }
+            },
+            "ok": False,
+        }
+        text = chaos.render(doc)
+        assert "violated: no_lost_jobs" in text
+        assert "overall: FAIL" in text
+
+    def test_reference_factors_are_deterministic(self):
+        jobs = chaos._jobs(CFG, count=2)
+        first = chaos._reference_factors(jobs)
+        second = chaos._reference_factors(jobs)
+        import numpy as np
+
+        for job in jobs:
+            assert np.array_equal(first[job.job_id], second[job.job_id])
