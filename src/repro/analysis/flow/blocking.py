@@ -1,0 +1,106 @@
+"""RPL102 — blocking calls reachable from ``async def`` without a handoff.
+
+Roots are every ``async def`` in the analyzed file set.  From each root
+the checker follows only *synchronous* call edges — an ``await`` into an
+async callee hands off to that coroutine, which is its own root; a call
+routed through ``asyncio.to_thread`` / ``run_in_executor`` leaves the
+event loop and sanitizes everything below it.  If the walk reaches a
+known blocking sink (``time.sleep``, ``os.fsync``, sync file I/O, a
+non-awaited blocking ``queue.get``, an ``np.linalg`` factorization), the
+event loop would stall for the sink's duration.
+
+Findings anchor at the *first call edge inside the async root* — that is
+the line a reader can fix (wrap in ``to_thread``) — with the sink's own
+site recorded as an alternate suppression anchor: a ``# noqa: RPL102`` on
+either line silences the path, so a deliberately-blocking primitive
+(``InlineExecutor.execute``, the journal's batched ``fsync``) is
+suppressed once at its source instead of at every async caller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, FunctionInfo, Sink
+from repro.analysis.report import Finding
+
+__all__ = ["check_blocking"]
+
+RULE_ID = "RPL102"
+
+
+def _sink_findings_for_root(root: FunctionInfo, graph: CallGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    reported: set[tuple[str, int]] = set()  # (sink path, sink line)
+
+    def report(sink: Sink, holder: FunctionInfo, first_edge: CallSite | None) -> None:
+        key = (holder.path, sink.line)
+        if key in reported:
+            return
+        reported.add(key)
+        if first_edge is None:
+            where = f"{root.path}:{sink.line}"
+            via = "directly"
+            also: list[str] = []
+        else:
+            where = f"{root.path}:{first_edge.line}"
+            via = f"via sync call '{first_edge.callee}()' ({holder.path}:{sink.line})"
+            also = [f"{holder.path}:{sink.line}"]
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                severity="error",
+                message=(
+                    f"async '{root.name}' reaches blocking {sink.kind} "
+                    f"'{sink.label}' {via}; hand it off with asyncio.to_thread / "
+                    "run_in_executor"
+                ),
+                where=where,
+                detail={
+                    "file": root.path,
+                    "line": sink.line if first_edge is None else first_edge.line,
+                    "sink": f"{holder.path}:{sink.line}",
+                    "also_suppress": also,
+                },
+            )
+        )
+
+    # Sinks in the root's own body (awaited queue.get is already excluded
+    # at extraction time).
+    for sink in root.sinks:
+        report(sink, root, None)
+
+    # BFS over sync, unsanitized edges; each path remembers the edge in
+    # the root that started it (the fix/suppression anchor).
+    seen: set[str] = {root.qualname}
+    work: deque[tuple[FunctionInfo, CallSite]] = deque()
+    for call in root.calls:
+        if call.awaited or call.sanitized:
+            continue
+        for callee in graph.resolve_call(call, root):
+            if callee.is_async or callee.qualname in seen:
+                continue
+            seen.add(callee.qualname)
+            work.append((callee, call))
+    while work:
+        fn, first_edge = work.popleft()
+        for sink in fn.sinks:
+            report(sink, fn, first_edge)
+        for call in fn.calls:
+            if call.awaited or call.sanitized:
+                continue
+            for callee in graph.resolve_call(call, fn):
+                if callee.is_async or callee.qualname in seen:
+                    continue
+                seen.add(callee.qualname)
+                work.append((callee, first_edge))
+    return findings
+
+
+def check_blocking(graph: CallGraph) -> list[Finding]:
+    """RPL102 over a built call graph."""
+    findings: list[Finding] = []
+    for fn in graph.functions:
+        if fn.is_async:
+            findings.extend(_sink_findings_for_root(fn, graph))
+    return findings

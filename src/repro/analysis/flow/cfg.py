@@ -1,0 +1,322 @@
+"""Statement-level control-flow graphs with exception edges.
+
+One :class:`CFG` per function (or module body).  Nodes are individual
+``ast.stmt`` objects plus two synthetic terminals:
+
+- ``EXIT`` — normal completion (fall off the end, ``return``);
+- ``REXIT`` — exceptional completion (an uncaught exception unwinds out
+  of the function).
+
+Each node carries two successor sets:
+
+- ``succ`` — normal-flow successors (the statement completed);
+- ``esucc`` — exception successors (the statement raised).  Every
+  statement is conservatively assumed to *may* raise: attribute access,
+  arithmetic, calls — nearly anything can throw in Python, and for
+  leak-on-raise analysis the cost of a spurious exception edge is far
+  lower than a missed one.
+
+``try`` modeling (the part pattern-matchers can't do):
+
+- Statements in a ``try`` body get exception edges to every handler
+  entry.  An edge to the *outer* exception target is added only when no
+  handler catches broadly (bare ``except`` / ``Exception`` /
+  ``BaseException``) — otherwise a handler that releases-and-reraises
+  would be reported as a leak even though it always runs.
+- A ``finally`` block is built once; its exit edges go to the
+  after-``try`` node, the outer exception target, and — when the
+  protected region contains ``return``/``break``/``continue`` — the
+  corresponding abrupt-completion targets.  That merges the
+  continuations (a may-analysis over-approximation): facts live at the
+  ``finally`` exit flow to all of them, which is exactly what makes
+  "released only on the happy path" visible.
+- ``return`` inside a ``try``/``finally`` routes through the innermost
+  enclosing ``finally`` (not straight to ``EXIT``), so a release in the
+  ``finally`` is correctly seen on the return path.
+- ``with`` blocks do **not** model ``__exit__`` as a release; checkers
+  that care (RPL101) treat ``with`` items as self-managing and never
+  track them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.util.exceptions import ValidationError
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+# Exception types a handler for which means "this handler sees every
+# unwind" — the try body then needs no exception edge past the handlers.
+_BROAD_HANDLERS = {"Exception", "BaseException"}
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic terminal) in a function's CFG."""
+
+    index: int
+    stmt: ast.stmt | None  # None for EXIT / REXIT / FIN / EXC
+    label: str = ""
+    succ: set[int] = field(default_factory=set)
+    esucc: set[int] = field(default_factory=set)
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+
+@dataclass
+class CFG:
+    """Control-flow graph for one function body."""
+
+    name: str
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+    rexit: int
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def statement_nodes(self) -> list[CFGNode]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def preds(self) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+        """(normal-predecessors, exception-predecessors) maps."""
+        npred: dict[int, set[int]] = {n.index: set() for n in self.nodes}
+        epred: dict[int, set[int]] = {n.index: set() for n in self.nodes}
+        for n in self.nodes:
+            for s in n.succ:
+                npred[s].add(n.index)
+            for s in n.esucc:
+                epred[s].add(n.index)
+        return npred, epred
+
+
+def _region_has(stmts: list[ast.stmt], kinds: tuple[type, ...]) -> bool:
+    return any(isinstance(n, kinds) for s in stmts for n in ast.walk(s))
+
+
+# Loop context: (header index, after index, finally-stack depth at entry).
+_Loop = tuple[int, int, int]
+
+
+class _Builder:
+    """Recursive-descent CFG construction.
+
+    Each ``_build_*`` method wires a statement sequence between an entry
+    point and its continuation targets, threading context: the normal
+    continuation, the exception target (where a raise inside the region
+    lands), the loop header/after pair for ``break``/``continue``, and a
+    stack of enclosing ``finally`` entries so abrupt completions route
+    through them.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: list[CFGNode] = []
+        self.exit = self._synthetic("EXIT")
+        self.rexit = self._synthetic("REXIT")
+        self._fin_stack: list[int] = []
+
+    def _synthetic(self, label: str) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=None, label=label)
+        self.nodes.append(node)
+        return node.index
+
+    def _stmt_node(self, stmt: ast.stmt) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, label=type(stmt).__name__)
+        self.nodes.append(node)
+        return node.index
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        entry = self._seq(body, after=self.exit, exc=self.rexit, loop=None)
+        return CFG(name=self.name, nodes=self.nodes, entry=entry, exit=self.exit, rexit=self.rexit)
+
+    # ── sequencing ──────────────────────────────────────────────────────
+
+    def _seq(self, body: list[ast.stmt], after: int, exc: int, loop: _Loop | None) -> int:
+        """Wire *body* so it continues to *after*; return its entry index."""
+        entry = after
+        # Build back-to-front so each statement knows its continuation.
+        for stmt in reversed(body):
+            entry = self._stmt(stmt, after=entry, exc=exc, loop=loop)
+        return entry
+
+    def _stmt(self, stmt: ast.stmt, after: int, exc: int, loop: _Loop | None) -> int:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, after, exc, loop)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, after, exc)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, after, exc, loop)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, after, exc, loop)
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt)
+            target = self._fin_stack[-1] if self._fin_stack else self.exit
+            self.nodes[node].succ.add(target)
+            self.nodes[node].esucc.add(exc)
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt_node(stmt)
+            self.nodes[node].esucc.add(exc)
+            return node
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self._stmt_node(stmt)
+            if loop is not None:
+                header, loop_after, fin_depth = loop
+                inner_fins = self._fin_stack[fin_depth:]
+                direct = loop_after if isinstance(stmt, ast.Break) else header
+                self.nodes[node].succ.add(inner_fins[-1] if inner_fins else direct)
+            self.nodes[node].esucc.add(exc)
+            return node
+        # Nested defs/classes: a single node, no descent (each function
+        # gets its own CFG); everything else is a plain statement.
+        node = self._stmt_node(stmt)
+        self.nodes[node].succ.add(after)
+        self.nodes[node].esucc.add(exc)
+        return node
+
+    # ── compound statements ─────────────────────────────────────────────
+
+    def _build_if(self, stmt: ast.If, after: int, exc: int, loop: _Loop | None) -> int:
+        node = self._stmt_node(stmt)
+        then_entry = self._seq(stmt.body, after=after, exc=exc, loop=loop)
+        else_entry = self._seq(stmt.orelse, after=after, exc=exc, loop=loop)
+        self.nodes[node].succ.update({then_entry, else_entry})
+        self.nodes[node].esucc.add(exc)
+        return node
+
+    def _build_loop(self, stmt: ast.While | ast.For | ast.AsyncFor, after: int, exc: int) -> int:
+        header = self._stmt_node(stmt)
+        # ``orelse`` runs when the loop ends without break; for fact
+        # tracking it's just another path from header to after.
+        else_entry = self._seq(stmt.orelse, after=after, exc=exc, loop=None)
+        body_entry = self._seq(
+            stmt.body, after=header, exc=exc, loop=(header, after, len(self._fin_stack))
+        )
+        self.nodes[header].succ.update({body_entry, else_entry})
+        if not stmt.orelse:
+            self.nodes[header].succ.add(after)
+        self.nodes[header].esucc.add(exc)
+        return header
+
+    def _build_with(
+        self, stmt: ast.With | ast.AsyncWith, after: int, exc: int, loop: _Loop | None
+    ) -> int:
+        # The with-statement node models entering the context managers
+        # (which may raise before the body runs).  ``__exit__`` is not
+        # modeled as a statement: context managers are self-releasing, so
+        # checkers never track with-items, and body exceptions propagate
+        # to the enclosing exception target unchanged.
+        node = self._stmt_node(stmt)
+        body_entry = self._seq(stmt.body, after=after, exc=exc, loop=loop)
+        self.nodes[node].succ.add(body_entry)
+        self.nodes[node].esucc.add(exc)
+        return node
+
+    def _build_try(self, stmt: ast.Try, after: int, exc: int, loop: _Loop | None) -> int:
+        protected = (
+            stmt.body
+            + [s for h in stmt.handlers for s in h.body]
+            + stmt.orelse
+        )
+        if stmt.finalbody:
+            # finally: built once; its exits reach every continuation the
+            # protected region can complete to (merged continuations — a
+            # may-analysis over-approximation).
+            fin_targets = {after, exc}
+            if _region_has(protected, (ast.Return,)):
+                # A return routes through this finally, then onward to
+                # the next enclosing finally (or EXIT).
+                fin_targets.add(self._fin_stack[-1] if self._fin_stack else self.exit)
+            if loop is not None:
+                header, loop_after, fin_depth = loop
+                if len(self._fin_stack) >= fin_depth:
+                    if _region_has(protected, (ast.Break,)):
+                        fin_targets.add(loop_after)
+                    if _region_has(protected, (ast.Continue,)):
+                        fin_targets.add(header)
+            fin_entry = self._seq_fanout(stmt.finalbody, fin_targets, exc=exc, loop=loop)
+            after_inner = fin_entry
+            exc_inner = fin_entry
+            self._fin_stack.append(fin_entry)
+        else:
+            after_inner = after
+            exc_inner = exc
+
+        try:
+            # Handlers: body continues to the finally (or after); a raise
+            # inside a handler goes to the finally-as-exception-path (or
+            # the outer target).
+            handler_entries: list[int] = []
+            broad = False
+            for handler in stmt.handlers:
+                handler_entries.append(
+                    self._seq(handler.body, after=after_inner, exc=exc_inner, loop=loop)
+                )
+                broad = broad or _handler_is_broad(handler)
+
+            # else: runs after the try body completes normally.
+            else_entry = self._seq(stmt.orelse, after=after_inner, exc=exc_inner, loop=loop)
+
+            # try body: exceptions go to every handler entry, plus the
+            # finally/outer path unless some handler catches broadly.
+            body_exc_targets = set(handler_entries)
+            if not broad:
+                body_exc_targets.add(exc_inner)
+            return self._seq_hub(
+                stmt.body, after=else_entry, exc_targets=body_exc_targets, loop=loop
+            )
+        finally:
+            if stmt.finalbody:
+                self._fin_stack.pop()
+
+    # ── multi-target plumbing ───────────────────────────────────────────
+
+    def _seq_fanout(
+        self, body: list[ast.stmt], after_targets: set[int], exc: int, loop: _Loop | None
+    ) -> int:
+        """Like :meth:`_seq` but the sequence's exit fans out to several
+        normal continuations (used for ``finally`` exits)."""
+        join = self._synthetic("FIN")
+        self.nodes[join].succ.update(after_targets)
+        return self._seq(body, after=join, exc=exc, loop=loop)
+
+    def _seq_hub(
+        self, body: list[ast.stmt], after: int, exc_targets: set[int], loop: _Loop | None
+    ) -> int:
+        """Like :meth:`_seq` but every statement's exception edge fans out
+        to several targets (try body → handlers + maybe outer)."""
+        if not exc_targets:
+            raise ValidationError("try body needs at least one exception target")
+        if len(exc_targets) == 1:
+            return self._seq(body, after=after, exc=next(iter(exc_targets)), loop=loop)
+        hub = self._synthetic("EXC")
+        # The hub's *exception* successors carry facts onward; dataflow
+        # treats synthetic nodes as identity transfers, so this is purely
+        # topological.
+        self.nodes[hub].esucc.update(exc_targets)
+        return self._seq(body, after=after, exc=hub, loop=loop)
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: list[ast.expr] = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in names:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD_HANDLERS:
+            return True
+        if isinstance(expr, ast.Attribute) and expr.attr in _BROAD_HANDLERS:
+            return True
+    return False
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef, name: str | None = None) -> CFG:
+    """Build the CFG for one function definition."""
+    return _Builder(name or func.name).build(func.body)

@@ -1,0 +1,84 @@
+"""A small forward may-dataflow engine over :mod:`repro.analysis.flow.cfg`.
+
+Facts are opaque hashable values.  Each CFG node has a *gen* set and a
+*kill* set (synthetic nodes have neither), and the engine iterates to a
+fixpoint with the usual worklist:
+
+- ``OUT_normal[n] = (IN[n] - kill[n]) | gen[n]``
+- ``OUT_exc[n]    =  IN[n] - kill[n]``
+- ``IN[n] = ⋃ OUT_normal[p] over normal preds  ∪  ⋃ OUT_exc[p] over
+  exception preds``
+
+The asymmetry is the whole point of having exception edges:
+
+- **gen only on the normal edge** — if a statement raises, whatever it
+  would have acquired was never acquired; the exception path must not
+  carry the new fact.
+- **kill on both edges** — a release statement that itself raises still
+  counts as having disposed of the resource.  Without this, *every*
+  ``acquire``/``release`` pair would flag leak-on-raise via the release
+  statement's own exception edge, drowning real findings.
+
+This is a may-analysis (union at joins): a fact reaches a node if it
+holds on *some* path, which is the right polarity for "may leak" and
+"may double-release" reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Hashable
+
+from repro.analysis.flow.cfg import CFG, CFGNode
+
+__all__ = ["GenKill", "solve_forward"]
+
+Fact = Hashable
+# transfer(node) -> (gen, kill); called once per statement node.
+GenKill = Callable[[CFGNode], tuple[set[Fact], set[Fact]]]
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: GenKill,
+    entry_facts: set[Fact] | None = None,
+) -> dict[int, frozenset[Fact]]:
+    """Solve to fixpoint; returns ``IN`` facts per node index.
+
+    ``IN[cfg.exit]`` are the facts that may hold at normal return;
+    ``IN[cfg.rexit]`` are the facts that may hold when an exception
+    escapes the function — the leak-on-raise set.
+    """
+    gen: dict[int, set[Fact]] = {}
+    kill: dict[int, set[Fact]] = {}
+    for node in cfg.nodes:
+        if node.stmt is None:
+            gen[node.index], kill[node.index] = set(), set()
+        else:
+            gen[node.index], kill[node.index] = transfer(node)
+
+    npred, epred = cfg.preds()
+    in_facts: dict[int, set[Fact]] = {n.index: set() for n in cfg.nodes}
+    in_facts[cfg.entry] = set(entry_facts or ())
+
+    # Seed with every node: predecessors' OUT values start empty but the
+    # entry's facts (and gens) must propagate even through cycles.
+    work: deque[int] = deque(n.index for n in cfg.nodes)
+    queued = set(work)
+    while work:
+        idx = work.popleft()
+        queued.discard(idx)
+        merged: set[Fact] = set(in_facts[idx]) if idx == cfg.entry else set()
+        for p in npred[idx]:
+            merged |= (in_facts[p] - kill[p]) | gen[p]
+        for p in epred[idx]:
+            merged |= in_facts[p] - kill[p]
+        if merged != in_facts[idx]:
+            in_facts[idx] = merged
+            node = cfg.nodes[idx]
+            for s in node.succ | node.esucc:
+                if s not in queued:
+                    queued.add(s)
+                    work.append(s)
+    return {idx: frozenset(facts) for idx, facts in in_facts.items()}

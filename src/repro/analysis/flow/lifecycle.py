@@ -1,0 +1,308 @@
+"""RPL101 — resource lifecycle over the CFG (leak-on-raise, double-release).
+
+Scope: files under ``exec/``, ``service/`` and ``resilience/`` — the
+layers that hand-manage locks, shared-memory segments, journal file
+handles and started services.  (``hetero/memory.py`` manages arena leases
+with its own ref-counting and finalizers; it is deliberately out of
+scope.)
+
+Tracked resource kinds and their protocols:
+
+========  ==========================================  ==========================================
+kind      acquired by                                 released by
+========  ==========================================  ==========================================
+lock      ``<expr>.acquire()``                        ``<expr>.release()`` on the same expr text
+service   ``name.start_executor()`` / ``name.start()``  ``stop/stop_sync/abort/close/join/terminate/kill``
+file      ``name = open(...)`` / ``name = p.open(...)``  ``name.close()``
+shm       ``name = SharedArena/SharedMemory/...(...)``   ``close/release/unlink/unlink_backing/detach``
+========  ==========================================  ==========================================
+
+Lock receivers are matched by their expression text (``self._slots``);
+the other kinds require a plain local name, and the fact is *killed* when
+that name escapes the function — returned, stored into an attribute or
+container, or passed as a call argument — because an escaped resource's
+lifetime is someone else's intra-procedural problem.
+
+The dataflow polarity (gen on the normal edge only, kill on both — see
+:mod:`repro.analysis.flow.dataflow`) yields the two reports:
+
+- a held-fact alive at ``REXIT`` → acquired, then an exception escaped
+  before any release ran: **leak-on-raise**;
+- a held-fact alive at ``EXIT`` → some normal return path skips the
+  release: **leak-on-return**;
+- at a release site, a rel-fact present with no held-fact → the same
+  resource was already released on every path reaching here:
+  **double-release**.
+
+``with`` items are never tracked (context managers self-release), and a
+resource deliberately handed to another owner gets ``# noqa: RPL101``
+with a comment at the acquire line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+from repro.analysis.flow.cfg import CFGNode, build_cfg
+from repro.analysis.flow.dataflow import solve_forward
+from repro.analysis.report import Finding
+
+__all__ = ["check_lifecycle", "function_lifecycle_findings"]
+
+RULE_ID = "RPL101"
+
+_SCOPE_DIRS = {"exec", "service", "resilience"}
+
+_SHM_CONSTRUCTORS = {"SharedArena", "SharedMemory", "attach_shared_array"}
+_SERVICE_ACQUIRE = {"start_executor", "start"}
+_SERVICE_RELEASE = {"stop", "stop_sync", "abort", "close", "join", "terminate", "kill"}
+_SHM_RELEASE = {"close", "release", "unlink", "unlink_backing", "detach"}
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One acquire/release recognized inside a single statement."""
+
+    kind: str  # "lock" | "service" | "file" | "shm"
+    recv: str  # receiver text ("self._slots") or local name ("fh")
+    line: int
+
+
+def _unparse_recv(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions evaluated *by this statement itself* — excludes
+    nested statement bodies, which are separate CFG nodes."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return [stmt]  # simple statements: walk the whole node
+
+
+def _iter_calls(exprs: list[ast.expr]):
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                yield node
+
+
+@dataclass
+class _StmtOps:
+    acquires: list[_Op]
+    releases: list[_Op]
+    escapes: set[str]  # receiver names whose facts die here
+
+
+def _with_bound_names(func: ast.AST) -> set[str]:
+    """Names bound by ``with ... as name`` anywhere in the function —
+    those resources are context-managed and never tracked."""
+    bound: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    bound.add(item.optional_vars.id)
+    return bound
+
+
+def _scan_stmt(stmt: ast.stmt, name_kinds: dict[str, str], skip: set[str]) -> _StmtOps:
+    """Recognize the ops a single statement performs.
+
+    *name_kinds* maps already-seen Name receivers to their kind so a
+    release like ``fh.close()`` is attributed to the right resource;
+    *skip* holds with-bound names that must never be tracked.
+    """
+    ops = _StmtOps(acquires=[], releases=[], escapes=set())
+    exprs = _own_exprs(stmt)
+
+    # Name-receiver acquisitions: ``x = open(...)`` / ``x = SharedArena(...)``.
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        value = stmt.value
+        if isinstance(value, ast.Await):
+            value = value.value
+        if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+            callee = None
+            if isinstance(value.func, ast.Name):
+                callee = value.func.id
+            elif isinstance(value.func, ast.Attribute):
+                callee = value.func.attr
+            if target.id not in skip:
+                if callee == "open":
+                    ops.acquires.append(_Op("file", target.id, stmt.lineno))
+                    name_kinds[target.id] = "file"
+                elif callee in _SHM_CONSTRUCTORS:
+                    ops.acquires.append(_Op("shm", target.id, stmt.lineno))
+                    name_kinds[target.id] = "shm"
+
+    for call in _iter_calls(exprs):
+        method = call.func.attr
+        recv_node = call.func.value
+        recv = _unparse_recv(recv_node)
+        if recv is None:
+            continue
+        is_name = isinstance(recv_node, ast.Name)
+        if method == "acquire":
+            ops.acquires.append(_Op("lock", recv, call.lineno))
+        elif method == "release" and recv not in name_kinds:
+            ops.releases.append(_Op("lock", recv, call.lineno))
+        elif is_name and recv not in skip and method in _SERVICE_ACQUIRE:
+            ops.acquires.append(_Op("service", recv, call.lineno))
+            name_kinds.setdefault(recv, "service")
+        elif is_name and recv in name_kinds:
+            kind = name_kinds[recv]
+            if kind == "service" and method in _SERVICE_RELEASE:
+                ops.releases.append(_Op(kind, recv, call.lineno))
+            elif kind == "file" and method == "close":
+                ops.releases.append(_Op(kind, recv, call.lineno))
+            elif kind == "shm" and method in _SHM_RELEASE:
+                ops.releases.append(_Op(kind, recv, call.lineno))
+
+    # Escapes: a tracked *name* used outside a ``recv.method(...)`` chain
+    # (returned, stored, passed as an argument) leaves our jurisdiction.
+    tracked_names = {n for n in name_kinds if n not in skip}
+    if tracked_names:
+        for expr in exprs:
+            for parent in ast.walk(expr):
+                for fieldname, value in ast.iter_fields(parent):
+                    children = value if isinstance(value, list) else [value]
+                    for child in children:
+                        if (
+                            isinstance(child, ast.Name)
+                            and isinstance(child.ctx, ast.Load)
+                            and child.id in tracked_names
+                        ):
+                            base_of_attr = (
+                                isinstance(parent, ast.Attribute) and fieldname == "value"
+                            )
+                            if not base_of_attr:
+                                ops.escapes.add(child.id)
+    return ops
+
+
+def function_lifecycle_findings(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, path: str
+) -> list[Finding]:
+    """Run the RPL101 dataflow over one function; returns its findings."""
+    cfg = build_cfg(func)
+    skip = _with_bound_names(func)
+
+    # Pass 1: per-statement ops (name_kinds accumulates across statements
+    # in source order so releases after the acquire resolve their kind).
+    name_kinds: dict[str, str] = {}
+    stmt_ops: dict[int, _StmtOps] = {}
+    for node in sorted(cfg.statement_nodes(), key=lambda n: n.line):
+        stmt_ops[node.index] = _scan_stmt(node.stmt, name_kinds, skip)
+
+    # Universes of possible facts per receiver, so kill sets can be
+    # concrete (the engine takes sets, not predicates).
+    held_universe: dict[str, set[tuple]] = {}
+    rel_universe: dict[str, set[tuple]] = {}
+    for ops in stmt_ops.values():
+        for op in ops.acquires:
+            held_universe.setdefault(op.recv, set()).add(("H", op.kind, op.recv, op.line))
+        for op in ops.releases:
+            rel_universe.setdefault(op.recv, set()).add(("R", op.recv, op.line))
+    if not held_universe:
+        return []
+
+    def transfer(node: CFGNode) -> tuple[set, set]:
+        ops = stmt_ops[node.index]
+        gen: set = set()
+        kill: set = set()
+        for recv in ops.escapes:
+            kill |= held_universe.get(recv, set())
+            kill |= rel_universe.get(recv, set())
+        for op in ops.releases:
+            kill |= held_universe.get(op.recv, set())
+            gen.add(("R", op.recv, op.line))
+        for op in ops.acquires:
+            fact = ("H", op.kind, op.recv, op.line)
+            kill |= held_universe.get(op.recv, set()) - {fact}
+            kill |= rel_universe.get(op.recv, set())
+            gen.add(fact)
+        return gen, kill
+
+    in_facts = solve_forward(cfg, transfer)
+
+    findings: list[Finding] = []
+
+    def held(facts, recv: str) -> bool:
+        return any(f[0] == "H" and f[2] == recv for f in facts)
+
+    # Double-release: at a release site, a *different* release already ran
+    # on some path and nothing is held.  (Same-line rel facts are ignored
+    # so a single release inside a loop body — balancing per-iteration
+    # acquires — doesn't flag itself via the back edge.)
+    for node in cfg.statement_nodes():
+        facts = in_facts[node.index]
+        for op in stmt_ops[node.index].releases:
+            prior = any(f[0] == "R" and f[1] == op.recv and f[2] != op.line for f in facts)
+            if prior and not held(facts, op.recv):
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        severity="error",
+                        message=(
+                            f"{op.kind} '{op.recv}' may already be released when "
+                            f"released again here (in {func.name})"
+                        ),
+                        where=f"{path}:{op.line}",
+                        detail={"file": path, "line": op.line, "shape": "double-release"},
+                    )
+                )
+
+    # Leaks: held facts alive at the terminals, reported at the acquire.
+    leak_raise = {f for f in in_facts[cfg.rexit] if f[0] == "H"}
+    leak_return = {f for f in in_facts[cfg.exit] if f[0] == "H"}
+    for fact in sorted(leak_raise | leak_return, key=lambda f: f[3]):
+        _, kind, recv, line = fact
+        paths = []
+        if fact in leak_raise:
+            paths.append("when an exception escapes")
+        if fact in leak_return:
+            paths.append("on a normal return path")
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                severity="error",
+                message=(
+                    f"{kind} '{recv}' acquired here may not be released "
+                    f"{' and '.join(paths)} (in {func.name}); release in a finally "
+                    "block, or # noqa: RPL101 a deliberate ownership transfer"
+                ),
+                where=f"{path}:{line}",
+                detail={"file": path, "line": line, "shape": "leak"},
+            )
+        )
+    return findings
+
+
+def check_lifecycle(sources: list[tuple[str, ast.Module]]) -> list[Finding]:
+    """RPL101 over parsed (path, tree) pairs; scope-filtered internally."""
+    findings: list[Finding] = []
+    for path, tree in sources:
+        if not _SCOPE_DIRS & set(PurePosixPath(path).parts):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(function_lifecycle_findings(node, path))
+    return findings

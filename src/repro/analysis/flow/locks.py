@@ -1,0 +1,198 @@
+"""RPL103 — lock-discipline race heuristic over the call graph.
+
+The concurrency layers share one shape: an object owned by the event loop
+(``SolveService``, an :class:`~repro.exec.base.Executor`) whose methods
+also run on worker threads — ``run_sync`` via ``asyncio.to_thread``,
+``worker_main`` as a ``Process`` target, metric helpers called from pool
+threads.  Any attribute such an object mutates from *both* sides needs
+one consistent lock, or increments get lost and containers corrupt.
+
+Contexts are derived from the call graph:
+
+- **worker-thread context** — closure over sync call edges rooted at
+  every function handed to another thread (``to_thread(fn)``,
+  ``run_in_executor(_, fn)``, ``Thread/Process(target=fn)``,
+  ``pool.submit(fn)``);
+- **event-loop context** — closure over sync, *unsanitized* call edges
+  rooted at every ``async def`` (awaited callees are async and therefore
+  roots themselves; a sanitized edge runs off-loop by construction).
+
+A write site's guard is the lexically enclosing ``with`` whose item looks
+like a lock (receiver's last segment contains ``lock``/``mutex``), with
+*transitive* caller inheritance: a helper whose every call site runs
+under the same lock — directly or because the caller itself inherited it
+— counts as guarded by it (the ``_do_locked`` idiom, fixpointed so
+``a() -> b() -> c()`` chains propagate the guard).
+
+For each attribute of a class in ``exec//service//resilience/`` written
+from both contexts, the checker flags unguarded write sites and
+inconsistent guards (two different locks serialize nothing).
+``__init__``/``__post_init__`` writes are exempt — the object is not yet
+shared during construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import PurePosixPath
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.report import Finding
+
+__all__ = ["check_locks"]
+
+RULE_ID = "RPL103"
+
+_SCOPE_DIRS = {"exec", "service", "resilience"}
+_CTOR_NAMES = {"__init__", "__post_init__"}
+
+
+def _closure(graph: CallGraph, seeds: list[FunctionInfo], follow_sanitized: bool) -> set[str]:
+    """Qualnames reachable from *seeds* over sync call edges."""
+    seen = {fn.qualname for fn in seeds}
+    work = deque(seeds)
+    while work:
+        fn = work.popleft()
+        for call in fn.calls:
+            if call.awaited:
+                continue
+            if call.sanitized and not follow_sanitized:
+                continue
+            for callee in graph.resolve_call(call, fn):
+                if callee.is_async or callee.qualname in seen:
+                    continue
+                seen.add(callee.qualname)
+                work.append(callee)
+    return seen
+
+
+def _thread_context(graph: CallGraph) -> set[str]:
+    seeds: list[FunctionInfo] = []
+    seen: set[str] = set()
+    for fn in graph.functions:
+        for ref in fn.thread_refs:
+            for target in graph.resolve(ref):
+                if target.qualname not in seen:
+                    seen.add(target.qualname)
+                    seeds.append(target)
+    return _closure(graph, seeds, follow_sanitized=True)
+
+
+def _loop_context(graph: CallGraph) -> set[str]:
+    seeds = [fn for fn in graph.functions if fn.is_async]
+    return _closure(graph, seeds, follow_sanitized=False)
+
+
+def _inherited_locks(graph: CallGraph) -> dict[str, str | None]:
+    """For every function, the one lock *all* its callers hold at every
+    call site — counting locks the callers themselves inherited, fixpointed
+    so guards propagate down ``a() -> b() -> c()`` helper chains."""
+    callers: dict[str, list[tuple[FunctionInfo, str | None]]] = {}
+    for fn in graph.functions:
+        for call in fn.calls:
+            for callee in graph.resolve_call(call, fn):
+                callers.setdefault(callee.qualname, []).append((fn, call.lock))
+
+    inherited: dict[str, str | None] = {fn.qualname: None for fn in graph.functions}
+    for _ in range(10):  # cap: cycles without locks converge immediately
+        changed = False
+        for fn in graph.functions:
+            sites = callers.get(fn.qualname)
+            if not sites:
+                continue
+            locks = {lock or inherited.get(caller.qualname) for caller, lock in sites}
+            new = locks.pop() if len(locks) == 1 else None
+            if new != inherited[fn.qualname]:
+                inherited[fn.qualname] = new
+                changed = True
+        if not changed:
+            break
+    return inherited
+
+
+def check_locks(graph: CallGraph) -> list[Finding]:
+    """RPL103 over a built call graph."""
+    thread_ctx = _thread_context(graph)
+    loop_ctx = _loop_context(graph)
+
+    inherited = _inherited_locks(graph)
+
+    # (class, attr) -> write sites as (fn, AttrWrite, effective lock).
+    sites: dict[tuple[str, str], list] = {}
+    for fn in graph.functions:
+        if fn.owner is None or fn.name in _CTOR_NAMES:
+            continue
+        if not _SCOPE_DIRS & set(PurePosixPath(fn.path).parts):
+            continue
+        in_thread = fn.qualname in thread_ctx
+        in_loop = fn.qualname in loop_ctx
+        if not (in_thread or in_loop):
+            continue
+        if not fn.attr_writes:
+            continue
+        for write in fn.attr_writes:
+            lock = write.lock or inherited[fn.qualname]
+            sites.setdefault((fn.owner, write.attr), []).append(
+                (fn, write, lock, in_thread, in_loop)
+            )
+
+    findings: list[Finding] = []
+    for (owner, attr), entries in sorted(sites.items()):
+        wrote_thread = any(t for _, _, _, t, _ in entries)
+        wrote_loop = any(loop for _, _, _, _, loop in entries)
+        if not (wrote_thread and wrote_loop):
+            continue
+        locks = {lock for _, _, lock, _, _ in entries}
+        if locks == {None}:
+            # Entirely unguarded on both sides; flag once at the first site.
+            fn, write, _, _, _ = min(entries, key=lambda e: (e[0].path, e[1].line))
+            findings.append(
+                _finding(
+                    owner,
+                    attr,
+                    fn,
+                    write,
+                    f"'{owner}.{attr}' is written from both event-loop and "
+                    "worker-thread call paths with no lock held at any write",
+                )
+            )
+        elif None in locks:
+            for fn, write, lock, _, _ in sorted(entries, key=lambda e: (e[0].path, e[1].line)):
+                if lock is None:
+                    held = ", ".join(sorted(x for x in locks if x))
+                    findings.append(
+                        _finding(
+                            owner,
+                            attr,
+                            fn,
+                            write,
+                            f"'{owner}.{attr}' is written from both event-loop and "
+                            f"worker-thread call paths; this write is unguarded "
+                            f"while others hold {held}",
+                        )
+                    )
+        elif len(locks) > 1:
+            fn, write, _, _, _ = min(entries, key=lambda e: (e[0].path, e[1].line))
+            all_locks = ", ".join(sorted(x for x in locks if x))
+            findings.append(
+                _finding(
+                    owner,
+                    attr,
+                    fn,
+                    write,
+                    f"'{owner}.{attr}' is written from both event-loop and "
+                    f"worker-thread call paths under different locks ({all_locks}); "
+                    "two locks serialize nothing",
+                )
+            )
+    return findings
+
+
+def _finding(owner: str, attr: str, fn: FunctionInfo, write, message: str) -> Finding:
+    return Finding(
+        rule=RULE_ID,
+        severity="error",
+        message=f"{message} (write in {fn.name})",
+        where=f"{fn.path}:{write.line}",
+        detail={"file": fn.path, "line": write.line, "class": owner, "attr": attr},
+    )

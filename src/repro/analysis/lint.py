@@ -60,9 +60,19 @@ The rules guard properties the test suite cannot see directly:
   the retry ladder need to see.  Genuinely-intentional sinks opt out with
   ``# noqa: RPL008`` on the ``except`` line.
 
+The flow tier (RPL101–RPL103, :mod:`repro.analysis.flow`) registers here
+too so ``--select``, noqa accounting and the generated docs table see one
+registry; its checkers are whole-program and run through
+:func:`run_lint` with ``tiers=("flow",)`` rather than per-file.
+
 Suppression: ``# noqa`` on a line suppresses every rule there;
-``# noqa: RPL001,RPL003`` suppresses just those.  Rules live in a registry
-keyed by id — register new ones with :func:`rule`.
+``# noqa: RPL001,RPL003`` suppresses just those.  A *comment-only* line
+``# noqa: RPL007`` applies file-wide (coded directives only — a bare
+file-level ``# noqa`` would silence everything and is ignored).  Explicit
+codes belonging to rules that ran but suppressed nothing are themselves
+reported (rule ``noqa-unused``) so suppressions cannot rot silently.
+Rules live in a registry keyed by id — register new ones with
+:func:`rule`.
 """
 
 from __future__ import annotations
@@ -112,25 +122,52 @@ class LintTarget:
 
 Checker = Callable[[LintTarget], list[tuple[int, str]]]
 
+TIERS = ("classic", "flow")
+
 
 @dataclass(frozen=True)
 class Rule:
     id: str
     description: str
-    check: Checker
+    check: Checker | None  # None for flow-tier rules (whole-program checkers)
+    tier: str = "classic"
+    scope: str = "repo-wide"
+    noqa: str = "line-level"
 
 
 RULES: dict[str, Rule] = {}
 
 
-def rule(rule_id: str, description: str) -> Callable[[Checker], Checker]:
+def rule(
+    rule_id: str,
+    description: str,
+    *,
+    tier: str = "classic",
+    scope: str = "repo-wide",
+    noqa: str = "line-level",
+) -> Callable[[Checker], Checker]:
     """Register a lint rule under *rule_id* (pluggable registry)."""
 
     def register(check: Checker) -> Checker:
-        RULES[rule_id] = Rule(rule_id, description, check)
+        RULES[rule_id] = Rule(rule_id, description, check, tier=tier, scope=scope, noqa=noqa)
         return check
 
     return register
+
+
+def rules_table() -> str:
+    """The markdown rule table embedded in ``docs/static_analysis.md``.
+
+    Generated so the docs cannot drift from the registry — a doc-sync
+    test regenerates this and diffs it against the committed file.
+    """
+    header = "| id | tier | scope | noqa policy | description |"
+    sep = "| --- | --- | --- | --- | --- |"
+    rows = [header, sep]
+    for rid in sorted(RULES):
+        r = RULES[rid]
+        rows.append(f"| {r.id} | {r.tier} | {r.scope} | {r.noqa} | {r.description} |")
+    return "\n".join(rows)
 
 
 # AST helpers ------------------------------------------------------------------
@@ -158,7 +195,12 @@ def _names_narrow_dtype(node: ast.expr) -> bool:
 # Rules ------------------------------------------------------------------------
 
 
-@rule("RPL001", "no bare np.random.* calls outside util/rng.py")
+@rule(
+    "RPL001",
+    "no bare np.random.* calls outside util/rng.py",
+    scope="repo-wide (except util/rng.py)",
+    noqa="line-level",
+)
 def _check_bare_random(target: LintTarget) -> list[tuple[int, str]]:
     if target.posix.endswith("util/rng.py"):
         return []
@@ -178,7 +220,12 @@ def _check_bare_random(target: LintTarget) -> list[tuple[int, str]]:
     return out
 
 
-@rule("RPL002", "no silent dtype narrowing in core//magma//blas/")
+@rule(
+    "RPL002",
+    "no silent dtype narrowing in core//magma//blas/",
+    scope="core/, magma/, blas/",
+    noqa="line-level",
+)
 def _check_dtype_narrowing(target: LintTarget) -> list[tuple[int, str]]:
     if not any(part in ("core", "magma", "blas") for part in target.path.parts):
         return []
@@ -198,7 +245,12 @@ def _check_dtype_narrowing(target: LintTarget) -> list[tuple[int, str]]:
     return out
 
 
-@rule("RPL003", "raise only exceptions from util/exceptions.py")
+@rule(
+    "RPL003",
+    "raise only exceptions from util/exceptions.py",
+    scope="repo-wide (except util/exceptions.py)",
+    noqa="line-level",
+)
 def _check_exception_origin(target: LintTarget) -> list[tuple[int, str]]:
     if target.posix.endswith("util/exceptions.py"):
         return []
@@ -223,7 +275,12 @@ def _check_exception_origin(target: LintTarget) -> list[tuple[int, str]]:
     return out
 
 
-@rule("RPL004", "launches in magma/ops.py must declare their tile writes")
+@rule(
+    "RPL004",
+    "launches in magma/ops.py must declare their tile writes",
+    scope="magma/ops.py",
+    noqa="line-level",
+)
 def _check_declared_mutation(target: LintTarget) -> list[tuple[int, str]]:
     if not target.posix.endswith("magma/ops.py"):
         return []
@@ -263,9 +320,14 @@ def _enforces_timeout(fn: ast.AsyncFunctionDef) -> bool:
     return False
 
 
-@rule("RPL005", "service async handlers must enforce a timeout")
+@rule(
+    "RPL005",
+    "service/resilience async handlers must enforce a timeout",
+    scope="service/, resilience/",
+    noqa="line-level (on the async def line)",
+)
 def _check_handler_timeout(target: LintTarget) -> list[tuple[int, str]]:
-    if "service" not in target.path.parts:
+    if not any(part in ("service", "resilience") for part in target.path.parts):
         return []
     out = []
     for node in ast.walk(target.tree):
@@ -296,7 +358,12 @@ _HOT_MODULES = (
 _PER_TILE_ACCESSORS = {"tile_view", "strip", "block"}
 
 
-@rule("RPL006", "no per-tile accessor loops in the verification hot modules")
+@rule(
+    "RPL006",
+    "no per-tile accessor loops in the verification hot modules",
+    scope="core/ hot modules",
+    noqa="line-level (cold paths opt out on the loop line)",
+)
 def _check_per_tile_loops(target: LintTarget) -> list[tuple[int, str]]:
     if not any(target.posix.endswith(mod) for mod in _HOT_MODULES):
         return []
@@ -353,7 +420,12 @@ def _is_ndarray_annotation(annotation: ast.expr | None) -> bool:
     return "ndarray" in text
 
 
-@rule("RPL007", "no ndarray positionally into cross-process submit calls")
+@rule(
+    "RPL007",
+    "no ndarray positionally into cross-process submit calls",
+    scope="exec/, service/",
+    noqa="line-level",
+)
 def _check_ndarray_transport(target: LintTarget) -> list[tuple[int, str]]:
     if not any(part in ("exec", "service") for part in target.path.parts):
         return []
@@ -428,7 +500,12 @@ def _body_is_silent(handler: ast.ExceptHandler) -> bool:
     return True
 
 
-@rule("RPL008", "no swallowed CancelledError / silenced broad excepts in exec//service//resilience/")
+@rule(
+    "RPL008",
+    "no swallowed CancelledError / silenced broad excepts in exec//service//resilience/",
+    scope="exec/, service/, resilience/",
+    noqa="line-level (on the except line)",
+)
 def _check_swallowed_failures(target: LintTarget) -> list[tuple[int, str]]:
     if not any(part in ("exec", "service", "resilience") for part in target.path.parts):
         return []
@@ -458,6 +535,35 @@ def _check_swallowed_failures(target: LintTarget) -> list[tuple[int, str]]:
     return out
 
 
+# Flow-tier registrations ------------------------------------------------------
+# Whole-program rules (check=None): dispatched by run_lint, not per-file.
+
+rule(
+    "RPL101",
+    "resources acquired in the concurrency layers must be released on all "
+    "paths, including exception edges (leak-on-raise, double-release)",
+    tier="flow",
+    scope="exec/, service/, resilience/",
+    noqa="line-level at the acquire site (comment the ownership transfer)",
+)(None)
+rule(
+    "RPL102",
+    "no blocking sinks (time.sleep, sync file I/O, queue.get, np.linalg) "
+    "reachable from async def without to_thread / run_in_executor",
+    tier="flow",
+    scope="repo-wide (roots: every async def)",
+    noqa="line-level at the first call edge in the async root, or at the sink",
+)(None)
+rule(
+    "RPL103",
+    "attributes written from both event-loop and worker-thread call paths "
+    "must be guarded by one consistent lock",
+    tier="flow",
+    scope="exec/, service/, resilience/ classes",
+    noqa="line-level at the flagged write site",
+)(None)
+
+
 # Driver -----------------------------------------------------------------------
 
 
@@ -471,6 +577,103 @@ def _suppressed(line: str, rule_id: str) -> bool:
     return rule_id in {c.strip().upper() for c in codes.split(",")}
 
 
+@dataclass
+class _NoqaDirective:
+    """One real ``# noqa`` comment (found by tokenizing, so noqa text in
+    strings and docstrings never counts)."""
+
+    line: int
+    codes: frozenset[str] | None  # None = bare "# noqa"
+    file_level: bool  # comment-only line with explicit codes
+    used: bool = False
+
+
+def _scan_noqa(source: str) -> list[_NoqaDirective]:
+    import io
+    import tokenize
+
+    directives: list[_NoqaDirective] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return directives
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if not match:
+            continue
+        codes_text = match.group("codes")
+        codes = (
+            None
+            if codes_text is None
+            else frozenset(c.strip().upper() for c in codes_text.split(",") if c.strip())
+        )
+        comment_only = tok.line.strip() == tok.string.strip()
+        directives.append(
+            _NoqaDirective(
+                line=tok.start[0],
+                codes=codes,
+                file_level=comment_only and codes is not None,
+            )
+        )
+    return directives
+
+
+class _Suppressions:
+    """Per-file noqa directives with usage accounting."""
+
+    def __init__(self) -> None:
+        self._by_file: dict[str, list[_NoqaDirective]] = {}
+
+    def add_file(self, path: str, source: str) -> None:
+        self._by_file[path] = _scan_noqa(source)
+
+    def known_file(self, path: str) -> bool:
+        return path in self._by_file
+
+    def suppresses(self, path: str, line: int, rule_id: str) -> bool:
+        """True if a directive covers (path, line, rule); marks it used."""
+        hit = False
+        for d in self._by_file.get(path, []):
+            if d.file_level:
+                if d.codes is not None and rule_id in d.codes:
+                    d.used = True
+                    hit = True
+            elif d.line == line:
+                if d.codes is None or rule_id in d.codes:
+                    d.used = True
+                    hit = True
+        return hit
+
+    def unused_findings(self, ran_rule_ids: set[str]) -> list[Finding]:
+        """``noqa-unused`` findings for explicit codes of rules that ran
+        but suppressed nothing.  Bare ``# noqa`` and codes of rules that
+        did not run this invocation (e.g. flow codes during a
+        classic-only run) are never reported."""
+        out: list[Finding] = []
+        for path in sorted(self._by_file):
+            for d in self._by_file[path]:
+                if d.used or d.codes is None:
+                    continue
+                stale = sorted(d.codes & ran_rule_ids)
+                if not stale:
+                    continue
+                out.append(
+                    Finding(
+                        rule="noqa-unused",
+                        severity="error",
+                        message=(
+                            f"# noqa: {', '.join(stale)} suppresses nothing; "
+                            "remove the stale directive"
+                        ),
+                        where=f"{path}:{d.line}",
+                        detail={"file": path, "line": d.line, "codes": stale},
+                    )
+                )
+        return out
+
+
 def _iter_files(paths: Iterable[str | Path]) -> list[Path]:
     files: list[Path] = []
     for p in paths:
@@ -482,14 +685,7 @@ def _iter_files(paths: Iterable[str | Path]) -> list[Path]:
     return files
 
 
-def lint_paths(
-    paths: Iterable[str | Path], select: Iterable[str] | None = None
-) -> list[Finding]:
-    """Run the registered rules over *paths* (files or directories).
-
-    *select* restricts to the given rule ids.  Files that fail to parse are
-    reported as ``parse-error`` findings rather than raising.
-    """
+def _select_rules(select: Iterable[str] | None, tiers: tuple[str, ...]) -> list[Rule]:
     if select:
         unknown = [r for r in select if r not in RULES]
         if unknown:
@@ -497,14 +693,46 @@ def lint_paths(
                 f"unknown lint rule id(s) {', '.join(unknown)}; "
                 f"known: {', '.join(sorted(RULES))}"
             )
-        active = [RULES[r] for r in select]
-    else:
-        active = list(RULES.values())
+        # An explicit selection overrides the tier filter: asking for
+        # RPL102 by id means "run it", --flow or not.
+        return [RULES[r] for r in select]
+    return [r for r in RULES.values() if r.tier in tiers]
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    tiers: tuple[str, ...] = ("classic",),
+    cache_dir: Path | None = None,
+    report_unused_noqa: bool = True,
+) -> list[Finding]:
+    """Run the registered rules over *paths* (files or directories).
+
+    *tiers* picks which rule tiers execute: ``("classic",)`` is the
+    per-file AST pass, ``("flow",)`` the whole-program dataflow pass
+    (``--flow`` adds it in the CLI).  *select* further restricts to the
+    given rule ids.  *cache_dir* persists the flow tier's call-graph
+    build keyed on a source digest.  Files that fail to parse are
+    reported as ``parse-error`` findings rather than raising.
+
+    Suppression accounting runs last: any explicit noqa code belonging to
+    a rule that executed but suppressed nothing becomes a ``noqa-unused``
+    error (disable with *report_unused_noqa* for partial runs).
+    """
+    active = _select_rules(select, tiers)
+    suppressions = _Suppressions()
     findings: list[Finding] = []
+
+    parsed: list[tuple[str, ast.Module]] = []
+    sources: list[tuple[str, str]] = []
+    targets: list[LintTarget] = []
     for path in _iter_files(paths):
         source = path.read_text()
+        key = str(path)
+        suppressions.add_file(key, source)
+        sources.append((key, source))
         try:
-            tree = ast.parse(source, filename=str(path))
+            tree = ast.parse(source, filename=key)
         except SyntaxError as exc:
             findings.append(
                 Finding(
@@ -515,19 +743,61 @@ def lint_paths(
                 )
             )
             continue
-        target = LintTarget(path=path, tree=tree, lines=source.splitlines())
+        parsed.append((key, tree))
+        targets.append(LintTarget(path=path, tree=tree, lines=source.splitlines()))
+
+    # Classic tier: per-file checkers.
+    for target in targets:
         for rl in active:
+            if rl.check is None:
+                continue
             for lineno, message in rl.check(target):
-                line = target.lines[lineno - 1] if lineno - 1 < len(target.lines) else ""
-                if _suppressed(line, rl.id):
+                if suppressions.suppresses(str(target.path), lineno, rl.id):
                     continue
                 findings.append(
                     Finding(
                         rule=rl.id,
                         severity="error",
                         message=message,
-                        where=f"{path}:{lineno}",
-                        detail={"line": lineno, "file": str(path)},
+                        where=f"{target.path}:{lineno}",
+                        detail={"line": lineno, "file": str(target.path)},
                     )
                 )
+
+    # Flow tier: whole-program checkers over everything parsed.
+    active_ids = {r.id for r in active}
+    if any(r.tier == "flow" for r in active):
+        from repro.analysis.flow.blocking import check_blocking
+        from repro.analysis.flow.callgraph import build_call_graph
+        from repro.analysis.flow.lifecycle import check_lifecycle
+        from repro.analysis.flow.locks import check_locks
+
+        raw: list[Finding] = []
+        if "RPL101" in active_ids:
+            raw.extend(check_lifecycle(parsed))
+        if "RPL102" in active_ids or "RPL103" in active_ids:
+            graph = build_call_graph(sources, cache_dir=cache_dir)
+            if "RPL102" in active_ids:
+                raw.extend(check_blocking(graph))
+            if "RPL103" in active_ids:
+                raw.extend(check_locks(graph))
+        for f in raw:
+            anchors = [(f.detail.get("file", ""), f.detail.get("line", 0))]
+            for extra in f.detail.get("also_suppress", []):
+                epath, _, eline = extra.rpartition(":")
+                if eline.isdigit():
+                    anchors.append((epath, int(eline)))
+            if any(suppressions.suppresses(p, ln, f.rule) for p, ln in anchors):
+                continue
+            findings.append(f)
+
+    if report_unused_noqa:
+        findings.extend(suppressions.unused_findings(active_ids))
     return findings
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Classic-tier lint over *paths* (the historical entry point)."""
+    return run_lint(paths, select=select, tiers=("classic",))

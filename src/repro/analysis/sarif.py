@@ -1,0 +1,202 @@
+"""SARIF 2.1.0 output for lint findings (``--format sarif``).
+
+Emits the minimal valid document CI annotation consumers (GitHub code
+scanning and friends) require: ``$schema``/``version``, one run with a
+tool driver listing every rule that executed, and one result per finding
+with ``ruleId``, ``level``, ``message.text`` and a physical location.
+
+:func:`validate_sarif` checks a document against an embedded *structural*
+subset of the official 2.1.0 schema (the required properties and types
+above) using the in-container ``jsonschema`` package — the full
+canonical schema lives behind a network fetch this environment doesn't
+have, and the subset pins exactly the shape our emitter and the tests
+rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.report import Finding
+
+__all__ = ["SARIF_SCHEMA_URI", "render_sarif", "sarif_document", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Structural subset of the SARIF 2.1.0 schema: every property our
+#: emitter writes, with the official "required" sets for the objects we
+#: produce.  Validated with jsonschema (draft 2020-12 semantics).
+SARIF_MINI_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": SARIF_VERSION},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {"type": "string"}
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {"type": "string"}
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+_LEVELS = {"error": "error", "info": "note"}
+
+
+def _split_where(where: str) -> tuple[str, int]:
+    """``"path/to/file.py:42"`` -> (uri, line); tolerates missing line."""
+    path, sep, line = where.rpartition(":")
+    if sep and line.isdigit():
+        return path, max(1, int(line))
+    return where, 1
+
+
+def sarif_document(
+    findings: list[Finding],
+    rules: dict[str, str],
+    tool_name: str = "repro-lint",
+) -> dict[str, Any]:
+    """Build the SARIF document as a dict.
+
+    *rules* maps rule id -> description for every rule that *executed*
+    (not just those that fired) — SARIF consumers use the driver rule
+    list to render "checked but clean" state.
+    """
+    results = []
+    for f in findings:
+        uri, line = _split_where(f.where)
+        results.append(
+            {
+                "ruleId": f.rule,
+                "level": _LEVELS.get(f.severity, "warning"),
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            "region": {"startLine": line},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            {"id": rid, "shortDescription": {"text": desc}}
+                            for rid, desc in sorted(rules.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: list[Finding],
+    rules: dict[str, str],
+    tool_name: str = "repro-lint",
+) -> str:
+    return json.dumps(sarif_document(findings, rules, tool_name), indent=2, sort_keys=True)
+
+
+def validate_sarif(document: dict[str, Any] | str) -> None:
+    """Raise ``jsonschema.ValidationError`` if *document* is not valid
+    against the structural SARIF 2.1.0 subset."""
+    import jsonschema
+
+    if isinstance(document, str):
+        document = json.loads(document)
+    jsonschema.validate(instance=document, schema=SARIF_MINI_SCHEMA)

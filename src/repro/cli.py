@@ -15,7 +15,10 @@ Commands:
     Statically check a schedule (a dumped trace or a fresh shadow run)
     against the ABFT protocol invariants and scan it for RAW/WAW hazards.
 ``lint``
-    Run the repo lint rules (RPL001–RPL008) over source trees.
+    Run the repo lint rules over source trees: the classic AST tier
+    (RPL001–RPL008) and, with ``--flow``, the flow-sensitive tier
+    (RPL101–RPL103: CFG + dataflow + call graph).  ``--format sarif``
+    emits SARIF 2.1.0 for CI annotation consumers.
 ``bench``
     Benchmark the verification hot path (batched engine vs per-tile
     loop) and write ``BENCH_hotpath.json``.
@@ -230,12 +233,27 @@ def cmd_analyze_trace(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis import render_json, render_text
+    from repro.analysis.lint import RULES, run_lint
 
     paths = args.paths or [Path(__file__).parent]
-    findings = lint_paths(paths, select=args.select)
-    render = render_json if args.json else render_text
-    print(render(findings, title="lint"))
+    tiers = ("classic", "flow") if args.flow else ("classic",)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    findings = run_lint(paths, select=args.select, tiers=tiers, cache_dir=cache_dir)
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        ran = {
+            rule.id: rule.description
+            for rule in RULES.values()
+            if (args.select and rule.id in args.select)
+            or (not args.select and rule.tier in tiers)
+        }
+        print(render_sarif(findings, ran))
+    else:
+        render = render_json if fmt == "json" else render_text
+        print(render(findings, title="lint"))
     return 1 if findings else 0
 
 
@@ -691,13 +709,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_chaos)
 
-    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL008)")
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL008, --flow adds RPL101-RPL103)")
     p.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories (default: the installed repro package)",
     )
     p.add_argument("--select", nargs="+", default=None, help="rule ids to run")
-    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--flow", action="store_true",
+        help="also run the flow-sensitive tier (CFG/dataflow: RPL101-RPL103)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="output format (default text; sarif emits SARIF 2.1.0)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output (same as --format json)")
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the call-graph cache (keyed on source digest)",
+    )
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("report", help="consolidated evaluation report")

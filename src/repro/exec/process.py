@@ -174,10 +174,16 @@ class ProcessExecutor(Executor):
             # ones; the slot acquisition below must happen outside the
             # lock, because finishing attempts need it to check back in.
             self._stopping = True
-        # Taking every slot guarantees no attempt is in flight.
-        for _ in range(self.capacity):
-            self._slots.acquire()
+        # Taking every slot guarantees no attempt is in flight.  The count
+        # of slots actually taken is tracked so a failure mid-acquisition
+        # releases exactly that many — releasing ``capacity`` after a
+        # partial acquire would inflate the semaphore and let more
+        # attempts run concurrently than the pool has workers.
+        acquired = 0
         try:
+            for _ in range(self.capacity):
+                self._slots.acquire()  # noqa: RPL101 — loop-paired with the release loop below; the counter keeps the pairing exact
+                acquired += 1
             with self._lock:
                 for handle in self._handles:
                     if handle.process is not None and handle.process.is_alive():
@@ -192,7 +198,7 @@ class ProcessExecutor(Executor):
         finally:
             with self._lock:
                 self._stopping = False
-            for _ in range(self.capacity):
+            for _ in range(acquired):
                 self._slots.release()
 
     async def stop(self) -> None:
@@ -254,22 +260,30 @@ class ProcessExecutor(Executor):
             require(not self._stopping, "executor is stopping")
             self._start_locked()
         timer = _SlotTimer()
+        handle = None
         self._slots.acquire()
-        with self._lock:
-            if not self._idle:
-                # stop_sync won the race for this slot and tore the pool
-                # down while we waited; there is no worker to dispatch to.
-                self._slots.release()
-                raise ExecutorError("executor stopped while the attempt waited for a slot")
-            handle = self._idle.pop()
-        self._note_dispatch(timer.waited(), request)
         try:
-            return self._dispatch(handle, request)
-        finally:
             with self._lock:
-                self._idle.append(handle)
-            self._slots.release()
-            self._note_done()
+                if not self._idle:
+                    # stop_sync won the race for this slot and tore the pool
+                    # down while we waited; there is no worker to dispatch to.
+                    raise ExecutorError("executor stopped while the attempt waited for a slot")
+                handle = self._idle.pop()
+            self._note_dispatch(timer.waited(), request)
+            try:
+                return self._dispatch(handle, request)
+            finally:
+                self._note_done()
+        finally:
+            try:
+                with self._lock:
+                    if handle is not None:
+                        self._idle.append(handle)
+            finally:
+                # Must check the handle back in *before* releasing the slot
+                # (a freed slot with an empty idle list strands the next
+                # attempt), and must release even if the check-in throws.
+                self._slots.release()
 
     def _dispatch(self, handle: _WorkerHandle, request: AttemptRequest) -> AttemptOutcome:
         job = request.job

@@ -198,12 +198,14 @@ def _evaluate(
 async def _drive(service: SolveService, jobs: list[Job]) -> dict[str, dict[str, float]]:
     """Submit everything, snapshot counters mid-run, drain to completion."""
     await service.start_executor()
-    service.start()
-    for job in jobs:
-        service.submit(job)
-    mid = service.metrics.counters_snapshot()
-    await service.stop()
-    return mid
+    try:
+        service.start()
+        for job in jobs:
+            service.submit(job)
+        # Snapshot before the drain; the return routes through the finally.
+        return service.metrics.counters_snapshot()
+    finally:
+        await service.stop()
 
 
 def _all_completed(service: SolveService, jobs: list[Job]) -> bool:
@@ -225,13 +227,14 @@ def scenario_worker_crash(cfg: ChaosConfig) -> ScenarioResult:
 
     async def run() -> dict:
         await service.start_executor()
-        service.executor.inject_crash(count=2)
-        service.start()
-        for job in jobs:
-            service.submit(job)
-        mid = service.metrics.counters_snapshot()
-        await service.stop()
-        return mid
+        try:
+            service.executor.inject_crash(count=2)
+            service.start()
+            for job in jobs:
+                service.submit(job)
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     restarts = service.metrics["executor_worker_restarts_total"].value(reason="crash")
@@ -257,13 +260,14 @@ def scenario_worker_wedge(cfg: ChaosConfig) -> ScenarioResult:
 
     async def run() -> dict:
         await service.start_executor()
-        service.executor.inject_wedge(30.0)
-        service.start()
-        for job in jobs:
-            service.submit(job)
-        mid = service.metrics.counters_snapshot()
-        await service.stop()
-        return mid
+        try:
+            service.executor.inject_wedge(30.0)
+            service.start()
+            for job in jobs:
+                service.submit(job)
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     reclaimed = service.metrics["executor_worker_restarts_total"].value(reason="wedged")
@@ -289,13 +293,14 @@ def scenario_slow_worker(cfg: ChaosConfig) -> ScenarioResult:
 
     async def run() -> dict:
         await service.start_executor()
-        service.executor.inject_wedge(0.25, count=3)
-        service.start()
-        for job in jobs:
-            service.submit(job)
-        mid = service.metrics.counters_snapshot()
-        await service.stop()
-        return mid
+        try:
+            service.executor.inject_wedge(0.25, count=3)
+            service.start()
+            for job in jobs:
+                service.submit(job)
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     return _evaluate(
@@ -322,13 +327,14 @@ def scenario_shm_corruption(cfg: ChaosConfig) -> ScenarioResult:
 
     async def run() -> dict:
         await service.start_executor()
-        service.executor.inject_shm_corruption(count=2)
-        service.start()
-        for job in jobs:
-            service.submit(job)
-        mid = service.metrics.counters_snapshot()
-        await service.stop()
-        return mid
+        try:
+            service.executor.inject_shm_corruption(count=2)
+            service.start()
+            for job in jobs:
+                service.submit(job)
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     caught = service.metrics["executor_transport_errors_total"].value(kind="corrupt_factor")
@@ -354,15 +360,16 @@ def scenario_shm_truncation(cfg: ChaosConfig) -> ScenarioResult:
 
     async def run() -> dict:
         await service.start_executor()
-        # Armed before any dispatch: the hit worker has no warm mapping
-        # yet, so its attach deterministically fails.
-        service.executor.inject_shm_truncation(count=1)
-        service.start()
-        for job in jobs:
-            service.submit(job)
-        mid = service.metrics.counters_snapshot()
-        await service.stop()
-        return mid
+        try:
+            # Armed before any dispatch: the hit worker has no warm mapping
+            # yet, so its attach deterministically fails.
+            service.executor.inject_shm_truncation(count=1)
+            service.start()
+            for job in jobs:
+                service.submit(job)
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     lost = service.metrics["executor_transport_errors_total"].value(kind="missing_segment")
@@ -391,14 +398,16 @@ def scenario_queue_flood(cfg: ChaosConfig) -> ScenarioResult:
     async def run() -> dict:
         nonlocal hints_ok
         await service.start_executor()
-        for job in jobs:  # flood before the dispatcher even runs
-            decision = service.submit(job)
-            if not decision.accepted and not (decision.retry_after_s or 0) > 0:
-                hints_ok = False
-        mid = service.metrics.counters_snapshot()
-        service.start()
-        await service.stop()
-        return mid
+        try:
+            for job in jobs:  # flood before the dispatcher even runs
+                decision = service.submit(job)
+                if not decision.accepted and not (decision.retry_after_s or 0) > 0:
+                    hints_ok = False
+            mid = service.metrics.counters_snapshot()
+            service.start()
+            return mid
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     rejected = int(service.metrics["service_jobs_rejected_total"].value())
@@ -427,17 +436,25 @@ def scenario_stop_race(cfg: ChaosConfig) -> ScenarioResult:
     t0 = time.monotonic()
 
     async def run() -> dict:
+        stopper = None
         await service.start_executor()
-        service.start()
-        for job in jobs[:split]:
-            service.submit(job)
-        stopper = asyncio.get_running_loop().create_task(service.stop())
-        for job in jobs[split:]:  # race the drain/close
-            service.submit(job)
-            await asyncio.sleep(0)
-        mid = service.metrics.counters_snapshot()
-        await stopper
-        return mid
+        try:
+            service.start()
+            for job in jobs[:split]:
+                service.submit(job)
+            stopper = asyncio.get_running_loop().create_task(service.stop())
+            for job in jobs[split:]:  # race the drain/close
+                service.submit(job)
+                await asyncio.sleep(0)
+            mid = service.metrics.counters_snapshot()
+            await stopper
+            return mid
+        finally:
+            # Idempotent backstop for a failure before the stop task
+            # spawned (stop() tolerates racing the stopper task).
+            await service.stop()
+            if stopper is not None:
+                await asyncio.gather(stopper, return_exceptions=True)
 
     mid = asyncio.run(run())
     return _evaluate(
@@ -467,17 +484,19 @@ def scenario_breaker_failover(cfg: ChaosConfig) -> ScenarioResult:
 
     async def run() -> dict:
         await service.start_executor()
-        service.executor.primary.inject_crash(count=2)
-        service.start()
-        for job in jobs:
-            service.submit(job)
-        await service.drain()
-        mid = service.metrics.counters_snapshot()
-        await asyncio.sleep(0.6)  # past the probe backoff
-        for job in recovery_jobs:
-            service.submit(job)
-        await service.stop()
-        return mid
+        try:
+            service.executor.primary.inject_crash(count=2)
+            service.start()
+            for job in jobs:
+                service.submit(job)
+            await service.drain()
+            mid = service.metrics.counters_snapshot()
+            await asyncio.sleep(0.6)  # past the probe backoff
+            for job in recovery_jobs:
+                service.submit(job)
+            return mid
+        finally:
+            await service.stop()
 
     mid = asyncio.run(run())
     m = service.metrics
@@ -524,10 +543,12 @@ def scenario_kill_restart(cfg: ChaosConfig) -> ScenarioResult:
 
     async def crash_phase() -> None:
         first.start()
-        for job in jobs:
-            first.submit(job)
-        await asyncio.sleep(0)
-        await first.abort()
+        try:
+            for job in jobs:
+                first.submit(job)
+            await asyncio.sleep(0)
+        finally:
+            await first.abort()
 
     asyncio.run(crash_phase())
     phase1_done = {jid for jid, r in first.results.items() if r.status is JobStatus.COMPLETED}
@@ -537,15 +558,16 @@ def scenario_kill_restart(cfg: ChaosConfig) -> ScenarioResult:
 
     # Phase 2: a fresh instance recovers and finishes the job backlog.
     second = _service(cfg, executor="thread", journal_path=journal_path)
-    recovered: list[Job] = []
+    # Journal replay is synchronous file I/O — run it before entering the
+    # event loop (recover() is documented to work before start()).
+    recovered: list[Job] = second.recover()
 
     async def recover_phase() -> dict:
-        nonlocal recovered
-        recovered = second.recover()
         second.start()
-        mid = second.metrics.counters_snapshot()
-        await second.stop()
-        return mid
+        try:
+            return second.metrics.counters_snapshot()
+        finally:
+            await second.stop()
 
     mid = asyncio.run(recover_phase())
     wall = time.monotonic() - t0

@@ -82,7 +82,11 @@ class JobJournal:
             return
         try:
             self._fh.flush()
-            os.fsync(self._fh.fileno())
+            # Deliberate blocking sink: group commit amortizes this fsync
+            # over fsync_batch records, and the durability contract (an
+            # admitted job survives a crash) requires it inline — callers
+            # must not reorder it onto a thread behind the admission path.
+            os.fsync(self._fh.fileno())  # noqa: RPL102
         except OSError as exc:
             raise JournalError(f"journal fsync failed: {exc}") from exc
         self._pending = 0
@@ -126,13 +130,16 @@ def read_journal(path: str | Path) -> list[dict]:
     anything has nothing to recover).  Parsing stops at the first
     undecodable line: with a sequential single-writer append log, only
     the tail can be torn, and anything at or after a tear is untrusted.
+    Raw bytes are decoded leniently — a bit-flipped byte must degrade to
+    "tear at that record", never crash the recovery path.
     """
     try:
-        text = Path(path).read_text(encoding="utf-8")
+        raw = Path(path).read_bytes()
     except FileNotFoundError:
         return []
     except OSError as exc:
         raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    text = raw.decode("utf-8", errors="replace")
     records: list[dict] = []
     for line in text.splitlines():
         if not line.strip():
@@ -175,5 +182,11 @@ def incomplete_jobs(records: list[dict]) -> list[Job]:
         spec = admitted[key]
         if spec is None:
             continue
-        jobs.append(Job.from_spec(spec))
+        try:
+            jobs.append(Job.from_spec(spec))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            # A mutated-but-parseable spec (fuzzed or disk-corrupted) must
+            # surface as a journal error, not an arbitrary crash deep in
+            # Job construction.
+            raise JournalError(f"journal spec for job {key!r} is corrupt: {exc}") from exc
     return jobs

@@ -304,7 +304,9 @@ class SolveService:
 
     async def _dispatch(self) -> None:
         while True:
-            await self._capacity.acquire()
+            # Ownership transfer: the slot is handed to the _run_job task,
+            # whose finally releases it (or the None branch below does).
+            await self._capacity.acquire()  # noqa: RPL101
             job = await self.queue.get()
             if job is None:
                 self._capacity.release()
@@ -432,7 +434,8 @@ class SolveService:
             factor=outcome.factor if self.config.keep_factors else None,
         )
         if status is JobStatus.COMPLETED and self.config.trace_dir is not None:
-            self._dump_job_trace(job, result)
+            # Trace files can reach megabytes; keep the write off the loop.
+            await asyncio.to_thread(self._dump_job_trace, job, result)
         return result
 
     def _dump_job_trace(self, job: Job, result: JobResult) -> None:

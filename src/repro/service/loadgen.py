@@ -207,12 +207,14 @@ async def run_load(service: SolveService, cfg: LoadGenConfig) -> tuple[LoadRepor
     # Spawn the execution backend before the clock starts so pool startup
     # cost is a fixed setup charge, not part of job 0's measured latency.
     await service.start_executor()
-    service.start()
-    t0 = time.monotonic()
-    if cfg.rate is not None:
-        results = await run_open_loop(service, cfg)
-    else:
-        results = await run_closed_loop(service, cfg)
-    await service.stop()
+    try:
+        service.start()
+        t0 = time.monotonic()
+        if cfg.rate is not None:
+            results = await run_open_loop(service, cfg)
+        else:
+            results = await run_closed_loop(service, cfg)
+    finally:
+        await service.stop()
     report = LoadReport.from_service(service, time.monotonic() - t0)
     return report, results

@@ -9,14 +9,20 @@ bakes its dependencies) with the semantics monitoring stacks expect:
   exported in the Prometheus *summary* text form (quantile series plus
   ``_sum`` / ``_count``).
 
-Everything is synchronous and in-process: the service mutates metrics only
-from the event-loop thread, so no locking is needed.
+Everything is synchronous and in-process, but *not* single-threaded: the
+executors' ``_note_*`` helpers record attempts, IPC bytes and transport
+errors from worker threads (``run_sync`` via ``asyncio.to_thread``) while
+the service mutates the same metrics from the event loop.  Each metric
+therefore guards its mutations with a private lock — reads stay lock-free
+(CPython container snapshots are safe under the GIL, and export paths
+tolerate a value that is one update stale).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 from dataclasses import dataclass, field
 
 from repro.util.exceptions import ValidationError
@@ -44,11 +50,13 @@ class Counter:
     name: str
     help: str
     _values: dict[LabelKey, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         require(amount >= 0, f"counter {self.name} cannot decrease")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
         if labels:
@@ -76,13 +84,16 @@ class Gauge:
     name: str
     help: str
     _values: dict[LabelKey, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def set(self, value: float, **labels: str) -> None:
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: str) -> None:
         self.inc(-amount, **labels)
@@ -118,9 +129,11 @@ class Histogram:
     help: str
     quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)
     _observations: list[float] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def observe(self, value: float) -> None:
-        self._observations.append(float(value))
+        with self._lock:
+            self._observations.append(float(value))
 
     @property
     def count(self) -> int:

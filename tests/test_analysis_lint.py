@@ -134,6 +134,12 @@ class TestRPL005HandlerTimeout:
         src = "def handle_job(job):\n    return run(job)\n"
         assert _lint_snippet(tmp_path, "service/core.py", src) == []
 
+    def test_resilience_package_also_in_scope(self, tmp_path):
+        # Chaos-harness and recovery coroutines wedge the campaign just as
+        # surely as service handlers wedge a pool slot.
+        findings = _lint_snippet(tmp_path, "resilience/chaos.py", self._NO_TIMEOUT)
+        assert [f.rule for f in findings] == ["RPL005"]
+
     def test_outside_service_package_ignored(self, tmp_path):
         assert _lint_snippet(tmp_path, "core/mod.py", self._NO_TIMEOUT) == []
 
@@ -298,7 +304,67 @@ class TestSuppression:
     def test_coded_noqa_keeps_other_rules(self, tmp_path):
         src = "raise ValueError('x')  # noqa: RPL001\n"
         findings = _lint_snippet(tmp_path, "mod.py", src)
+        # The mismatched code leaves RPL003 live *and* is itself reported
+        # as a stale directive.
+        assert [f.rule for f in findings] == ["RPL003", "noqa-unused"]
+
+    def test_file_level_directive_covers_the_whole_file(self, tmp_path):
+        src = (
+            "# noqa: RPL003\n"
+            "raise ValueError('x')\n"
+            "raise TypeError('y')\n"
+        )
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+    def test_file_level_directive_keeps_other_rules(self, tmp_path):
+        src = (
+            "# noqa: RPL003\n"
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "raise ValueError('x')\n"
+        )
+        findings = _lint_snippet(tmp_path, "mod.py", src)
+        assert [f.rule for f in findings] == ["RPL001"]
+
+    def test_bare_trailing_comment_is_not_file_level(self, tmp_path):
+        # Only a comment-only line with explicit codes escalates to file
+        # scope; a trailing noqa stays line-local.
+        src = (
+            "x = 1  # noqa: RPL003\n"
+            "raise ValueError('x')\n"
+        )
+        findings = _lint_snippet(tmp_path, "mod.py", src)
+        assert "RPL003" in [f.rule for f in findings]
+
+    def test_noqa_in_string_literal_ignored(self, tmp_path):
+        src = "s = '# noqa: RPL003'\nraise ValueError('x')\n"
+        findings = _lint_snippet(tmp_path, "mod.py", src)
         assert [f.rule for f in findings] == ["RPL003"]
+
+
+class TestUnusedNoqa:
+    def test_stale_explicit_code_reported(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "mod.py", "x = 1  # noqa: RPL003\n")
+        assert [f.rule for f in findings] == ["noqa-unused"]
+        assert "RPL003" in findings[0].message
+
+    def test_bare_noqa_never_reported(self, tmp_path):
+        # A bare noqa declares no expectation, so it cannot be stale.
+        assert _lint_snippet(tmp_path, "mod.py", "x = 1  # noqa\n") == []
+
+    def test_stale_file_level_directive_reported(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "mod.py", "# noqa: RPL001\nx = 1\n")
+        assert [f.rule for f in findings] == ["noqa-unused"]
+
+    def test_codes_of_rules_that_did_not_run_are_spared(self, tmp_path):
+        # A flow-tier suppression must survive a classic-only invocation:
+        # the rule it silences simply did not execute.
+        src = "x = 1  # noqa: RPL102\n"
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
+
+    def test_used_directive_not_reported(self, tmp_path):
+        src = "raise ValueError('x')  # noqa: RPL003\n"
+        assert _lint_snippet(tmp_path, "mod.py", src) == []
 
 
 class TestDriver:

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 emitter tests (:mod:`repro.analysis.sarif`).
+
+The CI job uploads these documents for both lint tiers; consumers only
+tolerate structurally valid SARIF, so the emitter output is checked
+against the embedded structural schema and the schema itself is checked
+to actually reject malformed documents (a vacuous validator would pass
+everything).
+"""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.analysis.report import Finding
+from repro.analysis.sarif import (
+    SARIF_SCHEMA_URI,
+    render_sarif,
+    sarif_document,
+    validate_sarif,
+)
+
+
+def _finding(rule="RPL101", severity="error", where="src/repro/exec/process.py:42"):
+    return Finding(rule=rule, severity=severity, message=f"{rule} fired", where=where)
+
+
+RULES = {"RPL101": "resource lifecycle", "RPL102": "blocking in async"}
+
+
+class TestDocumentShape:
+    def test_emitted_document_validates(self):
+        doc = sarif_document([_finding()], RULES)
+        validate_sarif(doc)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+
+    def test_rendered_string_validates_and_round_trips(self):
+        text = render_sarif([_finding(), _finding("RPL102", "info")], RULES)
+        validate_sarif(text)
+        doc = json.loads(text)
+        assert len(doc["runs"][0]["results"]) == 2
+
+    def test_empty_findings_still_lists_executed_rules(self):
+        # "Checked but clean" state: the driver rule list carries every
+        # rule that ran, results are empty.
+        doc = sarif_document([], RULES)
+        validate_sarif(doc)
+        run = doc["runs"][0]
+        assert run["results"] == []
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["RPL101", "RPL102"]
+
+    def test_severity_maps_to_sarif_levels(self):
+        doc = sarif_document([_finding(severity="error"), _finding(severity="info")], RULES)
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "note"]
+
+    def test_location_splits_path_and_line(self):
+        doc = sarif_document([_finding(where="src/a.py:17")], RULES)
+        loc = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/a.py"
+        assert loc["region"]["startLine"] == 17
+
+    def test_lineless_where_defaults_to_line_one(self):
+        doc = sarif_document([_finding(where="src/a.py")], RULES)
+        loc = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/a.py"
+        assert loc["region"]["startLine"] == 1
+
+
+class TestValidatorRejects:
+    def test_missing_runs_rejected(self):
+        with pytest.raises(jsonschema.ValidationError):
+            validate_sarif({"version": "2.1.0"})
+
+    def test_wrong_version_rejected(self):
+        doc = sarif_document([_finding()], RULES)
+        doc["version"] = "2.0.0"
+        with pytest.raises(jsonschema.ValidationError):
+            validate_sarif(doc)
+
+    def test_bad_level_rejected(self):
+        doc = sarif_document([_finding()], RULES)
+        doc["runs"][0]["results"][0]["level"] = "fatal"
+        with pytest.raises(jsonschema.ValidationError):
+            validate_sarif(doc)
+
+    def test_message_without_text_rejected(self):
+        doc = sarif_document([_finding()], RULES)
+        doc["runs"][0]["results"][0]["message"] = {}
+        with pytest.raises(jsonschema.ValidationError):
+            validate_sarif(doc)

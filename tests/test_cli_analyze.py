@@ -100,3 +100,62 @@ class TestLint:
     def test_select_filter(self, bad_module, capsys):
         assert main(["lint", str(bad_module), "--select", "RPL003"]) == 0
         capsys.readouterr()
+
+
+class TestLintFlowTier:
+    @pytest.fixture()
+    def leaky_module(self, tmp_path):
+        path = tmp_path / "exec" / "leaky.py"
+        path.parent.mkdir()
+        path.write_text(
+            "def run(self, job):\n"
+            "    self._slots.acquire()\n"
+            "    return compute(job)\n"
+        )
+        return path
+
+    def test_flow_flag_enables_the_flow_tier(self, leaky_module, capsys):
+        # Classic-only run misses the leak entirely...
+        assert main(["lint", str(leaky_module)]) == 0
+        capsys.readouterr()
+        # ...--flow catches it.
+        assert main(["lint", "--flow", str(leaky_module)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL101" in out
+
+    def test_sarif_output_validates_both_tiers(self, leaky_module, capsys):
+        from repro.analysis.sarif import validate_sarif
+
+        assert main(["lint", "--flow", "--format", "sarif", str(leaky_module)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+        run = doc["runs"][0]
+        # Driver lists every rule that executed — classic and flow.
+        ran = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RPL001", "RPL101", "RPL102", "RPL103"} <= ran
+        assert any(r["ruleId"] == "RPL101" for r in run["results"])
+
+    def test_sarif_clean_run_has_empty_results(self, tmp_path, capsys):
+        from repro.analysis.sarif import validate_sarif
+
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert main(["lint", "--format", "sarif", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"] == []
+
+    def test_cache_dir_persists_the_call_graph(self, leaky_module, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["lint", "--flow", "--cache-dir", str(cache), str(leaky_module)]) == 1
+        capsys.readouterr()
+        cached = list(cache.glob("callgraph-*.json"))
+        assert len(cached) == 1
+        # Second run resolves from the cache and reports identically.
+        assert main(["lint", "--flow", "--cache-dir", str(cache), str(leaky_module)]) == 1
+        assert "RPL101" in capsys.readouterr().out
+
+    def test_repo_package_is_flow_clean(self, capsys):
+        # The acceptance gate: both tiers, zero unsuppressed findings.
+        assert main(["lint", "--flow"]) == 0
+        assert "clean" in capsys.readouterr().out

@@ -1,0 +1,32 @@
+"""The rule table in docs/static_analysis.md is generated, not hand-kept.
+
+``rules_table()`` renders the live registry; the doc embeds its output
+between ``rules-table:begin``/``end`` markers.  This test fails whenever
+a rule is added, rescoped or reworded without regenerating the block —
+the doc can then be fixed by pasting the expected table printed in the
+assertion diff.
+"""
+
+from pathlib import Path
+
+import repro
+import repro.analysis.flow  # noqa: F401 -- flow-tier rules register on import
+from repro.analysis.lint import RULES, rules_table
+
+DOC = Path(repro.__file__).resolve().parents[2] / "docs" / "static_analysis.md"
+
+BEGIN = "<!-- rules-table:begin -->"
+END = "<!-- rules-table:end -->"
+
+
+def test_doc_rule_table_matches_registry():
+    text = DOC.read_text()
+    assert BEGIN in text and END in text, f"markers missing from {DOC}"
+    embedded = text.split(BEGIN, 1)[1].split(END, 1)[0].strip()
+    assert embedded == rules_table().strip()
+
+
+def test_doc_mentions_every_rule_id():
+    text = DOC.read_text()
+    for rule_id in RULES:
+        assert rule_id in text, f"{rule_id} undocumented in {DOC}"

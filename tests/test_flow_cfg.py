@@ -1,0 +1,243 @@
+"""CFG construction and dataflow-engine tests (:mod:`repro.analysis.flow`).
+
+The checkers' soundness rests on a handful of structural properties of
+the graphs: every statement carries an exception edge, ``finally`` is on
+every exit path (including ``return``), broad handlers stop outward
+propagation, and the engine applies *gen* only on the normal edge but
+*kill* on both.  Each property gets a direct test here so a regression
+points at the layer that broke, not at a checker symptom.
+"""
+
+import ast
+
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.flow.dataflow import solve_forward
+
+
+def _cfg_of(source):
+    func = ast.parse(source).body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _node_for_line(cfg, line):
+    for node in cfg.statement_nodes():
+        if node.line == line:
+            return node
+    raise AssertionError(f"no statement node at line {line}")
+
+
+def _reaches(cfg, start, goal, *, normal_only=False):
+    """True if *goal* is reachable from node index *start*."""
+    seen = {start}
+    work = [start]
+    while work:
+        idx = work.pop()
+        if idx == goal:
+            return True
+        node = cfg.node(idx)
+        succs = set(node.succ) if normal_only else node.succ | node.esucc
+        for s in succs:
+            if s not in seen:
+                seen.add(s)
+                work.append(s)
+    return goal in seen
+
+
+class TestCFGShape:
+    def test_straight_line_chains_to_exit(self):
+        cfg = _cfg_of("def f():\n    a = 1\n    b = 2\n")
+        first = _node_for_line(cfg, 2)
+        second = _node_for_line(cfg, 3)
+        assert first.succ == {second.index}
+        assert second.succ == {cfg.exit}
+
+    def test_every_statement_may_raise(self):
+        cfg = _cfg_of("def f():\n    a = 1\n    b = a + 1\n    return b\n")
+        for node in cfg.statement_nodes():
+            assert node.esucc, f"statement at line {node.line} has no exception edge"
+        # With no try anywhere, every exception edge lands on REXIT.
+        for node in cfg.statement_nodes():
+            assert node.esucc == {cfg.rexit}
+
+    def test_if_joins_both_arms(self):
+        cfg = _cfg_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        header = _node_for_line(cfg, 2)
+        then = _node_for_line(cfg, 3)
+        other = _node_for_line(cfg, 5)
+        ret = _node_for_line(cfg, 6)
+        assert header.succ == {then.index, other.index}
+        assert then.succ == other.succ == {ret.index}
+
+    def test_loop_has_back_edge_and_exit(self):
+        cfg = _cfg_of("def f(xs):\n    for x in xs:\n        y = x\n    return 0\n")
+        header = _node_for_line(cfg, 2)
+        body = _node_for_line(cfg, 3)
+        ret = _node_for_line(cfg, 4)
+        assert body.index in header.succ and ret.index in header.succ
+        assert body.succ == {header.index}
+
+    def test_break_targets_after_loop(self):
+        cfg = _cfg_of("def f(xs):\n    for x in xs:\n        break\n    return 0\n")
+        brk = _node_for_line(cfg, 3)
+        ret = _node_for_line(cfg, 4)
+        assert brk.succ == {ret.index}
+
+    def test_return_goes_to_exit_not_fallthrough(self):
+        cfg = _cfg_of("def f():\n    return 1\n    x = 2\n")
+        ret = _node_for_line(cfg, 2)
+        assert ret.succ == {cfg.exit}
+
+
+class TestTryModeling:
+    def test_try_body_edges_into_handler(self):
+        cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        cleanup()\n"
+        )
+        risky = _node_for_line(cfg, 3)
+        handler = _node_for_line(cfg, 5)
+        assert _reaches(cfg, risky.index, handler.index)
+        # A narrow handler does not swallow everything: the raise can
+        # still escape the function.
+        assert _reaches(cfg, risky.index, cfg.rexit)
+
+    def test_broad_handler_stops_propagation(self):
+        cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        risky = _node_for_line(cfg, 3)
+        handler = _node_for_line(cfg, 5)
+        # The try body's exception edge reaches only the handler; REXIT is
+        # reachable solely through the *handler's own* may-raise edge.
+        hub_targets = set()
+        for idx in risky.esucc:
+            hub = cfg.node(idx)
+            hub_targets |= ({idx} if hub.stmt is not None else hub.succ | hub.esucc)
+        assert cfg.rexit not in hub_targets
+        assert handler.index in hub_targets
+
+    def test_return_routes_through_finally(self):
+        cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        release()\n"
+        )
+        ret = _node_for_line(cfg, 3)
+        release = _node_for_line(cfg, 5)
+        # The return's normal successor is the finally body, not EXIT.
+        assert ret.succ != {cfg.exit}
+        assert _reaches(cfg, ret.index, release.index, normal_only=True)
+        assert _reaches(cfg, release.index, cfg.exit)
+
+    def test_finally_on_exception_path(self):
+        cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    finally:\n"
+            "        release()\n"
+        )
+        risky = _node_for_line(cfg, 3)
+        release = _node_for_line(cfg, 5)
+        assert _reaches(cfg, risky.index, release.index)
+        assert _reaches(cfg, release.index, cfg.rexit)
+
+
+class TestDataflowEngine:
+    """The gen/kill polarity that makes leak-on-raise detectable."""
+
+    @staticmethod
+    def _transfer_acquire_release(node):
+        text = ast.dump(node.stmt)
+        if "'acquire'" in text:
+            return {"held"}, set()
+        if "'release'" in text:
+            return set(), {"held"}
+        return set(), set()
+
+    def test_gen_applies_only_on_normal_edge(self):
+        # acquire() is the last statement: its normal edge carries the
+        # fact to EXIT, but its *own* exception edge must not — if the
+        # acquire raised, nothing was acquired.
+        cfg = _cfg_of("def f(r):\n    r.acquire()\n")
+        facts = solve_forward(cfg, self._transfer_acquire_release)
+        assert "held" in facts[cfg.exit]
+        assert "held" not in facts[cfg.rexit]
+
+    def test_leak_on_raise_between_acquire_and_release(self):
+        cfg = _cfg_of("def f(r):\n    r.acquire()\n    risky()\n    r.release()\n")
+        facts = solve_forward(cfg, self._transfer_acquire_release)
+        # risky() may raise while held -> the fact escapes to REXIT...
+        assert "held" in facts[cfg.rexit]
+        # ...but the release path is clean.
+        assert "held" not in facts[cfg.exit]
+
+    def test_kill_applies_on_both_edges(self):
+        # Only the release itself sits between acquire and exit; its own
+        # may-raise edge must NOT resurrect the fact at REXIT.
+        cfg = _cfg_of("def f(r):\n    r.acquire()\n    r.release()\n")
+        facts = solve_forward(cfg, self._transfer_acquire_release)
+        assert "held" not in facts[cfg.exit]
+        assert "held" not in facts[cfg.rexit]
+
+    def test_finally_release_cleans_every_path(self):
+        cfg = _cfg_of(
+            "def f(r):\n"
+            "    r.acquire()\n"
+            "    try:\n"
+            "        risky()\n"
+            "    finally:\n"
+            "        r.release()\n"
+        )
+        facts = solve_forward(cfg, self._transfer_acquire_release)
+        assert "held" not in facts[cfg.exit]
+        # The only way to REXIT past the acquire is through the finally's
+        # release (or the acquire's own raise, where gen never applied).
+        assert "held" not in facts[cfg.rexit]
+
+    def test_union_at_joins_is_may_analysis(self):
+        cfg = _cfg_of(
+            "def f(c, r):\n"
+            "    if c:\n"
+            "        r.acquire()\n"
+            "    return 0\n"
+        )
+        facts = solve_forward(cfg, self._transfer_acquire_release)
+        # Held on *some* path to exit -> the fact must survive the join.
+        assert "held" in facts[cfg.exit]
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = _cfg_of(
+            "def f(xs, r):\n"
+            "    for x in xs:\n"
+            "        r.acquire()\n"
+            "    return 0\n"
+        )
+        facts = solve_forward(cfg, self._transfer_acquire_release)
+        header = _node_for_line(cfg, 2)
+        # The back edge feeds the fact into the header's IN set.
+        assert "held" in facts[header.index]
+        assert "held" in facts[cfg.exit]
+
+    def test_entry_facts_flow_through(self):
+        cfg = _cfg_of("def f():\n    x = 1\n")
+        facts = solve_forward(cfg, lambda node: (set(), set()), entry_facts={"seed"})
+        assert "seed" in facts[cfg.exit]
+        assert "seed" in facts[cfg.rexit]
