@@ -1,0 +1,44 @@
+"""Sharded cluster front-end: scale the solve service past one process.
+
+The service layer (:mod:`repro.service`) gives one process admission
+control, retries, breakers and a crash-recoverable journal.  This
+package multiplies that by N: a :class:`~repro.cluster.router.ClusterRouter`
+consistent-hash-places jobs across N shard *processes* (each a full
+:class:`~repro.service.core.SolveService`), health-checks them with a
+breaker-style CLOSED/SUSPECT/DOWN state machine, and — when a shard dies
+— replays its journal's admitted-but-unfinished jobs onto survivors,
+deduplicated by job key.  Deterministic jobs make the replay safe: the
+rerun factor is bit-identical, so at-least-once execution still yields
+exactly-once results.
+
+Modules:
+
+- :mod:`~repro.cluster.wire` — length-prefixed JSON frames + handshake;
+- :mod:`~repro.cluster.hashring` — consistent hashing with virtual nodes;
+- :mod:`~repro.cluster.shard` — the shard process (service behind a socket);
+- :mod:`~repro.cluster.router` — placement, health, handoff, chaos hooks;
+- :mod:`~repro.cluster.metrics` — per-shard → cluster metric aggregation;
+- :mod:`~repro.cluster.loadgen` — cluster load driver + scaling bench.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.loadgen import ClusterLoadReport, bench_cluster, run_cluster_load
+from repro.cluster.metrics import ShardState, aggregate_cluster_metrics, cluster_to_prometheus
+from repro.cluster.router import ClusterConfig, ClusterResult, ClusterRouter
+from repro.cluster.shard import ShardConfig, ShardServer, shard_entry
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterLoadReport",
+    "ClusterResult",
+    "ClusterRouter",
+    "HashRing",
+    "ShardConfig",
+    "ShardServer",
+    "ShardState",
+    "aggregate_cluster_metrics",
+    "bench_cluster",
+    "cluster_to_prometheus",
+    "run_cluster_load",
+    "shard_entry",
+]

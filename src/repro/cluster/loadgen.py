@@ -1,0 +1,235 @@
+"""Cluster load generation: drive a :class:`ClusterRouter` like a service.
+
+Reuses the single-service workload generator (:func:`make_jobs` — job *i*
+is a pure function of ``(seed, i)``, so the same config produces the same
+jobs whether they run inline, on one service, or sharded) and mirrors its
+two driving modes:
+
+- **closed loop**: a fixed outstanding window; rejections honor the
+  shard's ``retry_after_s`` hint, so every job eventually completes —
+  including across a mid-run shard kill, where completions simply stall
+  until the health loop declares the shard DOWN and hands its work off;
+- **open loop**: Poisson arrivals; rejections are recorded and lost.
+
+``kill_shard_after`` turns a load run into the CI smoke scenario: after
+that many completions the chosen shard is SIGKILLed mid-queue, and the
+report's ``lost``/``duplicates`` fields make the no-lost /
+no-duplicated-jobs invariant a one-line assertion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.cluster.router import ClusterConfig, ClusterResult, ClusterRouter
+from repro.service.loadgen import ARRIVAL_RNG_KEY, LoadGenConfig, make_jobs
+from repro.util.formatting import render_table
+from repro.util.rng import derive_rng
+from repro.util.validation import require
+
+
+@dataclass
+class ClusterLoadReport:
+    """What a cluster load run produced, ready to render or assert on."""
+
+    wall_s: float
+    shards: int
+    submitted: int
+    completed: int
+    failed: int
+    lost: int
+    duplicates: int
+    handoffs: int
+    reroutes: int
+    p50_latency_s: float
+    p90_latency_s: float
+    p99_latency_s: float
+    jobs_per_s: float
+    per_shard_completed: dict[str, int]
+
+    @classmethod
+    def from_router(cls, router: ClusterRouter, wall_s: float) -> "ClusterLoadReport":
+        m = router.metrics
+        latency = m["cluster_latency_seconds"]
+        completed = sum(1 for r in router.results.values() if r.completed)
+        failed = sum(1 for r in router.results.values() if not r.completed)
+        lost = len(router._submitted_keys - set(router.results))
+        per_shard = {
+            h.name: int(m["cluster_jobs_completed_total"].value(shard=h.name))
+            for h in router.handles
+        }
+        return cls(
+            wall_s=wall_s,
+            shards=router.config.shards,
+            submitted=len(router._submitted_keys),
+            completed=completed,
+            failed=failed,
+            lost=lost,
+            duplicates=int(m["cluster_duplicate_results_total"].value()),
+            handoffs=int(m["cluster_handoff_jobs_total"].value()),
+            reroutes=int(m["cluster_reroutes_total"].value()),
+            p50_latency_s=latency.percentile(0.5),
+            p90_latency_s=latency.percentile(0.9),
+            p99_latency_s=latency.percentile(0.99),
+            jobs_per_s=completed / wall_s if wall_s > 0 else 0.0,
+            per_shard_completed=per_shard,
+        )
+
+    def render(self, title: str = "cluster load report") -> str:
+        split = ", ".join(f"{k}={v}" for k, v in sorted(self.per_shard_completed.items()))
+        rows = [
+            ("wall seconds", f"{self.wall_s:.3f}"),
+            ("shards", self.shards),
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("lost (accepted, no result)", self.lost),
+            ("duplicate results dropped", self.duplicates),
+            ("handoff replays", self.handoffs),
+            ("reroutes", self.reroutes),
+            ("latency p50/p90/p99 (s)", f"{self.p50_latency_s:.4f} / "
+                                        f"{self.p90_latency_s:.4f} / {self.p99_latency_s:.4f}"),
+            ("throughput (jobs/s)", f"{self.jobs_per_s:.2f}"),
+            ("per-shard completions", split or "-"),
+        ]
+        return render_table(["metric", "value"], rows, title=title)
+
+
+async def run_cluster_closed_loop(
+    router: ClusterRouter,
+    cfg: LoadGenConfig,
+    kill_shard_after: int | None = None,
+    kill_index: int = 0,
+) -> list[ClusterResult]:
+    """Fixed outstanding window over the router; optional mid-run shard kill."""
+    jobs = make_jobs(cfg)
+    next_index = 0
+    outstanding = 0
+    completions = 0
+    killed = False
+
+    async def submit_next() -> None:
+        nonlocal next_index, outstanding
+        job = jobs[next_index]
+        next_index += 1
+        while True:
+            decision = await router.submit(job)
+            if decision.accepted:
+                outstanding += 1
+                return
+            await asyncio.sleep(decision.retry_after_s or 0.01)
+
+    while next_index < len(jobs) and outstanding < cfg.concurrency:
+        await submit_next()
+    while outstanding:
+        await router.completions.get()
+        outstanding -= 1
+        completions += 1
+        if kill_shard_after is not None and not killed and completions >= kill_shard_after:
+            killed = True
+            router.kill_shard(kill_index)
+        if next_index < len(jobs):
+            await submit_next()
+    # The window can empty while handed-off replays are still in flight.
+    await router.drain(timeout_s=120.0)
+    return [router.results[j.key] for j in jobs if j.key in router.results]
+
+
+async def run_cluster_open_loop(
+    router: ClusterRouter, cfg: LoadGenConfig
+) -> list[ClusterResult]:
+    """Poisson arrivals at ``cfg.rate``; rejections are recorded, not retried."""
+    require(cfg.rate is not None, "open loop needs a rate")
+    gen = derive_rng(cfg.seed, ARRIVAL_RNG_KEY)
+    for job in make_jobs(cfg):
+        await router.submit(job)
+        await asyncio.sleep(float(gen.exponential(1.0 / cfg.rate)))
+    await router.drain(timeout_s=120.0)
+    return [router.results[k] for k in sorted(router.results)]
+
+
+async def run_cluster_load(
+    cluster_cfg: ClusterConfig,
+    cfg: LoadGenConfig,
+    kill_shard_after: int | None = None,
+    kill_index: int = 0,
+) -> tuple[ClusterLoadReport, list[ClusterResult], dict]:
+    """Spin up a cluster, drive it with *cfg* end to end, and report.
+
+    Returns ``(report, results, aggregate)`` where *aggregate* is the
+    cluster-level metrics export collected from the surviving shards
+    just before teardown (a killed shard contributes nothing — its
+    completions live on in the survivors' counters via handoff).
+    """
+    router = ClusterRouter(cluster_cfg)
+    await router.start()
+    try:
+        t0 = time.monotonic()
+        if cfg.rate is not None:
+            results = await run_cluster_open_loop(router, cfg)
+        else:
+            results = await run_cluster_closed_loop(
+                router, cfg, kill_shard_after=kill_shard_after, kill_index=kill_index
+            )
+        wall_s = time.monotonic() - t0
+        aggregate = await router.cluster_metrics()
+    finally:
+        await router.stop()
+    return ClusterLoadReport.from_router(router, wall_s), results, aggregate
+
+
+def bench_cluster(
+    cfg: LoadGenConfig,
+    shard_counts: tuple[int, ...] = (1, 3),
+    workers_per_shard: tuple[str, ...] = ("tardis:2",),
+    exec_workers: int = 2,
+) -> dict:
+    """Throughput scaling document: the same workload at each shard count.
+
+    The acceptance bar for the cluster front-end: aggregate jobs/s at N
+    shards beats the 1-shard run of the identical workload (shards are
+    separate processes, so NumPy kernels scale past a single GIL).
+    """
+    runs = []
+    for shards in shard_counts:
+        cluster_cfg = ClusterConfig(
+            shards=shards,
+            workers=workers_per_shard,
+            exec_workers=exec_workers,
+        )
+        report, _, _ = asyncio.run(run_cluster_load(cluster_cfg, cfg))
+        runs.append(
+            {
+                "shards": shards,
+                "jobs_per_s": report.jobs_per_s,
+                "wall_s": report.wall_s,
+                "completed": report.completed,
+                "failed": report.failed,
+                "lost": report.lost,
+                "duplicates": report.duplicates,
+                "p50_latency_s": report.p50_latency_s,
+                "p99_latency_s": report.p99_latency_s,
+            }
+        )
+    from repro.experiments.stamp import run_stamp
+
+    baseline = runs[0]["jobs_per_s"]
+    return {
+        "schema": 1,
+        "stamp": run_stamp(),
+        "workload": {
+            "jobs": cfg.jobs,
+            "sizes": list(cfg.sizes),
+            "block_size": cfg.block_size,
+            "scheme": cfg.scheme,
+            "seed": cfg.seed,
+            "concurrency": cfg.concurrency,
+        },
+        "runs": runs,
+        "speedup_vs_one_shard": {
+            str(r["shards"]): (r["jobs_per_s"] / baseline if baseline > 0 else 0.0)
+            for r in runs
+        },
+    }

@@ -1,0 +1,128 @@
+"""Cluster-level metrics: shard health states and snapshot aggregation.
+
+Each shard process owns a private
+:class:`~repro.service.metrics.MetricsRegistry`; the router pulls
+``to_dict()`` snapshots over the wire (``metrics`` frames) and this
+module folds them into **one cluster export** with two views of every
+series:
+
+- the original flat name (``service_jobs_completed_total``) holding the
+  **cluster-wide sum**, so every dashboard written against a single
+  service keeps working unchanged against a cluster;
+- a ``shard``-labelled series per member
+  (``service_jobs_completed_total{shard="shard-0"}``) for per-shard
+  drill-down, with the shard label merged into any labels the series
+  already carried (sorted, matching the registry's own suffix format).
+
+Histogram percentiles do not merge exactly across shards, so the
+aggregate keeps honest cluster ``count``/``sum``/``max`` plus each
+shard's full summary — no fabricated cluster-wide p99.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ShardState(enum.Enum):
+    """Router-side health verdict for one shard (breaker-style).
+
+    The numeric values are the wire/gauge encoding: the router exports
+    ``cluster_shard_state{shard=...}`` with exactly these numbers, so
+    dashboards can alert on ``> 0``.
+    """
+
+    CLOSED = 0  #: healthy and routable
+    SUSPECT = 1  #: missed probes; routed around, not yet handed off
+    DOWN = 2  #: dead or unreachable; work handed off to survivors
+
+
+def _shard_series(name: str, suffix: str, shard: str) -> str:
+    """Merge a ``shard`` label into an existing series suffix.
+
+    ``suffix`` is either ``""``/``"total"`` (unlabelled series) or the
+    registry's ``{k="v",...}`` form.  Label values here never contain
+    commas (worker/backend names), so splitting on ``,`` is exact.
+    """
+    pairs: list[tuple[str, str]] = []
+    if suffix.startswith("{") and suffix.endswith("}"):
+        for part in suffix[1:-1].split(","):
+            key, _, value = part.partition("=")
+            pairs.append((key, value))
+    pairs.append(("shard", f'"{shard}"'))
+    pairs.sort()
+    return name + "{" + ",".join(f"{k}={v}" for k, v in pairs) + "}"
+
+
+def _fold_scalars(
+    out: dict[str, float], shard: str, series: dict[str, float | dict]
+) -> None:
+    for name, value in series.items():
+        parts = value if isinstance(value, dict) else {"": float(value)}
+        for suffix, v in parts.items():
+            key = _shard_series(name, suffix, shard)
+            out[name] = out.get(name, 0.0) + float(v)
+            out[key] = out.get(key, 0.0) + float(v)
+
+
+def aggregate_cluster_metrics(
+    shard_snapshots: dict[str, dict], router: dict | None = None
+) -> dict:
+    """Fold per-shard ``MetricsRegistry.to_dict()`` snapshots into one export.
+
+    Returns a JSON-ready dict: flat names carry cluster-wide sums,
+    ``{shard=...}`` series carry the per-member split, and the router's
+    own registry snapshot rides along untouched under ``"router"``.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for shard in sorted(shard_snapshots):
+        snapshot = shard_snapshots[shard]
+        _fold_scalars(counters, shard, snapshot.get("counters", {}))
+        _fold_scalars(gauges, shard, snapshot.get("gauges", {}))
+        for name, summary in snapshot.get("histograms", {}).items():
+            agg = histograms.setdefault(
+                name, {"cluster": {"count": 0.0, "sum": 0.0, "max": 0.0}, "shards": {}}
+            )
+            agg["cluster"]["count"] += float(summary.get("count", 0.0))
+            agg["cluster"]["sum"] += float(summary.get("sum", 0.0))
+            agg["cluster"]["max"] = max(agg["cluster"]["max"], float(summary.get("max", 0.0)))
+            agg["shards"][shard] = dict(summary)
+    return {
+        "schema": 1,
+        "shards": sorted(shard_snapshots),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "router": router or {},
+    }
+
+
+def cluster_to_prometheus(aggregate: dict) -> str:
+    """The aggregated export in Prometheus text exposition format.
+
+    Flat series and ``shard``-labelled series emit side by side (the flat
+    name is the cluster sum); histograms emit ``_count``/``_sum`` at
+    cluster scope plus per-shard ``_count``/``_sum`` series.
+    """
+    lines: list[str] = []
+    for kind in ("counters", "gauges"):
+        prom_type = "counter" if kind == "counters" else "gauge"
+        emitted: set[str] = set()
+        for series in sorted(aggregate.get(kind, {})):
+            base = series.split("{", 1)[0]
+            if base not in emitted:
+                emitted.add(base)
+                lines.append(f"# TYPE {base} {prom_type}")
+            lines.append(f"{series} {aggregate[kind][series]:g}")
+    for name in sorted(aggregate.get("histograms", {})):
+        agg = aggregate["histograms"][name]
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"{name}_count {agg['cluster']['count']:g}")
+        lines.append(f"{name}_sum {agg['cluster']['sum']:g}")
+        for shard in sorted(agg["shards"]):
+            summary = agg["shards"][shard]
+            lines.append(f'{name}_count{{shard="{shard}"}} {summary.get("count", 0):g}')
+            lines.append(f'{name}_sum{{shard="{shard}"}} {summary.get("sum", 0):g}')
+    return "\n".join(lines) + "\n"

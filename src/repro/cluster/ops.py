@@ -1,0 +1,142 @@
+"""Operator entry points: manifest, status and drain for a running cluster.
+
+``repro cluster start`` leaves a ``cluster.json`` manifest in the
+workdir so later invocations (``status``, ``drain``) can find the shard
+sockets without talking to the router process.  Operator commands open
+their own short-lived connections straight to each shard — the shard
+server accepts any number of clients — so status works even if the
+router is wedged, and drain works shard by shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from pathlib import Path
+
+from repro.cluster import wire
+from repro.cluster.metrics import aggregate_cluster_metrics
+from repro.cluster.router import ClusterRouter
+from repro.util.exceptions import ClusterError
+
+MANIFEST_NAME = "cluster.json"
+
+
+def write_manifest(router: ClusterRouter) -> Path:
+    """Record the running topology where ``status``/``drain`` can find it."""
+    manifest = {
+        "schema": 1,
+        "shards": [
+            {
+                "name": h.name,
+                "socket": str(h.config.socket_path),
+                "journal": str(h.config.journal_path),
+                "pid": h.process.pid,
+            }
+            for h in router.handles
+        ],
+        "workdir": str(router.workdir),
+    }
+    path = router.workdir / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(workdir: str | Path) -> dict:
+    path = Path(workdir) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ClusterError(
+            f"no cluster manifest at {path} — is a cluster running with this --workdir?"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ClusterError(f"unreadable cluster manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or "shards" not in manifest:
+        raise ClusterError(f"malformed cluster manifest {path}")
+    return manifest
+
+
+async def shard_request(
+    socket_path: str, message: dict, reply_type: str, timeout_s: float = 5.0
+) -> dict:
+    """One request/reply round trip on a fresh connection to a shard."""
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_unix_connection(socket_path), timeout_s
+        )
+    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+        raise ClusterError(f"cannot reach shard at {socket_path}: {exc}") from exc
+    try:
+        await asyncio.wait_for(wire.client_handshake(reader, writer, role="cli"), timeout_s)
+        await wire.write_frame(writer, message)
+        while True:
+            reply = await asyncio.wait_for(wire.read_frame(reader), timeout_s)
+            if reply is None:
+                raise ClusterError(f"shard at {socket_path} closed mid-request")
+            if reply["type"] == reply_type:
+                return reply
+            if reply["type"] == "error":
+                raise ClusterError(f"shard error: {reply.get('error')}")
+            # results being pushed for another client's jobs: skip past
+    except asyncio.TimeoutError:
+        raise ClusterError(f"shard at {socket_path} did not reply within {timeout_s:g}s") from None
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
+
+async def cluster_status(workdir: str | Path, timeout_s: float = 5.0) -> dict:
+    """Health + aggregated metrics of every shard in the manifest.
+
+    Unreachable shards are reported (``alive: false``) rather than
+    failing the whole status call — that is the situation status exists
+    to show.
+    """
+    manifest = await asyncio.to_thread(read_manifest, workdir)
+    shards: list[dict] = []
+    snapshots: dict[str, dict] = {}
+    for entry in manifest["shards"]:
+        name, socket = str(entry["name"]), str(entry["socket"])
+        try:
+            health = await shard_request(socket, {"type": "health", "probe": 0}, "health_ok", timeout_s)
+            metrics = await shard_request(socket, {"type": "metrics"}, "metrics_ok", timeout_s)
+        except ClusterError as exc:
+            shards.append({"name": name, "socket": socket, "alive": False, "error": str(exc)})
+            continue
+        snapshots[name] = metrics.get("metrics", {})
+        shards.append(
+            {
+                "name": name,
+                "socket": socket,
+                "alive": True,
+                "queue_depth": health.get("queue_depth"),
+                "inflight": health.get("inflight"),
+                "submitted": health.get("submitted"),
+                "completed": health.get("completed"),
+                "failed": health.get("failed"),
+                "rejected": health.get("rejected"),
+            }
+        )
+    return {
+        "workdir": str(workdir),
+        "shards": shards,
+        "metrics": aggregate_cluster_metrics(snapshots),
+    }
+
+
+async def cluster_drain(workdir: str | Path, timeout_s: float = 60.0) -> list[str]:
+    """Ask every reachable shard to finish its queue; returns who confirmed."""
+    manifest = await asyncio.to_thread(read_manifest, workdir)
+    drained: list[str] = []
+    for entry in manifest["shards"]:
+        with contextlib.suppress(ClusterError):
+            reply = await shard_request(
+                str(entry["socket"]), {"type": "drain"}, "drained", timeout_s
+            )
+            drained.append(str(reply.get("shard", entry["name"])))
+    return drained

@@ -1,0 +1,594 @@
+"""The cluster front-end: consistent-hash routing over N shard processes.
+
+:class:`ClusterRouter` spawns ``shards`` independent shard processes
+(each a full :class:`~repro.service.core.SolveService` with its own
+executor pool, breakers, metrics and write-ahead journal — see
+:mod:`repro.cluster.shard`), connects to each over a unix socket with a
+versioned handshake, and places jobs by **consistent hashing** of the
+job key over the healthy members (:mod:`repro.cluster.hashring`).
+
+Health is tracked per shard with a breaker-style three-state machine:
+
+- **CLOSED** (healthy): routable; probed every ``health_interval_s``;
+- **SUSPECT**: missed ``suspect_after`` consecutive probes — new jobs
+  route *away* (their ring placement slides to the next healthy shard)
+  but nothing is handed off yet; a successful probe returns it to CLOSED;
+- **DOWN**: the process died, the connection broke, or ``down_after``
+  probes went unanswered — the shard is removed from routing and its
+  work is **handed off**.
+
+Handoff is journal-backed: every shard fsyncs a job's ``admitted``
+record before acknowledging the submit, so the dead shard's journal is a
+complete account of what it owed.  The router replays the journal's
+admitted-but-unfinished entries (plus its own record of in-flight
+submissions) onto surviving shards, **deduplicated by job key** against
+results it already holds — the no-lost / no-duplicated-jobs invariant
+the chaos battery asserts end to end.  Re-running a replayed job is safe
+because jobs are deterministic in ``(seed, job_id)``: a duplicate
+execution produces the bit-identical factor and is dropped at the
+results map, never surfaced twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster import wire
+from repro.cluster.hashring import HashRing
+from repro.cluster.metrics import ShardState, aggregate_cluster_metrics
+from repro.cluster.shard import ShardConfig, decode_factor, shard_entry
+from repro.resilience.journal import incomplete_jobs, read_journal
+from repro.service.job import Job
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import AdmissionDecision
+from repro.util.exceptions import ClusterError, JournalError
+from repro.util.validation import check_positive, require
+
+#: longest sockaddr_un path we will ask the kernel for (portable limit ~104)
+_MAX_SOCKET_PATH = 96
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology and health-checking knobs for one cluster."""
+
+    shards: int = 3
+    #: journals + the cluster manifest live here; a fresh tempdir when unset
+    workdir: str | Path | None = None
+    vnodes: int = 64
+    health_interval_s: float = 0.5
+    probe_timeout_s: float = 1.0
+    #: consecutive missed probes before a shard is SUSPECT (rerouted around)
+    suspect_after: int = 1
+    #: consecutive missed probes before a shard is DOWN (handed off)
+    down_after: int = 3
+    #: per-shard service wiring
+    workers: tuple[str, ...] = ("tardis:2",)
+    executor: str = "thread"
+    exec_workers: int | None = 2
+    max_queue_depth: int = 256
+    job_timeout_s: float = 60.0
+    return_factors: bool = False
+    journal_compact_bytes: int | None = 1 << 20
+    #: shard process spawn + handshake budget (cold numpy import included)
+    connect_timeout_s: float = 60.0
+    submit_timeout_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        check_positive("shards", self.shards)
+        check_positive("vnodes", self.vnodes)
+        check_positive("health_interval_s", self.health_interval_s)
+        check_positive("probe_timeout_s", self.probe_timeout_s)
+        check_positive("suspect_after", self.suspect_after)
+        require(
+            self.down_after >= self.suspect_after,
+            "down_after must be >= suspect_after",
+        )
+
+
+@dataclass
+class ClusterResult:
+    """One job's terminal record as the router saw it."""
+
+    key: str
+    job_id: int
+    status: str
+    shard: str
+    attempts: int = 1
+    retries: int = 0
+    wait_s: float = 0.0
+    exec_s: float = 0.0
+    latency_s: float = 0.0
+    error: str | None = None
+    factor: object | None = field(default=None, repr=False)
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+
+class _ShardHandle:
+    """Router-side bookkeeping for one shard process."""
+
+    def __init__(self, config: ShardConfig, process: multiprocessing.process.BaseProcess) -> None:
+        self.config = config
+        self.process = process
+        self.name = config.name
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.reader_task: asyncio.Task | None = None
+        self.state = ShardState.CLOSED
+        self.missed_probes = 0
+        self.last_health: dict = {}
+        #: admitted on this shard, no result yet (job key -> Job)
+        self.pending: dict[str, Job] = {}
+        #: submit replies in flight (job key -> future resolving to the frame)
+        self.submit_waiters: dict[str, asyncio.Future] = {}
+        #: request/reply correlation for health/metrics/drain/partition/stop
+        self.replies: dict[str, asyncio.Queue] = {}
+
+    @property
+    def connected(self) -> bool:
+        return self.writer is not None and not self.writer.is_closing()
+
+    def reply_queue(self, kind: str) -> asyncio.Queue:
+        if kind not in self.replies:
+            self.replies[kind] = asyncio.Queue()
+        return self.replies[kind]
+
+    async def request(self, message: dict, reply_type: str, timeout_s: float) -> dict:
+        """Send *message* and await the next frame of *reply_type*."""
+        if not self.connected:
+            raise ClusterError(f"{self.name} is not connected")
+        queue = self.reply_queue(reply_type)
+        await wire.write_frame(self.writer, message)
+        try:
+            return await asyncio.wait_for(queue.get(), timeout_s)
+        except asyncio.TimeoutError:
+            raise ClusterError(
+                f"{self.name} did not answer {message['type']!r} within {timeout_s:g}s"
+            ) from None
+
+    def close_connection(self) -> None:
+        if self.writer is not None:
+            with contextlib.suppress(ConnectionError, OSError):
+                self.writer.close()
+            self.writer = None
+            self.reader = None
+
+
+class ClusterRouter:
+    """Spawns, health-checks and routes over a fleet of shard processes."""
+
+    def __init__(self, config: ClusterConfig, metrics: MetricsRegistry | None = None) -> None:
+        self.config = config
+        self.workdir = Path(
+            config.workdir if config.workdir is not None else tempfile.mkdtemp(prefix="repro-cluster-")
+        )
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self._socket_dir = self._pick_socket_dir()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ring = HashRing(vnodes=config.vnodes)
+        self.handles: list[_ShardHandle] = []
+        self.results: dict[str, ClusterResult] = {}
+        self.completions: asyncio.Queue[ClusterResult] = asyncio.Queue()
+        self._submitted_keys: set[str] = set()
+        self._health_task: asyncio.Task | None = None
+        self._stopping = False
+        self._started = False
+        m = self.metrics
+        self._submitted_c = m.counter(
+            "cluster_jobs_submitted_total", "jobs the router placed, by shard"
+        )
+        self._completed_c = m.counter("cluster_jobs_completed_total", "terminal completions, by shard")
+        self._failed_c = m.counter("cluster_jobs_failed_total", "terminal failures, by shard")
+        self._rejected_c = m.counter("cluster_jobs_rejected_total", "shard admission refusals")
+        self._duplicates_c = m.counter(
+            "cluster_duplicate_results_total",
+            "results dropped because the key already resolved (handoff replays)",
+        )
+        self._handoffs_c = m.counter(
+            "cluster_handoff_jobs_total", "jobs replayed from a dead shard's journal"
+        )
+        self._reroutes_c = m.counter(
+            "cluster_reroutes_total", "placements diverted off the ring owner by health state"
+        )
+        self._probes_c = m.counter("cluster_health_probes_total", "health probes by shard and outcome")
+        self._state_g = m.gauge(
+            "cluster_shard_state", "per-shard health state (0 closed, 1 suspect, 2 down)"
+        )
+        self._latency_h = m.histogram("cluster_latency_seconds", "submit-to-result latency")
+
+    # -- paths -------------------------------------------------------------------
+
+    def _pick_socket_dir(self) -> Path:
+        """Unix sockets under the workdir unless sockaddr_un would overflow."""
+        probe = self.workdir / f"s{self.config.shards - 1}.sock"
+        if len(str(probe)) <= _MAX_SOCKET_PATH:
+            return self.workdir
+        return Path(tempfile.mkdtemp(prefix="repro-cl-"))
+
+    def socket_path(self, index: int) -> Path:
+        return self._socket_dir / f"s{index}.sock"
+
+    def journal_path(self, index: int) -> Path:
+        return self.workdir / f"shard-{index}.journal.jsonl"
+
+    def shard_config(self, index: int) -> ShardConfig:
+        c = self.config
+        return ShardConfig(
+            shard_id=index,
+            socket_path=str(self.socket_path(index)),
+            journal_path=str(self.journal_path(index)),
+            workers=c.workers,
+            executor=c.executor,
+            exec_workers=c.exec_workers,
+            max_queue_depth=c.max_queue_depth,
+            job_timeout_s=c.job_timeout_s,
+            return_factors=c.return_factors,
+            journal_compact_bytes=c.journal_compact_bytes,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        require(not self._started, "cluster already started")
+        self._started = True
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(self.config.shards):
+            cfg = self.shard_config(index)
+            process = ctx.Process(target=shard_entry, args=(cfg,), daemon=True)
+            process.start()
+            self.handles.append(_ShardHandle(cfg, process))
+        # Connect after all spawns so the imports cold-start in parallel.
+        for handle in self.handles:
+            await self._connect(handle)
+            self.ring.add_node(handle.name)
+            self._state_g.set(handle.state.value, shard=handle.name)
+        self._health_task = asyncio.get_running_loop().create_task(self._health_loop())
+
+    async def _connect(self, handle: _ShardHandle) -> None:
+        deadline = time.monotonic() + self.config.connect_timeout_s
+        last_error: Exception | None = None
+        reader: asyncio.StreamReader
+        writer: asyncio.StreamWriter
+        while time.monotonic() < deadline:
+            if not handle.process.is_alive() and handle.process.exitcode is not None:
+                raise ClusterError(
+                    f"{handle.name} exited with code {handle.process.exitcode} before serving"
+                )
+            try:
+                reader, writer = await asyncio.open_unix_connection(handle.config.socket_path)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                await asyncio.sleep(0.05)
+                continue
+            try:
+                await wire.client_handshake(reader, writer)
+            except ClusterError:
+                with contextlib.suppress(ConnectionError, OSError):
+                    writer.close()
+                raise
+            handle.reader, handle.writer = reader, writer
+            handle.reader_task = asyncio.get_running_loop().create_task(self._read_loop(handle))
+            return
+        raise ClusterError(
+            f"could not connect to {handle.name} within "
+            f"{self.config.connect_timeout_s:g}s: {last_error}"
+        )
+
+    async def stop(self) -> None:
+        """Graceful teardown: stop frames, then join (escalating to kill)."""
+        self._stopping = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            await asyncio.gather(self._health_task, return_exceptions=True)
+            self._health_task = None
+        for handle in self.handles:
+            if handle.connected:
+                with contextlib.suppress(ClusterError, ConnectionError, OSError):
+                    await handle.request(
+                        {"type": "stop"}, "stopping", self.config.probe_timeout_s
+                    )
+            if handle.reader_task is not None:
+                handle.reader_task.cancel()
+                await asyncio.gather(handle.reader_task, return_exceptions=True)
+                handle.reader_task = None
+            handle.close_connection()
+        for handle in self.handles:
+            await asyncio.to_thread(handle.process.join, 5.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                await asyncio.to_thread(handle.process.join, 5.0)
+            with contextlib.suppress(FileNotFoundError):
+                Path(handle.config.socket_path).unlink()
+
+    async def drain(self, poll_s: float = 0.02, timeout_s: float | None = None) -> None:
+        """Wait until every accepted job has a terminal result."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while self._submitted_keys - set(self.results):
+            if deadline is not None and time.monotonic() > deadline:
+                missing = sorted(self._submitted_keys - set(self.results))
+                raise ClusterError(f"drain timed out with {len(missing)} unresolved jobs: {missing[:5]}")
+            await asyncio.sleep(poll_s)
+
+    # -- routing -----------------------------------------------------------------
+
+    def _healthy_names(self) -> set[str]:
+        return {
+            h.name
+            for h in self.handles
+            if h.state is ShardState.CLOSED and h.connected
+        }
+
+    def _handle_named(self, name: str) -> _ShardHandle:
+        for handle in self.handles:
+            if handle.name == name:
+                return handle
+        raise ClusterError(f"no shard named {name!r}")
+
+    async def submit(self, job: Job) -> AdmissionDecision:
+        """Place *job* on its ring owner (or the next healthy successor).
+
+        Returns the shard's admission decision.  A shard that dies
+        mid-submit is marked DOWN (triggering handoff) and the job is
+        retried on the survivors, so callers see a dead shard as at most
+        extra latency, never an error.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self.config.shards + 1:
+                raise ClusterError(f"submit of {job.key} exhausted every shard")
+            healthy = self._healthy_names()
+            if not healthy:
+                raise ClusterError("no healthy shard to submit to")
+            owner = self.ring.place(job.key, healthy)
+            if self.ring.nodes != healthy and owner != self.ring.place(job.key):
+                self._reroutes_c.inc(shard=owner)
+            handle = self._handle_named(owner)
+            try:
+                reply = await self._submit_on(handle, job)
+            except ClusterError:
+                await self._shard_lost(handle)
+                continue
+            if reply["type"] == "accepted":
+                self._submitted_keys.add(job.key)
+                self._submitted_c.inc(shard=handle.name)
+                if job.key not in self.results:
+                    handle.pending[job.key] = job
+                return AdmissionDecision(True, reason=f"accepted by {handle.name}")
+            self._rejected_c.inc(shard=handle.name)
+            return AdmissionDecision(
+                False,
+                reason=str(reply.get("reason", "rejected")),
+                retry_after_s=reply.get("retry_after_s"),
+            )
+
+    async def _submit_on(self, handle: _ShardHandle, job: Job) -> dict:
+        if not handle.connected:
+            raise ClusterError(f"{handle.name} is not connected")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        handle.submit_waiters[job.key] = future
+        try:
+            await wire.write_frame(
+                handle.writer,
+                {"type": "submit", "key": job.key, "spec": job.to_spec()},
+            )
+            return await asyncio.wait_for(future, self.config.submit_timeout_s)
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            raise ClusterError(f"submit to {handle.name} failed: {exc}") from exc
+        finally:
+            handle.submit_waiters.pop(job.key, None)
+
+    # -- inbound frames ----------------------------------------------------------
+
+    async def _read_loop(self, handle: _ShardHandle) -> None:
+        try:
+            while True:
+                message = await wire.read_frame(handle.reader)
+                if message is None:
+                    break
+                self._on_message(handle, message)
+        except (ClusterError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        if not self._stopping:
+            await self._shard_lost(handle)
+
+    def _on_message(self, handle: _ShardHandle, message: dict) -> None:
+        kind = message["type"]
+        if kind in ("accepted", "rejected"):
+            waiter = handle.submit_waiters.get(str(message.get("key")))
+            if waiter is not None and not waiter.done():
+                waiter.set_result(message)
+        elif kind == "result":
+            self._on_result(handle, message)
+        elif kind in ("health_ok", "metrics_ok", "drained", "stopping", "partition_ok", "error"):
+            handle.reply_queue(kind).put_nowait(message)
+        # unknown pushes are ignored: forward compatibility over strictness
+
+    def _on_result(self, handle: _ShardHandle, message: dict) -> None:
+        key = str(message.get("key"))
+        handle.pending.pop(key, None)
+        if key in self.results:
+            # A handoff replay (or a lost-result rerun) finishing twice:
+            # deterministic jobs make both copies bit-identical, so the
+            # first one wins and the duplicate is only a counter.
+            self._duplicates_c.inc(shard=handle.name)
+            return
+        factor = None
+        if "factor" in message:
+            try:
+                factor = decode_factor(message["factor"])
+            except ClusterError:
+                factor = None
+        result = ClusterResult(
+            key=key,
+            job_id=int(message.get("job_id", -1)),
+            status=str(message.get("status", "failed")),
+            shard=str(message.get("shard", handle.name)),
+            attempts=int(message.get("attempts", 1)),
+            retries=int(message.get("retries", 0)),
+            wait_s=float(message.get("wait_s", 0.0)),
+            exec_s=float(message.get("exec_s", 0.0)),
+            latency_s=float(message.get("latency_s", 0.0)),
+            error=message.get("error"),
+            factor=factor,
+        )
+        self.results[key] = result
+        if result.completed:
+            self._completed_c.inc(shard=result.shard)
+        else:
+            self._failed_c.inc(shard=result.shard)
+        self._latency_h.observe(result.latency_s)
+        self.completions.put_nowait(result)
+
+    # -- health ------------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        probe = 0
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            probe += 1
+            for handle in list(self.handles):
+                if handle.state is ShardState.DOWN:
+                    continue
+                await self._probe(handle, probe)
+
+    async def _probe(self, handle: _ShardHandle, probe: int) -> None:
+        if not handle.process.is_alive():
+            self._probes_c.inc(shard=handle.name, outcome="dead")
+            await self._shard_lost(handle)
+            return
+        try:
+            reply = await handle.request(
+                {"type": "health", "probe": probe}, "health_ok", self.config.probe_timeout_s
+            )
+        except ClusterError:
+            handle.missed_probes += 1
+            self._probes_c.inc(shard=handle.name, outcome="timeout")
+            if handle.missed_probes >= self.config.down_after:
+                await self._shard_lost(handle)
+            elif handle.missed_probes >= self.config.suspect_after:
+                self._set_state(handle, ShardState.SUSPECT)
+            return
+        handle.missed_probes = 0
+        handle.last_health = reply
+        self._probes_c.inc(shard=handle.name, outcome="ok")
+        if handle.state is ShardState.SUSPECT:
+            self._set_state(handle, ShardState.CLOSED)  # the partition healed
+
+    def _set_state(self, handle: _ShardHandle, state: ShardState) -> None:
+        handle.state = state
+        self._state_g.set(state.value, shard=handle.name)
+
+    # -- failure + handoff -------------------------------------------------------
+
+    async def _shard_lost(self, handle: _ShardHandle) -> None:
+        """Declare *handle* DOWN and hand its unfinished work to survivors."""
+        if handle.state is ShardState.DOWN:
+            return
+        self._set_state(handle, ShardState.DOWN)
+        if handle.reader_task is not None and handle.reader_task is not asyncio.current_task():
+            handle.reader_task.cancel()
+        handle.close_connection()
+        # In-flight submits never got an admission reply; fail them so the
+        # submit() retry loop re-places the job (they are *not* handed off
+        # here — their caller still owns them).
+        submitting = set(handle.submit_waiters)
+        for key, waiter in list(handle.submit_waiters.items()):
+            if not waiter.done():
+                waiter.set_exception(ClusterError(f"{handle.name} went down mid-submit"))
+        await self._handoff(handle, exclude=submitting)
+
+    async def _handoff(self, handle: _ShardHandle, exclude: set[str]) -> None:
+        """Replay the dead shard's admitted-but-unfinished jobs on survivors."""
+        candidates: dict[str, Job] = {}
+        try:
+            records = await asyncio.to_thread(read_journal, handle.config.journal_path)
+            for job in incomplete_jobs(records):
+                candidates[job.key] = job
+        except JournalError:
+            # A corrupt journal degrades handoff to the router's own
+            # pending map; anything it knew about is still replayed.
+            pass
+        for key, job in handle.pending.items():
+            candidates.setdefault(key, job)
+        handle.pending.clear()
+        for key, job in candidates.items():
+            if key in self.results or key in exclude:
+                continue
+            self._handoffs_c.inc(shard=handle.name)
+            decision = await self.submit(job)
+            if not decision.accepted:
+                # Survivors refused (full queues): retry after the hint so
+                # the no-lost-jobs invariant holds even under overload.
+                await asyncio.sleep(decision.retry_after_s or 0.05)
+                await self.submit(job)
+
+    # -- chaos + operations ------------------------------------------------------
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL a shard process (chaos hook: no goodbye, no flush)."""
+        self.handles[index].process.kill()
+
+    async def partition_shard(self, index: int, seconds: float) -> None:
+        """Make a shard ignore health probes (chaos: router↔shard partition)."""
+        handle = self.handles[index]
+        await handle.request(
+            {"type": "partition", "seconds": seconds},
+            "partition_ok",
+            self.config.probe_timeout_s,
+        )
+
+    async def restart_shard(self, index: int) -> None:
+        """Respawn a DOWN shard and fold it back into the ring (rejoin)."""
+        handle = self.handles[index]
+        require(handle.state is ShardState.DOWN, f"{handle.name} is not down")
+        if handle.process.is_alive():
+            handle.process.kill()
+        await asyncio.to_thread(handle.process.join, 5.0)
+        ctx = multiprocessing.get_context("spawn")
+        handle.process = ctx.Process(target=shard_entry, args=(handle.config,), daemon=True)
+        handle.process.start()
+        await self._connect(handle)
+        handle.missed_probes = 0
+        self._set_state(handle, ShardState.CLOSED)
+
+    async def drain_shards(self, timeout_s: float = 60.0) -> list[str]:
+        """Ask every live shard to drain; returns the names that confirmed."""
+        drained = []
+        for handle in self.handles:
+            if not handle.connected:
+                continue
+            with contextlib.suppress(ClusterError):
+                reply = await handle.request({"type": "drain"}, "drained", timeout_s)
+                drained.append(str(reply.get("shard", handle.name)))
+        return drained
+
+    # -- metrics -----------------------------------------------------------------
+
+    async def shard_metrics(self) -> dict[str, dict]:
+        """Each live shard's ``MetricsRegistry.to_dict()`` snapshot."""
+        snapshots: dict[str, dict] = {}
+        for handle in self.handles:
+            if not handle.connected:
+                continue
+            with contextlib.suppress(ClusterError):
+                reply = await handle.request(
+                    {"type": "metrics"}, "metrics_ok", self.config.probe_timeout_s * 4
+                )
+                snapshots[handle.name] = reply.get("metrics", {})
+        return snapshots
+
+    async def cluster_metrics(self) -> dict:
+        """The aggregated cluster export (flat sums + per-shard labels)."""
+        return aggregate_cluster_metrics(await self.shard_metrics(), self.metrics.to_dict())

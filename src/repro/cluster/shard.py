@@ -1,0 +1,329 @@
+"""One cluster shard: a full :class:`SolveService` behind a local socket.
+
+A shard is a separate OS process (spawned by the router, or run directly
+for tests) that owns everything a standalone service owns — executor
+pool, circuit breakers, metrics registry, and a private write-ahead job
+journal — plus an asyncio unix-socket server speaking the cluster wire
+protocol (:mod:`repro.cluster.wire`).  The journal is the handoff
+contract: every ``admitted`` record is fsynced before the admission
+reply leaves the shard, so when the router finds the process dead it can
+replay the shard's admitted-but-unfinished jobs onto survivors with
+nothing lost.
+
+The server accepts any number of client connections (the router holds
+one persistent connection; ``repro cluster status``/``drain`` open
+short-lived ones).  Job results are pushed to the connection that
+submitted the job; a connection that vanished simply has its results
+dropped — the router's journal handoff re-derives them.
+
+A malformed frame costs the peer its connection (an ``error`` frame,
+then close), never the shard: the connection handler catches
+:class:`~repro.util.exceptions.ClusterError` per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import wire
+from repro.service.core import ServiceConfig, SolveService
+from repro.service.job import Job, JobResult
+from repro.util.exceptions import ClusterError, ReproError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything one shard process needs (picklable: plain fields only)."""
+
+    shard_id: int
+    socket_path: str
+    journal_path: str
+    workers: tuple[str, ...] = ("tardis:2",)
+    executor: str = "thread"
+    exec_workers: int | None = 2
+    max_queue_depth: int = 256
+    job_timeout_s: float = 60.0
+    #: ship completed factors back over the wire (chaos bit-identity checks)
+    return_factors: bool = False
+    #: shard-journal rotation threshold (long-lived shards compact their WAL)
+    journal_compact_bytes: int | None = 1 << 20
+
+    def __post_init__(self) -> None:
+        check_positive("shard_id + 1", self.shard_id + 1)
+
+    @property
+    def name(self) -> str:
+        return f"shard-{self.shard_id}"
+
+    def service_config(self) -> ServiceConfig:
+        return ServiceConfig(
+            workers=self.workers,
+            max_queue_depth=self.max_queue_depth,
+            job_timeout_s=self.job_timeout_s,
+            executor=self.executor,
+            exec_workers=self.exec_workers,
+            journal_path=self.journal_path,
+            journal_compact_bytes=self.journal_compact_bytes,
+            keep_factors=self.return_factors,
+        )
+
+
+def encode_factor(factor: np.ndarray) -> dict:
+    """A factor as a JSON-safe payload (raw bytes survive bit-exactly)."""
+    arr = np.ascontiguousarray(factor)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_factor(payload: dict) -> np.ndarray:
+    try:
+        raw = base64.b64decode(payload["data"].encode("ascii"), validate=True)
+        arr = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        return arr.reshape([int(d) for d in payload["shape"]]).copy()
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ClusterError(f"undecodable factor payload: {exc}") from exc
+
+
+def result_message(result: JobResult, key: str, shard: str, with_factor: bool) -> dict:
+    message = {
+        "type": "result",
+        "key": key,
+        "job_id": int(result.job_id),
+        "status": result.status.value,
+        "shard": shard,
+        "attempts": int(result.attempts),
+        "retries": int(result.retries),
+        "wait_s": float(result.wait_s),
+        "exec_s": float(result.exec_s),
+        "latency_s": float(result.latency_s),
+        "error": result.error,
+    }
+    if with_factor and result.factor is not None:
+        message["factor"] = encode_factor(result.factor)
+    return message
+
+
+class ShardServer:
+    """The in-process shard: service + socket server + result pump."""
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.config = config
+        self.service = SolveService(config.service_config())
+        self._server: asyncio.Server | None = None
+        self._pump: asyncio.Task | None = None
+        #: job_id -> (job key, the writer that submitted it)
+        self._owners: dict[int, tuple[str, asyncio.StreamWriter]] = {}
+        #: open client connections, so ``stop()`` can end them cleanly
+        self._writers: set[asyncio.StreamWriter] = set()
+        #: chaos hook — monotonic deadline until which health probes are ignored
+        self._partition_until = 0.0
+        #: set by ``serve_until``'s caller so a ``stop`` frame can end the process
+        self._stop_event: asyncio.Event | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        Path(self.config.socket_path).parent.mkdir(parents=True, exist_ok=True)
+        with contextlib.suppress(FileNotFoundError):
+            Path(self.config.socket_path).unlink()
+        await self.service.start_executor()
+        self.service.start()
+        self._pump = asyncio.get_running_loop().create_task(self._pump_results())
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.config.socket_path
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # End live connections now, so their handler tasks exit on EOF
+        # instead of being cancelled mid-read at event-loop teardown.
+        writers: list[asyncio.StreamWriter] = list(self._writers)
+        for writer in writers:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+        if self._pump is not None:
+            self._pump.cancel()
+            await asyncio.gather(self._pump, return_exceptions=True)
+            self._pump = None
+        await self.service.stop()
+        with contextlib.suppress(FileNotFoundError):
+            Path(self.config.socket_path).unlink()
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # -- result push -------------------------------------------------------------
+
+    async def _pump_results(self) -> None:
+        while True:
+            result = await self.service.completions.get()
+            owner = self._owners.pop(result.job_id, None)
+            if owner is None:
+                continue  # submitter hung up; the journal is the record
+            key, writer = owner
+            message = result_message(
+                result, key, self.config.name, self.config.return_factors
+            )
+            try:
+                await wire.write_frame(writer, message)
+            except (ClusterError, ConnectionError, OSError):
+                # The peer vanished between completion and push.  Nothing
+                # is lost: the journal holds the terminal record, and the
+                # router's handoff path re-derives any result it misses.
+                continue
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            opening = await wire.read_frame(reader)
+            try:
+                wire.check_hello(opening)
+            except ClusterError as exc:
+                with contextlib.suppress(ClusterError, ConnectionError, OSError):
+                    await wire.write_frame(writer, {"type": "error", "error": str(exc)})
+                return
+            await wire.write_frame(
+                writer, wire.hello("shard", shard=self.config.name)
+            )
+            while True:
+                message = await wire.read_frame(reader)
+                if message is None:
+                    return
+                await self._dispatch(message, writer)
+        except (ClusterError, ConnectionError, OSError) as exc:
+            # One bad peer costs one connection, never the shard.
+            with contextlib.suppress(ClusterError, ConnectionError, OSError):
+                await wire.write_frame(writer, {"type": "error", "error": str(exc)})
+        except asyncio.CancelledError:
+            return  # event-loop shutdown mid-read: close quietly, not noisily
+        finally:
+            self._writers.discard(writer)
+            self._owners = {
+                job_id: (key, w)
+                for job_id, (key, w) in self._owners.items()
+                if w is not writer
+            }
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, message: dict, writer: asyncio.StreamWriter) -> None:
+        kind = message["type"]
+        if kind == "submit":
+            await self._handle_submit(message, writer)
+        elif kind == "health":
+            await self._handle_health(message, writer)
+        elif kind == "metrics":
+            await wire.write_frame(
+                writer,
+                {
+                    "type": "metrics_ok",
+                    "shard": self.config.name,
+                    "metrics": self.service.metrics.to_dict(),
+                },
+            )
+        elif kind == "drain":
+            await self.service.drain()
+            await wire.write_frame(writer, {"type": "drained", "shard": self.config.name})
+        elif kind == "stop":
+            await wire.write_frame(writer, {"type": "stopping", "shard": self.config.name})
+            asyncio.get_running_loop().call_soon(self._request_stop)
+        elif kind == "partition":
+            seconds = float(message.get("seconds", 0.0))
+            self._partition_until = time.monotonic() + seconds
+            await wire.write_frame(writer, {"type": "partition_ok", "seconds": seconds})
+        else:
+            await wire.write_frame(
+                writer, {"type": "error", "error": f"unknown message type {kind!r}"}
+            )
+
+    async def _handle_submit(self, message: dict, writer: asyncio.StreamWriter) -> None:
+        try:
+            job = Job.from_spec(message["spec"])
+        except (KeyError, TypeError, ValueError, AttributeError, ReproError) as exc:
+            await wire.write_frame(
+                writer, {"type": "rejected", "key": message.get("key"), "reason": f"bad spec: {exc}"}
+            )
+            return
+        # Register the owner before admission: the admitted record is
+        # fsynced inside submit(), and a tiny job could complete before a
+        # post-submit registration ran.
+        self._owners[job.job_id] = (job.key, writer)
+        decision = self.service.submit(job)
+        if decision.accepted:
+            await wire.write_frame(
+                writer, {"type": "accepted", "key": job.key, "shard": self.config.name}
+            )
+        else:
+            self._owners.pop(job.job_id, None)
+            await wire.write_frame(
+                writer,
+                {
+                    "type": "rejected",
+                    "key": job.key,
+                    "shard": self.config.name,
+                    "reason": decision.reason,
+                    "retry_after_s": decision.retry_after_s,
+                },
+            )
+
+    async def _handle_health(self, message: dict, writer: asyncio.StreamWriter) -> None:
+        if time.monotonic() < self._partition_until:
+            return  # chaos: the probe times out router-side, as a real partition would
+        m = self.service.metrics
+        await wire.write_frame(
+            writer,
+            {
+                "type": "health_ok",
+                "shard": self.config.name,
+                "probe": message.get("probe"),
+                "queue_depth": self.service.queue.depth,
+                "inflight": len(self.service._inflight),
+                "submitted": int(m["service_jobs_submitted_total"].value()),
+                "completed": int(m["service_jobs_completed_total"].value()),
+                "failed": int(m["service_jobs_failed_total"].value()),
+                "rejected": int(m["service_jobs_rejected_total"].value()),
+            },
+        )
+
+    def _request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+
+async def _shard_main(server: ShardServer) -> None:
+    stop = asyncio.Event()
+    server._stop_event = stop
+    await server.serve_until(stop)
+
+
+def shard_entry(config: ShardConfig) -> None:
+    """Process entry point (multiprocessing spawn target).
+
+    The server (and with it the service, executor pool and journal) is
+    built *before* the event loop starts: construction does blocking
+    file I/O, and nothing is serving yet.
+    """
+    asyncio.run(_shard_main(ShardServer(config)))

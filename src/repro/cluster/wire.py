@@ -1,0 +1,189 @@
+"""Length-prefixed JSON wire protocol for router ↔ shard traffic.
+
+Every message on a cluster socket is one **frame**: a 4-byte big-endian
+unsigned payload length followed by exactly that many bytes of UTF-8
+JSON.  The payload must decode to a JSON *object* carrying a ``"type"``
+string — anything else (bad length, oversized frame, undecodable bytes,
+a non-object payload, a missing type) raises
+:class:`~repro.util.exceptions.ClusterError`.  That error contract is
+the whole point: a corrupt or malicious peer can cost the router one
+connection, never crash the router or a shard process (fuzz-tested in
+``tests/test_cluster_wire.py``, mirroring the journal fuzz suite).
+
+Connections open with a **versioned handshake**: the client sends a
+``hello`` frame carrying :data:`PROTOCOL_VERSION`; the server answers
+with its own ``hello`` (echoing its shard name) or an ``error`` frame.
+A version mismatch is detected by *both* sides before any other message
+is interpreted, so protocol evolution degrades to a clean refusal
+instead of garbled frames.
+
+Message types (all JSON objects, ``"type"`` selects):
+
+=============  =================================================
+``hello``      handshake, both directions (``proto``, ``shard``/``role``)
+``submit``     router → shard: one job spec to admit
+``accepted``   shard → router: admission verdict for a submit
+``rejected``   shard → router: admission refusal (+ ``retry_after_s``)
+``result``     shard → router: a job reached a terminal state
+``health``     client → shard: liveness/queue probe
+``health_ok``  shard → client: probe answer (+ depth/inflight/counts)
+``metrics``    client → shard: full metrics snapshot request
+``metrics_ok`` shard → client: ``MetricsRegistry.to_dict()`` payload
+``drain``      client → shard: block until queue+inflight are empty
+``drained``    shard → client: drain finished
+``stop``       client → shard: graceful shutdown request
+``stopping``   shard → client: shutdown acknowledged
+``partition``  chaos hook: ignore health probes for ``seconds``
+``error``      either direction: protocol-level refusal
+=============  =================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.util.exceptions import ClusterError
+
+#: bump on any incompatible frame/message change; checked by both ends
+PROTOCOL_VERSION = 1
+
+#: frames above this are refused before allocation (a 4-byte length can
+#: claim 4 GiB; a factor payload for n=4096 is ~128 MiB base64 — far away)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its on-wire form (length prefix + JSON)."""
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise ClusterError(f"outbound message must be a dict with a 'type' string: {message!r}")
+    try:
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ClusterError(f"message is not JSON-serializable: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ClusterError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8", errors="strict"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ClusterError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ClusterError(f"frame payload is {type(message).__name__}, not an object")
+    if not isinstance(message.get("type"), str):
+        raise ClusterError("frame payload has no 'type' string")
+    return message
+
+
+class FrameDecoder:
+    """Sans-I/O incremental frame parser (feed bytes, collect messages).
+
+    The asyncio paths use :func:`read_frame` directly; this class exists
+    so the *same* parsing rules are property- and fuzz-testable without
+    sockets, and for callers that receive arbitrary chunk boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb *data*; return every complete message it finished."""
+        self._buf.extend(data)
+        messages: list[dict] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return messages
+            (length,) = _LEN.unpack(bytes(self._buf[: _LEN.size]))
+            if length > MAX_FRAME_BYTES:
+                raise ClusterError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+            if len(self._buf) < _LEN.size + length:
+                return messages
+            payload = bytes(self._buf[_LEN.size : _LEN.size + length])
+            del self._buf[: _LEN.size + length]
+            messages.append(_decode_payload(payload))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def eof(self) -> None:
+        """Declare end-of-stream; leftover bytes mean a truncated frame."""
+        if self._buf:
+            raise ClusterError(f"stream ended mid-frame ({len(self._buf)} trailing bytes)")
+
+
+def decode_frames(data: bytes) -> list[dict]:
+    """Parse a complete byte string into messages (strict: no tail allowed)."""
+    decoder = FrameDecoder()
+    messages = decoder.feed(data)
+    decoder.eof()
+    return messages
+
+
+# -- asyncio stream helpers ----------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ClusterError(f"connection closed mid-header ({len(exc.partial)} bytes)") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ClusterError(f"connection closed mid-frame (wanted {length} bytes)") from exc
+    return _decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- handshake -----------------------------------------------------------------
+
+
+def hello(role: str, shard: str | None = None) -> dict:
+    """The opening frame either side sends."""
+    message: dict = {"type": "hello", "proto": PROTOCOL_VERSION, "role": role}
+    if shard is not None:
+        message["shard"] = shard
+    return message
+
+
+def check_hello(message: dict | None, expect_role: str | None = None) -> dict:
+    """Validate a received handshake frame; raise :class:`ClusterError` otherwise."""
+    if message is None:
+        raise ClusterError("peer closed the connection before the handshake")
+    if message.get("type") == "error":
+        raise ClusterError(f"peer refused the handshake: {message.get('error', '?')}")
+    if message.get("type") != "hello":
+        raise ClusterError(f"expected a hello frame, got {message.get('type')!r}")
+    proto = message.get("proto")
+    if proto != PROTOCOL_VERSION:
+        raise ClusterError(
+            f"protocol version mismatch: peer speaks {proto!r}, this end {PROTOCOL_VERSION}"
+        )
+    if expect_role is not None and message.get("role") != expect_role:
+        raise ClusterError(f"expected role {expect_role!r}, peer sent {message.get('role')!r}")
+    return message
+
+
+async def client_handshake(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, role: str = "router"
+) -> dict:
+    """Open a client connection: send our hello, validate the shard's."""
+    await write_frame(writer, hello(role))
+    return check_hello(await read_frame(reader), expect_role="shard")

@@ -24,13 +24,26 @@ non-terminal record only ever causes a redundant (idempotent) replay.
 
 A crash can tear the final line mid-append.  The reader tolerates this:
 it stops at the first undecodable line — everything before the tear is
-intact because appends are sequential and the file is never rewritten.
+intact because appends are sequential and the file is only ever rewritten
+by :meth:`JobJournal.compact`, which replaces it atomically.
+
+Compaction/rotation: a long-lived service (a cluster shard serving an
+unbounded job stream) would otherwise grow the WAL forever — almost all
+of it terminal records recovery will never look at.  When the file
+exceeds ``compact_bytes`` (or sits older than ``compact_age_s``), the
+writer rewrites it to *only the live entries* — the latest ``admitted``
+record of every admitted-but-unfinished job, in admission order — into a
+sibling temp file, fsyncs, and ``os.replace``s it over the journal.  The
+replace is the commit point: a crash at any moment leaves either the old
+complete journal or the new compacted one, never a mix, and
+``recover()`` returns the same jobs from both.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.service.job import Job
@@ -44,10 +57,22 @@ TERMINAL_EVENTS = frozenset({"completed", "failed", "rejected"})
 class JobJournal:
     """Append-only JSONL WAL of job lifecycle transitions (single writer)."""
 
-    def __init__(self, path: str | Path, fsync_batch: int = 8) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        fsync_batch: int = 8,
+        compact_bytes: int | None = None,
+        compact_age_s: float | None = None,
+    ) -> None:
         check_positive("fsync_batch", fsync_batch)
+        if compact_bytes is not None:
+            check_positive("compact_bytes", compact_bytes)
+        if compact_age_s is not None:
+            check_positive("compact_age_s", compact_age_s)
         self.path = Path(path)
         self.fsync_batch = fsync_batch
+        self.compact_bytes = compact_bytes
+        self.compact_age_s = compact_age_s
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
             _repair_torn_tail(self.path)
@@ -55,8 +80,11 @@ class JobJournal:
         except OSError as exc:
             raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
         self._pending = 0
+        self._opened_at = time.monotonic()
         self.records_written = 0
         self.syncs_total = 0
+        self.compactions_total = 0
+        self.records_compacted_away = 0
 
     @property
     def closed(self) -> bool:
@@ -75,6 +103,56 @@ class JobJournal:
         self.records_written += 1
         if event == "admitted" or self._pending >= self.fsync_batch:
             self.sync()
+        if self._compaction_due():
+            self.compact()
+
+    def _compaction_due(self) -> bool:
+        if self.compact_bytes is not None:
+            try:
+                if self._fh.tell() >= self.compact_bytes:
+                    return True
+            except OSError:  # pragma: no cover - tell() on a regular file
+                return False
+        if self.compact_age_s is not None:
+            if time.monotonic() - self._opened_at >= self.compact_age_s:
+                return True
+        return False
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal down to its live entries.
+
+        Live = the latest ``admitted`` record of every job without a
+        terminal record — exactly the set ``recover()`` replays, so a
+        recovery reads identically before and after.  Returns the number
+        of records dropped.  Safe against crashes: the rewrite goes to a
+        sibling temp file, is fsynced, and lands via ``os.replace``.
+        """
+        if self._fh.closed:
+            raise JournalError(f"journal {self.path} is closed")
+        self.sync()
+        records = read_journal(self.path)
+        live = _live_records(records)
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as out:  # noqa: RPL102 — WAL primitive: compaction is priced into record()
+                for entry in live:
+                    out.write(json.dumps(entry, sort_keys=True) + "\n")
+                out.flush()
+                os.fsync(out.fileno())  # noqa: RPL102 — durability before the rename commit
+            os.replace(tmp, self.path)
+            self._fh.close()
+            self._fh = open(self.path, "a", encoding="utf-8")  # noqa: RPL102 — WAL primitive
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise JournalError(f"journal compaction failed: {exc}") from exc
+        self._pending = 0
+        self._opened_at = time.monotonic()
+        self.compactions_total += 1
+        self.records_compacted_away += len(records) - len(live)
+        return len(records) - len(live)
 
     def sync(self) -> None:
         """Flush buffered records to stable storage (flush + fsync)."""
@@ -134,7 +212,7 @@ def read_journal(path: str | Path) -> list[dict]:
     "tear at that record", never crash the recovery path.
     """
     try:
-        raw = Path(path).read_bytes()
+        raw = Path(path).read_bytes()  # noqa: RPL102 — WAL primitive: async callers hand off via to_thread
     except FileNotFoundError:
         return []
     except OSError as exc:
@@ -152,6 +230,29 @@ def read_journal(path: str | Path) -> list[dict]:
             break
         records.append(entry)
     return records
+
+
+def _live_records(records: list[dict]) -> list[dict]:
+    """The admitted records compaction must keep, in admission order.
+
+    Mirrors :func:`incomplete_jobs` exactly — one (the latest) admitted
+    record per job that has no terminal record — but returns the raw
+    entries so a compacted journal replays byte-identically.
+    """
+    admitted: dict[str, dict] = {}
+    done: set[str] = set()
+    order: list[str] = []
+    for entry in records:
+        key = str(entry["key"])
+        event = entry["event"]
+        if event == "admitted":
+            if key not in admitted:
+                order.append(key)
+            admitted[key] = entry
+            done.discard(key)
+        elif event in TERMINAL_EVENTS:
+            done.add(key)
+    return [admitted[key] for key in order if key not in done]
 
 
 def incomplete_jobs(records: list[dict]) -> list[Job]:

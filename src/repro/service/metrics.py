@@ -174,17 +174,22 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        # registration can race (event-loop setup vs. executor threads
+        # binding lazily); create-or-get must hand every caller the same
+        # instance
+        self._register_lock = threading.Lock()
 
     def _register(self, metric):
-        existing = self._metrics.get(metric.name)
-        if existing is not None:
-            if type(existing) is not type(metric):
-                raise ValidationError(
-                    f"metric {metric.name!r} already registered as {type(existing).__name__}"
-                )
-            return existing
-        self._metrics[metric.name] = metric
-        return metric
+        with self._register_lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValidationError(
+                        f"metric {metric.name!r} already registered as {type(existing).__name__}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._register(Counter(name, help))

@@ -1,0 +1,93 @@
+"""The hash ring's placement contract: deterministic, balanced, minimal-move.
+
+The router leans on three properties when a shard dies or rejoins:
+
+- **determinism** — placement depends only on (key, member set), never on
+  process identity or insertion order;
+- **minimal disruption** — removing a shard moves only that shard's keys;
+- **healthy-set monotonicity** — restricting to a healthy subset never
+  moves a key whose owner is still healthy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashring import HashRing
+from repro.util.exceptions import ClusterError
+
+NODES = ["shard-0", "shard-1", "shard-2", "shard-3"]
+keys = st.lists(st.integers(min_value=0, max_value=10_000).map(lambda i: f"7:{i}"), min_size=1, max_size=60)
+
+
+class TestDeterminism:
+    @given(keys=keys)
+    @settings(max_examples=40, deadline=None)
+    def test_placement_ignores_insertion_order_and_instance(self, keys):
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))
+        for key in keys:
+            assert a.place(key) == b.place(key)
+
+    def test_add_remove_round_trip_restores_placement(self):
+        ring = HashRing(NODES)
+        before = {f"0:{i}": ring.place(f"0:{i}") for i in range(200)}
+        ring.remove_node("shard-2")
+        ring.add_node("shard-2")
+        assert {k: ring.place(k) for k in before} == before
+
+
+class TestBalanceAndDisruption:
+    def test_vnodes_spread_load_across_every_member(self):
+        ring = HashRing(NODES, vnodes=64)
+        spread = ring.spread([f"0:{i}" for i in range(1000)])
+        assert set(spread) == set(NODES)
+        # Virtual nodes keep the imbalance moderate — no shard starves or
+        # hogs (the bound is loose on purpose; sha1 is not adversarial).
+        assert min(spread.values()) > 100
+        assert max(spread.values()) < 500
+
+    def test_removal_moves_only_the_dead_shards_keys(self):
+        ring = HashRing(NODES)
+        all_keys = [f"0:{i}" for i in range(500)]
+        before = {k: ring.place(k) for k in all_keys}
+        ring.remove_node("shard-1")
+        for key, owner in before.items():
+            if owner == "shard-1":
+                assert ring.place(key) != "shard-1"
+            else:
+                assert ring.place(key) == owner
+
+
+class TestHealthyFiltering:
+    def test_unhealthy_owner_slides_to_successor_others_stay(self):
+        ring = HashRing(NODES)
+        all_keys = [f"0:{i}" for i in range(300)]
+        healthy = set(NODES) - {"shard-0"}
+        for key in all_keys:
+            owner = ring.place(key)
+            rerouted = ring.place(key, healthy)
+            if owner == "shard-0":
+                assert rerouted in healthy
+            else:
+                assert rerouted == owner
+
+    def test_healthy_filter_matches_actual_removal(self):
+        # Routing around a dead shard must equal the ring *without* it:
+        # handoff and re-routing agree on where every key belongs.
+        ring = HashRing(NODES)
+        smaller = HashRing([n for n in NODES if n != "shard-3"])
+        healthy = set(NODES) - {"shard-3"}
+        for i in range(300):
+            assert ring.place(f"0:{i}", healthy) == smaller.place(f"0:{i}")
+
+    def test_no_healthy_shard_raises(self):
+        ring = HashRing(NODES)
+        with pytest.raises(ClusterError, match="no healthy"):
+            ring.place("0:1", healthy=set())
+        with pytest.raises(ClusterError, match="no healthy"):
+            HashRing([]).place("0:1")
+
+    def test_unknown_names_in_healthy_set_are_ignored(self):
+        ring = HashRing(NODES)
+        assert ring.place("0:1", {"shard-0", "ghost"}) == "shard-0"

@@ -1,0 +1,224 @@
+"""Cluster end-to-end: routing, handoff, factor transport, metric folding.
+
+Two real multi-shard runs (spawned shard processes over unix sockets)
+anchor the suite:
+
+- a healthy 2-shard run, where every result must land on the shard the
+  hash ring says owns its key, and every returned factor must be
+  bit-identical to an inline single-process reference;
+- a 3-shard run with a shard killed mid-queue, where the journal-backed
+  handoff must deliver **exactly one** result per submitted job — none
+  lost, none duplicated.
+
+The codec and aggregation tests below them are pure-unit and fast.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    HashRing,
+    aggregate_cluster_metrics,
+    cluster_to_prometheus,
+    run_cluster_load,
+)
+from repro.cluster.shard import decode_factor, encode_factor
+from repro.hetero.machine import Machine
+from repro.service import Job, LoadGenConfig
+from repro.service.loadgen import make_jobs
+from repro.service.policy import execute_attempt
+from repro.util.exceptions import ClusterError
+
+WORKLOAD = LoadGenConfig(jobs=10, sizes=(64,), block_size=32, seed=5, concurrency=4)
+
+
+def _reference_factors(cfg: LoadGenConfig) -> dict[int, np.ndarray]:
+    machine = Machine.preset("tardis")
+    return {
+        job.job_id: execute_attempt(Job.from_spec(job.to_spec()), machine).factor
+        for job in make_jobs(cfg)
+    }
+
+
+def _cluster_config(tmp_path, shards, **overrides) -> ClusterConfig:
+    base = dict(
+        shards=shards,
+        workdir=tmp_path,
+        workers=("tardis:2",),
+        executor="thread",
+        exec_workers=2,
+        return_factors=True,
+        health_interval_s=0.15,
+        probe_timeout_s=0.5,
+        suspect_after=1,
+        down_after=2,
+        job_timeout_s=60.0,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+class TestHealthyCluster:
+    @pytest.fixture(scope="class")
+    def healthy_run(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("cluster2")
+        report, results, aggregate = asyncio.run(
+            run_cluster_load(_cluster_config(workdir, shards=2), WORKLOAD)
+        )
+        return report, results, aggregate
+
+    def test_every_job_completes_exactly_once(self, healthy_run):
+        report, results, _ = healthy_run
+        assert report.submitted == WORKLOAD.jobs
+        assert report.completed == WORKLOAD.jobs
+        assert report.failed == 0 and report.lost == 0 and report.duplicates == 0
+        assert sorted(r.job_id for r in results) == list(range(WORKLOAD.jobs))
+
+    def test_placement_matches_the_hash_ring(self, healthy_run):
+        _, results, _ = healthy_run
+        ring = HashRing(["shard-0", "shard-1"])
+        for result in results:
+            assert result.shard == ring.place(result.key)
+
+    def test_factors_bit_identical_to_inline_reference(self, healthy_run):
+        _, results, _ = healthy_run
+        refs = _reference_factors(WORKLOAD)
+        for result in results:
+            assert result.factor is not None
+            np.testing.assert_array_equal(result.factor, refs[result.job_id])
+
+    def test_work_was_actually_sharded(self, healthy_run):
+        report, _, _ = healthy_run
+        assert sum(report.per_shard_completed.values()) == WORKLOAD.jobs
+        assert all(v > 0 for v in report.per_shard_completed.values())
+
+    def test_aggregate_flat_series_is_the_sum_of_shard_series(self, healthy_run):
+        _, _, aggregate = healthy_run
+        assert aggregate["shards"] == ["shard-0", "shard-1"]
+        counters = aggregate["counters"]
+        flat = counters["service_jobs_completed_total"]
+        split = [
+            v
+            for k, v in counters.items()
+            if k.startswith("service_jobs_completed_total{") and 'shard="' in k
+        ]
+        assert flat == WORKLOAD.jobs
+        assert sum(split) == flat and len(split) == 2
+        latency = aggregate["histograms"]["service_latency_seconds"]
+        assert latency["cluster"]["count"] == WORKLOAD.jobs
+        assert set(latency["shards"]) == {"shard-0", "shard-1"}
+
+
+class TestShardKillHandoff:
+    @pytest.fixture(scope="class")
+    def kill_run(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("cluster3")
+        cfg = LoadGenConfig(jobs=16, sizes=(64,), block_size=32, seed=9, concurrency=6)
+        report, results, aggregate = asyncio.run(
+            run_cluster_load(
+                _cluster_config(workdir, shards=3),
+                cfg,
+                kill_shard_after=4,
+                kill_index=0,
+            )
+        )
+        return cfg, report, results, aggregate
+
+    def test_no_job_lost_and_none_duplicated(self, kill_run):
+        cfg, report, results, _ = kill_run
+        assert report.completed == cfg.jobs
+        assert report.failed == 0 and report.lost == 0 and report.duplicates == 0
+        assert sorted(r.job_id for r in results) == list(range(cfg.jobs))
+
+    def test_survivors_carry_the_dead_shards_work(self, kill_run):
+        _, report, results, aggregate = kill_run
+        # the killed shard is gone from the final export; its unfinished
+        # jobs completed on the two survivors
+        assert "shard-0" not in aggregate["shards"]
+        assert len(aggregate["shards"]) == 2
+        assert {r.shard for r in results} <= {"shard-0", "shard-1", "shard-2"}
+
+    def test_handoff_results_stay_bit_identical(self, kill_run):
+        cfg, _, results, _ = kill_run
+        refs = _reference_factors(cfg)
+        for result in results:
+            np.testing.assert_array_equal(result.factor, refs[result.job_id])
+
+
+class TestFactorCodec:
+    def test_round_trip_is_bit_exact(self):
+        rng = np.random.default_rng(3)
+        factor = np.tril(rng.standard_normal((17, 17)))
+        out = decode_factor(encode_factor(factor))
+        assert out.dtype == factor.dtype and out.shape == factor.shape
+        np.testing.assert_array_equal(out, factor)
+
+    def test_float32_survives_too(self):
+        factor = np.ones((4, 4), dtype=np.float32) / 3.0
+        np.testing.assert_array_equal(decode_factor(encode_factor(factor)), factor)
+
+    def test_malformed_payloads_raise_cluster_error(self):
+        good = encode_factor(np.eye(3))
+        for broken in (
+            {},
+            {**good, "data": "!!!not-base64!!!"},
+            {**good, "dtype": "no-such-dtype"},
+            {**good, "shape": [5, 5]},  # size mismatch vs the data bytes
+        ):
+            with pytest.raises(ClusterError):
+                decode_factor(broken)
+
+
+class TestAggregation:
+    SNAPSHOTS = {
+        "shard-0": {
+            "counters": {
+                "jobs_total": 3.0,
+                "worker_jobs_total": {'{worker="tardis-0"}': 2.0, '{worker="tardis-1"}': 1.0},
+            },
+            "gauges": {"queue_depth": 1.0},
+            "histograms": {"latency": {"count": 3, "sum": 0.6, "max": 0.3, "p50": 0.2}},
+        },
+        "shard-1": {
+            "counters": {"jobs_total": 5.0, "worker_jobs_total": {'{worker="tardis-0"}': 5.0}},
+            "gauges": {"queue_depth": 2.0},
+            "histograms": {"latency": {"count": 5, "sum": 0.5, "max": 0.2, "p50": 0.1}},
+        },
+    }
+
+    def test_flat_name_is_cluster_sum_and_shard_label_merges_sorted(self):
+        agg = aggregate_cluster_metrics(self.SNAPSHOTS)
+        assert agg["counters"]["jobs_total"] == 8.0
+        assert agg["counters"]['jobs_total{shard="shard-0"}'] == 3.0
+        assert agg["counters"]['jobs_total{shard="shard-1"}'] == 5.0
+        # the shard label merges into existing labels, sorted by key
+        assert (
+            agg["counters"]['worker_jobs_total{shard="shard-0",worker="tardis-0"}'] == 2.0
+        )
+        assert agg["counters"]["worker_jobs_total"] == 8.0
+        assert agg["gauges"]["queue_depth"] == 3.0
+
+    def test_histograms_keep_honest_cluster_rollups(self):
+        agg = aggregate_cluster_metrics(self.SNAPSHOTS)
+        latency = agg["histograms"]["latency"]
+        assert latency["cluster"] == {"count": 8.0, "sum": 1.1, "max": 0.3}
+        # per-shard summaries ride along whole; no fabricated cluster p50
+        assert latency["shards"]["shard-1"]["p50"] == 0.1
+        assert "p50" not in latency["cluster"]
+
+    def test_prometheus_rendering(self):
+        text = cluster_to_prometheus(aggregate_cluster_metrics(self.SNAPSHOTS))
+        assert "# TYPE jobs_total counter\n" in text
+        assert "\njobs_total 8\n" in text
+        assert '\njobs_total{shard="shard-0"} 3\n' in text
+        assert "# TYPE latency summary\n" in text
+        assert "\nlatency_count 8\n" in text
+        assert '\nlatency_sum{shard="shard-1"} 0.5\n' in text
+
+    def test_router_snapshot_rides_along(self):
+        agg = aggregate_cluster_metrics({}, router={"counters": {"x": 1}})
+        assert agg["router"] == {"counters": {"x": 1}}
+        assert agg["shards"] == [] and agg["counters"] == {}

@@ -1,0 +1,208 @@
+"""Property and fuzz tests for the cluster wire protocol and handshake.
+
+Mirrors the journal fuzz suite (``test_journal_properties.py``) one layer
+up: the wire decoder faces bytes from another *process*, so its contract
+is the same shape — a malformed frame must surface as
+:class:`ClusterError` (costing the peer one connection), never as an
+arbitrary exception that could take down the router or a shard.
+
+1. **Round trip** — any JSON-object message survives encode → feed (at
+   arbitrary chunk boundaries) → decode, bit-exactly, in order.
+2. **Single-byte mutation fuzz** — flip any one byte of a valid
+   multi-frame stream and decoding either succeeds (the flip landed in a
+   string value, say) or raises :class:`ClusterError`.  Nothing else.
+3. **Handshake** — version mismatches, wrong roles, refusals and
+   non-hello openings all degrade to a clean :class:`ClusterError`.
+"""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import wire
+from repro.cluster.wire import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    check_hello,
+    decode_frames,
+    encode_frame,
+    hello,
+)
+from repro.util.exceptions import ClusterError
+
+_prop = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# JSON-safe payload values (no NaN: json round-trips it as a token Python
+# accepts but equality comparisons reject).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+messages = st.builds(
+    lambda t, extra: {"type": t, **extra},
+    st.sampled_from(["submit", "result", "health", "hello", "metrics_ok"]),
+    st.dictionaries(st.text(min_size=1, max_size=8), _values, max_size=5).map(
+        lambda d: {k: v for k, v in d.items() if k != "type"}
+    ),
+)
+
+
+class TestRoundTrip:
+    @_prop
+    @given(batch=st.lists(messages, min_size=1, max_size=6), data=st.data())
+    def test_chunked_feed_recovers_every_message_in_order(self, batch, data):
+        stream = b"".join(encode_frame(m) for m in batch)
+        decoder = FrameDecoder()
+        out = []
+        pos = 0
+        while pos < len(stream):
+            step = data.draw(st.integers(min_value=1, max_value=len(stream) - pos), label="chunk")
+            out.extend(decoder.feed(stream[pos : pos + step]))
+            pos += step
+        decoder.eof()  # all bytes consumed: must not raise
+        assert out == batch
+
+    @_prop
+    @given(batch=st.lists(messages, min_size=1, max_size=6))
+    def test_decode_frames_is_the_strict_whole_stream_form(self, batch):
+        stream = b"".join(encode_frame(m) for m in batch)
+        assert decode_frames(stream) == batch
+
+    @_prop
+    @given(batch=st.lists(messages, min_size=1, max_size=4), data=st.data())
+    def test_truncation_mid_frame_raises_at_eof(self, batch, data):
+        stream = b"".join(encode_frame(m) for m in batch)
+        cut = data.draw(st.integers(min_value=0, max_value=len(stream) - 1), label="cut")
+        decoder = FrameDecoder()
+        prefix = decoder.feed(stream[:cut])
+        # Whatever decoded before the cut is an exact prefix of the batch…
+        assert prefix == batch[: len(prefix)]
+        # …and the leftover bytes are a protocol error, not silence.
+        if decoder.pending_bytes:
+            with pytest.raises(ClusterError, match="mid-frame"):
+                decoder.eof()
+        else:
+            decoder.eof()
+
+
+class TestByteMutationFuzz:
+    @_prop
+    @given(
+        batch=st.lists(messages, min_size=1, max_size=4),
+        data=st.data(),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    def test_decoding_errors_but_never_crashes(self, batch, data, value):
+        raw = bytearray(b"".join(encode_frame(m) for m in batch))
+        pos = data.draw(st.integers(min_value=0, max_value=len(raw) - 1), label="pos")
+        raw[pos] = value
+        try:
+            out = decode_frames(bytes(raw))
+        except ClusterError:
+            return  # the contract: a clean protocol error
+        for message in out:
+            assert isinstance(message, dict)
+            assert isinstance(message.get("type"), str)
+
+    def test_oversized_length_refused_before_allocation(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ClusterError, match="exceeds"):
+            FrameDecoder().feed(header)
+
+    def test_non_object_payload_refused(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ClusterError, match="not an object"):
+            decode_frames(len(payload).to_bytes(4, "big") + payload)
+
+    def test_missing_type_refused(self):
+        payload = json.dumps({"proto": 1}).encode()
+        with pytest.raises(ClusterError, match="no 'type'"):
+            decode_frames(len(payload).to_bytes(4, "big") + payload)
+
+
+class TestEncode:
+    def test_rejects_non_dict_and_missing_type(self):
+        with pytest.raises(ClusterError):
+            encode_frame(["not", "a", "dict"])
+        with pytest.raises(ClusterError):
+            encode_frame({"no_type": True})
+
+    def test_rejects_unserializable_payloads(self):
+        with pytest.raises(ClusterError, match="serializable"):
+            encode_frame({"type": "submit", "bad": object()})
+
+    def test_rejects_oversized_frames(self):
+        with pytest.raises(ClusterError, match="exceeds"):
+            encode_frame({"type": "blob", "data": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestHandshake:
+    def test_hello_round_trips_and_validates(self):
+        frame = decode_frames(encode_frame(hello("router")))[0]
+        assert check_hello(frame) == frame
+        shard_frame = hello("shard", shard="shard-3")
+        assert check_hello(shard_frame, expect_role="shard")["shard"] == "shard-3"
+
+    @given(proto=st.one_of(st.none(), st.integers(), st.text(max_size=5)))
+    @settings(max_examples=40, deadline=None)
+    def test_version_mismatch_is_a_clean_refusal(self, proto):
+        message = {"type": "hello", "proto": proto, "role": "router"}
+        if proto == PROTOCOL_VERSION:
+            check_hello(message)
+        else:
+            with pytest.raises(ClusterError, match="version mismatch"):
+                check_hello(message)
+
+    def test_wrong_role_refused(self):
+        with pytest.raises(ClusterError, match="role"):
+            check_hello(hello("router"), expect_role="shard")
+
+    def test_error_frame_and_non_hello_and_eof_refused(self):
+        with pytest.raises(ClusterError, match="refused"):
+            check_hello({"type": "error", "error": "nope"})
+        with pytest.raises(ClusterError, match="expected a hello"):
+            check_hello({"type": "submit"})
+        with pytest.raises(ClusterError, match="closed the connection"):
+            check_hello(None)
+
+
+class TestAsyncStreamContract:
+    def test_read_frame_clean_eof_and_mid_header(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            assert await wire.read_frame(reader) is None
+
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # half a header, then the peer dies
+            reader.feed_eof()
+            with pytest.raises(ClusterError, match="mid-header"):
+                await wire.read_frame(reader)
+
+            reader = asyncio.StreamReader()
+            frame = encode_frame({"type": "health"})
+            reader.feed_data(frame[:-1])  # header + most of the payload
+            reader.feed_eof()
+            with pytest.raises(ClusterError, match="mid-frame"):
+                await wire.read_frame(reader)
+
+        asyncio.run(scenario())

@@ -1,0 +1,200 @@
+"""Journal compaction/rotation: the WAL shrinks, recovery cannot tell.
+
+The contract under test: :meth:`JobJournal.compact` rewrites the file to
+only its *live* entries (latest admitted record per unfinished job, in
+admission order), atomically, and ``recover()`` semantics —
+:func:`incomplete_jobs` over :func:`read_journal` — are identical before
+and after, for any history.  Rotation triggers (size, age) fire inside
+``record()`` so a long-lived shard's WAL stays bounded without anyone
+calling compact by hand.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.journal import JobJournal, incomplete_jobs, read_journal
+from repro.service.core import ServiceConfig
+from repro.service.job import Job
+from repro.util.exceptions import JournalError
+
+_prop = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+
+_EVENTS = ["admitted", "dispatched", "attempt", "completed", "failed", "rejected"]
+histories = st.lists(
+    st.tuples(st.sampled_from(_EVENTS), st.integers(min_value=0, max_value=5)),
+    min_size=1,
+    max_size=16,
+)
+
+
+def _replay_keys(path):
+    return [job.key for job in incomplete_jobs(read_journal(path))]
+
+
+def _write(journal: JobJournal, event: str, job_id: int) -> None:
+    job = Job(job_id=job_id, n=32, seed=7)
+    if event == "admitted":
+        journal.record(event, job.key, spec=job.to_spec())
+    else:
+        journal.record(event, job.key)
+
+
+class TestCompactionPreservesRecovery:
+    @_prop
+    @given(history=histories)
+    def test_incomplete_jobs_identical_before_and_after(self, tmp_path, history):
+        path = tmp_path / "wal.jsonl"
+        path.unlink(missing_ok=True)
+        journal = JobJournal(path, fsync_batch=1)
+        try:
+            for event, job_id in history:
+                _write(journal, event, job_id)
+            before = _replay_keys(path)
+            dropped = journal.compact()
+            after = _replay_keys(path)
+        finally:
+            journal.close()
+        assert after == before
+        assert dropped == journal.records_compacted_away
+        # The rewrite keeps nothing but live admitted records.
+        for entry in read_journal(path):
+            assert entry["event"] == "admitted"
+            assert "spec" in entry
+
+    @_prop
+    @given(history=histories)
+    def test_writer_continues_appending_after_compaction(self, tmp_path, history):
+        path = tmp_path / "wal.jsonl"
+        path.unlink(missing_ok=True)
+        journal = JobJournal(path, fsync_batch=1)
+        try:
+            for event, job_id in history:
+                _write(journal, event, job_id)
+            journal.compact()
+            _write(journal, "admitted", 99)
+        finally:
+            journal.close()
+        records = read_journal(path)
+        assert records[-1]["key"] == "7:99"
+        assert "7:99" in _replay_keys(path)
+
+    def test_terminal_heavy_history_compacts_to_nothing(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path)
+        try:
+            for job_id in range(20):
+                _write(journal, "admitted", job_id)
+                _write(journal, "completed", job_id)
+            dropped = journal.compact()
+        finally:
+            journal.close()
+        assert dropped == 40
+        assert read_journal(path) == []
+        assert path.stat().st_size == 0
+
+
+class TestRotationTriggers:
+    def test_size_trigger_fires_inside_record(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path, compact_bytes=2_000)
+        try:
+            for job_id in range(100):
+                _write(journal, "admitted", job_id)
+                _write(journal, "completed", job_id)
+            assert journal.compactions_total >= 1
+            assert journal.records_compacted_away > 0
+            # The WAL stays bounded near the threshold, not 200 records.
+            assert path.stat().st_size < 4_000
+        finally:
+            journal.close()
+
+    def test_age_trigger_fires_inside_record(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path, compact_age_s=1e-9)  # always overdue
+        try:
+            _write(journal, "admitted", 0)
+            _write(journal, "completed", 0)
+        finally:
+            journal.close()
+        assert journal.compactions_total >= 1
+
+    def test_no_trigger_means_no_compaction(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path)
+        try:
+            for job_id in range(10):
+                _write(journal, "admitted", job_id)
+                _write(journal, "completed", job_id)
+        finally:
+            journal.close()
+        assert journal.compactions_total == 0
+        assert len(read_journal(path)) == 20
+
+    def test_invalid_thresholds_rejected(self, tmp_path):
+        with pytest.raises(Exception, match="compact_bytes"):
+            JobJournal(tmp_path / "a.jsonl", compact_bytes=0)
+        with pytest.raises(Exception, match="compact_age_s"):
+            JobJournal(tmp_path / "b.jsonl", compact_age_s=-1.0)
+
+
+class TestCompactionSafety:
+    def test_compact_on_closed_journal_raises(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal.jsonl")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.compact()
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path)
+        try:
+            _write(journal, "admitted", 1)
+            journal.compact()
+        finally:
+            journal.close()
+        assert list(tmp_path.glob("*.compact.tmp")) == []
+
+    def test_compacted_journal_survives_torn_tail_like_any_other(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path)
+        try:
+            _write(journal, "admitted", 1)
+            _write(journal, "admitted", 2)
+            _write(journal, "completed", 2)
+            journal.compact()
+        finally:
+            journal.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "adm')  # crash mid-append after rotation
+        assert _replay_keys(path) == ["7:1"]
+
+    def test_service_config_threads_the_threshold_through(self, tmp_path):
+        config = ServiceConfig(
+            journal_path=tmp_path / "svc.jsonl", journal_compact_bytes=1234
+        )
+        assert config.journal_compact_bytes == 1234
+        # Invalid values surface at journal construction (service wiring).
+        with pytest.raises(Exception, match="compact_bytes"):
+            JobJournal(tmp_path / "bad.jsonl", compact_bytes=-5)
+
+    def test_compacted_entries_round_trip_byte_identically(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = JobJournal(path)
+        job = Job(job_id=3, n=32, seed=7)
+        try:
+            journal.record("admitted", job.key, spec=job.to_spec())
+            before = read_journal(path)
+            journal.compact()
+        finally:
+            journal.close()
+        after = read_journal(path)
+        assert after == before
+        line = path.read_text().strip()
+        assert json.loads(line) == before[0]
