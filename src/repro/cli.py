@@ -274,6 +274,8 @@ def _service_from_args(args: argparse.Namespace):
         trace_dir=args.trace_dir,
         executor=args.executor,
         exec_workers=args.exec_workers,
+        batch_max=args.batch_max,
+        batch_linger_s=args.batch_linger,
     )
     return SolveService(config)
 
@@ -683,6 +685,8 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
         jobs=args.service_jobs,
         executors=tuple(args.executors),
         workers=tuple(args.workers_sweep),
+        grid_sizes=tuple(args.grid_sizes),
+        grid_jobs=args.grid_jobs,
     )
     print(scaling.render(doc))
     if args.service_out:
@@ -709,6 +713,34 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.grid_gate:
+        size_grid = doc.get("size_grid")
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            print(
+                f"repro: bench: NOTICE — host has {cores} core(s) (< 4); "
+                "the --grid-gate inline-vs-process crossover gate is skipped",
+                file=sys.stderr,
+            )
+        elif not size_grid:
+            print(
+                "repro: bench: --grid-gate needs the size grid "
+                "(do not pass an empty --grid-sizes)",
+                file=sys.stderr,
+            )
+            return 1
+        else:
+            top = str(max(size_grid["sizes"]))
+            inline_jps = size_grid["cells"]["inline"][top]["jobs_per_s"]
+            process_jps = size_grid["cells"]["process"][top]["jobs_per_s"]
+            if process_jps < inline_jps:
+                print(
+                    f"repro: bench: process backend {process_jps:.2f} jobs/s "
+                    f"below inline {inline_jps:.2f} jobs/s at n={top} "
+                    "(--grid-gate)",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 
@@ -848,13 +880,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", default=None, help="write metrics JSON here")
         p.add_argument("--prometheus-out", default=None, help="write Prometheus text here")
         p.add_argument(
-            "--executor", default="thread", choices=["inline", "thread", "process"],
-            help="execution backend for blocking attempts",
+            "--executor", default="thread", choices=["inline", "thread", "process", "auto"],
+            help="execution backend for blocking attempts ('auto' places each "
+            "job on inline/thread/process via the dispatch cost model)",
         )
         p.add_argument(
             "--exec-workers", type=int, default=None, metavar="N",
             help="backend concurrency (thread width / process pool size; "
             "default: the scheduler's total worker concurrency)",
+        )
+        p.add_argument(
+            "--batch-max", type=int, default=1, metavar="K",
+            help="coalesce up to K compatible queued jobs into one dispatch "
+            "unit (1 = singleton dispatch, the default)",
+        )
+        p.add_argument(
+            "--batch-linger", type=float, default=0.0, metavar="SECONDS",
+            help="how long an under-filled batch may wait for more queued "
+            "jobs before dispatching (the latency budget for coalescing)",
         )
 
     p = sub.add_parser("serve", help="run the async solve service over a job stream")
@@ -902,7 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker pool per shard",
         )
         cp.add_argument(
-            "--executor", default="thread", choices=["inline", "thread", "process"],
+            "--executor", default="thread", choices=["inline", "thread", "process", "auto"],
         )
         cp.add_argument("--exec-workers", type=int, default=2, metavar="N")
         cp.add_argument("--max-depth", type=int, default=256, help="queue depth per shard")
@@ -980,11 +1023,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--service-jobs", type=int, default=12, help="jobs per scaling cell")
     p.add_argument(
         "--executors", nargs="+", default=["inline", "thread", "process"],
-        choices=["inline", "thread", "process"], help="backends to sweep (with --service)",
+        choices=["inline", "thread", "process", "auto"],
+        help="backends to sweep (with --service)",
     )
     p.add_argument(
         "--workers-sweep", nargs="+", type=int, default=[1, 2, 4],
         help="pool widths to sweep (with --service)",
+    )
+    p.add_argument(
+        "--grid-sizes", nargs="*", type=int, default=[256, 512, 1024, 2048],
+        metavar="N",
+        help="matrix orders for the inline-vs-process job-size grid "
+        "(with --service; pass no values to skip the grid)",
+    )
+    p.add_argument(
+        "--grid-jobs", type=int, default=3,
+        help="jobs per size-grid cell (with --service)",
+    )
+    p.add_argument(
+        "--grid-gate", action="store_true",
+        help="exit nonzero unless the process backend meets or beats inline "
+        "jobs/s at the largest grid size (skipped with a notice on hosts "
+        "under 4 cores)",
     )
     p.add_argument(
         "--service-out", default="BENCH_service.json",

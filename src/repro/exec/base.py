@@ -45,6 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Registered backend names, in increasing order of parallelism.
 BACKENDS = ("inline", "thread", "process")
 
+#: What ``--executor`` accepts: the concrete backends plus the cost-model
+#: chooser (:mod:`repro.exec.chooser`), which places each job on one of them.
+EXECUTOR_CHOICES = BACKENDS + ("auto",)
+
+#: Smoothing factor for the per-backend dispatch-overhead EWMA.
+DISPATCH_EWMA_ALPHA = 0.2
+
 
 def is_infra_error(exc: BaseException) -> bool:
     """Was this failure the *backend's* fault rather than the job's?
@@ -124,6 +131,19 @@ class Executor(ABC):
             "executor_transport_errors_total",
             "shared-memory transport faults detected parent-side",
         )
+        self._batch_h = metrics.histogram(
+            "executor_batch_size", "attempts per dispatch unit (1 = singleton)"
+        )
+        self._arena_reuse = metrics.counter(
+            "executor_arena_reuse_total", "leases served warm from an arena free-list"
+        )
+        self._arena_miss = metrics.counter(
+            "executor_arena_miss_total", "leases that had to create a new arena segment"
+        )
+        self._latency_g = metrics.gauge(
+            "executor_dispatch_latency_s",
+            "per-backend dispatch-overhead EWMA (seconds beyond the compute itself)",
+        )
         with self._mlock:
             self._busy_g.set(self.capacity, kind="capacity")
             self._busy_g.set(0.0, kind="busy")
@@ -142,23 +162,75 @@ class Executor(ABC):
     def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
         """Run one attempt to completion, blocking the calling thread."""
 
+    def run_batch_sync(self, requests: list[AttemptRequest]) -> list[AttemptOutcome | BaseException]:
+        """Run a batch of attempts; failures come back as exception *values*.
+
+        The default runs the batch as sequential singletons — backends
+        that can amortize a round-trip (one wire message, one worker
+        wakeup) override this.  Results align 1:1 with *requests*; a
+        failed item never aborts the rest of the batch.
+        """
+        results: list[AttemptOutcome | BaseException] = []
+        for request in requests:
+            try:
+                results.append(self.run_sync(request))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
     async def execute(self, request: AttemptRequest) -> AttemptOutcome:
         """Async wrapper the service awaits (under its own timeout)."""
         import asyncio
 
         return await asyncio.to_thread(self.run_sync, request)
 
+    async def execute_batch(
+        self, requests: list[AttemptRequest]
+    ) -> list[AttemptOutcome | BaseException]:
+        """Async batch wrapper; exception values, never raises per-item."""
+        import asyncio
+
+        return await asyncio.to_thread(self.run_batch_sync, requests)
+
     # -- metric helpers (thread-safe) --------------------------------------------
 
     def _note_dispatch(self, waited_s: float, request: AttemptRequest) -> None:
-        with self._mlock:
-            self._attempts.inc(backend=self.name, kind=request.kind)
-            self._dispatch_h.observe(waited_s)
-            self._busy_g.inc(kind="busy")
+        self._note_batch_dispatch(waited_s, [request])
 
-    def _note_done(self) -> None:
+    def _note_batch_dispatch(self, waited_s: float, requests: list[AttemptRequest]) -> None:
+        """Record one dispatch unit carrying *requests* attempts."""
         with self._mlock:
-            self._busy_g.dec(kind="busy")
+            for request in requests:
+                self._attempts.inc(backend=self.name, kind=request.kind)
+                self._busy_g.inc(kind="busy")
+            self._dispatch_h.observe(waited_s)
+            self._batch_h.observe(float(len(requests)))
+
+    def _note_done(self, count: int = 1) -> None:
+        with self._mlock:
+            self._busy_g.dec(float(count), kind="busy")
+
+    def _note_arena_lease(self, reused: bool) -> None:
+        with self._mlock:
+            if reused:
+                self._arena_reuse.inc(backend=self.name)
+            else:
+                self._arena_miss.inc(backend=self.name)
+
+    def _note_latency(self, overhead_s: float) -> None:
+        """Fold one measured dispatch overhead into this backend's EWMA."""
+        overhead_s = max(0.0, float(overhead_s))
+        with self._mlock:
+            prior = self._latency_g.value(backend=self.name)
+            if self._latency_g._values.get((("backend", self.name),)) is None:
+                blended = overhead_s
+            else:
+                blended = (1.0 - DISPATCH_EWMA_ALPHA) * prior + DISPATCH_EWMA_ALPHA * overhead_s
+            self._latency_g.set(blended, backend=self.name)
+
+    def dispatch_latency_s(self) -> float:
+        """Current dispatch-overhead EWMA for this backend (0.0 if unmeasured)."""
+        return self._latency_g.value(backend=self.name)
 
     def _note_ipc(self, nbytes: int, direction: str) -> None:
         with self._mlock:
@@ -197,8 +269,10 @@ def make_executor(
 
     *workers* bounds backend concurrency: thread-pool width for
     ``thread``, pool size for ``process``; ignored by ``inline``.
+    ``auto`` builds the cost-model chooser over all three.
     """
-    require(kind in BACKENDS, f"unknown executor {kind!r}; have {BACKENDS}")
+    require(kind in EXECUTOR_CHOICES, f"unknown executor {kind!r}; have {EXECUTOR_CHOICES}")
+    from repro.exec.chooser import AutoExecutor
     from repro.exec.inline import InlineExecutor
     from repro.exec.process import ProcessExecutor
     from repro.exec.thread import ThreadExecutor
@@ -207,4 +281,6 @@ def make_executor(
         return InlineExecutor(metrics=metrics)
     if kind == "thread":
         return ThreadExecutor(workers=workers or 4, metrics=metrics)
+    if kind == "auto":
+        return AutoExecutor(workers=workers or 2, metrics=metrics)
     return ProcessExecutor(workers=workers or 2, metrics=metrics)

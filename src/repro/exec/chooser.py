@@ -1,0 +1,272 @@
+"""Cost-model backend placement: the ``--executor auto`` chooser.
+
+The service-level analog of the paper's Opt-2 CPU-vs-GPU placement
+question: offloading an attempt to the process pool buys parallelism but
+costs a wire round-trip (pickle, queue wakeup, shm fill) — worth paying
+only when the attempt's compute dwarfs it.  :class:`AutoExecutor` owns
+one member of every concrete backend and places each dispatch on the one
+with the *earliest predicted completion*:
+
+    eta(inline)  = overhead_inline  + compute · (q_inline + 1)
+    eta(thread)  = overhead_thread  + compute · (q_thread + 1)
+    eta(process) = overhead_process + compute · (1 + q_process / capacity)
+
+where ``compute`` is the job's cost-model estimate
+(:meth:`~repro.hetero.costmodel.CostModel.potrf_seconds`) scaled into
+host seconds, ``overhead_b`` is the backend's measured dispatch-latency
+EWMA (``executor_dispatch_latency_s``), and ``q_b`` is the backend's
+current in-flight depth.  Inline and thread serialize on the GIL, so
+queue depth multiplies their compute term; the process pool divides it
+across its workers.  At zero load a small job therefore stays inline
+(the honest answer on this codebase — see ``BENCH_service.json``), and
+as depth or job size grows placement shifts to the pool, exactly the
+crossover the scaling bench records.
+
+Self-calibration: :meth:`AutoExecutor.start_sync` runs one small
+real-mode probe job through each backend, measures wall seconds, scales
+the cost model into host units from the inline wall, and seeds each
+backend's overhead EWMA from the difference — so the chooser makes sane
+decisions from the first real dispatch instead of after a warm-up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping
+
+from repro.exec.base import BACKENDS, AttemptRequest, Executor, _SlotTimer
+from repro.exec.inline import InlineExecutor
+from repro.exec.process import ProcessExecutor
+from repro.exec.thread import ThreadExecutor
+from repro.hetero.machine import Machine
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import AttemptOutcome
+from repro.util.validation import require
+
+#: Geometry of the self-calibration probe job (small enough to be cheap,
+#: real-mode so it exercises the shm transport the placement must price).
+_CALIB_N = 64
+_CALIB_B = 32
+_CALIB_PRESET = "tardis"
+_CALIB_TIMEOUT_S = 60.0
+
+
+def choose_backend(
+    compute_s: float,
+    overhead_s: Mapping[str, float],
+    inflight: Mapping[str, int],
+    process_capacity: int,
+) -> str:
+    """Pure placement decision: earliest predicted completion wins.
+
+    Ties break toward the earlier entry in :data:`~repro.exec.base.
+    BACKENDS` (less machinery), so a zero-compute job always lands
+    inline.
+    """
+    require(compute_s >= 0, "compute estimate must be nonnegative")
+    cap = max(1, int(process_capacity))
+    etas: dict[str, float] = {}
+    for backend in BACKENDS:
+        depth = max(0, int(inflight.get(backend, 0)))
+        overhead = max(0.0, float(overhead_s.get(backend, 0.0)))
+        if backend == "process":
+            etas[backend] = overhead + compute_s * (1.0 + depth / cap)
+        else:
+            # GIL-serialized: queued depth multiplies the compute term.
+            etas[backend] = overhead + compute_s * (depth + 1.0)
+    return min(BACKENDS, key=lambda b: (etas[b], BACKENDS.index(b)))
+
+
+def predicted_crossover_n(
+    compute_s_for: Callable[[int], float],
+    overhead_process_s: float,
+    process_capacity: int,
+    sizes: list[int] | tuple[int, ...],
+    load: int | None = None,
+) -> int | None:
+    """Smallest job size the model routes to the process pool under load.
+
+    *compute_s_for* maps a job order ``n`` to estimated host compute
+    seconds (the scaling bench passes measured inline seconds-per-job);
+    *load* is the assumed per-backend queue depth (defaults to the pool
+    capacity — a saturated closed loop).  Returns ``None`` when even the
+    largest size stays inline.
+    """
+    cap = max(1, int(process_capacity))
+    depth = cap if load is None else max(0, int(load))
+    for n in sorted(int(s) for s in sizes):
+        compute = float(compute_s_for(n))
+        if compute <= 0.0:
+            continue
+        eta_inline = compute * (depth + 1.0)
+        eta_process = max(0.0, float(overhead_process_s)) + compute * (1.0 + depth / cap)
+        if eta_process <= eta_inline:
+            return n
+    return None
+
+
+class AutoExecutor(Executor):
+    """Place each dispatch on inline/thread/process by predicted completion.
+
+    Owns one member of every concrete backend, all bound to the *same*
+    metrics registry (the :class:`~repro.resilience.breaker.
+    FailoverExecutor` convention), so per-backend attempt counts, batch
+    sizes and latency EWMAs land in one place.  ``capacity`` is the
+    process pool's — the service sizes its dispatch slots for the widest
+    backend and the chooser decides where each slot's work actually runs.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        metrics: MetricsRegistry | None = None,
+        calibrate: bool = True,
+    ) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.members: dict[str, Executor] = {
+            "inline": InlineExecutor(metrics=registry),
+            "thread": ThreadExecutor(workers=workers, metrics=registry),
+            "process": ProcessExecutor(workers=workers, metrics=registry),
+        }
+        self._ilock = threading.Lock()
+        self._inflight: dict[str, int] = {backend: 0 for backend in BACKENDS}
+        self._machines: dict[str, Machine] = {}
+        #: host wall seconds per cost-model second (set by calibration).
+        self.host_scale = 1.0
+        self._calibrate_on_start = calibrate
+        self._calibrated = False
+        self.calibration_walls: dict[str, float] = {}
+        self.calibration_error: str | None = None
+        super().__init__(capacity=self.members["process"].capacity, metrics=registry)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        super().bind_metrics(metrics)
+        self._placements = metrics.counter(
+            "executor_auto_placements_total", "attempts placed per backend by the cost-model chooser"
+        )
+
+    @property
+    def process(self) -> ProcessExecutor:
+        """The process member (chaos hooks live here)."""
+        return self.members["process"]  # type: ignore[return-value]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start_sync(self) -> None:
+        """Spawn the pool and (once) run the self-calibration probes."""
+        self.members["process"].start_sync()  # type: ignore[attr-defined]
+        if self._calibrate_on_start and not self._calibrated:
+            self._run_calibration()
+
+    async def start(self) -> None:
+        import asyncio
+
+        await asyncio.to_thread(self.start_sync)
+
+    def stop_sync(self) -> None:
+        for member in self.members.values():
+            stop_sync = getattr(member, "stop_sync", None)
+            if stop_sync is not None:
+                stop_sync()
+
+    async def stop(self) -> None:
+        for member in self.members.values():
+            await member.stop()
+
+    # -- calibration -------------------------------------------------------------
+
+    def _calibration_request(self) -> AttemptRequest:
+        from repro.service.job import Job
+
+        job = Job(
+            job_id=0,
+            n=_CALIB_N,
+            block_size=_CALIB_B,
+            scheme="enhanced",
+            numerics="real",
+            seed=0,
+        )
+        return AttemptRequest(job=job, preset=_CALIB_PRESET, timeout_s=_CALIB_TIMEOUT_S)
+
+    def _run_calibration(self) -> None:
+        """Measure one probe job per backend; seed scales and EWMAs.
+
+        A calibration failure must never block service start — the
+        chooser just falls back to unscaled estimates and unseeded EWMAs
+        (which self-correct as real traffic flows).
+        """
+        walls: dict[str, float] = {}
+        try:
+            for backend in BACKENDS:
+                started = time.perf_counter()
+                self.members[backend].run_sync(self._calibration_request())
+                walls[backend] = time.perf_counter() - started
+        except Exception as exc:  # calibration is best-effort
+            self.calibration_error = f"{type(exc).__name__}: {exc}"
+            self._calibrated = True
+            return
+        self.calibration_walls = walls
+        model = self._model_seconds(self._calibration_request())
+        if model > 0.0:
+            self.host_scale = max(1e-9, walls["inline"]) / model
+        for backend in BACKENDS:
+            # The probe's wall minus the inline wall isolates the
+            # backend's dispatch machinery from the compute both share.
+            self.members[backend]._note_latency(max(0.0, walls[backend] - walls["inline"]))
+        self._calibrated = True
+
+    # -- placement ---------------------------------------------------------------
+
+    def _machine_for(self, request: AttemptRequest) -> Machine:
+        if request.machine is not None:
+            return request.machine
+        machine = self._machines.get(request.preset)
+        if machine is None:
+            machine = self._machines[request.preset] = Machine.preset(request.preset)
+        return machine
+
+    def _model_seconds(self, request: AttemptRequest) -> float:
+        job = request.job
+        machine = self._machine_for(request)
+        block = job.block_size or machine.default_block_size
+        cost = machine.context(numerics="shadow").cost
+        return cost.potrf_seconds(job.n, block, scheme=job.scheme)
+
+    def estimate_host_seconds(self, request: AttemptRequest) -> float:
+        """The job's compute estimate in (calibrated) host wall seconds."""
+        return self._model_seconds(request) * self.host_scale
+
+    def choose(self, requests: list[AttemptRequest]) -> str:
+        """Which backend this dispatch unit should run on (by mean compute)."""
+        compute = sum(self.estimate_host_seconds(r) for r in requests) / len(requests)
+        with self._ilock:
+            inflight = dict(self._inflight)
+        overhead = {b: self.members[b].dispatch_latency_s() for b in BACKENDS}
+        return choose_backend(compute, overhead, inflight, self.members["process"].capacity)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
+        result = self.run_batch_sync([request])[0]
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def run_batch_sync(self, requests: list[AttemptRequest]) -> list[AttemptOutcome | BaseException]:
+        require(len(requests) >= 1, "empty dispatch batch")
+        backend = self.choose(requests)
+        member = self.members[backend]
+        timer = _SlotTimer()
+        self._note_batch_dispatch(timer.waited(), requests)
+        self._placements.inc(float(len(requests)), backend=backend)
+        with self._ilock:
+            self._inflight[backend] += len(requests)
+        try:
+            return member.run_batch_sync(requests)
+        finally:
+            with self._ilock:
+                self._inflight[backend] -= len(requests)
+            self._note_done(len(requests))

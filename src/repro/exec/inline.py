@@ -40,7 +40,11 @@ class InlineExecutor(Executor):
 
     def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
         timer = _SlotTimer()
-        self._note_dispatch(timer.waited(), request)
+        waited = timer.waited()
+        self._note_dispatch(waited, request)
+        # Inline has no wire, no pickle, no wakeup — its dispatch
+        # overhead is the slot-timer's epsilon, by definition.
+        self._note_latency(waited)
         try:
             return run_request(request)
         finally:
@@ -49,3 +53,22 @@ class InlineExecutor(Executor):
     async def execute(self, request: AttemptRequest) -> AttemptOutcome:
         # Deliberately NOT off-thread: inline means "block right here".
         return self.run_sync(request)
+
+    def _run_batch_inline(
+        self, requests: list[AttemptRequest]
+    ) -> list[AttemptOutcome | BaseException]:
+        # Mirrors the base run_batch_sync loop on purpose: execute_batch
+        # deliberately blocks the event loop, so it must only reach this
+        # backend's own run_sync — never the polymorphic batch helper,
+        # whose other implementations block on worker queues.
+        results: list[AttemptOutcome | BaseException] = []
+        for request in requests:
+            try:
+                results.append(self.run_sync(request))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    async def execute_batch(self, requests: list[AttemptRequest]):
+        # Like execute(): a batch on the inline backend blocks right here.
+        return self._run_batch_inline(requests)

@@ -3,19 +3,28 @@
 This is the multicore path: *workers* long-lived processes (spawned once,
 kept warm — see :mod:`repro.exec.worker`), each owning one inbox/outbox
 queue pair and one parent-owned :class:`~repro.hetero.memory.SharedArena`.
-Dispatching an attempt:
+The dispatch unit is a **batch** of attempts (a singleton is just a batch
+of one — ``run_sync`` literally runs ``run_batch_sync([request])``, which
+is what pins batched/singleton bit-identity by construction):
 
-1. the parent leases an ``n × n`` view from the checked-out worker's
-   arena and fills it with the job's deterministic input matrix —
-   **this, not a pickle, is how the matrix travels** (rule RPL007);
-2. the task payload (job record, preset name, shm *descriptor*) is
-   pickled and queued; the worker factors the shared view in place and
-   writes the factor bytes back through the same segment;
+1. the parent leases one view per real-mode item from the checked-out
+   worker's arena — warm segments come back off the arena's size-class
+   free-list, so steady-state traffic creates nothing — and fills each
+   with the job's deterministic input matrix; **this, not a pickle, is
+   how matrices travel** (rule RPL007);
+2. the batch payload (job records, preset names, shm *descriptors*, plus
+   the names of any segments the arena trimmed since last time) is
+   pickled and queued as **one wire message / one worker wakeup**; the
+   worker factors each shared view in place, writes factor bytes back
+   through the same segments, and streams one reply per item as it
+   completes;
 3. the parent polls the outbox while watching worker liveness — a dead
-   process (crash, OOM kill, test-injected ``os._exit``) raises
-   :class:`~repro.util.exceptions.WorkerCrashedError` after the pool
-   respawns a replacement, and the service's retry ladder requeues the
-   attempt.
+   process (crash, OOM kill, test-injected ``os._exit``) loses only the
+   items it had not yet answered: after the pool respawns a replacement,
+   exactly those come back as
+   :class:`~repro.util.exceptions.WorkerCrashedError` and the service's
+   retry ladder requeues them, while the batch's already-streamed
+   survivors keep their results.
 
 ``stop()`` drains: every worker gets a stop sentinel, is joined (then
 terminated if wedged), and every arena segment is unlinked — the parent
@@ -213,12 +222,19 @@ class ProcessExecutor(Executor):
         with self._lock:
             self._chaos.extend(dict(overlay) for _ in range(count))
 
-    def inject_crash(self, count: int = 1) -> None:
-        """Arm worker crashes on the next *count* dispatched attempts.
+    def inject_crash(self, count: int = 1, at_item: int = 0) -> None:
+        """Arm worker crashes on upcoming dispatched attempts.
 
         Deterministic stand-in for an OOM kill mid-attempt; used by the
         retry-ladder requeue tests (``count > 1`` exhausts the ladder).
+        Overlays are consumed one per *item*, so ``at_item`` pads the
+        queue with that many no-op overlays first — with batched
+        dispatch this places the crash mid-batch: items before it stream
+        their replies and survive, items from it on are lost.
         """
+        require(at_item >= 0, "at_item must be >= 0")
+        if at_item:
+            self._arm({}, at_item)
         self._arm({"crash": True}, count)
 
     def inject_wedge(self, seconds: float, count: int = 1) -> None:
@@ -256,6 +272,15 @@ class ProcessExecutor(Executor):
     # -- execution ---------------------------------------------------------------
 
     def run_sync(self, request: AttemptRequest) -> AttemptOutcome:
+        """One attempt == a batch of one; unwrap the value or raise it."""
+        result = self.run_batch_sync([request])[0]
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def run_batch_sync(self, requests: list[AttemptRequest]) -> list[AttemptOutcome | BaseException]:
+        """Run a batch on ONE worker round-trip; failures come back as values."""
+        require(len(requests) >= 1, "empty dispatch batch")
         with self._lock:
             require(not self._stopping, "executor is stopping")
             self._start_locked()
@@ -269,11 +294,11 @@ class ProcessExecutor(Executor):
                     # down while we waited; there is no worker to dispatch to.
                     raise ExecutorError("executor stopped while the attempt waited for a slot")
                 handle = self._idle.pop()
-            self._note_dispatch(timer.waited(), request)
+            self._note_batch_dispatch(timer.waited(), requests)
             try:
-                return self._dispatch(handle, request)
+                return self._dispatch_batch(handle, requests)
             finally:
-                self._note_done()
+                self._note_done(len(requests))
         finally:
             try:
                 with self._lock:
@@ -285,63 +310,146 @@ class ProcessExecutor(Executor):
                 # attempt), and must release even if the check-in throws.
                 self._slots.release()
 
-    def _dispatch(self, handle: _WorkerHandle, request: AttemptRequest) -> AttemptOutcome:
-        job = request.job
-        chaos = self._next_chaos()
-        view = desc = None
-        if job.numerics == "real":
-            view, desc = handle.arena.lease((job.n, job.n))
-            np.copyto(view, job_matrix(job))
-            if chaos.get("truncate_shm"):
-                handle.arena.unlink_backing()
-        payload = {
-            "job": job,
-            "preset": request.preset,
-            "kind": request.kind,
-            "retry": request.retry,
-            "input": desc,
-        }
-        for key in ("crash", "wedge"):
-            if key in chaos:
-                payload[key] = chaos[key]
-        blob = pickle.dumps(payload)
-        self._note_ipc(len(blob) + (desc.nbytes if desc is not None else 0), "to_worker")
-        task_id = next(self._task_ids)
-        budget = request.timeout_s if request.timeout_s is not None else _DEFAULT_DEADLINE_S
-        deadline = time.monotonic() + budget + _DEADLINE_GRACE_S
-        handle.inbox.put(("task", task_id, blob))
-        reply = self._await_reply(handle, task_id, deadline)
-        self._sync_injector(job, reply[-1])
-        if reply[0] == "err":
-            _, _, exc_type, message, _ = reply
+    def _dispatch_batch(
+        self, handle: _WorkerHandle, requests: list[AttemptRequest]
+    ) -> list[AttemptOutcome | BaseException]:
+        views: list[np.ndarray | None] = []
+        descs = []
+        overlays: list[dict] = []
+        items: list[dict] = []
+        budget = 0.0
+        for request in requests:
+            job = request.job
+            chaos = self._next_chaos()
+            view = desc = None
+            if job.numerics == "real":
+                view, desc = handle.arena.lease((job.n, job.n))
+                self._note_arena_lease(handle.arena.last_lease_reused)
+                np.copyto(view, job_matrix(job))
+                if chaos.get("truncate_shm"):
+                    handle.arena.unlink_backing(desc.name)
+            item = {
+                "job": job,
+                "preset": request.preset,
+                "kind": request.kind,
+                "retry": request.retry,
+                "input": desc,
+            }
+            for key in ("crash", "wedge"):
+                if key in chaos:
+                    item[key] = chaos[key]
+            items.append(item)
+            views.append(view)
+            descs.append(desc)
+            overlays.append(chaos)
+            budget += request.timeout_s if request.timeout_s is not None else _DEFAULT_DEADLINE_S
+        # Trimmed segment names ride along so the worker can drop the
+        # stale mappings before it touches this batch's descriptors.
+        blob = pickle.dumps({"items": items, "retired": handle.arena.drain_retired()})
+        self._note_ipc(
+            len(blob) + sum(d.nbytes for d in descs if d is not None), "to_worker"
+        )
+        batch_id = next(self._task_ids)
+        sent_at = time.monotonic()
+        deadline = sent_at + budget + _DEADLINE_GRACE_S
+        handle.inbox.put(("batch", batch_id, blob))
+        results: list[AttemptOutcome | BaseException | None] = [None] * len(requests)
+        pending = set(range(len(requests)))
+        exec_wall_total = 0.0
+        clean = True
+        try:
+            while pending:
+                try:
+                    reply = self._await_item(handle, batch_id, deadline)
+                except WorkerCrashedError as exc:
+                    # The worker died (or wedged past its deadline) with
+                    # these items unanswered: each gets its own error so
+                    # every affected job re-enters the retry ladder; the
+                    # batch's already-settled survivors are untouched.
+                    for index in sorted(pending):
+                        results[index] = WorkerCrashedError(str(exc))
+                    pending.clear()
+                    clean = False
+                    break
+                index = reply[2]
+                if index not in pending:
+                    continue  # duplicate/stale reply: drop it
+                settled = self._settle_item(
+                    handle, requests[index], reply, views[index], descs[index], overlays[index]
+                )
+                results[index], exec_wall = settled
+                if exec_wall is None:
+                    clean = False
+                else:
+                    exec_wall_total += exec_wall
+                pending.discard(index)
+        finally:
+            for desc in descs:
+                if desc is not None:
+                    handle.arena.end_lease(desc)
+        if clean:
+            # Pure dispatch overhead of the round-trip: wall time minus
+            # the compute the worker reported, amortized per item — the
+            # signal the cost-model backend chooser consumes.
+            overhead = (time.monotonic() - sent_at) - exec_wall_total
+            self._note_latency(overhead / len(requests))
+        return results  # type: ignore[return-value]
+
+    def _settle_item(
+        self,
+        handle: _WorkerHandle,
+        request: AttemptRequest,
+        reply: tuple,
+        view: np.ndarray | None,
+        desc,
+        chaos: dict,
+    ) -> tuple[AttemptOutcome | BaseException, float | None]:
+        """Turn one streamed item reply into an outcome or exception value.
+
+        Returns ``(result, exec_wall_s)``; the wall time is ``None`` for
+        failed items (they contribute nothing to the latency EWMA).
+        """
+        status = reply[3]
+        if status == "err":
+            _, _, _, _, exc_type, message, inj = reply
+            self._sync_injector(request.job, inj)
             if exc_type == "FileNotFoundError":
                 # The worker's attach found the segment gone from /dev/shm
-                # (external sweep, or the truncation chaos hook).  Mark the
-                # arena stale so the next lease re-creates the segment; the
-                # attempt itself is retryable.
-                handle.arena.mark_stale()
+                # (external sweep, or the truncation chaos hook).  Drop just
+                # that segment — other leases stay warm — and requeue.
+                if desc is not None:
+                    handle.arena.discard(desc.name)
                 self._note_transport_error("missing_segment")
-                raise ShmTransportError(
-                    f"worker {handle.worker_id} lost its shm segment mid-attempt "
-                    f"({message}); arena re-created, attempt requeued"
+                return (
+                    ShmTransportError(
+                        f"worker {handle.worker_id} lost shm segment {desc.name if desc else '?'} "
+                        f"mid-attempt ({message}); segment dropped, attempt requeued"
+                    ),
+                    None,
                 )
-            raise WorkerTaskError(exc_type, message)
-        outcome: AttemptOutcome = pickle.loads(reply[2])
-        self._note_ipc(len(reply[2]) + (desc.nbytes if desc is not None else 0), "from_worker")
+            return WorkerTaskError(exc_type, message), None
+        body, inj = reply[4], reply[5]
+        self._sync_injector(request.job, inj)
+        outcome: AttemptOutcome = pickle.loads(body)
+        self._note_ipc(len(body) + (desc.nbytes if desc is not None else 0), "from_worker")
+        exec_wall = outcome.extras.pop("exec_wall_s", None)
         if outcome.extras.pop("factor_in_shm", False) and view is not None:
             expected_crc = outcome.extras.pop("factor_crc", None)
             if chaos.get("corrupt_shm"):
                 view[0, -1] += 1.0  # scribble between the worker's CRC stamp and our read
             if expected_crc is not None and zlib.crc32(view) != expected_crc:
                 self._note_transport_error("corrupt_factor")
-                raise ShmIntegrityError(
-                    f"worker {handle.worker_id}'s factor failed its CRC check crossing "
-                    "shared memory; result discarded, attempt requeued"
+                return (
+                    ShmIntegrityError(
+                        f"worker {handle.worker_id}'s factor failed its CRC check crossing "
+                        "shared memory; result discarded, attempt requeued"
+                    ),
+                    None,
                 )
             outcome.factor = np.array(view)  # detach from the arena before reuse
         else:
             outcome.extras.pop("factor_crc", None)
-        return outcome
+        return outcome, exec_wall
 
     @staticmethod
     def _sync_injector(job, state: dict | None) -> None:
@@ -363,21 +471,23 @@ class ProcessExecutor(Executor):
         for idx in state["fired"]:
             injector.plans[idx].fired = True
 
-    def _await_reply(self, handle: _WorkerHandle, task_id: int, deadline: float):
-        """Poll the worker's outbox, watching liveness; respawn on death.
+    def _await_item(self, handle: _WorkerHandle, batch_id: int, deadline: float):
+        """Poll the worker's outbox for this batch's next streamed item reply.
 
         *deadline* (monotonic seconds) bounds the wait: a worker that is
         alive but silent past it — wedged in native code, say — is killed
         and respawned so the pool slot is always reclaimed, even though
-        the caller's ``asyncio.wait_for`` cannot cancel this thread.
+        the caller's ``asyncio.wait_for`` cannot cancel this thread.  A
+        raise here means the worker is gone; the caller fails the batch's
+        still-pending items and keeps the settled ones.
         """
         process, outbox = handle.process, handle.outbox
         while True:
             if time.monotonic() > deadline:
                 self._respawn(handle, reason="wedged")
                 raise WorkerCrashedError(
-                    f"pool worker {handle.worker_id} missed its attempt deadline; "
-                    "killed and respawned, attempt requeued"
+                    f"pool worker {handle.worker_id} missed its batch deadline; "
+                    "killed and respawned, unanswered attempts requeued"
                 )
             try:
                 reply = outbox.get(timeout=_POLL_S)
@@ -386,13 +496,13 @@ class ProcessExecutor(Executor):
                     exitcode = process.exitcode
                     self._respawn(handle, reason="crash")
                     raise WorkerCrashedError(
-                        f"pool worker {handle.worker_id} died mid-attempt "
-                        f"(exitcode {exitcode}); attempt requeued"
+                        f"pool worker {handle.worker_id} died mid-batch "
+                        f"(exitcode {exitcode}); unanswered attempts requeued"
                     ) from None
                 continue
-            if reply[0] in ("ok", "err") and reply[1] == task_id:
+            if reply[0] == "item" and reply[1] == batch_id:
                 return reply
-            # Stale reply from a cancelled/abandoned attempt: drop it.
+            # Stale reply from a cancelled/abandoned batch: drop it.
 
     def _respawn(self, handle: _WorkerHandle, reason: str) -> None:
         handle.kill()

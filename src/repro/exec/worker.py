@@ -1,31 +1,45 @@
 """Pool-worker entry point and warm per-worker state (spawn-safe).
 
 Each process-pool worker runs :func:`worker_main`: a loop over its inbox
-queue, executing one attempt per message and replying on its outbox.  The
-expensive things happen once per worker lifetime, not once per attempt —
-that is the pool's whole reason to be persistent:
+queue, executing one *batch* of attempts per message and streaming one
+reply per item on its outbox.  The expensive things happen once per
+worker lifetime, not once per attempt — that is the pool's whole reason
+to be persistent:
 
 - module imports (NumPy/SciPy + the repro numerics) are paid at spawn;
 - :class:`~repro.hetero.machine.Machine` presets are cached by name;
-- shared-memory segments are attached once per segment name and reused
-  (the parent leases the same arena per worker slot, so steady-state
-  traffic attaches nothing);
+- shared-memory segments are attached once per segment *name* and kept
+  mapped (the parent's arena free-list reuses names across jobs, so
+  steady-state traffic attaches nothing); the parent tells the worker
+  which names it trimmed via the batch's ``retired`` list, and those
+  mappings are closed before the batch runs;
 - per-geometry scratch workspaces (the pristine-copy buffer every
   real-mode attempt needs) are cached by matrix order, so repeat
   geometries allocate nothing.
 
-Message protocol (parent → worker): ``("task", task_id, payload_bytes)``,
-``("warm", [(n, block_size), ...])``, ``("stop",)``.  Worker → parent:
-``("ready", worker_id, pid)`` once at startup, then ``("ok", task_id,
-reply_bytes, injector_state)`` or ``("err", task_id, exc_type, message,
-injector_state)`` per task.  Payloads and replies are pre-pickled bytes —
-matrices never ride in them; they cross through the shared-memory segment
-named by the payload's :class:`~repro.hetero.memory.ShmDescriptor`.
-``injector_state`` (:func:`injector_state`) carries the run's fault
-bookkeeping back: the parent pickles ``job.injector`` fresh per attempt,
-so without it a fault fired inside the worker would stay armed on the
-parent and re-inject on retry — unlike the in-process backends, which
-mutate the caller's injector directly.
+Message protocol (parent → worker): ``("batch", batch_id,
+payload_bytes)`` where the pickled payload is ``{"items": [item, ...],
+"retired": [segment_name, ...]}``, plus ``("warm", [(n, block_size),
+...])`` and ``("stop",)``.  Worker → parent: ``("ready", worker_id,
+pid)`` once at startup, then **one streamed reply per item, in item
+order, as each completes**: ``("item", batch_id, index, "ok",
+reply_bytes, injector_state)`` or ``("item", batch_id, index, "err",
+exc_type, message, injector_state)``.  Item payloads and replies are
+pre-pickled bytes — matrices never ride in them; they cross through the
+shared-memory segment named by the item's
+:class:`~repro.hetero.memory.ShmDescriptor`.  ``injector_state``
+(:func:`injector_state`) carries the run's fault bookkeeping back: the
+parent pickles ``job.injector`` fresh per attempt, so without it a fault
+fired inside the worker would stay armed on the parent and re-inject on
+retry — unlike the in-process backends, which mutate the caller's
+injector directly.
+
+Because replies stream per item, a worker that dies mid-batch (the
+``crash`` chaos hook flushes the outbox feeder before ``os._exit`` so
+the failure point is deterministic) loses only the items it had not yet
+answered: the parent turns exactly those into
+:class:`~repro.util.exceptions.WorkerCrashedError` values and the
+already-streamed survivors keep their results.
 """
 
 from __future__ import annotations
@@ -49,7 +63,7 @@ class WorkerState:
 
     def __init__(self) -> None:
         self.machines: dict[str, Machine] = {}
-        self.segments: dict[str, Any] = {}  # name -> SharedMemory attachment
+        self.segments: dict[str, Any] = {}  # segment name -> SharedMemory attachment
         self.scratch: dict[tuple[int, ...], np.ndarray] = {}
 
     def machine(self, preset: str) -> Machine:
@@ -61,21 +75,25 @@ class WorkerState:
     def view(self, desc: ShmDescriptor) -> np.ndarray:
         """A zero-copy ndarray over the descriptor's segment (attach-once).
 
-        Cached per arena slot, not per segment name: when the parent grows
-        an arena it unlinks the outgrown segment and leases from a fresh
-        one, so the stale attachment is closed here the moment its
-        replacement arrives — otherwise every outgrown geometry's memory
-        would stay mapped in each worker for the pool's lifetime.
+        Cached per segment *name*: the parent's arena free-list keeps
+        several segments alive per arena and reuses their names across
+        jobs, so a warm name attaches nothing.  Names the parent trimmed
+        arrive in the batch's ``retired`` list and are dropped by
+        :meth:`close_segments` — the worker never decides on its own that
+        a mapping is dead.
         """
-        key = desc.arena or desc.name
-        shm = self.segments.get(key)
-        if shm is not None and shm.name != desc.name:
-            shm.close()  # superseded by a grown arena segment
-            shm = None
+        shm = self.segments.get(desc.name)
         if shm is None:
             shm, _ = attach_shared_array(desc)
-            self.segments[key] = shm
+            self.segments[desc.name] = shm
         return np.ndarray(desc.shape, dtype=desc.dtype, buffer=shm.buf, offset=desc.offset)
+
+    def close_segments(self, retired: list[str]) -> None:
+        """Close mappings for segments the parent unlinked (arena trim)."""
+        for name in retired:
+            shm = self.segments.pop(name, None)
+            if shm is not None:
+                shm.close()
 
     def scratch_for(self, shape: tuple[int, ...]) -> np.ndarray:
         """The warmed per-geometry workspace (allocated on first use)."""
@@ -148,6 +166,49 @@ def run_task(payload: dict, state: WorkerState) -> Any:
     return outcome
 
 
+def _run_item(batch_id: int, index: int, payload: dict, state: WorkerState, outbox: Any) -> None:
+    """Run one batch item and stream its reply (never raises)."""
+    injector = payload["job"].injector
+    fired_before = len(injector.fired) if injector is not None else 0
+    started = time.perf_counter()
+    # Exception only: SystemExit / KeyboardInterrupt / other
+    # BaseExceptions mean this process should die and let the parent's
+    # respawn path take over, not keep serving in an unknown state.
+    try:
+        reply = run_task(payload, state)
+        # The parent pops this before anyone compares extras: it feeds
+        # the dispatch-overhead EWMA (wire+pickle time = round-trip
+        # minus the compute the worker actually did).
+        reply.extras["exec_wall_s"] = time.perf_counter() - started
+        outbox.put(
+            ("item", batch_id, index, "ok", pickle.dumps(reply), injector_state(payload, fired_before))
+        )
+    except ReproError as exc:
+        outbox.put(
+            (
+                "item",
+                batch_id,
+                index,
+                "err",
+                type(exc).__name__,
+                str(exc),
+                injector_state(payload, fired_before),
+            )
+        )
+    except Exception as exc:  # defensive: report, keep serving
+        outbox.put(
+            (
+                "item",
+                batch_id,
+                index,
+                "err",
+                type(exc).__name__,
+                str(exc),
+                injector_state(payload, fired_before),
+            )
+        )
+
+
 def worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
     """The worker process's main loop (spawn target; must stay top-level)."""
     state = WorkerState()
@@ -162,25 +223,17 @@ def worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
         if tag == "warm":
             state.warm(msg[1])
             continue
-        _, task_id, blob = msg
-        payload = pickle.loads(blob)
-        if payload.get("crash"):  # test hook: die mid-attempt, hard
-            os._exit(43)
-        if payload.get("wedge"):  # test hook: hang mid-attempt
-            time.sleep(payload["wedge"])
-        injector = payload["job"].injector
-        fired_before = len(injector.fired) if injector is not None else 0
-        # Exception only: SystemExit / KeyboardInterrupt / other
-        # BaseExceptions mean this process should die and let the parent's
-        # respawn path take over, not keep serving in an unknown state.
-        try:
-            reply = run_task(payload, state)
-            outbox.put(("ok", task_id, pickle.dumps(reply), injector_state(payload, fired_before)))
-        except ReproError as exc:
-            outbox.put(
-                ("err", task_id, type(exc).__name__, str(exc), injector_state(payload, fired_before))
-            )
-        except Exception as exc:  # defensive: report, keep serving
-            outbox.put(
-                ("err", task_id, type(exc).__name__, str(exc), injector_state(payload, fired_before))
-            )
+        _, batch_id, blob = msg
+        batch = pickle.loads(blob)
+        state.close_segments(batch.get("retired") or [])
+        for index, payload in enumerate(batch["items"]):
+            if payload.get("crash"):  # test hook: die mid-batch, hard
+                # Flush the outbox feeder first so every reply already
+                # streamed for this batch survives deterministically —
+                # the crash loses exactly the items not yet answered.
+                outbox.close()
+                outbox.join_thread()
+                os._exit(43)
+            if payload.get("wedge"):  # test hook: hang mid-attempt
+                time.sleep(payload["wedge"])
+            _run_item(batch_id, index, payload, state, outbox)

@@ -23,7 +23,13 @@ from typing import Any
 
 import numpy as np
 
-from repro.exec import BACKENDS, AttemptRequest, make_executor
+from repro.exec import (
+    BACKENDS,
+    EXECUTOR_CHOICES,
+    AttemptRequest,
+    make_executor,
+    predicted_crossover_n,
+)
 from repro.experiments.stamp import run_stamp
 from repro.hetero.machine import Machine
 from repro.service.core import ServiceConfig, SolveService
@@ -31,11 +37,21 @@ from repro.service.job import JobStatus
 from repro.service.loadgen import LoadGenConfig, make_job, run_load
 from repro.util.validation import require
 
-SCHEMA_VERSION = 1
+#: Schema 2 adds the job-size grid (``size_grid``): inline-vs-process
+#: jobs/s per matrix order plus the measured and model-predicted
+#: crossover order.  :func:`load_service_doc` reads schema-1 documents
+#: by backfilling ``size_grid: None``.
+SCHEMA_VERSION = 2
 
 #: (executor, workers) cells measured by default; ``inline`` has no pool
 #: so only width 1 is meaningful there.
 DEFAULT_WORKERS = (1, 2, 4)
+
+#: Matrix orders swept by the inline-vs-process size grid.  The small end
+#: is where per-dispatch overhead dominates (inline wins); the large end
+#: is where multicore compute dominates (process should win — on hosts
+#: with the cores to back it).
+DEFAULT_GRID_SIZES = (256, 512, 1024, 2048)
 
 
 def _cell_config(executor: str, workers: int, jobs: int) -> tuple[ServiceConfig, LoadGenConfig]:
@@ -111,14 +127,104 @@ def _factor_parity(executors: tuple[str, ...], probes: int = 2) -> bool:
     return identical
 
 
+def _measure_size_cell(executor: str, n: int, jobs: int, width: int) -> dict[str, Any]:
+    """One size-grid cell: *jobs* closed-loop jobs of order *n*."""
+    service = SolveService(
+        ServiceConfig(
+            workers=(f"tardis:{width}",),
+            executor=executor,
+            exec_workers=width,
+            job_timeout_s=600.0,
+        )
+    )
+    load = LoadGenConfig(
+        jobs=jobs,
+        sizes=(n,),
+        block_size=32,
+        scheme="enhanced",
+        seed=0,
+        concurrency=max(2, 2 * width),
+    )
+    report, results = asyncio.run(run_load(service, load))
+    failed = [r for r in results if r.status is JobStatus.FAILED]
+    require(not failed, f"size grid {executor} n={n}: {len(failed)} jobs failed")
+    return {
+        "jobs_per_s": report.jobs_per_s,
+        "seconds_per_job": report.wall_s / max(1, report.completed),
+        "wall_s": report.wall_s,
+        "completed": report.completed,
+        "dispatch_latency_s": service.executor.dispatch_latency_s(),
+    }
+
+
+def run_size_grid(
+    sizes: tuple[int, ...] = DEFAULT_GRID_SIZES,
+    jobs: int = 3,
+    width: int = 2,
+) -> dict[str, Any]:
+    """Inline-vs-process jobs/s per matrix order, plus the crossover.
+
+    ``measured_crossover_n`` is the smallest swept order at which the
+    process backend's throughput meets or beats inline (``None`` if it
+    never does — expected on single-core hosts, where forking buys no
+    parallelism to amortize the dispatch against).
+    ``predicted_crossover_n`` asks the backend chooser's cost model the
+    same question, fed with the measured inline seconds-per-job and the
+    process pool's measured dispatch-latency EWMA, so the two fields
+    disagreeing is a finding about the model, not noise.
+    """
+    require(jobs >= 1, "need at least one job per grid cell")
+    require(all(n >= 32 for n in sizes), "grid sizes must be >= 32")
+    require(width >= 1, "grid width must be >= 1")
+    sizes = tuple(sorted(sizes))
+    cells: dict[str, dict[str, dict[str, Any]]] = {"inline": {}, "process": {}}
+    for n in sizes:
+        cells["inline"][str(n)] = _measure_size_cell("inline", n, jobs, width)
+        cells["process"][str(n)] = _measure_size_cell("process", n, jobs, width)
+
+    measured: int | None = None
+    for n in sizes:
+        if cells["process"][str(n)]["jobs_per_s"] >= cells["inline"][str(n)]["jobs_per_s"]:
+            measured = n
+            break
+
+    inline_s = {n: cells["inline"][str(n)]["seconds_per_job"] for n in sizes}
+    overheads = [cells["process"][str(n)]["dispatch_latency_s"] for n in sizes]
+    overhead_process_s = sum(overheads) / len(overheads)
+    predicted = predicted_crossover_n(
+        lambda n: inline_s[n],
+        overhead_process_s=overhead_process_s,
+        process_capacity=width,
+        sizes=sizes,
+    )
+    return {
+        "sizes": list(sizes),
+        "jobs_per_cell": jobs,
+        "process_workers": width,
+        "cells": cells,
+        "overhead_process_s": overhead_process_s,
+        "measured_crossover_n": measured,
+        "predicted_crossover_n": predicted,
+    }
+
+
 def run(
     jobs: int = 12,
     executors: tuple[str, ...] = BACKENDS,
     workers: tuple[int, ...] = DEFAULT_WORKERS,
+    grid_sizes: tuple[int, ...] = DEFAULT_GRID_SIZES,
+    grid_jobs: int = 3,
 ) -> dict[str, Any]:
-    """Measure the scaling grid and return the BENCH_service document."""
+    """Measure the scaling grid and return the BENCH_service document.
+
+    ``grid_sizes=()`` skips the inline-vs-process size grid (the document
+    then carries ``size_grid: None``, same as a schema-1 reader sees).
+    """
     require(jobs >= 2, "need at least two jobs per cell")
-    require(all(e in BACKENDS for e in executors), f"executors must be in {BACKENDS}")
+    require(
+        all(e in EXECUTOR_CHOICES for e in executors),
+        f"executors must be in {EXECUTOR_CHOICES}",
+    )
     require(all(w >= 1 for w in workers), "worker widths must be >= 1")
 
     grid: dict[str, dict[str, dict[str, Any]]] = {}
@@ -143,6 +249,10 @@ def run(
         if lo and hi and lo["jobs_per_s"] > 0:
             speedups[name] = hi["jobs_per_s"] / lo["jobs_per_s"]
 
+    size_grid = None
+    if grid_sizes:
+        size_grid = run_size_grid(tuple(grid_sizes), jobs=grid_jobs, width=max(workers))
+
     return {
         "schema": SCHEMA_VERSION,
         "generated_by": "python -m repro bench --service",
@@ -154,11 +264,30 @@ def run(
         "workers_sweep": list(workers),
         "grid": grid,
         "speedup_vs_1_worker": speedups,
+        "size_grid": size_grid,
         "bit_identical": {
             "job_results": results_identical,
             "factors": factors_identical,
         },
     }
+
+
+def load_service_doc(path: str | Path) -> dict[str, Any]:
+    """Read a BENCH_service document of any schema version.
+
+    Schema-1 documents predate the size grid; they come back with
+    ``size_grid: None`` so consumers can treat "not measured" and
+    "skipped" uniformly instead of branching on the version.
+    """
+    doc = json.loads(Path(path).read_text())
+    version = int(doc.get("schema", 1))
+    require(
+        version <= SCHEMA_VERSION,
+        f"BENCH_service schema {version} is newer than this reader ({SCHEMA_VERSION})",
+    )
+    if version < 2:
+        doc.setdefault("size_grid", None)
+    return doc
 
 
 def write(doc: dict[str, Any], path: str | Path) -> Path:
@@ -184,6 +313,22 @@ def render(doc: dict[str, Any]) -> str:
             )
     for name, ratio in doc["speedup_vs_1_worker"].items():
         lines.append(f"  {name} speedup at max width: {ratio:.2f}x")
+    size_grid = doc.get("size_grid")
+    if size_grid:
+        lines.append(
+            f"  size grid (x{size_grid['process_workers']} process pool, "
+            f"{size_grid['jobs_per_cell']} jobs/cell):"
+        )
+        lines.append(f"  {'n':>6} {'inline j/s':>11} {'process j/s':>12}")
+        for n in size_grid["sizes"]:
+            lines.append(
+                f"  {n:>6} {size_grid['cells']['inline'][str(n)]['jobs_per_s']:11.2f} "
+                f"{size_grid['cells']['process'][str(n)]['jobs_per_s']:12.2f}"
+            )
+        lines.append(
+            f"  crossover n: measured={size_grid['measured_crossover_n']} "
+            f"predicted={size_grid['predicted_crossover_n']}"
+        )
     ok = doc["bit_identical"]
     lines.append(
         f"  bit-identical: job_results={ok['job_results']} factors={ok['factors']}"

@@ -135,80 +135,230 @@ def _reap_segment(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
+#: Smallest size class a lease can land in (one tmpfs page).
+_MIN_SEGMENT_BYTES = 4096
+
+#: Default per-arena high-water mark: free segments are trimmed (LRU
+#: first) once the arena's total mapped bytes exceed this.
+DEFAULT_HIGH_WATER_BYTES = 64 * 1024 * 1024
+
+
+def _size_class(nbytes: int) -> int:
+    """Next power of two >= ``nbytes`` (min one page) — the segment size."""
+    size = _MIN_SEGMENT_BYTES
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+@dataclass
+class _Segment:
+    """One live shared-memory segment tracked by a :class:`SharedArena`."""
+
+    shm: shared_memory.SharedMemory
+    size_class: int
+    epoch: int
+    finalizer: weakref.finalize
+    last_used: int = 0
+
+
 class SharedArena:
-    """One parent-owned, grow-on-demand shared segment (per worker slot).
+    """A parent-owned pool of warm shared segments (one arena per worker slot).
 
     ``lease(shape)`` returns a ``(view, descriptor)`` pair backed by a
-    segment at least large enough for the request; a larger request
-    replaces the segment (the old one is unlinked).  Because each pool
-    worker slot owns exactly one arena and a slot runs one attempt at a
-    time, leases never alias.
+    segment from a **size-class free-list** (size classes are powers of
+    two, one page minimum): a fitting free segment is reused warm — same
+    name, so a pool worker's cached attachment stays valid — and only a
+    miss creates a new segment.  :meth:`end_lease` returns the segment to
+    its class's free-list (LIFO, so the warmest segment goes out first)
+    and then trims cold free segments LRU-first while the arena's total
+    mapped bytes exceed ``high_water_bytes``.  This replaces the old
+    per-attempt allocate/unlink churn while preserving the ownership
+    rules above: the parent creates and unlinks, workers only attach and
+    close (trimmed names are published via :meth:`drain_retired` so the
+    executor can tell workers to drop stale mappings).
 
-    Every created segment is additionally registered with a
-    ``weakref.finalize`` safety net: if the owning executor dies without
-    running :meth:`release` (abnormal shutdown), the segment is still
-    unlinked at arena collection or interpreter exit, so /dev/shm never
-    accumulates residue.
+    :meth:`mark_stale` condemns every current segment (transport saw the
+    backing file vanish or rot underneath us); healing is deferred to the
+    next :meth:`lease`, by which point the caller's views are out of
+    scope and the purge can actually run.  ``end_lease`` of a condemned
+    descriptor is a silent no-op.
+
+    Every created segment carries a ``weakref.finalize`` safety net: if
+    the owning executor dies without :meth:`release` (abnormal shutdown),
+    segments are still unlinked at arena collection or interpreter exit,
+    so /dev/shm never accumulates residue.
     """
 
-    def __init__(self, tag: str) -> None:
+    def __init__(self, tag: str, high_water_bytes: int = DEFAULT_HIGH_WATER_BYTES) -> None:
         self.tag = tag
-        self._shm: shared_memory.SharedMemory | None = None
+        self.high_water_bytes = int(high_water_bytes)
         self._seq = 0
-        self._stale = False
-        self._finalizer: weakref.finalize | None = None
+        self._epoch = 0
+        self._clock = 0
+        self._segments: dict[str, _Segment] = {}
+        self._leased: set[str] = set()
+        self._free: dict[int, list[str]] = {}
+        self._retired: list[str] = []
+        #: whether the most recent :meth:`lease` was served from the
+        #: free-list (warm hit) or had to create a segment (miss) — the
+        #: executor reads this to drive its reuse/miss counters.
+        self.last_lease_reused = False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(seg.size_class for seg in self._segments.values())
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def free_count(self) -> int:
+        return sum(len(names) for names in self._free.values())
+
+    def leased_names(self) -> set[str]:
+        return set(self._leased)
+
+    # -- staleness / targeted teardown ----------------------------------
 
     def mark_stale(self) -> None:
-        """Flag the backing segment as gone/corrupt underneath us.
+        """Condemn every current segment (backing gone/corrupt underneath us).
 
         Healing is deferred to the next :meth:`lease` — by then the
-        caller's views of the old segment are out of scope, so the
-        release can actually close the mapping.
+        caller's views of the old segments are out of scope, so the
+        purge can actually close the mappings.
         """
-        self._stale = True
+        self._epoch += 1
 
-    def unlink_backing(self) -> None:
-        """Remove the /dev/shm file while keeping the mapping alive.
+    def discard(self, name: str) -> None:
+        """Drop one segment by name (its file vanished or rotted).
+
+        Unlike :meth:`mark_stale` this is immediate and targeted: other
+        segments' leases stay valid.  Unknown names are ignored.
+        """
+        seg = self._segments.pop(name, None)
+        if seg is None:
+            return
+        self._leased.discard(name)
+        names = self._free.get(seg.size_class)
+        if names and name in names:
+            names.remove(name)
+        seg.finalizer.detach()
+        _reap_segment(seg.shm)
+        self._retired.append(name)
+
+    def unlink_backing(self, name: str | None = None) -> None:
+        """Remove /dev/shm file(s) while keeping the mappings alive.
 
         Chaos-test hook simulating an external tmpfs sweep: existing
         attachments keep working (the mapping survives the unlink) but
-        any *new* attach by name fails with ``FileNotFoundError``.
+        any *new* attach by name fails with ``FileNotFoundError``.  With
+        ``name=None`` every current segment's file is removed.
         """
-        if self._shm is not None:
+        for seg_name, seg in self._segments.items():
+            if name is not None and seg_name != name:
+                continue
             try:
-                self._shm.unlink()
+                seg.shm.unlink()
             except FileNotFoundError:
                 pass
+
+    def drain_retired(self) -> list[str]:
+        """Names unlinked since the last drain (workers should close them)."""
+        retired, self._retired = self._retired, []
+        return retired
+
+    # -- lease lifecycle -------------------------------------------------
+
+    def _purge_stale(self) -> None:
+        condemned = [n for n, seg in self._segments.items() if seg.epoch != self._epoch]
+        for name in condemned:
+            seg = self._segments.pop(name)
+            self._leased.discard(name)
+            names = self._free.get(seg.size_class)
+            if names and name in names:
+                names.remove(name)
+            seg.finalizer.detach()
+            _reap_segment(seg.shm)
+            self._retired.append(name)
 
     def lease(self, shape: tuple[int, ...], dtype: str = "float64") -> tuple[np.ndarray, ShmDescriptor]:
         nbytes = ShmDescriptor("", tuple(int(d) for d in shape), str(dtype)).nbytes
         check_positive("arena lease nbytes", nbytes)
-        if self._stale or self._shm is None or self._shm.size < nbytes:
-            self.release()
+        self._purge_stale()
+        cls = _size_class(nbytes)
+        names = self._free.get(cls)
+        if names:
+            name = names.pop()  # LIFO: warmest segment first
+            seg = self._segments[name]
+            self.last_lease_reused = True
+        else:
             self._seq += 1
-            self._shm = shared_memory.SharedMemory(
-                name=f"{self.tag}-{self._seq}", create=True, size=nbytes
+            name = f"{self.tag}-{self._seq}"
+            shm = shared_memory.SharedMemory(name=name, create=True, size=cls)
+            seg = _Segment(
+                shm=shm,
+                size_class=cls,
+                epoch=self._epoch,
+                finalizer=weakref.finalize(self, _reap_segment, shm),
             )
-            self._finalizer = weakref.finalize(self, _reap_segment, self._shm)
-            self._stale = False
+            self._segments[name] = seg
+            self.last_lease_reused = False
+            # The new segment may push the arena over high-water: evict
+            # cold free segments to make room (never a live lease — the
+            # fresh segment is not on any free-list, so it is safe).
+            self._trim()
+        self._leased.add(name)
+        self._clock += 1
+        seg.last_used = self._clock
         desc = ShmDescriptor(
-            name=self._shm.name,
+            name=name,
             shape=tuple(int(d) for d in shape),
             dtype=str(dtype),
             arena=self.tag,
         )
-        view = np.ndarray(desc.shape, dtype=desc.dtype, buffer=self._shm.buf)
+        view = np.ndarray(desc.shape, dtype=desc.dtype, buffer=seg.shm.buf)
         return view, desc
 
-    def release(self) -> None:
-        """Unlink the backing segment (parent-side ownership teardown)."""
-        if self._shm is None:
+    def end_lease(self, desc: ShmDescriptor) -> None:
+        """Return a leased segment to the free-list, then trim cold ones.
+
+        Descriptors whose segment was condemned (:meth:`mark_stale`) or
+        dropped (:meth:`discard`) in the meantime are silently ignored.
+        """
+        if desc.name not in self._leased:
             return
-        shm, self._shm = self._shm, None
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        _reap_segment(shm)
+        self._leased.discard(desc.name)
+        seg = self._segments[desc.name]
+        self._clock += 1
+        seg.last_used = self._clock
+        self._free.setdefault(seg.size_class, []).append(desc.name)
+        self._trim()
+
+    def _trim(self) -> None:
+        """Unlink free segments LRU-first while over the high-water mark."""
+        while self.total_bytes > self.high_water_bytes:
+            free_names = [n for names in self._free.values() for n in names]
+            if not free_names:
+                return
+            victim = min(free_names, key=lambda n: self._segments[n].last_used)
+            seg = self._segments.pop(victim)
+            self._free[seg.size_class].remove(victim)
+            seg.finalizer.detach()
+            _reap_segment(seg.shm)
+            self._retired.append(victim)
+
+    def release(self) -> None:
+        """Unlink every segment (parent-side ownership teardown); idempotent."""
+        segments, self._segments = self._segments, {}
+        self._leased.clear()
+        self._free.clear()
+        for seg in segments.values():
+            seg.finalizer.detach()
+            _reap_segment(seg.shm)
 
 
 @dataclass(frozen=True, slots=True)

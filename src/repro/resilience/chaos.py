@@ -175,10 +175,19 @@ def _evaluate(
         if result.factor is None or not np.array_equal(result.factor, ref):
             factor_ok = False
 
+    # Executor-side consistency: every attempt was dispatched inside exactly
+    # one batch unit (the batch-size histogram's mass equals the attempt
+    # counter), and the arena never saw more leases than attempts — reuse
+    # and miss partition the lease stream, they never double-count.
+    attempts = m["executor_attempts_total"].value()
+    arena_ops = m["executor_arena_reuse_total"].value() + m["executor_arena_miss_total"].value()
+    executor_ok = m["executor_batch_size"].sum == attempts and arena_ops <= attempts
+
     invariants = {
         "no_lost_jobs": all(job.job_id in service.results for job in jobs),
         "no_duplicate_results": (completed + failed + rejected) == len(service.results),
         "metrics_consistent": submitted == completed + failed + rejected,
+        "executor_metrics_consistent": executor_ok,
         "metrics_monotonic": not regressions,
         "factors_bit_identical": factor_ok,
         "p99_bounded": m["service_latency_seconds"].percentile(0.99) <= cfg.p99_budget_s,
@@ -226,25 +235,51 @@ def _all_completed(service: SolveService, jobs: list[Job]) -> bool:
 
 
 def scenario_worker_crash(cfg: ChaosConfig) -> ScenarioResult:
-    """Workers are OOM-killed mid-attempt; the retry ladder absorbs it."""
+    """A worker is OOM-killed mid-batch; only the unanswered items retry.
+
+    Capacity is pinned to one slot so the first dispatch deterministically
+    coalesces jobs ``[0, batch_max)`` into a single wire message.  The
+    worker answers item 0, then dies on item 1: the answered survivor must
+    keep ``attempts == 1`` while every unanswered batchmate re-enters the
+    retry ladder — a crash costs exactly the work it interrupted.
+    """
     jobs = _jobs(cfg)
     refs = _reference_factors(jobs)
-    service = _service(cfg)
+    batch_max = min(3, cfg.jobs)
+    crashed_ids = [jobs[i].job_id for i in range(1, batch_max)]
+    survivor_ids = [job.job_id for job in jobs if job.job_id not in crashed_ids]
+    service = _service(
+        cfg,
+        workers=("tardis:1",),
+        exec_workers=1,
+        batch_max=batch_max,
+        batch_linger_s=0.05,
+    )
     t0 = time.monotonic()
 
     async def run() -> dict:
+        # Queue everything before the dispatch loop starts so the first
+        # unit sees a full queue and coalesces a deterministic batch.
+        for job in jobs:
+            service.submit(job)
         await service.start_executor()
         try:
-            service.executor.inject_crash(count=2)
+            service.executor.inject_crash(count=1, at_item=1)
             service.start()
-            for job in jobs:
-                service.submit(job)
             return service.metrics.counters_snapshot()
         finally:
             await service.stop()
 
     mid = asyncio.run(run())
     restarts = service.metrics["executor_worker_restarts_total"].value(reason="crash")
+    results = service.results
+    survivors_untouched = all(
+        (r := results.get(job_id)) is not None and r.attempts == 1 and r.retries == 0
+        for job_id in survivor_ids
+    )
+    unanswered_retried = all(
+        (r := results.get(job_id)) is not None and r.retries >= 1 for job_id in crashed_ids
+    )
     return _evaluate(
         "worker_crash",
         cfg,
@@ -253,8 +288,17 @@ def scenario_worker_crash(cfg: ChaosConfig) -> ScenarioResult:
         refs,
         mid,
         time.monotonic() - t0,
-        extra={"all_completed": _all_completed(service, jobs), "crashes_survived": restarts >= 2},
-        notes={"worker_restarts": restarts},
+        extra={
+            "all_completed": _all_completed(service, jobs),
+            "crash_survived": restarts >= 1,
+            "survivors_unaffected": survivors_untouched,
+            "unanswered_batchmates_retried": unanswered_retried,
+        },
+        notes={
+            "worker_restarts": restarts,
+            "batch_max": batch_max,
+            "crashed_jobs": crashed_ids,
+        },
     )
 
 

@@ -1,0 +1,65 @@
+"""Batch coalescing policy for the service's admission path.
+
+When the execution backend can amortize a worker round-trip over several
+attempts (:meth:`repro.exec.base.Executor.run_batch_sync`), the service
+coalesces *compatible* queued jobs into one dispatch unit.  The policy
+here is deliberately tiny and pure — the asyncio plumbing lives in
+:mod:`repro.service.core`, and the hypothesis property tests pin the two
+invariants that matter directly against these functions:
+
+- **no reordering**: a batch is always a contiguous *prefix* of what
+  ``JobQueue.get()`` would have served anyway (class-then-FIFO), so
+  batching never lets a later job overtake an earlier one;
+- **single class**: a batch never mixes priority classes — an
+  interactive arrival terminates a best-effort batch instead of riding
+  in it (it gets the very next dispatch unit);
+- **bounded**: a batch never exceeds ``batch_max`` jobs, and the
+  collector never waits past ``linger_s`` for stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.job import Job
+from repro.util.validation import require
+
+__all__ = ["BatchCoalescer"]
+
+
+@dataclass(frozen=True)
+class BatchCoalescer:
+    """Pure admit/plan policy for one service's batching knobs."""
+
+    #: most jobs one dispatch unit may carry (1 = batching off).
+    batch_max: int = 1
+    #: longest a partially filled batch may wait for stragglers (seconds).
+    linger_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(self.batch_max >= 1, "batch_max must be >= 1")
+        require(self.linger_s >= 0.0, "linger_s must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.batch_max > 1
+
+    def admit(self, batch: list[Job], candidate: Job) -> bool:
+        """May *candidate* join *batch*?  (Size cap + same priority class.)"""
+        if len(batch) >= self.batch_max:
+            return False
+        return not batch or batch[0].priority is candidate.priority
+
+    def plan(self, queued: list[Job]) -> list[Job]:
+        """The first batch a drained queue snapshot would yield.
+
+        *queued* must already be in service order (class-then-FIFO — the
+        order ``JobQueue.get()`` pops).  The result is the longest
+        admissible prefix: reordering is impossible by construction.
+        """
+        batch: list[Job] = []
+        for job in queued:
+            if not self.admit(batch, job):
+                break
+            batch.append(job)
+        return batch

@@ -27,9 +27,10 @@ from typing import TYPE_CHECKING
 
 from repro.analysis.trace_io import dump_trace
 from repro.desim.trace import META_JOB, Span, Timeline
+from repro.service.batching import BatchCoalescer
 from repro.service.job import Job, JobResult, JobStatus, Priority
 from repro.service.metrics import MetricsRegistry
-from repro.service.policy import RetryPolicy
+from repro.service.policy import AttemptOutcome, RetryPolicy
 from repro.service.queue import AdmissionDecision, JobQueue
 from repro.service.scheduler import Assignment, Scheduler, Worker
 from repro.util.exceptions import ReproError
@@ -57,12 +58,21 @@ class ServiceConfig:
     #: ``job-<id>.json`` (trace schema v2, spans tagged with the job id)
     trace_dir: str | Path | None = None
     #: execution backend for blocking attempts: ``inline`` | ``thread`` |
-    #: ``process`` (see :mod:`repro.exec`); ``thread`` is the historical
-    #: single-process behaviour
+    #: ``process`` | ``auto`` (see :mod:`repro.exec`); ``thread`` is the
+    #: historical single-process behaviour, ``auto`` places each job by
+    #: cost model (:mod:`repro.exec.chooser`)
     executor: str = "thread"
     #: backend concurrency (thread-pool width / process-pool size);
     #: ``None`` sizes it to the scheduler's total worker concurrency
     exec_workers: int | None = None
+    #: most queued jobs one dispatch unit may coalesce into a single
+    #: executor round-trip (1 = batching off); batches never mix
+    #: priority classes and never reorder the queue (see
+    #: :mod:`repro.service.batching`)
+    batch_max: int = 1
+    #: longest a partially filled batch waits for compatible stragglers
+    #: before dispatching (seconds) — the coalescing latency budget
+    batch_linger_s: float = 0.0
     #: when set, every job lifecycle transition is journaled here
     #: (append-only JSONL WAL) and a restarted service can ``recover()``
     #: admitted-but-unfinished jobs from it
@@ -86,11 +96,21 @@ class ServiceConfig:
         check_positive("max_queue_depth", self.max_queue_depth)
         check_positive("job_timeout_s", self.job_timeout_s)
         check_positive("residual_tolerance", self.residual_tolerance)
-        from repro.exec.base import BACKENDS
+        from repro.exec.base import EXECUTOR_CHOICES
 
-        require(self.executor in BACKENDS, f"unknown executor {self.executor!r}; have {BACKENDS}")
+        require(
+            self.executor in EXECUTOR_CHOICES,
+            f"unknown executor {self.executor!r}; have {EXECUTOR_CHOICES}",
+        )
+        require(
+            not (self.failover and self.executor == "auto"),
+            "failover chains wrap one concrete backend; 'auto' already "
+            "owns all three — pick one or the other",
+        )
         if self.exec_workers is not None:
             check_positive("exec_workers", self.exec_workers)
+        require(self.batch_max >= 1, "batch_max must be >= 1")
+        require(self.batch_linger_s >= 0.0, "batch_linger_s must be >= 0")
 
 
 def tag_timeline(timeline: Timeline, job_id: int) -> Timeline:
@@ -157,6 +177,7 @@ class SolveService:
         self._capacity = asyncio.Semaphore(
             self.scheduler.effective_concurrency(self.executor.capacity)
         )
+        self._coalescer = BatchCoalescer(config.batch_max, config.batch_linger_s)
         self.results: dict[int, JobResult] = {}
         self.completions: asyncio.Queue[JobResult] = asyncio.Queue()
         self._inflight: set[asyncio.Task] = set()
@@ -310,64 +331,201 @@ class SolveService:
 
     async def _dispatch(self) -> None:
         while True:
-            # Ownership transfer: the slot is handed to the _run_job task,
+            # Ownership transfer: the slot is handed to the _run_unit task,
             # whose finally releases it (or the None branch below does).
             await self._capacity.acquire()  # noqa: RPL101
             job = await self.queue.get()
             if job is None:
                 self._capacity.release()
                 return
-            self._depth.set(self.queue.depth_of(job.priority), priority=job.priority.name.lower())
-            assignment = self.scheduler.pick(job)
-            task = asyncio.get_running_loop().create_task(self._run_job(job, assignment))
+            # One dispatch unit (a singleton or a coalesced batch) per
+            # capacity slot; coalescing happens *inside* the task so the
+            # popped jobs are always visible to drain() via _inflight.
+            task = asyncio.get_running_loop().create_task(self._run_unit(job))
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
 
-    async def _run_job(self, job: Job, assignment: Assignment) -> None:
-        worker = assignment.worker
-        self._journal_record("dispatched", job, worker=worker.name)
+    async def _coalesce(self, first: Job) -> list[Job]:
+        """Grow a batch from the queue head without reordering it.
+
+        Only ever takes the exact job ``queue.get()`` would serve next,
+        and only while it shares *first*'s priority class
+        (:meth:`~repro.service.queue.JobQueue.get_compatible_nowait`);
+        lingers up to the configured budget for stragglers, a latency
+        bound the batching property tests pin.
+        """
+        batch = [first]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.batch_linger_s
+        while len(batch) < self._coalescer.batch_max:
+            candidate = self.queue.get_compatible_nowait(first.priority)
+            if candidate is not None:
+                batch.append(candidate)
+                continue
+            remaining = deadline - loop.time()
+            if remaining <= 0.0 or self.queue.closed:
+                break
+            await asyncio.sleep(min(remaining, 0.001))
+        return batch
+
+    async def _run_unit(self, first: Job) -> None:
+        """Run one dispatch unit: coalesce, place, execute, settle."""
+        batch = [first]
+        if self._coalescer.enabled:
+            batch = await self._coalesce(first)
+        self._depth.set(
+            self.queue.depth_of(first.priority), priority=first.priority.name.lower()
+        )
         try:
+            head = self.scheduler.pick(first)
+            assignments = [head] + [
+                self.scheduler.book(head.worker, job) for job in batch[1:]
+            ]
+            worker = head.worker
+            for job in batch:
+                self._journal_record("dispatched", job, worker=worker.name)
             async with worker.semaphore:
-                self._inflight_g.inc()
+                self._inflight_g.inc(len(batch))
                 try:
-                    result = await self.handle_job(job, worker)
+                    if len(batch) == 1:
+                        results = [await self.handle_job(first, worker)]
+                    else:
+                        results = await self._run_batch(batch, worker)
                 finally:
-                    self._inflight_g.dec()
-            self.scheduler.complete(assignment)
-            self._record(job, result)
+                    self._inflight_g.dec(len(batch))
+            for assignment in assignments:
+                self.scheduler.complete(assignment)
+            for job, result in zip(batch, results):
+                self._record(job, result)
         finally:
             self._capacity.release()
 
-    async def handle_job(self, job: Job, worker: Worker) -> JobResult:
-        """Run one admitted job to a terminal state (the timeout-guarded handler)."""
+    async def _run_batch(self, jobs: list[Job], worker: Worker) -> list[JobResult]:
+        """First attempts ride one executor round-trip; failures peel off.
+
+        Each job whose batched first attempt failed re-enters
+        :meth:`handle_job` with that failure pre-recorded, so the retry
+        ladder, backoff, fallback, and journal semantics are *identical*
+        to a singleton dispatch from attempt 2 on — and the batch's
+        successful jobs are entirely unaffected.
+        """
+        from repro.exec.base import AttemptRequest
+
+        started = time.monotonic()
+        timeouts = [
+            job.timeout_s if job.timeout_s is not None else self.config.job_timeout_s
+            for job in jobs
+        ]
+        requests = [
+            AttemptRequest(
+                job=job,
+                preset=worker.preset,
+                machine=worker.machine,
+                timeout_s=timeout,
+            )
+            for job, timeout in zip(jobs, timeouts)
+        ]
+        for job in jobs:
+            self._journal_record("attempt", job, number=1, kind="attempt")
+        budget = sum(timeouts)
+        try:
+            # The executor deadlines itself at budget + grace and returns
+            # per-item exception values; this outer wait_for only guards
+            # against a backend that stops responding entirely.
+            outcomes = await asyncio.wait_for(
+                self.executor.execute_batch(requests), budget + 5.0
+            )
+        except asyncio.TimeoutError:
+            self._timeouts.inc(len(jobs))
+            outcomes = [
+                TimeoutError(f"batched attempt timed out after {budget:g}s") for _ in jobs
+            ]
+        except ReproError as exc:
+            outcomes = [type(exc)(str(exc)) for _ in jobs]
+        results: list[JobResult | None] = [None] * len(jobs)
+        laggards: list[int] = []
+        for index, (job, outcome) in enumerate(zip(jobs, outcomes)):
+            if isinstance(outcome, BaseException) or outcome is None:
+                laggards.append(index)
+                continue
+            result = self._finish_job(
+                job, worker, outcome, attempts=1, retries=0, started=started
+            )
+            if result.completed and self.config.trace_dir is not None:
+                await asyncio.to_thread(self._dump_job_trace, job, result)
+            results[index] = result
+        if laggards:
+            # handle_job dumps its own traces, records its own retry
+            # metrics, and runs concurrently per laggard — each job backs
+            # off on its own clock, exactly as a singleton retry would.
+            peeled = await asyncio.gather(
+                *(
+                    self.handle_job(
+                        jobs[index],
+                        worker,
+                        first_error=f"attempt 1: {outcomes[index]}",
+                        started_at=started,
+                    )
+                    for index in laggards
+                )
+            )
+            for index, result in zip(laggards, peeled):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    async def handle_job(
+        self,
+        job: Job,
+        worker: Worker,
+        first_error: str | None = None,
+        started_at: float | None = None,
+    ) -> JobResult:
+        """Run one admitted job to a terminal state (the timeout-guarded handler).
+
+        ``first_error``/``started_at`` let a failed *batched* first attempt
+        (already executed and journaled by :meth:`_run_batch`) enter the
+        ladder as if rung 1 just failed here — the backoff, injector
+        disarm, fallback, and journal records from attempt 2 on are
+        byte-identical to a singleton dispatch.
+        """
         # Deferred: repro.exec.base imports service modules, so a module-level
         # import here would be circular when repro.exec loads first.
         from repro.exec.base import AttemptRequest
 
-        started = time.monotonic()
+        started = started_at if started_at is not None else time.monotonic()
         wait_s = max(0.0, started - job.submit_time)
         timeout = job.timeout_s if job.timeout_s is not None else self.config.job_timeout_s
         attempts = 0
         retries = 0
         outcome = None
         error: str | None = None
+        pending_error = first_error
+        if pending_error is not None:
+            attempts = 1
+            error = pending_error
         while outcome is None:
-            attempts += 1
-            self._journal_record("attempt", job, number=attempts, kind="attempt")
-            try:
-                request = AttemptRequest(
-                    job=job, preset=worker.preset, machine=worker.machine, timeout_s=timeout
-                )
-                outcome = await asyncio.wait_for(self.executor.execute(request), timeout)
-                break
-            except asyncio.TimeoutError:
-                error = f"attempt {attempts} timed out after {timeout:g}s"
-                self._timeouts.inc()
-            except ReproError as exc:
-                # Scheme-level failures AND executor infrastructure failures
-                # (a crashed pool worker) land here: the attempt is requeued
-                # through the same backoff ladder either way.
-                error = f"attempt {attempts}: {exc}"
+            if pending_error is not None:
+                # Attempt 1 already ran (batched) and failed; consume the
+                # failure and fall through to the backoff ladder below
+                # without re-journaling or re-executing it.
+                pending_error = None
+            else:
+                attempts += 1
+                self._journal_record("attempt", job, number=attempts, kind="attempt")
+                try:
+                    request = AttemptRequest(
+                        job=job, preset=worker.preset, machine=worker.machine, timeout_s=timeout
+                    )
+                    outcome = await asyncio.wait_for(self.executor.execute(request), timeout)
+                    break
+                except asyncio.TimeoutError:
+                    error = f"attempt {attempts} timed out after {timeout:g}s"
+                    self._timeouts.inc()
+                except ReproError as exc:
+                    # Scheme-level failures AND executor infrastructure failures
+                    # (a crashed pool worker) land here: the attempt is requeued
+                    # through the same backoff ladder either way.
+                    error = f"attempt {attempts}: {exc}"
             delay = self.config.retry.backoff_s(retries + 1)
             if delay is None:
                 break
@@ -412,12 +570,40 @@ class SolveService:
                 latency_s=wait_s + exec_s,
                 error=error or "exhausted retry ladder",
             )
+        result = self._finish_job(
+            job, worker, outcome, attempts=attempts, retries=retries, started=started
+        )
+        if result.completed and self.config.trace_dir is not None:
+            # Trace files can reach megabytes; keep the write off the loop.
+            await asyncio.to_thread(self._dump_job_trace, job, result)
+        return result
+
+    def _finish_job(
+        self,
+        job: Job,
+        worker: Worker,
+        outcome: AttemptOutcome,
+        *,
+        attempts: int,
+        retries: int,
+        started: float,
+    ) -> JobResult:
+        """Gate and package one successful attempt outcome.
+
+        The shared success tail of :meth:`handle_job` and
+        :meth:`_run_batch` — the residual gate (the service-level "no
+        incorrect results" contract) applies identically either way.
+        """
+        finished = time.monotonic()
+        wait_s = max(0.0, started - job.submit_time)
+        exec_s = finished - started
         status = JobStatus.COMPLETED
+        error: str | None = None
         if outcome.residual is not None and outcome.residual > self.config.residual_tolerance:
             status = JobStatus.FAILED
             error = f"residual {outcome.residual:.3e} exceeds {self.config.residual_tolerance:g}"
             self._incorrect.inc()
-        result = JobResult(
+        return JobResult(
             job_id=job.job_id,
             status=status,
             scheme=job.scheme,
@@ -435,14 +621,10 @@ class SolveService:
             latency_s=wait_s + exec_s,
             sim_makespan=outcome.sim_makespan,
             residual=outcome.residual,
-            error=error if status is JobStatus.FAILED else None,
+            error=error,
             timeline=outcome.timeline,
             factor=outcome.factor if self.config.keep_factors else None,
         )
-        if status is JobStatus.COMPLETED and self.config.trace_dir is not None:
-            # Trace files can reach megabytes; keep the write off the loop.
-            await asyncio.to_thread(self._dump_job_trace, job, result)
-        return result
 
     def _dump_job_trace(self, job: Job, result: JobResult) -> None:
         trace_dir = Path(self.config.trace_dir)

@@ -150,6 +150,24 @@ class JobQueue:
                     return None
                 await self._cond.wait()
 
+    def get_compatible_nowait(self, priority: Priority) -> Job | None:
+        """Pop the job :meth:`get` would serve next — but only if it is in
+        *priority*'s class; ``None`` otherwise (or when empty).
+
+        The batch coalescer's fetch primitive: because it only ever takes
+        the exact head of service order, coalescing can never reorder
+        jobs — a higher-priority arrival makes this return ``None``,
+        ending the batch, and that arrival is served by the next ``get``.
+        """
+        priority = Priority.parse(priority)
+        for p in Priority:
+            if self._queues[p]:
+                if p is not priority:
+                    return None
+                self.drained_total += 1
+                return self._queues[p].popleft()
+        return None
+
     async def close(self) -> None:
         """Refuse new work and wake blocked getters (drains what's queued)."""
         self._closed = True

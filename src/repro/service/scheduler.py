@@ -90,6 +90,14 @@ class Scheduler:
         best.inflight += 1
         return Assignment(worker=best, estimate_s=est)
 
+    def book(self, worker: Worker, job: Job) -> Assignment:
+        """Book *job* onto a specific worker (batch members ride with the
+        batch head's pick so the whole unit shares one round-trip)."""
+        est = worker.estimate_seconds(job)
+        worker.backlog_s += est
+        worker.inflight += 1
+        return Assignment(worker=worker, estimate_s=est)
+
     def complete(self, assignment: Assignment) -> None:
         """Release the booked work after the job left its worker."""
         worker = assignment.worker

@@ -153,7 +153,7 @@ class TestWorkerCrash:
         executor.start_sync()
         try:
             executor._handles[0].process.terminate()  # simulate an OOM kill
-            with pytest.raises(WorkerCrashedError, match="died mid-attempt"):
+            with pytest.raises(WorkerCrashedError, match="died mid-batch"):
                 executor.run_sync(_request(_job()))
             outcome = executor.run_sync(_request(_job()))
             assert outcome.factor is not None
@@ -231,21 +231,28 @@ class TestPoolLifecycle:
         finally:
             executor.stop_sync()
 
-    def test_worker_segment_cache_evicts_outgrown_arena_segments(self):
+    def test_worker_segment_cache_drops_retired_names_only(self):
         from repro.exec.worker import WorkerState
         from repro.hetero.memory import SharedArena
 
-        arena = SharedArena("repro-test-evict")
+        # High-water of one 4 KiB segment forces the arena to trim the
+        # colder freed segment; the worker drops exactly the retired
+        # mappings (the batch protocol's "retired" list) and keeps the
+        # warm one attached.
+        arena = SharedArena("repro-test-evict", high_water_bytes=4096)
         state = WorkerState()
         try:
             _, d1 = arena.lease((8, 8))
+            _, d2 = arena.lease((8, 8))
             assert state.view(d1).shape == (8, 8)
-            _, d2 = arena.lease((16, 16))  # grows: new segment, old unlinked
-            assert d2.name != d1.name and d2.arena == d1.arena
-            assert state.view(d2).shape == (16, 16)
-            # The stale attachment was closed and replaced, not accumulated.
-            assert len(state.segments) == 1
-            assert state.segments[d2.arena].name == d2.name
+            assert state.view(d2).shape == (8, 8)
+            assert len(state.segments) == 2  # cached per segment name
+            arena.end_lease(d1)
+            arena.end_lease(d2)  # over high-water: d1 (LRU) is trimmed
+            retired = arena.drain_retired()
+            assert retired == [d1.name]
+            state.close_segments(retired)
+            assert set(state.segments) == {d2.name}
         finally:
             state.close()
             arena.release()

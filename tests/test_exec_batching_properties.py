@@ -1,0 +1,214 @@
+"""Property tests for batched dispatch and the warm shared-memory arena.
+
+Three contracts carry the batching tentpole, and each is pinned here as a
+property rather than an example:
+
+- the coalescer (:class:`repro.service.batching.BatchCoalescer`) never
+  reorders within a priority class, never mixes classes, and never
+  exceeds ``batch_max`` — for *every* queue shape, not one;
+- the arena (:class:`repro.hetero.memory.SharedArena`) never hands a
+  live lease's segment to a second lease, and its free pool never holds
+  more than ``high_water_bytes`` — for every lease/free interleaving;
+- a batched dispatch is bit-identical to the same jobs run as
+  singletons, including when some of them carry armed fault injectors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import AttemptRequest, InlineExecutor, ProcessExecutor
+from repro.faults.injector import single_storage_fault
+from repro.hetero.memory import SharedArena
+from repro.service.batching import BatchCoalescer
+from repro.service.core import ServiceConfig, SolveService
+from repro.service.job import Job, JobStatus, Priority
+
+# -- coalescer ----------------------------------------------------------------
+
+_PRIORITIES = st.sampled_from(list(Priority))
+
+
+def _queued(priorities: list[Priority]) -> list[Job]:
+    # Service order is class-then-FIFO: sort by class, stable in job_id.
+    jobs = [
+        Job(job_id=i, n=64, block_size=32, scheme="enhanced", seed=0, priority=p)
+        for i, p in enumerate(priorities)
+    ]
+    return sorted(jobs, key=lambda job: job.priority)
+
+
+class TestCoalescerProperties:
+    @given(priorities=st.lists(_PRIORITIES, max_size=12), batch_max=st.integers(1, 6))
+    def test_plan_is_a_bounded_single_class_prefix(self, priorities, batch_max):
+        queued = _queued(priorities)
+        batch = BatchCoalescer(batch_max=batch_max).plan(queued)
+        # Prefix: batching can never let a later job overtake an earlier
+        # one — the batch is exactly what get() would have served anyway.
+        assert batch == queued[: len(batch)]
+        assert len(batch) <= batch_max
+        if batch:
+            assert all(job.priority is batch[0].priority for job in batch)
+
+    @given(priorities=st.lists(_PRIORITIES, max_size=12), batch_max=st.integers(1, 6))
+    def test_plan_is_the_longest_admissible_prefix(self, priorities, batch_max):
+        queued = _queued(priorities)
+        batch = BatchCoalescer(batch_max=batch_max).plan(queued)
+        if queued:
+            assert batch  # a nonempty queue always yields a dispatch unit
+        if len(batch) < min(batch_max, len(queued)):
+            # It stopped early only because the next job switches class.
+            assert queued[len(batch)].priority is not batch[0].priority
+
+
+# -- arena --------------------------------------------------------------------
+
+_SHAPES = st.sampled_from([(8, 8), (16, 16), (32, 32)])
+
+
+class _ArenaOp:
+    lease = "lease"
+    free = "free"
+
+
+@st.composite
+def _arena_ops(draw):
+    """A random interleaving of leases and frees (frees pick a live index)."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 14))):
+        if live and draw(st.booleans()):
+            ops.append((_ArenaOp.free, draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append((_ArenaOp.lease, draw(_SHAPES)))
+            live += 1
+    return ops
+
+
+class TestArenaProperties:
+    @given(ops=_arena_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_live_leases_never_alias_and_free_pool_stays_bounded(self, ops):
+        high_water = 8192  # one 8 KiB class segment, or two 4 KiB ones
+        arena = SharedArena("repro-prop-arena", high_water_bytes=high_water)
+        live: list = []
+        freed_names: set[str] = set()
+        try:
+            for op, arg in ops:
+                if op == _ArenaOp.lease:
+                    _, desc = arena.lease(arg)
+                    # A warm segment may only come from the freed pool —
+                    # never from under a lease that is still live.
+                    assert desc.name not in {d.name for d in live}
+                    if arena.last_lease_reused:
+                        assert desc.name in freed_names
+                    freed_names.discard(desc.name)
+                    live.append(desc)
+                else:
+                    desc = live.pop(arg)
+                    arena.end_lease(desc)
+                    freed_names.add(desc.name)
+                    freed_names -= set(arena.drain_retired())
+                # The trim invariant: live leases are untouchable, so
+                # being over high-water is only legal once the free pool
+                # has been emptied.
+                assert arena.total_bytes <= high_water or arena.free_count == 0
+                assert {d.name for d in live} <= arena.leased_names()
+        finally:
+            arena.release()
+
+
+# -- batched vs singleton bit-identity ----------------------------------------
+
+_FAULT_BLOCK, _FAULT_ITERATION = (3, 1), 1
+
+
+def _job(job_id: int, inject: bool) -> Job:
+    injector = (
+        single_storage_fault(block=_FAULT_BLOCK, iteration=_FAULT_ITERATION)
+        if inject
+        else None
+    )
+    return Job(
+        job_id=job_id, n=128, block_size=32, scheme="enhanced", seed=11, injector=injector
+    )
+
+
+def _request(job: Job) -> AttemptRequest:
+    return AttemptRequest(job=job, preset="tardis")
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    executor = ProcessExecutor(workers=1)
+    executor.start_sync()
+    yield executor
+    executor.stop_sync()
+
+
+class TestBatchedBitIdentity:
+    @given(inject=st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_batched_equals_singleton_equals_inline(self, process_pool, inject):
+        batched = process_pool.run_batch_sync(
+            [_request(_job(i, flag)) for i, flag in enumerate(inject)]
+        )
+        for i, flag in enumerate(inject):
+            singleton = process_pool.run_sync(_request(_job(i, flag)))
+            reference = InlineExecutor().run_sync(_request(_job(i, flag)))
+            outcome = batched[i]
+            assert not isinstance(outcome, BaseException)
+            for other in (singleton, reference):
+                assert np.array_equal(outcome.factor, other.factor)
+                assert outcome.corrected_sites == other.corrected_sites
+                assert outcome.stats == other.stats
+                assert outcome.residual == other.residual
+            if flag:
+                assert outcome.corrected_sites  # the fault really fired
+
+
+# -- linger budget ------------------------------------------------------------
+
+
+class TestLingerBudget:
+    def test_underfilled_batch_dispatches_within_the_linger_budget(self):
+        # One job, batch_max=4: the collector may wait at most linger_s
+        # for batchmates that never come, then must dispatch anyway.
+        linger = 0.1
+
+        async def drive() -> tuple[SolveService, float]:
+            service = SolveService(
+                ServiceConfig(
+                    workers=("tardis:1",),
+                    executor="thread",
+                    exec_workers=1,
+                    batch_max=4,
+                    batch_linger_s=linger,
+                )
+            )
+            service.start()
+            started = time.monotonic()
+            service.submit(Job(job_id=0, n=64, block_size=32, scheme="enhanced", seed=0))
+            while 0 not in service.results:
+                await asyncio.sleep(0.005)
+            waited = time.monotonic() - started
+            await service.stop()
+            return service, waited
+
+        service, waited = asyncio.run(drive())
+        assert service.results[0].status is JobStatus.COMPLETED
+        # Very loose upper bound: the linger is 0.1s and the job itself
+        # takes ~10ms — anything near multiple seconds means the batch
+        # collector failed to give up on the budget.
+        assert waited < linger + 2.0

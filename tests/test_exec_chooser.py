@@ -1,0 +1,175 @@
+"""Cost-model backend placement: the ``--executor auto`` chooser.
+
+Unit-level: :func:`~repro.exec.chooser.choose_backend` is a pure ETA
+comparison and :func:`~repro.exec.chooser.predicted_crossover_n` is the
+scaling bench's model-side crossover answer — both must be checkable
+without spawning a pool.  Integration-level: an ``auto`` service serves
+jobs bit-identically to inline, and the placement counter reconciles
+with the attempt counter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    EXECUTOR_CHOICES,
+    AttemptRequest,
+    AutoExecutor,
+    InlineExecutor,
+    choose_backend,
+    make_executor,
+    predicted_crossover_n,
+)
+from repro.service.core import ServiceConfig, SolveService
+from repro.service.job import Job, JobStatus
+from repro.util.exceptions import ValidationError
+
+
+def _request(n: int = 64, job_id: int = 0) -> AttemptRequest:
+    job = Job(job_id=job_id, n=n, block_size=32, scheme="enhanced", seed=11)
+    return AttemptRequest(job=job, preset="tardis")
+
+
+class TestChooseBackend:
+    def test_zero_compute_stays_inline(self):
+        # All ETAs tie at zero; the tie breaks toward the least machinery.
+        assert choose_backend(0.0, {}, {}, process_capacity=4) == "inline"
+
+    def test_idle_backends_tie_toward_inline(self):
+        assert choose_backend(1.0, {}, {}, process_capacity=2) == "inline"
+
+    def test_load_shifts_big_jobs_to_the_pool(self):
+        # Depth multiplies the GIL-serialized compute term but divides
+        # across pool workers: 1.0·(2+1)=3.0 inline vs 1.0·(1+2/2)=2.0.
+        depth = {"inline": 2, "thread": 2, "process": 2}
+        assert choose_backend(1.0, {}, depth, process_capacity=2) == "process"
+
+    def test_dispatch_overhead_keeps_small_jobs_inline(self):
+        # The pool's round-trip dwarfs a millisecond of compute even
+        # under queue depth: 0.5+0.001·2 > 0.001·3.
+        depth = {"inline": 2, "thread": 2, "process": 2}
+        overhead = {"process": 0.5, "thread": 0.5}
+        assert choose_backend(0.001, overhead, depth, process_capacity=2) == "inline"
+
+    def test_inline_overhead_routes_to_thread_before_process(self):
+        # With inline penalized and thread/process tied, the earlier
+        # BACKENDS entry (thread) wins the tie.
+        assert choose_backend(1.0, {"inline": 9.0}, {}, process_capacity=2) == "thread"
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(ValidationError):
+            choose_backend(-1.0, {}, {}, process_capacity=1)
+
+
+class TestPredictedCrossover:
+    def test_free_dispatch_crosses_at_the_smallest_size(self):
+        # Zero overhead: the pool beats GIL serialization at any size
+        # once there is queue depth to divide.
+        n = predicted_crossover_n(
+            lambda n: n / 1000.0, overhead_process_s=0.0, process_capacity=2, sizes=(64, 128)
+        )
+        assert n == 64
+
+    def test_huge_overhead_never_crosses(self):
+        n = predicted_crossover_n(
+            lambda n: n / 1e6, overhead_process_s=10.0, process_capacity=4, sizes=(64, 128, 256)
+        )
+        assert n is None
+
+    def test_crossover_lands_where_compute_amortizes_the_overhead(self):
+        # eta_process <= eta_inline  ⇔  compute >= overhead / (depth - depth/cap)
+        # With overhead 1s, cap=depth=2: compute >= 1.0 ⇔ n >= 1000.
+        n = predicted_crossover_n(
+            lambda n: n / 1000.0, overhead_process_s=1.0, process_capacity=2,
+            sizes=(250, 500, 1000, 2000),
+        )
+        assert n == 1000
+
+    def test_zero_compute_sizes_are_skipped(self):
+        n = predicted_crossover_n(
+            lambda n: 0.0, overhead_process_s=0.0, process_capacity=2, sizes=(64, 128)
+        )
+        assert n is None
+
+
+class TestAutoExecutorConstruction:
+    def test_make_executor_builds_the_chooser(self):
+        executor = make_executor("auto", workers=2)
+        try:
+            assert isinstance(executor, AutoExecutor)
+            assert executor.capacity == 2  # sized by the process member
+            assert set(executor.members) == {"inline", "thread", "process"}
+        finally:
+            executor.stop_sync()
+
+    def test_auto_is_a_registered_choice(self):
+        assert "auto" in EXECUTOR_CHOICES
+
+    def test_service_config_accepts_auto(self):
+        cfg = ServiceConfig(workers=("tardis:1",), executor="auto")
+        assert cfg.executor == "auto"
+
+    def test_failover_refuses_to_wrap_auto(self):
+        with pytest.raises(ValidationError, match="already owns all three"):
+            ServiceConfig(workers=("tardis:1",), executor="auto", failover=True)
+
+
+class TestAutoExecutorPlacement:
+    def test_uncalibrated_idle_chooser_places_inline(self):
+        executor = AutoExecutor(workers=1, calibrate=False)
+        try:
+            assert executor.choose([_request()]) == "inline"
+            outcome = executor.run_sync(_request())
+            reference = InlineExecutor().run_sync(_request())
+            assert np.array_equal(outcome.factor, reference.factor)
+        finally:
+            executor.stop_sync()
+
+    def test_placements_reconcile_with_attempts(self):
+        executor = AutoExecutor(workers=1, calibrate=False)
+        try:
+            for job_id in range(3):
+                executor.run_sync(_request(job_id=job_id))
+            placed = executor.metrics["executor_auto_placements_total"].value()
+            # The chooser notes the attempt once itself; the member it
+            # delegates to notes it again under its own backend label.
+            attempts = executor.metrics["executor_attempts_total"].value(
+                backend="auto", kind="attempt"
+            )
+            assert placed == attempts == 3
+        finally:
+            executor.stop_sync()
+
+
+class TestAutoService:
+    def test_auto_service_serves_bit_identical_results(self):
+        async def drive() -> SolveService:
+            service = SolveService(
+                ServiceConfig(
+                    workers=("tardis:1",),
+                    executor="auto",
+                    exec_workers=1,
+                    keep_factors=True,
+                )
+            )
+            await service.start_executor()
+            service.start()
+            for job_id in range(2):
+                assert service.submit(
+                    Job(job_id=job_id, n=64, block_size=32, scheme="enhanced", seed=11)
+                ).accepted
+            await service.stop()
+            return service
+
+        service = asyncio.run(drive())
+        for job_id in range(2):
+            reference = InlineExecutor().run_sync(_request(n=64, job_id=job_id))
+            result = service.results[job_id]
+            assert result.status is JobStatus.COMPLETED
+            assert np.array_equal(result.factor, reference.factor)
+        # Calibration ran: every backend has a measured probe wall.
+        assert set(service.executor.calibration_walls) == {"inline", "thread", "process"}

@@ -159,23 +159,52 @@ class TestShmTransport:
             shm.close()
             shm.unlink()
 
-    def test_arena_reuses_segment_for_fitting_leases(self):
+    def test_arena_reuses_freed_segment_of_same_size_class(self):
         arena = SharedArena("repro-test-arena-a")
         try:
             _, d1 = arena.lease((8, 8))
-            _, d2 = arena.lease((4, 4))  # smaller: same segment, new shape
+            arena.end_lease(d1)
+            _, d2 = arena.lease((8, 8))  # warm: same segment comes back
             assert d1.name == d2.name
-            assert d2.shape == (4, 4)
+            assert arena.last_lease_reused
         finally:
             arena.release()
 
-    def test_arena_grows_by_replacing_the_segment(self):
+    def test_arena_never_aliases_a_live_lease(self):
         arena = SharedArena("repro-test-arena-b")
         try:
-            _, d1 = arena.lease((4, 4))
-            _, d2 = arena.lease((16, 16))
+            _, d1 = arena.lease((8, 8))
+            _, d2 = arena.lease((8, 8))  # d1 still leased: must be fresh
             assert d1.name != d2.name
-            # The outgrown segment was unlinked; attaching must fail.
+            assert not arena.last_lease_reused
+        finally:
+            arena.release()
+
+    def test_arena_smaller_lease_reuses_only_matching_class(self):
+        arena = SharedArena("repro-test-arena-d")
+        try:
+            _, d1 = arena.lease((32, 32))  # 8 KiB class
+            arena.end_lease(d1)
+            # (8, 8) rounds to the 4 KiB floor class: the freed 8 KiB
+            # segment stays on its own class's free-list, untouched.
+            _, d2 = arena.lease((8, 8))
+            assert d1.name != d2.name
+            assert arena.segment_count == 2
+        finally:
+            arena.release()
+
+    def test_arena_trims_free_segments_over_high_water(self):
+        # High-water of one 4 KiB class: freeing a second segment must
+        # evict the colder one (unlink + retire), never a live lease.
+        arena = SharedArena("repro-test-arena-e", high_water_bytes=4096)
+        try:
+            _, d1 = arena.lease((8, 8))
+            _, d2 = arena.lease((8, 8))
+            arena.end_lease(d1)
+            arena.end_lease(d2)
+            assert arena.segment_count == 1
+            retired = arena.drain_retired()
+            assert d1.name in retired  # LRU victim: the first one freed
             with pytest.raises(FileNotFoundError):
                 attach_shared_array(d1)
         finally:
