@@ -1,4 +1,4 @@
-"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL008).
+"""``ast``-based lint pass enforcing repo invariants (rules RPL001–RPL009).
 
 The rules guard properties the test suite cannot see directly:
 
@@ -59,6 +59,16 @@ The rules guard properties the test suite cannot see directly:
   infrastructure failure is exactly the signal the circuit breaker and
   the retry ladder need to see.  Genuinely-intentional sinks opt out with
   ``# noqa: RPL008`` on the ``except`` line.
+- **RPL009** — runtime task kernels must declare their tile footprints.
+  In :mod:`repro.runtime` the scheduler derives every dependency edge
+  from the ``reads=`` / ``writes=`` cell sets declared at ``graph.add``
+  time, so (a) any call carrying an ``fn=`` task body must also carry
+  both ``reads=`` and ``writes=``, and (b) raw tile/strip accessors
+  (``tile`` / ``strip`` / ``tile_view`` / ``block`` / ``strip_panel`` /
+  ``block_row``) may be called only inside a task body — a ``_body*``
+  function, a function handed to some ``fn=``, or an accessor method
+  delegating to another accessor.  An undeclared access races every
+  schedule the DAG permits and no single test run will catch it.
 
 The flow tier (RPL101–RPL103, :mod:`repro.analysis.flow`) registers here
 too so ``--select``, noqa accounting and the generated docs table see one
@@ -533,6 +543,83 @@ def _check_swallowed_failures(target: LintTarget) -> list[tuple[int, str]]:
                 )
             )
     return out
+
+
+#: Raw tile/strip accessors the runtime may only touch from a task body.
+_RUNTIME_ACCESSORS = {"tile", "strip", "tile_view", "block", "strip_panel", "block_row"}
+
+
+def _fn_kwarg_names(tree: ast.AST) -> set[str]:
+    """Function names handed to some ``fn=`` kwarg (directly or as the
+    factory being called: ``fn=_potf2_body(...)`` marks ``_potf2_body``)."""
+    refs: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "fn":
+                continue
+            value = kw.value
+            if isinstance(value, ast.Call):
+                value = value.func
+            chain = _attr_chain(value)
+            if chain:
+                refs.add(chain[-1])
+    return refs
+
+
+@rule(
+    "RPL009",
+    "runtime task kernels must declare their tile reads/writes",
+    scope="runtime/",
+    noqa="line-level",
+)
+def _check_runtime_footprints(target: LintTarget) -> list[tuple[int, str]]:
+    if "runtime" not in target.path.parts:
+        return []
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(target.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kwargs = {kw.arg for kw in node.keywords if kw.arg}
+        if "fn" in kwargs and not {"reads", "writes"} <= kwargs:
+            out.append(
+                (
+                    node.lineno,
+                    "task launch with fn= but without reads=/writes=; the DAG "
+                    "derives every dependency edge from the declared footprint",
+                )
+            )
+    fn_refs = _fn_kwarg_names(target.tree)
+
+    def _is_task_body(owner: str | None) -> bool:
+        return owner is not None and (
+            owner.startswith("_body") or owner in fn_refs or owner in _RUNTIME_ACCESSORS
+        )
+
+    def _visit(node: ast.AST, owner: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _visit(child, child.name)
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _RUNTIME_ACCESSORS
+                and not _is_task_body(owner)
+            ):
+                out.append(
+                    (
+                        child.lineno,
+                        f"raw {child.func.attr}() access outside a task body; "
+                        "runtime kernels touch tiles only from fn= bodies whose "
+                        "reads=/writes= the graph has seen",
+                    )
+                )
+            _visit(child, owner)
+
+    _visit(target.tree, None)
+    return sorted(out)
 
 
 # Flow-tier registrations ------------------------------------------------------

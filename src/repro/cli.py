@@ -16,12 +16,13 @@ Commands:
     against the ABFT protocol invariants and scan it for RAW/WAW hazards.
 ``lint``
     Run the repo lint rules over source trees: the classic AST tier
-    (RPL001–RPL008) and, with ``--flow``, the flow-sensitive tier
+    (RPL001–RPL009) and, with ``--flow``, the flow-sensitive tier
     (RPL101–RPL103: CFG + dataflow + call graph).  ``--format sarif``
     emits SARIF 2.1.0 for CI annotation consumers.
 ``bench``
     Benchmark the verification hot path (batched engine vs per-tile
-    loop) and write ``BENCH_hotpath.json``.
+    loop) plus the tile-DAG runtime (serial vs threaded with lookahead)
+    and write ``BENCH_hotpath.json``.
 ``serve``
     Run the async fault-tolerant solve service against a synthetic or
     stdin (JSONL) job stream; print metrics when the stream drains.
@@ -276,6 +277,7 @@ def _service_from_args(args: argparse.Namespace):
         exec_workers=args.exec_workers,
         batch_max=args.batch_max,
         batch_linger_s=args.batch_linger,
+        intra_workers=args.intra_workers,
     )
     return SolveService(config)
 
@@ -313,16 +315,21 @@ def _jobs_from_stdin(args: argparse.Namespace) -> list:
         injector = None
         if raw.get("inject"):
             injector = _parse_injection(str(raw["inject"]))
+        scheme = str(raw.get("scheme", args.scheme))
+        # the --intra-workers default only applies to dag jobs; other
+        # schemes are single-threaded and reject intra_workers > 1
+        intra_default = args.intra_workers if scheme == "dag" else 1
         jobs.append(
             Job(
                 job_id=int(raw.get("id", len(jobs))),
                 n=int(raw.get("n", 96)),
-                scheme=str(raw.get("scheme", args.scheme)),
+                scheme=scheme,
                 priority=raw.get("priority", "batch"),
                 block_size=int(raw["block_size"]) if raw.get("block_size") else args.block_size,
                 numerics=str(raw.get("numerics", "real")),
                 seed=int(raw.get("seed", args.seed)),
                 injector=injector,
+                intra_workers=int(raw.get("intra_workers", intra_default)),
             )
         )
     return jobs
@@ -343,6 +350,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             scheme=args.scheme,
             fault_prob=args.fault_prob,
             seed=args.seed,
+            intra_workers=args.intra_workers,
         )
         jobs = make_jobs(cfg)
     else:
@@ -390,6 +398,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         rate=args.rate,
         concurrency=args.closed,
+        intra_workers=args.intra_workers,
     )
     report, results = asyncio.run(run_load(service, cfg))
     if args.json:
@@ -642,10 +651,13 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
     from repro.experiments import hotpath
 
     if args.service:
         return _cmd_bench_service(args)
+    dag_sizes = hotpath._DAG_SIZES if args.dag_grid is None else tuple(args.dag_grid)
     doc = hotpath.run(
         n=args.n,
         block_size=args.block_size or 32,
@@ -653,6 +665,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         repeats=args.repeats,
         seed=args.seed,
+        dag_workers=args.dag_workers,
+        dag_sizes=dag_sizes,
     )
     print(hotpath.render(doc))
     if args.out:
@@ -665,6 +679,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not all(doc["bit_identical"].values()):
         print("repro: bench: batched results diverge from per-tile", file=sys.stderr)
         return 1
+    grid = doc["dag"]["grid"]
+    for point in grid:
+        if not all(point["bit_identical"].values()):
+            print(
+                f"repro: bench: DAG runtime diverges from serial at n={point['n']}",
+                file=sys.stderr,
+            )
+            return 1
     if args.fail_below is not None and doc["speedup"]["verify_check"] < args.fail_below:
         print(
             f"repro: bench: verify speedup {doc['speedup']['verify_check']:.2f}x "
@@ -672,6 +694,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.dag_gate is not None and grid:
+        cores = os.cpu_count() or 1
+        top = grid[-1]
+        if cores < 4:
+            print(
+                f"repro: bench: NOTICE — host has {cores} core(s) (< 4); "
+                f"the --dag-gate {args.dag_gate:g}x speedup gate is skipped "
+                f"(measured {top['speedup']:.2f}x at n={top['n']})",
+                file=sys.stderr,
+            )
+        elif top["speedup"] < args.dag_gate:
+            print(
+                f"repro: bench: DAG speedup {top['speedup']:.2f}x at "
+                f"n={top['n']} below the --dag-gate {args.dag_gate:g}x gate",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -871,7 +910,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-depth", type=int, default=64, help="queue admission limit")
         p.add_argument("--job-timeout", type=float, default=120.0, help="per-attempt seconds")
         p.add_argument("--max-retries", type=int, default=2)
-        p.add_argument("--scheme", default="enhanced", choices=sorted(_SCHEMES))
+        p.add_argument(
+            "--scheme", default="enhanced", choices=sorted([*_SCHEMES, "dag"])
+        )
         p.add_argument("--block-size", type=int, default=32)
         p.add_argument("--sizes", nargs="+", type=int, default=[64, 96, 128])
         p.add_argument("--fault-prob", type=float, default=0.0)
@@ -898,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--batch-linger", type=float, default=0.0, metavar="SECONDS",
             help="how long an under-filled batch may wait for more queued "
             "jobs before dispatching (the latency budget for coalescing)",
+        )
+        p.add_argument(
+            "--intra-workers", type=int, default=1, metavar="W",
+            help="per-job thread width for the 'dag' scheme's tile runtime "
+            "(each job charges W backend slots; other schemes require 1)",
         )
 
     p = sub.add_parser("serve", help="run the async solve service over a job stream")
@@ -1050,6 +1096,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--service-out", default="BENCH_service.json",
         help="service bench output JSON path ('' to skip writing)",
     )
+    p.add_argument(
+        "--dag-workers", type=int, default=None, metavar="W",
+        help="thread count for the tile-DAG runtime grid "
+        "(default: 2-4 bounded by host cores)",
+    )
+    p.add_argument(
+        "--dag-grid", nargs="*", type=int, default=None, metavar="N",
+        help="matrix orders for the serial-vs-DAG runtime grid "
+        "(default 512 1024 2048; pass no values to skip)",
+    )
+    p.add_argument(
+        "--dag-gate", type=float, nargs="?", const=1.5, default=None, metavar="X",
+        help="exit nonzero unless the DAG runtime beats serial by at least "
+        "X (default 1.5) at the largest grid size (skipped with a notice "
+        "on hosts under 4 cores)",
+    )
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -1081,7 +1143,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_chaos)
 
-    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL008, --flow adds RPL101-RPL103)")
+    p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL009, --flow adds RPL101-RPL103)")
     p.add_argument(
         "paths", nargs="*", default=None,
         help="files or directories (default: the installed repro package)",

@@ -51,6 +51,17 @@ class AbftConfig:
         (:mod:`repro.core.batchverify`); False restores the per-tile
         Python loop.  Bit-identical outcomes either way — the knob exists
         for A/B benchmarking (``python -m repro bench``).
+    dag_workers:
+        Worker threads for the ``dag`` scheme's tile-task runtime
+        (:mod:`repro.runtime`).  1 executes the graph serially in program
+        order — the bit-identity reference; larger values overlap tile
+        kernels on host threads (BLAS releases the GIL).  The other
+        schemes ignore it.
+    lookahead:
+        How many iterations the ``dag`` runtime may run ahead of the
+        oldest incomplete one.  1 (default) lets panel ``j+1`` factor
+        while iteration ``j``'s trailing update drains — the paper's
+        Opt-3 overlap on real threads; 0 is bulk-synchronous.
     """
 
     verify_interval: int = DEFAULT_VERIFY_INTERVAL
@@ -62,9 +73,13 @@ class AbftConfig:
     max_restarts: int = 1
     final_sweep: bool = True
     batched_verify: bool = True
+    dag_workers: int = 1
+    lookahead: int = 1
 
     def __post_init__(self) -> None:
         check_positive("verify_interval", self.verify_interval)
+        check_positive("dag_workers", self.dag_workers)
+        require(self.lookahead >= 0, "lookahead must be >= 0")
         require(self.n_checksums >= 2, "need at least two checksums per tile")
         if self.recalc_streams is not None:
             check_positive("recalc_streams", self.recalc_streams)

@@ -222,80 +222,16 @@ class Verifier:
                 self._check_tile_real(key)
 
     def _check_tile_real(self, key: tuple[int, int]) -> None:
-        tile = self.matrix.tile_view(key)
-        strip = self.chk.tile_view(key)
-        if self._codec is not None:
-            try:
-                corrections = self._codec.verify_and_correct(tile, strip)
-            except UnrecoverableError as exc:
-                raise UnrecoverableError(str(exc), block=key) from exc
-            for corr in corrections:
-                self.stats.data_corrections += len(corr.rows)
-                self.stats.columns_flagged += 1
-                for row in corr.rows:
-                    self.stats.corrected_sites.append((key, row, corr.column))
-            return
-        fresh = self._weights @ tile
-        tol = self.rtol * (self._weights @ np.abs(tile)) + self.atol
-        delta = fresh - strip
-        bad = np.abs(delta) > tol
-        if not bad.any():
-            return
-        cols = np.nonzero(bad.any(axis=0))[0]
-        self.stats.columns_flagged += len(cols)
-        for col in cols:
-            self._fix_column(key, tile, strip, fresh, tol, int(col))
-        # Confirm: the tile must now satisfy both checksums.  The tolerance
-        # is recomputed from the *corrected* tile: a flip that produced an
-        # astronomically large value inflates the pre-correction tolerance,
-        # and subtracting δ₁ back out loses the true value to cancellation —
-        # the fresh tolerance catches that and escalates to a restart.
-        fresh2 = self._weights @ tile
-        tol2 = self.rtol * (self._weights @ np.abs(tile)) + self.atol
-        if (np.abs(fresh2 - strip) > tol2).any():
-            raise UnrecoverableError(
-                f"tile {key}: corruption persists after correction", block=key
-            )
-
-    def _fix_column(
-        self,
-        key: tuple[int, int],
-        tile: np.ndarray,
-        strip: np.ndarray,
-        fresh: np.ndarray,
-        tol: np.ndarray,
-        col: int,
-    ) -> None:
-        b = tile.shape[0]
-        d1 = fresh[0, col] - strip[0, col]
-        d2 = fresh[1, col] - strip[1, col]
-        bad1 = abs(d1) > tol[0, col]
-        bad2 = abs(d2) > tol[1, col]
-        if bad1 and bad2:
-            ratio = d2 / d1
-            row = round(ratio)
-            if abs(ratio - row) > _LOCATOR_SLACK or not 1 <= row <= b:
-                raise UnrecoverableError(
-                    f"tile {key} column {col}: locator {ratio:.3f} is not a "
-                    "valid row — more than one error in this column",
-                    block=key,
-                )
-            # Reconstruct rather than subtract δ₁: the stored checksum minus
-            # the exact sum of the *other* (clean) column elements recovers
-            # the true value with no cancellation even when the corruption
-            # is astronomically larger than the data (e.g. a top-exponent
-            # bit flip) — subtracting δ₁ would lose the value to rounding.
-            others = np.delete(tile[:, col], row - 1)
-            tile[row - 1, col] = strip[0, col] - others.sum()
-            self.stats.data_corrections += 1
-            self.stats.corrected_sites.append((key, row - 1, col))
-        elif bad1:
-            # δ₂ consistent but δ₁ off: checksum row 1 itself was hit.
-            strip[0, col] = fresh[0, col]
-            self.stats.checksum_corrections += 1
-        else:
-            strip[1, col] = fresh[1, col]
-            self.stats.checksum_corrections += 1
+        check_tile_strip(
+            key,
+            self.matrix.tile_view(key),
+            self.chk.tile_view(key),
+            self._weights,
+            rtol=self.rtol,
+            atol=self.atol,
+            stats=self.stats,
+            codec=self._codec,
+        )
 
     # ------------------------------------------------------------------ shadow
 
@@ -331,6 +267,100 @@ class Verifier:
         """All lower-triangle tile keys (the offline final sweep)."""
         nb = self.matrix.nb
         return [(i, j) for j in range(nb) for i in range(j, nb)]
+
+
+def check_tile_strip(
+    key: tuple[int, int],
+    tile: np.ndarray,
+    strip: np.ndarray,
+    weights: np.ndarray,
+    *,
+    rtol: float,
+    atol: float,
+    stats: VerifyStats,
+    codec: MultiErrorCodec | None = None,
+) -> None:
+    """Detect/correct one tile against its strip (pure host numerics).
+
+    The shared core of :meth:`Verifier._check_tile_real` and the tile-DAG
+    runtime's verify tasks (:mod:`repro.runtime.cholesky`): both paths
+    run these exact operations, so detection thresholds, correction
+    values, statistics and :class:`UnrecoverableError` identity are
+    bit-for-bit common property, not parallel implementations.
+    """
+    if codec is not None:
+        try:
+            corrections = codec.verify_and_correct(tile, strip)
+        except UnrecoverableError as exc:
+            raise UnrecoverableError(str(exc), block=key) from exc
+        for corr in corrections:
+            stats.data_corrections += len(corr.rows)
+            stats.columns_flagged += 1
+            for row in corr.rows:
+                stats.corrected_sites.append((key, row, corr.column))
+        return
+    fresh = weights @ tile
+    tol = rtol * (weights @ np.abs(tile)) + atol
+    delta = fresh - strip
+    bad = np.abs(delta) > tol
+    if not bad.any():
+        return
+    cols = np.nonzero(bad.any(axis=0))[0]
+    stats.columns_flagged += len(cols)
+    for col in cols:
+        _fix_column(key, tile, strip, fresh, tol, int(col), stats)
+    # Confirm: the tile must now satisfy both checksums.  The tolerance
+    # is recomputed from the *corrected* tile: a flip that produced an
+    # astronomically large value inflates the pre-correction tolerance,
+    # and subtracting δ₁ back out loses the true value to cancellation —
+    # the fresh tolerance catches that and escalates to a restart.
+    fresh2 = weights @ tile
+    tol2 = rtol * (weights @ np.abs(tile)) + atol
+    if (np.abs(fresh2 - strip) > tol2).any():
+        raise UnrecoverableError(
+            f"tile {key}: corruption persists after correction", block=key
+        )
+
+
+def _fix_column(
+    key: tuple[int, int],
+    tile: np.ndarray,
+    strip: np.ndarray,
+    fresh: np.ndarray,
+    tol: np.ndarray,
+    col: int,
+    stats: VerifyStats,
+) -> None:
+    b = tile.shape[0]
+    d1 = fresh[0, col] - strip[0, col]
+    d2 = fresh[1, col] - strip[1, col]
+    bad1 = abs(d1) > tol[0, col]
+    bad2 = abs(d2) > tol[1, col]
+    if bad1 and bad2:
+        ratio = d2 / d1
+        row = round(ratio)
+        if abs(ratio - row) > _LOCATOR_SLACK or not 1 <= row <= b:
+            raise UnrecoverableError(
+                f"tile {key} column {col}: locator {ratio:.3f} is not a "
+                "valid row — more than one error in this column",
+                block=key,
+            )
+        # Reconstruct rather than subtract δ₁: the stored checksum minus
+        # the exact sum of the *other* (clean) column elements recovers
+        # the true value with no cancellation even when the corruption
+        # is astronomically larger than the data (e.g. a top-exponent
+        # bit flip) — subtracting δ₁ would lose the value to rounding.
+        others = np.delete(tile[:, col], row - 1)
+        tile[row - 1, col] = strip[0, col] - others.sum()
+        stats.data_corrections += 1
+        stats.corrected_sites.append((key, row - 1, col))
+    elif bad1:
+        # δ₂ consistent but δ₁ off: checksum row 1 itself was hit.
+        strip[0, col] = fresh[0, col]
+        stats.checksum_corrections += 1
+    else:
+        strip[1, col] = fresh[1, col]
+        stats.checksum_corrections += 1
 
 
 def require_consistent(verifier: Verifier, keys: list[tuple[int, int]]) -> None:

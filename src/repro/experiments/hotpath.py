@@ -1,4 +1,4 @@
-"""Hot-path benchmark: batched vs per-tile checksum verification.
+"""Hot-path benchmark: batched verification and the tile-DAG runtime.
 
 ``python -m repro bench`` runs the same fault-tolerant factorization
 twice — once with the stacked :class:`~repro.core.batchverify.BatchVerifyEngine`
@@ -7,14 +7,22 @@ and once with the historical per-tile Python loop — and emits
 speedup, and the bit-identity verdicts (factors, corrected sites,
 verifier statistics must match exactly; only the wall time may differ).
 
+Schema 3 adds the ``dag`` section: the :mod:`repro.runtime` tile-DAG
+scheme timed serial (1 worker, program order) against threaded with
+lookahead over an n-grid, fault injected, with the same bit-identity
+verdicts — the runtime's contract is that the schedule changes only the
+wall clock, never a bit of the result.
+
 The file at the repo root is the perf trajectory: every PR that touches
 the hot path regenerates it, and the CI perf-smoke job fails if batched
-verification ever becomes slower than the loop it replaced.
+verification ever becomes slower than the loop it replaced (and, on
+hosts with enough cores, if the DAG runtime stops beating serial).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any
@@ -29,11 +37,13 @@ from repro.core.correct import Verifier
 from repro.experiments.stamp import run_stamp
 from repro.faults.injector import single_storage_fault
 from repro.hetero.machine import Machine
+from repro.runtime.scheme import DagPotrfResult, dag_potrf
 from repro.util.validation import require
 
 #: Schema 2 added the ``stamp`` provenance block (git rev, hostname, CPU
-#: count, timestamp).  :func:`read` still accepts schema-1 documents.
-SCHEMA_VERSION = 2
+#: count, timestamp); schema 3 the ``dag`` section (tile-DAG runtime
+#: serial-vs-threaded grid).  :func:`read` still accepts older documents.
+SCHEMA_VERSION = 3
 
 _SCHEMES = {
     "offline": offline_potrf,
@@ -46,6 +56,18 @@ _SCHEMES = {
 #: correction path's parity between the two modes.
 _FAULT_BLOCK = (3, 1)
 _FAULT_ITERATION = 1
+
+#: The dag grid: larger tiles than the verify bench so BLAS work per task
+#: dwarfs Python dispatch (nb = 4/8/16 over the grid), n chosen so the
+#: fault tile (3, 1) exists at every point.
+_DAG_SIZES = (512, 1024, 2048)
+_DAG_BLOCK = 128
+
+
+def default_dag_workers() -> int:
+    """Thread count the dag side of the bench uses by default: 2–4,
+    bounded by the host (1-core hosts still measure, honestly, ≈1×)."""
+    return max(2, min(4, os.cpu_count() or 1))
 
 
 def _factor(
@@ -97,6 +119,78 @@ def _sweep_times(
     return out
 
 
+def _dag_factor(
+    machine: Machine, a: np.ndarray, workers: int, seed: int
+) -> tuple[DagPotrfResult, float]:
+    """One tile-DAG factorization with the standard fault, timed."""
+    injector = single_storage_fault(block=_FAULT_BLOCK, iteration=_FAULT_ITERATION)
+    work = a.copy()
+    t0 = time.perf_counter()
+    res = dag_potrf(
+        machine,
+        a=work,
+        block_size=_DAG_BLOCK,
+        config=AbftConfig(dag_workers=workers),
+        injector=injector,
+    )
+    return res, time.perf_counter() - t0
+
+
+def dag_grid(
+    machine: Machine,
+    sizes: tuple[int, ...],
+    workers: int,
+    repeats: int,
+    seed: int,
+) -> list[dict[str, Any]]:
+    """Serial-vs-threaded DAG runtime over the n-grid, fault injected.
+
+    Each point records best-of-*repeats* ``factor_total`` for 1 worker
+    (program order — the bit-identity reference) and for *workers*
+    threads with lookahead, plus the bit-identity verdicts between them.
+    """
+    min_n = (max(_FAULT_BLOCK) + 1) * _DAG_BLOCK
+    points: list[dict[str, Any]] = []
+    for n in sizes:
+        require(
+            n % _DAG_BLOCK == 0 and n >= min_n,
+            f"dag grid size {n} must be a multiple of {_DAG_BLOCK} and at "
+            f"least {min_n} so the standard fault tile {_FAULT_BLOCK} exists",
+        )
+        a = random_spd(n, rng=seed)
+        best: dict[str, float] = {}
+        res: dict[str, DagPotrfResult] = {}
+        for mode, w in (("serial", 1), ("dag", workers)):
+            wall = float("inf")
+            for _ in range(repeats):
+                r, t = _dag_factor(machine, a, w, seed)
+                if t < wall:
+                    wall = t
+                    res[mode] = r
+            best[mode] = wall
+        serial, dag = res["serial"], res["dag"]
+        points.append(
+            {
+                "n": n,
+                "nb": n // _DAG_BLOCK,
+                "factor_total": best,
+                "speedup": best["serial"] / best["dag"],
+                "restarts": dag.restarts,
+                "data_corrections": dag.stats.data_corrections,
+                "tasks": dag.runtime["tasks"],
+                "max_lookahead_depth": dag.runtime["max_lookahead_depth"],
+                "bit_identical": {
+                    "factor": bool(np.array_equal(serial.factor, dag.factor)),
+                    "stats": serial.stats == dag.stats,
+                    "corrected_sites": (
+                        serial.stats.corrected_sites == dag.stats.corrected_sites
+                    ),
+                },
+            }
+        )
+    return points
+
+
 def run(
     n: int = 1024,
     block_size: int = 32,
@@ -105,8 +199,11 @@ def run(
     repeats: int = 3,
     seed: int = 0,
     inject: bool = True,
+    dag_workers: int | None = None,
+    dag_sizes: tuple[int, ...] = _DAG_SIZES,
 ) -> dict[str, Any]:
-    """Benchmark both verify modes and return the BENCH_hotpath document."""
+    """Benchmark both verify modes and the DAG runtime; returns the
+    BENCH_hotpath document (schema 3)."""
     require(n % block_size == 0, "n must be a multiple of block_size")
     mach = Machine.preset(machine)
     a = random_spd(n, rng=seed)
@@ -126,6 +223,9 @@ def run(
         verify_s[mode] = results[mode].stats.check_wall_s
 
     sweep_s = _sweep_times(mach, a, block_size, repeats)
+
+    workers = dag_workers if dag_workers is not None else default_dag_workers()
+    grid = dag_grid(mach, tuple(dag_sizes), workers, repeats, seed)
 
     batched_res, per_tile_res = results["batched"], results["per_tile"]
     identical = {
@@ -160,6 +260,13 @@ def run(
             "sweep_check": sweep_s["per_tile"] / sweep_s["batched"],
         },
         "bit_identical": identical,
+        "dag": {
+            "workers": workers,
+            "lookahead": 1,
+            "block_size": _DAG_BLOCK,
+            "host_cores": os.cpu_count() or 1,
+            "grid": grid,
+        },
     }
 
 
@@ -172,18 +279,20 @@ def write(doc: dict[str, Any], path: str | Path) -> Path:
 
 
 def read(path: str | Path) -> dict[str, Any]:
-    """Load a bench document, accepting schema 1 (pre-stamp) and 2.
+    """Load a bench document, accepting schemas 1 (pre-stamp), 2 and 3.
 
-    Schema-1 documents are normalized in place: they gain an empty
-    ``stamp`` block so readers can always index ``doc["stamp"]``.
+    Older documents are normalized in place: schema 1 gains an empty
+    ``stamp`` block, schemas 1–2 an empty ``dag`` section
+    (``doc["dag"]["grid"] == []``), so readers can always index both.
     """
     doc = json.loads(Path(path).read_text())
     schema = doc.get("schema")
     require(
-        schema in (1, SCHEMA_VERSION),
+        schema in (1, 2, SCHEMA_VERSION),
         f"unsupported bench schema {schema!r} in {path} (have 1..{SCHEMA_VERSION})",
     )
     doc.setdefault("stamp", {})
+    doc.setdefault("dag", {"workers": 0, "lookahead": 0, "block_size": 0, "grid": []})
     return doc
 
 
@@ -208,4 +317,15 @@ def render(doc: dict[str, Any]) -> str:
         f"({doc['tiles_verified']} tiles verified, "
         f"{doc['data_corrections']} corrections)",
     ]
+    dag = doc.get("dag") or {}
+    for point in dag.get("grid", []):
+        pok = point["bit_identical"]
+        lines.append(
+            f"  dag n={point['n']:5d} (nb={point['nb']:2d}, "
+            f"{dag['workers']} workers): serial "
+            f"{point['factor_total']['serial']:7.3f} s | dag "
+            f"{point['factor_total']['dag']:7.3f} s | speedup "
+            f"{point['speedup']:5.2f}x | bit-identical "
+            f"{pok['factor'] and pok['stats'] and pok['corrected_sites']}"
+        )
     return "\n".join(lines)

@@ -161,6 +161,20 @@ class FaultInjector:
         self.fired.extend(applied)
         return applied
 
+    def fire_plans(self, plans: list[FaultPlan], iteration: int) -> list[FiredFault]:
+        """Apply exactly the armed plans in *plans* (task-identity firing).
+
+        The tile-DAG runtime (:mod:`repro.runtime`) anchors each plan to
+        one task identity (kind, iteration, tile) when it builds the
+        graph, then fires the anchored plans from inside that task's
+        body — so injection timing is a property of the dataflow, not of
+        which worker thread happened to finish first.  One-shot ``fired``
+        flags and taint bookkeeping are shared with :meth:`fire`.
+        """
+        applied = [self._apply(p, iteration) for p in plans if not p.fired]
+        self.fired.extend(applied)
+        return applied
+
     def _apply(self, plan: FaultPlan, iteration: int) -> FiredFault:
         buffer = self._buffers.get(plan.target)
         require(

@@ -173,6 +173,10 @@ class CostModel:
         "offline": 1.10,
         "online": 1.20,
         "enhanced": 1.12,
+        # the tile-DAG runtime fuses checksum updates like Enhanced; its
+        # speedup comes from worker threads, which the scheduler accounts
+        # for separately via per-job intra_workers capacity charging
+        "dag": 1.12,
     }
 
     def potrf_seconds(self, n: int, block_size: int, scheme: str = "enhanced") -> float:

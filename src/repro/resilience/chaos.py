@@ -53,6 +53,7 @@ from repro.service.core import ServiceConfig, SolveService
 from repro.service.job import Job, JobStatus
 from repro.service.metrics import counter_regressions
 from repro.service.policy import execute_attempt
+from repro.runtime.task import TASK_KINDS
 from repro.util.validation import require
 
 SCHEMA_VERSION = 1
@@ -182,6 +183,15 @@ def _evaluate(
     attempts = m["executor_attempts_total"].value()
     arena_ops = m["executor_arena_reuse_total"].value() + m["executor_arena_miss_total"].value()
     executor_ok = m["executor_batch_size"].sum == attempts and arena_ops <= attempts
+    # Tile-runtime consistency (the dag scheme): each per-kind duration
+    # histogram carries exactly one observation per counted task — a
+    # summary folded twice, or a dropped fold, breaks the equality.
+    # Non-dag scenarios hold it trivially (0 == 0 per kind).
+    executor_ok = executor_ok and all(
+        m.histogram(f"runtime_task_seconds_{kind}").count
+        == m["runtime_task_total"].value(kind=kind)
+        for kind in TASK_KINDS
+    )
 
     invariants = {
         "no_lost_jobs": all(job.job_id in service.results for job in jobs),
@@ -657,6 +667,64 @@ def scenario_kill_restart(cfg: ChaosConfig) -> ScenarioResult:
     return result
 
 
+def scenario_dag_worker_stall(cfg: ChaosConfig) -> ScenarioResult:
+    """One tile-runtime worker thread wedges inside a ``dag`` job; the
+    runtime watchdog replaces it and the factorization completes with
+    the factor bytes unchanged.
+
+    The thread backend keeps the runtime in-process, so the module-level
+    stall hook reaches the :class:`~repro.runtime.executor.DagExecutor`
+    inside the pool worker.  Per-task delays stretch the first job past
+    the watchdog timeout — on a fast host the bare nb=2 factorization
+    would finish before the stalled worker ever looked stale.
+    """
+    from repro.runtime.executor import inject_task_delays, inject_worker_stall
+
+    jobs = [
+        Job(
+            job_id=i,
+            n=cfg.n,
+            scheme="dag",
+            block_size=cfg.block_size,
+            seed=cfg.seed,
+            intra_workers=2,
+        )
+        for i in range(cfg.jobs)
+    ]
+    refs = _reference_factors(jobs)
+    service = _service(cfg, executor="thread", intra_workers=2)
+    t0 = time.monotonic()
+
+    async def run() -> dict:
+        with inject_task_delays(lambda task: 0.01):
+            with inject_worker_stall(worker=0, seconds=0.5, timeout_s=0.02) as hook:
+                mid = await _drive(service, jobs)
+        return {"mid": mid, "fired": hook["fired"].is_set()}
+
+    out = asyncio.run(run())
+    m = service.metrics
+    stalls = m["runtime_worker_stalls_total"].value()
+    task_totals = {kind: int(m["runtime_task_total"].value(kind=kind)) for kind in TASK_KINDS}
+    return _evaluate(
+        "dag_worker_stall",
+        cfg,
+        service,
+        jobs,
+        refs,
+        out["mid"],
+        time.monotonic() - t0,
+        extra={
+            "all_completed": _all_completed(service, jobs),
+            "stall_injected": out["fired"],
+            "stall_detected": stalls >= 1,
+            "runtime_tasks_counted": all(
+                task_totals[kind] > 0 for kind in ("potf2", "trsm", "syrk", "verify")
+            ),
+        },
+        notes={"runtime_stalls": int(stalls), "task_totals": task_totals},
+    )
+
+
 # -- cluster scenarios ---------------------------------------------------------
 
 
@@ -946,6 +1014,7 @@ SCENARIOS: dict[str, Callable[[ChaosConfig], ScenarioResult]] = {
     "stop_race": scenario_stop_race,
     "breaker_failover": scenario_breaker_failover,
     "kill_restart": scenario_kill_restart,
+    "dag_worker_stall": scenario_dag_worker_stall,
     "cluster_shard_kill": scenario_cluster_shard_kill,
     "cluster_partition": scenario_cluster_partition,
     "cluster_rejoin": scenario_cluster_rejoin,

@@ -1,0 +1,465 @@
+"""The ABFT'd right-looking Cholesky iteration as a tile-task graph.
+
+One factorization becomes, per iteration ``j``:
+
+- a diagonal verify of ``(j, j)`` (its trailing updates are complete);
+- ``POTF2(j, j)`` with the strip update ``chk ← chk · L_jj^{-T}`` fused
+  in, then a post-factor diagonal verify;
+- a batched panel verify of column ``j``, the per-tile ``TRSM(i, j)``
+  tasks (strip update fused), and a post-TRSM panel verify;
+- the trailing update: ``SYRK`` on each diagonal tile ``(k, k)`` and
+  ``GEMM`` on each ``(i, k)`` with ``j < k < i``, each with its
+  checksum-strip update fused so the strips always track the data;
+- an end-of-iteration ``storage_window`` task when fault plans target
+  that window.
+
+Dependencies are *derived* from the declared cell footprints
+(:mod:`repro.runtime.dag`), which is what makes lookahead legal for
+free: ``POTF2`` of panel ``j+1`` depends only on tile ``(j+1, j+1)``
+receiving its iteration-``j`` SYRK and verify — it becomes ready while
+iteration ``j``'s remaining GEMMs are still draining, realizing the
+paper's Opt-3 panel/update overlap on real host threads.
+
+Fault injection stays deterministic under any schedule: every
+:class:`~repro.faults.injector.FaultPlan` is anchored to one task
+identity (kind, iteration, tile) at graph-build time and fired from
+inside that task's body, with the victim cell added to the task's
+declared writes so the corruption is ordered by the DAG like any other
+mutation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.blas import dense
+from repro.blas.dense import trsm_right_lt
+from repro.core.correct import VerifyStats, check_tile_strip
+from repro.core.multierror import MultiErrorCodec
+from repro.faults.injector import FaultInjector, FaultPlan, Hook
+from repro.faults.taint import TaintState
+from repro.runtime.dag import TaskGraph
+from repro.runtime.task import Cell
+from repro.util.validation import require
+
+Key = tuple[int, int]
+
+
+class HostTiles:
+    """An (n, n) host array addressed by B×B tile, injector-bindable.
+
+    Exposes the same ``array`` / ``tile_view`` / ``taint_of`` surface as
+    :class:`repro.hetero.memory.DeviceBuffer`, so a
+    :class:`~repro.faults.injector.FaultInjector` binds to it unchanged.
+    """
+
+    def __init__(self, data: np.ndarray, block_size: int) -> None:
+        self.data = data
+        self.block_size = block_size
+        self.nb = data.shape[0] // block_size
+        self._taint: dict[Key, TaintState] = {}
+
+    @property
+    def array(self) -> np.ndarray:
+        return self.data
+
+    def tile(self, key: Key) -> np.ndarray:
+        i, j = key
+        b = self.block_size
+        return self.data[i * b : (i + 1) * b, j * b : (j + 1) * b]
+
+    def tile_view(self, key: Key) -> np.ndarray:
+        return self.tile(key)
+
+    def taint_of(self, key: Key) -> TaintState:
+        state = self._taint.get(key)
+        if state is None:
+            state = self._taint[key] = TaintState()
+        return state
+
+
+class HostStrips:
+    """Checksum strips: ``r`` rows per tile row, one (nb·r, n) host array."""
+
+    def __init__(self, nb: int, block_size: int, rows_per_tile: int = 2) -> None:
+        self.block_size = block_size
+        self.nb = nb
+        self.rows_per_tile = rows_per_tile
+        self.data = np.zeros((nb * rows_per_tile, nb * block_size))
+        self._taint: dict[Key, TaintState] = {}
+
+    @property
+    def array(self) -> np.ndarray:
+        return self.data
+
+    def strip(self, key: Key) -> np.ndarray:
+        i, j = key
+        r, b = self.rows_per_tile, self.block_size
+        return self.data[i * r : (i + 1) * r, j * b : (j + 1) * b]
+
+    def tile_view(self, key: Key) -> np.ndarray:
+        return self.strip(key)
+
+    def taint_of(self, key: Key) -> TaintState:
+        state = self._taint.get(key)
+        if state is None:
+            state = self._taint[key] = TaintState()
+        return state
+
+
+# Plan anchoring ---------------------------------------------------------------
+
+_HOOK_KINDS = {
+    Hook.AFTER_POTF2: "potf2",
+    Hook.AFTER_TRSM: "trsm",
+    Hook.AFTER_SYRK: "syrk",
+    Hook.AFTER_GEMM: "gemm",
+    Hook.STORAGE_WINDOW: "storage_window",
+}
+
+Anchor = tuple[str, int, Key]
+
+
+def _kind_exists(kind: str, j: int, nb: int) -> bool:
+    if kind in ("potf2", "storage_window"):
+        return True
+    if kind in ("trsm", "syrk"):
+        return j < nb - 1
+    return j < nb - 2  # gemm
+
+
+def _anchor_iteration(plan: FaultPlan, kind: str, nb: int) -> int | None:
+    """The iteration the plan fires at, or None when it never would."""
+    if plan.iteration != -1:
+        it = plan.iteration
+        if not 0 <= it < nb:
+            return None
+        return it if _kind_exists(kind, it, nb) else None
+    # iteration == -1 means "any": the serial loop fires it at the first
+    # iteration that reaches the hook, which is the first where the kind
+    # has any task at all.
+    for j in range(nb):
+        if _kind_exists(kind, j, nb):
+            return j
+    return None
+
+
+def plan_anchor(plan: FaultPlan, nb: int) -> Anchor | None:
+    """The task identity after whose numerics *plan* fires.
+
+    When the victim block is a tile the matching kind writes at that
+    iteration, the plan rides that exact task (a computing error lands
+    in the output it corrupts); otherwise it rides the last task of the
+    kind in program order, falling back to the iteration's
+    ``storage_window`` task when the kind has no tasks there at all —
+    the same "fire once per (hook, iteration)" semantics the serial
+    drivers implement with a single ``fire()`` call.
+    """
+    kind = _HOOK_KINDS.get(plan.hook)
+    if kind is None:  # BEFORE_FACTORIZATION fires eagerly, pre-graph
+        return None
+    j = _anchor_iteration(plan, kind, nb)
+    if j is None:
+        if plan.iteration == -1 or not 0 <= plan.iteration < nb:
+            return None
+        return ("storage_window", plan.iteration, (plan.iteration, plan.iteration))
+    i, k = plan.block
+    if kind == "potf2":
+        return ("potf2", j, (j, j))
+    if kind == "storage_window":
+        return ("storage_window", j, (j, j))
+    if kind == "trsm":
+        victim_hit = k == j and j < i < nb
+        return ("trsm", j, plan.block if victim_hit else (nb - 1, j))
+    if kind == "syrk":
+        victim_hit = i == k and j < i < nb
+        return ("syrk", j, plan.block if victim_hit else (nb - 1, nb - 1))
+    victim_hit = j < k < i < nb
+    return ("gemm", j, plan.block if victim_hit else (nb - 1, nb - 2))
+
+
+def _victim_cell(plan: FaultPlan) -> Cell:
+    space = "A" if plan.target == "matrix" else "C"
+    return (space, *plan.block)
+
+
+def anchored_plans(injector: FaultInjector, nb: int) -> dict[Anchor, list[FaultPlan]]:
+    """All plans grouped by anchor — over *all* plans, fired or not, so
+    restart attempts build the identical graph (firing itself still
+    honors the one-shot flags)."""
+    anchors: dict[Anchor, list[FaultPlan]] = {}
+    for plan in injector.plans:
+        anchor = plan_anchor(plan, nb)
+        if anchor is not None:
+            anchors.setdefault(anchor, []).append(plan)
+    return anchors
+
+
+# Task bodies ------------------------------------------------------------------
+# Each factory returns a `_body_*` closure; RPL009 requires raw tile/strip
+# accessor calls in this package to live only inside such task bodies.
+
+
+def _potf2_body(
+    tiles: HostTiles, strips: HostStrips, j: int, inj: FaultInjector, fires: list[FaultPlan]
+) -> Callable[[], None]:
+    def _body_potf2() -> None:
+        diag = tiles.tile((j, j))
+        dense.potf2(diag, block_index=j)
+        inj.fire_plans(fires, j)
+        trsm_right_lt(strips.strip((j, j)), diag)
+
+    return _body_potf2
+
+
+def _trsm_body(
+    tiles: HostTiles,
+    strips: HostStrips,
+    i: int,
+    j: int,
+    inj: FaultInjector,
+    fires: list[FaultPlan],
+) -> Callable[[], None]:
+    def _body_trsm() -> None:
+        diag = tiles.tile((j, j))
+        trsm_right_lt(tiles.tile((i, j)), diag)
+        inj.fire_plans(fires, j)
+        trsm_right_lt(strips.strip((i, j)), diag)
+
+    return _body_trsm
+
+
+def _syrk_body(
+    tiles: HostTiles,
+    strips: HostStrips,
+    k: int,
+    j: int,
+    inj: FaultInjector,
+    fires: list[FaultPlan],
+) -> Callable[[], None]:
+    def _body_syrk() -> None:
+        lkj = tiles.tile((k, j))
+        dense.syrk_update(tiles.tile((k, k)), lkj)
+        inj.fire_plans(fires, j)
+        s = strips.strip((k, k))
+        s -= strips.strip((k, j)) @ lkj.T
+
+    return _body_syrk
+
+
+def _gemm_body(
+    tiles: HostTiles,
+    strips: HostStrips,
+    i: int,
+    k: int,
+    j: int,
+    inj: FaultInjector,
+    fires: list[FaultPlan],
+) -> Callable[[], None]:
+    def _body_gemm() -> None:
+        lkj = tiles.tile((k, j))
+        dense.gemm_update(tiles.tile((i, k)), tiles.tile((i, j)), lkj)
+        inj.fire_plans(fires, j)
+        s = strips.strip((i, k))
+        s -= strips.strip((i, j)) @ lkj.T
+
+    return _body_gemm
+
+
+def _verify_body(
+    tiles: HostTiles,
+    strips: HostStrips,
+    keys: list[Key],
+    weights: np.ndarray,
+    rtol: float,
+    atol: float,
+    stats: VerifyStats,
+    codec: MultiErrorCodec | None,
+) -> Callable[[], None]:
+    def _body_verify() -> None:
+        stats.batches += 1
+        stats.tiles_verified += len(keys)
+        t0 = time.perf_counter()
+        for key in keys:
+            check_tile_strip(
+                key,
+                tiles.tile(key),
+                strips.strip(key),
+                weights,
+                rtol=rtol,
+                atol=atol,
+                stats=stats,
+                codec=codec,
+            )
+        stats.check_wall_s += time.perf_counter() - t0
+
+    return _body_verify
+
+
+def _window_body(
+    j: int, inj: FaultInjector, fires: list[FaultPlan]
+) -> Callable[[], None]:
+    def _body_window() -> None:
+        inj.fire_plans(fires, j)
+
+    return _body_window
+
+
+def _encode_body(
+    tiles: HostTiles, strips: HostStrips, weights: np.ndarray
+) -> Callable[[], None]:
+    def _body_encode() -> None:
+        for j in range(tiles.nb):
+            for i in range(j, tiles.nb):
+                strips.strip((i, j))[:] = weights @ tiles.tile((i, j))
+
+    return _body_encode
+
+
+def encode_strips(tiles: HostTiles, strips: HostStrips, weights: np.ndarray) -> None:
+    """Initial lower-triangle encoding (eager, before the graph runs)."""
+    _encode_body(tiles, strips, weights)()
+
+
+# Graph construction -----------------------------------------------------------
+
+
+def _rw(keys: list[Key]) -> frozenset[Cell]:
+    """The read+write footprint of a verify over *keys*: a correction
+    mutates both the tile and its strip, so both spaces are claimed."""
+    out: set[Cell] = set()
+    for i, j in keys:
+        out.add(("A", i, j))
+        out.add(("C", i, j))
+    return frozenset(out)
+
+
+def build_cholesky_graph(
+    tiles: HostTiles,
+    strips: HostStrips,
+    weights: np.ndarray,
+    injector: FaultInjector,
+    *,
+    rtol: float,
+    atol: float,
+    final_sweep: bool = True,
+    codec: MultiErrorCodec | None = None,
+) -> tuple[TaskGraph, list[VerifyStats]]:
+    """The full task graph for one factorization attempt.
+
+    Returns the graph plus one :class:`VerifyStats` slot per verify task
+    in program order — each verify accumulates into its own slot, and
+    the caller merges them in that fixed order, so statistics (and the
+    ``corrected_sites`` list in particular) are bit-identical whichever
+    worker finished which verify first.
+    """
+    nb = tiles.nb
+    require(nb >= 1, "need at least one tile")
+    graph = TaskGraph()
+    anchors = anchored_plans(injector, nb)
+    stats_slots: list[VerifyStats] = []
+
+    def _add_verify(iteration: int, anchor_tile: Key, keys: list[Key]) -> None:
+        slot = VerifyStats()
+        stats_slots.append(slot)
+        footprint = _rw(keys)
+        graph.add(
+            "verify",
+            iteration,
+            anchor_tile,
+            reads=footprint,
+            writes=footprint,
+            fn=_verify_body(tiles, strips, keys, weights, rtol, atol, slot, codec),
+        )
+
+    def _fires_for(kind: str, iteration: int, tile: Key) -> list[FaultPlan]:
+        return anchors.pop((kind, iteration, tile), [])
+
+    for j in range(nb):
+        diag = [(j, j)]
+        panel = [(i, j) for i in range(j + 1, nb)]
+        # 1. the diagonal tile's trailing updates are done: verify it.
+        _add_verify(j, (j, j), diag)
+        # 2. factor it (strip update fused; anchored plans fire between).
+        fires = _fires_for("potf2", j, (j, j))
+        graph.add(
+            "potf2",
+            j,
+            (j, j),
+            reads=_rw(diag),
+            writes=_rw(diag) | {_victim_cell(p) for p in fires},
+            fn=_potf2_body(tiles, strips, j, injector, fires),
+        )
+        # 3. verify the freshly factored diagonal before the panel uses it.
+        _add_verify(j, (j, j), diag)
+        if panel:
+            # 4. the panel's trailing updates are done: verify it (batched).
+            _add_verify(j, (j + 1, j), panel)
+            # 5. per-tile TRSM, strip update fused.
+            for i, _ in panel:
+                fires = _fires_for("trsm", j, (i, j))
+                graph.add(
+                    "trsm",
+                    j,
+                    (i, j),
+                    reads=_rw([(j, j), (i, j)]),
+                    writes=_rw([(i, j)]) | {_victim_cell(p) for p in fires},
+                    fn=_trsm_body(tiles, strips, i, j, injector, fires),
+                )
+            # 6. verify the panel of L before the trailing update reads it.
+            _add_verify(j, (j + 1, j), panel)
+        # 7. right-looking trailing update, column-major over (k, i).
+        for k in range(j + 1, nb):
+            fires = _fires_for("syrk", j, (k, k))
+            graph.add(
+                "syrk",
+                j,
+                (k, k),
+                reads=_rw([(k, j), (k, k)]),
+                writes=_rw([(k, k)]) | {_victim_cell(p) for p in fires},
+                fn=_syrk_body(tiles, strips, k, j, injector, fires),
+            )
+            for i in range(k + 1, nb):
+                fires = _fires_for("gemm", j, (i, k))
+                graph.add(
+                    "gemm",
+                    j,
+                    (i, k),
+                    reads=_rw([(i, j), (k, j), (i, k)]),
+                    writes=_rw([(i, k)]) | {_victim_cell(p) for p in fires},
+                    fn=_gemm_body(tiles, strips, i, k, j, injector, fires),
+                )
+        # 8. the storage-error window at the end of the iteration.
+        fires = _fires_for("storage_window", j, (j, j))
+        if fires:
+            victims = frozenset(_victim_cell(p) for p in fires)
+            graph.add(
+                "storage_window",
+                j,
+                (j, j),
+                reads=victims,
+                writes=victims,
+                fn=_window_body(j, injector, fires),
+            )
+    if final_sweep:
+        lower = [(i, j) for j in range(nb) for i in range(j, nb)]
+        _add_verify(nb, (nb - 1, nb - 1), lower)
+    graph.check_program_order()
+    return graph, stats_slots
+
+
+def merge_stats(slots: list[VerifyStats]) -> VerifyStats:
+    """Fold per-task stats in program order into one run-level record."""
+    total = VerifyStats()
+    for slot in slots:
+        total.batches += slot.batches
+        total.tiles_verified += slot.tiles_verified
+        total.data_corrections += slot.data_corrections
+        total.checksum_corrections += slot.checksum_corrections
+        total.columns_flagged += slot.columns_flagged
+        total.corrected_sites.extend(slot.corrected_sites)
+        total.check_wall_s += slot.check_wall_s
+    return total

@@ -1,0 +1,195 @@
+"""The ``dag`` scheme: the ABFT'd factorization on the tile-task runtime.
+
+:func:`dag_potrf` is the runtime's counterpart of the desim drivers'
+entry points (same call shape, duck-compatible result), but it executes
+on the *host* clock: real BLAS kernels on real threads, makespan = wall
+seconds.  It is real-numerics only — there is no simulated machine to
+run a shadow factorization on.
+
+The restart protocol mirrors :func:`repro.core.base.run_with_recovery`:
+each attempt factors a fresh copy of the pristine matrix, an
+unrecoverable attempt banks its wall time and disarms the injector
+(one-shot faults), and the caller's array receives the final successful
+factor in place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blas.flops import potrf_flops
+from repro.core.config import AbftConfig
+from repro.core.correct import VerifyStats
+from repro.core.multierror import MultiErrorCodec, vandermonde_weights
+from repro.desim.trace import (
+    META_CHK_READS,
+    META_CHK_WRITES,
+    META_ITERATION,
+    META_TILE_READS,
+    META_TILE_WRITES,
+    Span,
+    Timeline,
+)
+from repro.faults.injector import FaultInjector, Hook, no_faults
+from repro.hetero.machine import Machine
+from repro.runtime.cholesky import (
+    HostStrips,
+    HostTiles,
+    build_cholesky_graph,
+    encode_strips,
+    merge_stats,
+)
+from repro.runtime.dag import TaskGraph
+from repro.runtime.executor import DagExecutor
+from repro.util.exceptions import (
+    RestartExhaustedError,
+    SingularBlockError,
+    UnrecoverableError,
+)
+from repro.util.validation import check_block_size, check_square, require
+
+
+@dataclass
+class DagPotrfResult:
+    """Outcome of a runtime factorization — duck-compatible with
+    :class:`repro.core.base.FtPotrfResult` where the service needs it."""
+
+    scheme: str
+    machine: str
+    n: int
+    block_size: int
+    makespan: float  # total host wall seconds across all attempts
+    restarts: int
+    stats: VerifyStats  # of the successful attempt
+    timeline: Timeline  # of the successful attempt
+    placement: str
+    config: AbftConfig
+    factor_data: np.ndarray
+    runtime: dict  # executor summary of the successful attempt
+    attempt_makespans: list[float] = field(default_factory=list)
+
+    @property
+    def gflops(self) -> float:
+        return potrf_flops(self.n) / self.makespan / 1e9
+
+    @property
+    def factor(self) -> np.ndarray:
+        """The lower-triangular factor L."""
+        return np.tril(self.factor_data)
+
+
+def _timeline(graph: TaskGraph) -> Timeline:
+    """Real spans from the executed graph (host wall clock, tid = index)."""
+    preds = graph.dependencies()
+    spans: list[Span] = []
+    for task in graph.tasks:
+        meta = {
+            META_ITERATION: task.iteration,
+            META_TILE_READS: sorted((i, j) for (s, i, j) in task.reads if s == "A"),
+            META_TILE_WRITES: sorted((i, j) for (s, i, j) in task.writes if s == "A"),
+            META_CHK_READS: sorted((i, j) for (s, i, j) in task.reads if s == "C"),
+            META_CHK_WRITES: sorted((i, j) for (s, i, j) in task.writes if s == "C"),
+        }
+        spans.append(
+            Span(
+                tid=task.index,
+                name=task.label,
+                kind=task.kind,
+                resource="host",
+                start=task.start_s,
+                finish=task.finish_s,
+                meta=meta,
+                deps=tuple(sorted(preds[task.index])),
+            )
+        )
+    return Timeline(spans)
+
+
+def dag_potrf(
+    machine: Machine,
+    a: np.ndarray | None = None,
+    n: int | None = None,
+    block_size: int | None = None,
+    config: AbftConfig | None = None,
+    injector: FaultInjector | None = None,
+    numerics: str = "real",
+) -> DagPotrfResult:
+    """Fault-tolerant Cholesky on the tile-DAG runtime (in place on *a*).
+
+    ``config.dag_workers`` / ``config.lookahead`` pick the schedule; the
+    factor, statistics and corrected sites are bit-identical for every
+    choice (see :mod:`repro.runtime.dag` for why).
+    """
+    require(numerics == "real", "the dag scheme runs real numerics only")
+    require(a is not None, "real mode requires the matrix a")
+    cfg = config if config is not None else AbftConfig()
+    inj = injector if injector is not None else no_faults()
+    n = check_square("a", a)
+    bs = block_size if block_size is not None else machine.default_block_size
+    check_block_size(n, bs)
+    pristine = a.copy()
+    weights = vandermonde_weights(bs, cfg.n_checksums)
+    codec = (
+        MultiErrorCodec(bs, n_checksums=cfg.n_checksums, rtol=cfg.rtol, atol=cfg.atol)
+        if cfg.n_checksums > 2
+        else None
+    )
+
+    total = 0.0
+    attempt_times: list[float] = []
+    restarts = 0
+    for _attempt in range(cfg.max_restarts + 1):
+        work = pristine.copy()
+        tiles = HostTiles(work, bs)
+        strips = HostStrips(tiles.nb, bs, rows_per_tile=cfg.n_checksums)
+        inj.bind("matrix", tiles)
+        inj.bind("checksum", strips)
+        t_start = time.perf_counter()
+        encode_strips(tiles, strips, weights)
+        inj.fire(Hook.BEFORE_FACTORIZATION, iteration=-1)
+        graph, slots = build_cholesky_graph(
+            tiles,
+            strips,
+            weights,
+            inj,
+            rtol=cfg.rtol,
+            atol=cfg.atol,
+            final_sweep=cfg.final_sweep,
+            codec=codec,
+        )
+        executor = DagExecutor(graph, workers=cfg.dag_workers, lookahead=cfg.lookahead)
+        try:
+            runtime = executor.run()
+        except (UnrecoverableError, SingularBlockError):
+            wall = time.perf_counter() - t_start
+            total += wall
+            attempt_times.append(wall)
+            restarts += 1
+            # The injected fault was a one-shot event; do not re-inject.
+            inj.disarm()
+            continue
+        wall = time.perf_counter() - t_start
+        total += wall
+        attempt_times.append(wall)
+        a[:] = work
+        return DagPotrfResult(
+            scheme="dag",
+            machine=machine.name,
+            n=n,
+            block_size=bs,
+            makespan=total,
+            restarts=restarts,
+            stats=merge_stats(slots),
+            timeline=_timeline(graph),
+            placement="host",
+            config=cfg,
+            factor_data=work,
+            runtime=runtime,
+            attempt_makespans=attempt_times,
+        )
+    raise RestartExhaustedError(
+        f"dag: still unrecoverable after {cfg.max_restarts} restart(s)"
+    )

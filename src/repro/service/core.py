@@ -90,8 +90,13 @@ class ServiceConfig:
     #: keep each completed job's factor on its :class:`JobResult` — the
     #: chaos harness compares factors bit-for-bit across scenarios
     keep_factors: bool = False
+    #: per-job thread width the ``dag`` scheme's tile runtime is expected
+    #: to use; the capacity semaphore charges each dispatch slot this many
+    #: backend slots so intra-job threads are not double-booked
+    intra_workers: int = 1
 
     def __post_init__(self) -> None:
+        check_positive("intra_workers", self.intra_workers)
         require(bool(self.workers), "need at least one worker spec")
         check_positive("max_queue_depth", self.max_queue_depth)
         check_positive("job_timeout_s", self.job_timeout_s)
@@ -175,7 +180,9 @@ class SolveService:
         #: engages) once every worker is saturated — capped by the execution
         #: backend's real host-side parallelism
         self._capacity = asyncio.Semaphore(
-            self.scheduler.effective_concurrency(self.executor.capacity)
+            self.scheduler.effective_concurrency(
+                self.executor.capacity, config.intra_workers
+            )
         )
         self._coalescer = BatchCoalescer(config.batch_max, config.batch_linger_s)
         self.results: dict[int, JobResult] = {}
@@ -196,6 +203,18 @@ class SolveService:
             "service_incorrect_results_total", "completed factorizations failing the residual gate"
         )
         self._flops = m.counter("service_useful_flops_total", "useful flops of completed jobs")
+        self._runtime_tasks = m.counter(
+            "runtime_task_total", "tile-DAG runtime tasks executed, by kind"
+        )
+        self._runtime_ready_depth = m.gauge(
+            "runtime_ready_queue_depth", "high-water ready-task count in the tile runtime"
+        )
+        self._runtime_lookahead = m.gauge(
+            "runtime_lookahead_depth", "high-water iteration lookahead the runtime reached"
+        )
+        self._runtime_stalls = m.counter(
+            "runtime_worker_stalls_total", "runtime workers replaced by the watchdog"
+        )
         self._journal_records = m.counter(
             "service_journal_records_total", "job lifecycle records appended to the journal"
         )
@@ -597,6 +616,7 @@ class SolveService:
         finished = time.monotonic()
         wait_s = max(0.0, started - job.submit_time)
         exec_s = finished - started
+        self._note_runtime(outcome.runtime)
         status = JobStatus.COMPLETED
         error: str | None = None
         if outcome.residual is not None and outcome.residual > self.config.residual_tolerance:
@@ -625,6 +645,35 @@ class SolveService:
             timeline=outcome.timeline,
             factor=outcome.factor if self.config.keep_factors else None,
         )
+
+    def _note_runtime(self, runtime: dict | None) -> None:
+        """Fold one dag-runtime executor summary into the service metrics.
+
+        The summary is plain data so it survives the process backend's
+        pickle boundary; counters and per-kind duration histograms are
+        kept mutually consistent (one observation per counted task), which
+        the chaos battery's ``executor_metrics_consistent`` invariant
+        checks.
+        """
+        if not runtime:
+            return
+        for kind, count in runtime.get("task_total", {}).items():
+            self._runtime_tasks.inc(count, kind=kind)
+        for kind, durations in runtime.get("task_seconds", {}).items():
+            hist = self.metrics.histogram(
+                f"runtime_task_seconds_{kind}", f"dag runtime {kind} task durations"
+            )
+            for duration in durations:
+                hist.observe(duration)
+        self._runtime_ready_depth.set(
+            max(self._runtime_ready_depth.value(), float(runtime.get("max_ready_depth", 0)))
+        )
+        self._runtime_lookahead.set(
+            max(self._runtime_lookahead.value(), float(runtime.get("max_lookahead_depth", 0)))
+        )
+        stalls = runtime.get("stalls", 0)
+        if stalls:
+            self._runtime_stalls.inc(stalls)
 
     def _dump_job_trace(self, job: Job, result: JobResult) -> None:
         trace_dir = Path(self.config.trace_dir)

@@ -33,6 +33,7 @@ from repro.core.correct import VerifyStats
 from repro.desim.trace import Timeline
 from repro.hetero.machine import Machine
 from repro.magma.host import factorization_residual
+from repro.runtime.scheme import dag_potrf
 from repro.service.job import Job
 from repro.util.rng import derive_rng
 from repro.util.validation import check_positive, require
@@ -41,6 +42,7 @@ _SCHEMES = {
     "offline": offline_potrf,
     "online": online_potrf,
     "enhanced": enhanced_potrf,
+    "dag": dag_potrf,
 }
 
 #: spawn-key namespace for the per-job matrix generator (fault plans use 0)
@@ -95,6 +97,9 @@ class AttemptOutcome:
     corrected_sites: list = field(default_factory=list)
     stats: VerifyStats | None = None
     factor: np.ndarray | None = field(default=None, repr=False)
+    #: the dag runtime's executor summary (plain data; pickles across the
+    #: process backend), ``None`` for the simulated schemes
+    runtime: dict | None = None
 
 
 def job_matrix(job: Job) -> np.ndarray:
@@ -134,7 +139,9 @@ def execute_attempt(
     unrecoverable outcomes; the async layer turns those into retries.
     """
     potrf = _SCHEMES[job.scheme]
-    config = AbftConfig(verify_interval=job.verify_interval)
+    config = AbftConfig(
+        verify_interval=job.verify_interval, dag_workers=job.intra_workers
+    )
     injector = job.injector
     if job.numerics == "real":
         if a is None:
@@ -163,6 +170,7 @@ def execute_attempt(
         corrected_sites=list(res.stats.corrected_sites),
         stats=res.stats,
         factor=factor,
+        runtime=getattr(res, "runtime", None),
     )
 
 

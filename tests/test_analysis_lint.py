@@ -292,6 +292,62 @@ class TestRPL008SwallowedFailures:
         assert _lint_snippet(tmp_path, "service/mod.py", src) == []
 
 
+class TestRPL009RuntimeFootprints:
+    def test_fn_without_footprint_flagged(self, tmp_path):
+        src = "def launch(graph, body):\n    graph.add('potf2', 0, (0, 0), fn=body)\n"
+        findings = _lint_snippet(tmp_path, "runtime/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL009"]
+        assert "reads=/writes=" in findings[0].message
+
+    def test_fn_with_footprint_is_fine(self, tmp_path):
+        src = (
+            "def launch(graph, body):\n"
+            "    graph.add('potf2', 0, (0, 0), reads=set(), writes=set(), fn=body)\n"
+        )
+        assert _lint_snippet(tmp_path, "runtime/mod.py", src) == []
+
+    def test_accessor_outside_body_flagged(self, tmp_path):
+        src = "def loose(tiles):\n    return tiles.tile((0, 0))\n"
+        findings = _lint_snippet(tmp_path, "runtime/mod.py", src)
+        assert [f.rule for f in findings] == ["RPL009"]
+        assert "tile()" in findings[0].message
+
+    def test_accessor_inside_body_def_is_fine(self, tmp_path):
+        src = (
+            "def factory(tiles, j):\n"
+            "    def _body_potf2():\n"
+            "        factor(tiles.tile((j, j)))\n"
+            "    return _body_potf2\n"
+        )
+        assert _lint_snippet(tmp_path, "runtime/mod.py", src) == []
+
+    def test_accessor_inside_fn_referenced_def_is_fine(self, tmp_path):
+        src = (
+            "def kernel(tiles):\n"
+            "    touch(tiles.strip((0, 0)))\n"
+            "def launch(graph, tiles):\n"
+            "    graph.add('x', 0, (0, 0), reads=set(), writes=set(),\n"
+            "              fn=kernel(tiles))\n"
+        )
+        assert _lint_snippet(tmp_path, "runtime/mod.py", src) == []
+
+    def test_accessor_delegation_is_fine(self, tmp_path):
+        src = (
+            "class Strips:\n"
+            "    def tile_view(self, key):\n"
+            "        return self.strip(key)\n"
+        )
+        assert _lint_snippet(tmp_path, "runtime/mod.py", src) == []
+
+    def test_outside_runtime_ignored(self, tmp_path):
+        src = "def loose(tiles):\n    return tiles.tile((0, 0))\n"
+        assert _lint_snippet(tmp_path, "core/mod.py", src) == []
+
+    def test_noqa_opts_out(self, tmp_path):
+        src = "def loose(tiles):\n    return tiles.tile((0, 0))  # noqa: RPL009\n"
+        assert _lint_snippet(tmp_path, "runtime/mod.py", src) == []
+
+
 class TestSuppression:
     def test_bare_noqa_suppresses(self, tmp_path):
         src = "raise ValueError('x')  # noqa\n"

@@ -31,6 +31,10 @@ class TestScenarioRegistry:
         # truncation, flood, stop race (+ breaker, journal recovery).
         assert len(chaos.SCENARIOS) >= 6
 
+    def test_dag_worker_stall_is_registered(self):
+        assert "dag_worker_stall" in chaos.SCENARIOS
+        assert len(chaos.SCENARIOS) == 13
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValidationError):
             chaos.run_chaos(CFG, ("no_such_fault",))
@@ -49,6 +53,16 @@ class TestCheapScenarios:
         result = chaos.scenario_stop_race(CFG)
         assert result.ok, result.violations
         assert result.submitted == result.completed + result.failed + result.rejected
+
+    def test_dag_worker_stall_replaces_the_worker(self):
+        result = chaos.scenario_dag_worker_stall(CFG)
+        assert result.ok, result.violations
+        assert result.invariants["stall_injected"]
+        assert result.invariants["stall_detected"]
+        assert result.invariants["factors_bit_identical"]
+        assert result.invariants["executor_metrics_consistent"]
+        assert result.notes["runtime_stalls"] >= 1
+        assert result.notes["task_totals"]["potf2"] > 0
 
     def test_kill_restart_recovers_the_backlog(self, tmp_path):
         cfg = chaos.ChaosConfig(
