@@ -75,3 +75,41 @@ def test_capacity_grows_with_checksums():
     capacities = [MultiErrorCodec(B, n_checksums=m).correctable_unknown for m in COUNTS]
     assert capacities == sorted(capacities)
     assert capacities[0] == 1  # the paper's choice: 2 checksums, 1 error
+
+
+def test_regenerate_bench_recovery(results_dir):
+    """Forward-recovery trajectory: BENCH_recovery.json plus history append.
+
+    The capacity half of this document is the ablation above with prices
+    attached; the crash grid is the new claim — resuming from a salvaged
+    snapshot recomputes strictly less than a restart at every crash
+    point, and lands on the bit-identical factor.
+    """
+    import json
+
+    from repro.experiments import recovery
+    from repro.experiments.stamp import append_history
+
+    doc = recovery.run(n=128, block_size=32, repeats=2)
+    save_artifact(
+        results_dir, "BENCH_recovery.json", json.dumps(doc, indent=2, sort_keys=True)
+    )
+    save_artifact(results_dir, "recovery_summary.txt", recovery.render(doc))
+    append_history(doc, bench="recovery", path=results_dir / "bench_history.jsonl")
+
+    assert doc["bit_identical"]
+    fracs = [r["recovered_fraction"] for r in doc["crash_grid"]]
+    assert fracs == sorted(fracs)
+    assert all(r["recomputed_fraction"] < 1.0 for r in doc["crash_grid"])
+    assert all(r["forward"] for r in doc["crash_grid"])
+
+
+def test_capacity_curve_prices_are_monotone():
+    """Each checksum row buys capacity at linear flop/space cost."""
+    from repro.experiments.recovery import COUNTS, _capacity_curve
+
+    curve = _capacity_curve(64, repeats=1)
+    assert [r["checksums"] for r in curve] == list(COUNTS)
+    for key in ("correct_erasures", "recalc_flops", "space_overhead"):
+        vals = [r[key] for r in curve]
+        assert vals == sorted(vals) and len(set(vals)) == len(vals)

@@ -819,6 +819,40 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_recovery(args: argparse.Namespace) -> int:
+    from repro.experiments import recovery
+
+    doc = recovery.run(
+        n=args.n,
+        block_size=args.block_size,
+        machine=args.machine,
+        scheme=args.scheme,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(recovery.render(doc))
+    if args.out:
+        path = recovery.write(doc, args.out)
+        print(f"recovery bench written to {path}")
+    if args.history:
+        from repro.experiments.stamp import append_history
+
+        print(f"run appended to {append_history(doc, bench='recovery', path=args.history)}")
+    if not doc["bit_identical"]:
+        print(
+            "repro: recovery: resumed factor diverged from the uninterrupted run",
+            file=sys.stderr,
+        )
+        return 1
+    if any(r["recomputed_fraction"] >= 1.0 for r in doc["crash_grid"][1:]):
+        print(
+            "repro: recovery: forward resume recomputed as much as a full restart",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
@@ -1119,7 +1153,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quick", action="store_true",
-        help=f"CI smoke subset: {', '.join(('worker_crash', 'breaker_failover', 'kill_restart'))}",
+        help="CI smoke subset (see QUICK_SCENARIOS; includes the erasure-recovery pair)",
     )
     p.add_argument(
         "--scenarios", nargs="+", default=None, metavar="NAME",
@@ -1142,6 +1176,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the run to this JSONL perf trajectory ('' to skip)",
     )
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "recovery", help="forward-recovery benchmark: crash-resume cost vs full restart"
+    )
+    p.add_argument("--n", type=int, default=256, help="matrix size")
+    p.add_argument("--block-size", type=int, default=32)
+    p.add_argument("--machine", default="tardis")
+    p.add_argument("--scheme", default="enhanced", choices=("online", "enhanced"))
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--repeats", type=int, default=3, help="timing samples per point")
+    p.add_argument(
+        "--out", default="results/BENCH_recovery.json",
+        help="bench JSON path ('' to skip writing)",
+    )
+    p.add_argument(
+        "--history", default="results/bench_history.jsonl",
+        help="append the run to this JSONL perf trajectory ('' to skip)",
+    )
+    p.set_defaults(fn=cmd_recovery)
 
     p = sub.add_parser("lint", help="repo lint rules (RPL001-RPL009, --flow adds RPL101-RPL103)")
     p.add_argument(

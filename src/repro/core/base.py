@@ -112,10 +112,14 @@ class SchemeRun:
         injector: FaultInjector,
         numerics: str,
         a: np.ndarray | None,
+        start_iteration: int = 0,
+        progress=None,
     ) -> None:
         self.machine = machine
         self.config = config
         self.injector = injector
+        self.start_iteration = start_iteration
+        self.progress = progress
         self.ctx = machine.context(numerics=numerics)
         self.matrix = self.ctx.alloc_matrix(
             n, block_size, data=a if numerics == "real" else None
@@ -176,6 +180,19 @@ class SchemeRun:
     def fire(self, hook: Hook, iteration: int) -> None:
         self.injector.fire(hook, iteration)
 
+    def publish(self, iteration: int) -> None:
+        """Report iteration-boundary state to the progress sink, if any.
+
+        Called by the drivers after the storage window of iteration *j*
+        closes: columns 0..j of the matrix are final L, the rest still
+        hold the original A, and the strips are maintained through j —
+        exactly the state a forward-recovery resume needs.  Real mode
+        only (there are no bytes to snapshot in shadow mode).
+        """
+        if self.progress is None or not self.matrix.real:
+            return
+        self.progress(iteration, self.matrix.blocked.data, self.chk.array)
+
     @property
     def nb(self) -> int:
         return self.matrix.nb
@@ -191,8 +208,19 @@ def run_with_recovery(
     config: AbftConfig | None = None,
     injector: FaultInjector | None = None,
     numerics: str = "real",
+    start_iteration: int = 0,
+    progress=None,
 ) -> FtPotrfResult:
-    """Execute *loop_body(run)* with the restart-on-unrecoverable protocol."""
+    """Execute *loop_body(run)* with the restart-on-unrecoverable protocol.
+
+    *start_iteration* > 0 resumes a partially factored matrix: *a* must
+    hold columns ``0..start_iteration-1`` already final (the state
+    :meth:`SchemeRun.publish` reports), and the drivers skip straight to
+    that iteration.  An in-scheme restart re-runs from the same resume
+    point — the salvaged state, not the original matrix, is this call's
+    "pristine" input.  *progress* (real mode) receives
+    ``(iteration, matrix_data, chk_array)`` after each iteration.
+    """
     cfg = config if config is not None else AbftConfig()
     inj = injector if injector is not None else no_faults()
     if numerics == "real":
@@ -203,7 +231,8 @@ def run_with_recovery(
         require(n is not None, "shadow mode requires n")
         pristine = None
     bs = block_size if block_size is not None else machine.default_block_size
-    check_block_size(n, bs)
+    nb = check_block_size(n, bs)
+    require(0 <= start_iteration <= nb, "start_iteration out of range")
 
     total = 0.0
     attempt_times: list[float] = []
@@ -215,7 +244,17 @@ def run_with_recovery(
             # Factor a fresh copy each attempt; the caller's array receives
             # the final successful factor below.
             work = pristine.copy()
-        run = SchemeRun(machine, n, bs, cfg, inj, numerics, work)
+        run = SchemeRun(
+            machine,
+            n,
+            bs,
+            cfg,
+            inj,
+            numerics,
+            work,
+            start_iteration=start_iteration,
+            progress=progress,
+        )
         try:
             loop_body(run)
         except (UnrecoverableError, SingularBlockError):

@@ -41,7 +41,7 @@ def _enhanced_loop(run: SchemeRun) -> None:
     nb = run.nb
     run.encode()
     prev_trsm: Task | None = None  # finalized block row j-1 (last tile writer)
-    for j in range(nb):
+    for j in range(run.start_iteration, nb):
         due = run.policy.due(j)
         upd.begin_iteration(j, deps=deps_of(prev_trsm))
         panel = [(i, j) for i in range(j + 1, nb)]
@@ -135,6 +135,7 @@ def _enhanced_loop(run: SchemeRun) -> None:
             run.chain_main(h2d)
 
         run.fire(Hook.STORAGE_WINDOW, j)
+        run.publish(j)
 
     if run.config.final_sweep:
         run.verifier.verify_batch(
@@ -152,8 +153,20 @@ def enhanced_potrf(
     config: AbftConfig | None = None,
     injector: FaultInjector | None = None,
     numerics: str = "real",
+    start_iteration: int = 0,
+    progress=None,
 ) -> FtPotrfResult:
     """Factor with Enhanced Online-ABFT (pre-access verification)."""
     return run_with_recovery(
-        "enhanced", _enhanced_loop, machine, a, n, block_size, config, injector, numerics
+        "enhanced",
+        _enhanced_loop,
+        machine,
+        a,
+        n,
+        block_size,
+        config,
+        injector,
+        numerics,
+        start_iteration=start_iteration,
+        progress=progress,
     )

@@ -111,6 +111,15 @@ class MultiErrorCodec:
         """
         return self.n_checksums - 1
 
+    def mixed_capacity(self, k_erasures: int) -> int:
+        """Unknown errors correctable per column alongside *k* erasure rows.
+
+        Each known erasure consumes one checksum; each unknown error needs
+        two (locate + magnitude): k + 2t ≤ m+1.
+        """
+        require(k_erasures >= 0, "negative erasure count")
+        return max(0, (self.n_checksums - k_erasures) // 2)
+
     # -- encoding ------------------------------------------------------------
 
     def encode(self, tile: np.ndarray) -> np.ndarray:
@@ -145,7 +154,7 @@ class MultiErrorCodec:
             self._apply(tile, strip, corr)
             corrections.append(corr)
         if bad_cols.size:
-            self._recheck(tile, strip)
+            self._recheck(tile, strip, self._syndrome_slack(syndromes))
         return corrections
 
     def _apply(
@@ -163,24 +172,48 @@ class MultiErrorCodec:
             for row, mag in zip(corr.rows, corr.magnitudes):
                 tile[row, col] -= mag
 
-    def _recheck(self, tile: np.ndarray, strip: np.ndarray) -> None:
+    def _recheck(
+        self, tile: np.ndarray, strip: np.ndarray, slack: np.ndarray | None = None
+    ) -> None:
+        """Post-correction consistency gate.
+
+        *slack* (per column) widens the tolerance by a few ulps of the
+        syndrome magnitude the correction just removed: subtracting an
+        O(S) error leaves O(ε·S) float residue, which must not read as
+        "correction failed" when the data itself is O(1).  A genuine
+        miscorrection leaves O(S) residue — far above the slack.
+        """
         fresh2 = self.encode(tile)
         tol2 = self._tolerance(tile)
+        if slack is not None:
+            tol2 = tol2 + slack[None, :]
         if (np.abs(fresh2 - strip) > tol2).any():
             raise UnrecoverableError(
                 "multi-error correction did not restore consistency"
             )
 
+    @staticmethod
+    def _syndrome_slack(syndromes: np.ndarray) -> np.ndarray:
+        """Per-column recheck slack: ~64 ulps of the corrected magnitude."""
+        return 64.0 * np.finfo(np.float64).eps * np.abs(syndromes).max(axis=0)
+
     # -- erasure correction ------------------------------------------------------
 
     def correct_erasures(
-        self, tile: np.ndarray, strip: np.ndarray, rows: list[int]
+        self,
+        tile: np.ndarray,
+        strip: np.ndarray,
+        rows: list[int],
+        extra_slack: np.ndarray | None = None,
     ) -> int:
         """Correct errors at *known* rows (0-based), every column, in place.
 
         Solves the ``len(rows)``-unknown Vandermonde system per column from
         the syndromes; up to :attr:`correctable_erasures` rows.  Returns
-        the number of elements changed beyond tolerance.
+        the number of elements changed beyond tolerance.  *extra_slack*
+        (per column) widens the post-solve recheck — the mixed decode
+        passes the original syndromes' ulp budget through, since its
+        unknown-error subtraction happened before this call.
         """
         k = len(rows)
         require(0 < k <= self.correctable_erasures, "too many erasure rows")
@@ -194,8 +227,134 @@ class MultiErrorCodec:
         changed = int((np.abs(mags) > tol[0][None, :]).sum())
         for i, row in enumerate(rows):
             tile[row, :] -= mags[i]
-        self._recheck(tile, strip)
+        # One step of iterative refinement: the first solve's rounding
+        # scales with the syndrome magnitude (an astronomically large
+        # corruption leaves O(ε·S) residue spread over the reconstructed
+        # rows), so re-solve against the now-tiny residual syndromes.
+        resid = self.encode(tile) - strip
+        polish, *_ = np.linalg.lstsq(vand, resid, rcond=None)
+        for i, row in enumerate(rows):
+            tile[row, :] -= polish[i]
+        slack = self._syndrome_slack(syndromes)
+        if extra_slack is not None:
+            slack = np.maximum(slack, extra_slack)
+        self._recheck(tile, strip, slack)
         return changed
+
+    # -- errors-and-erasures decoding -----------------------------------------------
+
+    def correct_mixed(
+        self, tile: np.ndarray, strip: np.ndarray, rows: list[int]
+    ) -> tuple[int, list[ColumnCorrection]]:
+        """Correct *known*-row erasures plus unknown-row errors, in place.
+
+        The classic errors-and-erasures split of the m+1 checksums: the
+        erasure locator ``Γ(x) = Π(x − x_i)`` over the *k* known rows
+        annihilates their (arbitrary) contributions from the syndromes,
+        leaving ``m+1−k`` *modified* syndromes ``T_u = Σ_c g_c·S_{u+c}``
+        that are pure power sums of the unknown errors with pseudo-
+        magnitudes ``μ = e·Γ(y)``.  Prony decoding on T locates up to
+        ``⌊(m+1−k)/2⌋`` unknown errors; the erased rows are then solved as
+        usual.  Total capacity per column: ``k + 2t ≤ m+1``.
+
+        Returns ``(erased elements changed, unknown-error corrections)``;
+        raises :class:`UnrecoverableError` when a column's modified
+        syndromes are not explainable within capacity.
+        """
+        k = len(rows)
+        require(len(set(rows)) == k, "duplicate erasure rows")
+        require(
+            strip.shape == (self.n_checksums, tile.shape[1]),
+            "strip shape mismatch",
+        )
+        if k > self.correctable_erasures:
+            # A decode outcome, not caller misuse: the loss pattern simply
+            # exceeds what m+1 checksums can reconstruct.
+            raise UnrecoverableError(
+                f"{k} erased rows exceed the {self.correctable_erasures}-erasure "
+                f"capacity of {self.n_checksums} checksums"
+            )
+        if k == 0:
+            return 0, self.verify_and_correct(tile, strip)
+        # Γ(x) coefficients, ascending: Γ(x) = Σ_c g[c]·x^c.
+        locator = np.array([1.0])
+        for row in rows:
+            locator = np.convolve(locator, [-(row + 1.0), 1.0])
+        n_mod = self.n_checksums - k
+        t_max = n_mod // 2
+        syndromes = self.encode(tile) - strip
+        tol = self._tolerance(tile)
+        t_mod = np.zeros((n_mod, tile.shape[1]))
+        tol_mod = np.zeros((n_mod, tile.shape[1]))
+        for u in range(n_mod):
+            for c, g_c in enumerate(locator):
+                t_mod[u] += g_c * syndromes[u + c]
+                tol_mod[u] += abs(g_c) * tol[u + c]
+        corrections: list[ColumnCorrection] = []
+        bad_cols = np.nonzero((np.abs(t_mod) > tol_mod).any(axis=0))[0]
+        for col in bad_cols:
+            corr = self._decode_mixed_column(
+                t_mod[:, col], tol_mod[:, col], locator, rows, int(col), t_max
+            )
+            for row, mag in zip(corr.rows, corr.magnitudes):
+                tile[row, col] -= mag
+            corrections.append(corr)
+        changed = self.correct_erasures(
+            tile, strip, list(rows), extra_slack=self._syndrome_slack(syndromes)
+        )
+        # Per-column polish: the Prony magnitudes carry O(ε·S) rounding
+        # that the whole-row erasure solve cannot absorb — the located
+        # rows sit outside its span.  One combined solve over
+        # erased ∪ located rows (k + t ≤ m unknowns, m+1 equations)
+        # against the residual syndromes removes it.
+        if corrections:
+            powers = np.arange(self.n_checksums, dtype=np.float64)[:, None]
+            resid = self.encode(tile) - strip
+            for corr in corrections:
+                combined = sorted(set(rows) | set(corr.rows))
+                locs = np.asarray(combined, dtype=np.float64) + 1.0
+                vand = locs[None, :] ** powers
+                delta, *_ = np.linalg.lstsq(vand, resid[:, corr.column], rcond=None)
+                for i, row in enumerate(combined):
+                    tile[row, corr.column] -= delta[i]
+        return changed, corrections
+
+    def _decode_mixed_column(
+        self,
+        t_mod: np.ndarray,
+        tol: np.ndarray,
+        locator: np.ndarray,
+        erased: list[int],
+        col: int,
+        t_max: int,
+    ) -> ColumnCorrection:
+        """Prony decoding on the modified syndromes; smallest count wins."""
+        erased_set = set(erased)
+        powers = np.arange(t_mod.shape[0], dtype=np.float64)
+        for k in range(1, t_max + 1):
+            got = self._try_k_errors(t_mod, k)
+            if got is None:
+                continue
+            found_rows, pseudo = got
+            if any(int(r) in erased_set for r in found_rows):
+                continue  # an "unknown" error at an erased row is aliasing
+            explained = np.zeros_like(t_mod)
+            for r, e in zip(found_rows, pseudo):
+                explained += e * (r + 1.0) ** powers
+            slack = np.maximum(tol, 1e-8 * np.abs(t_mod) + self.atol)
+            if not (np.abs(t_mod - explained) <= slack).all():
+                continue
+            gamma = np.polyval(locator[::-1], found_rows + 1.0)
+            mags = pseudo / gamma
+            return ColumnCorrection(
+                column=col,
+                rows=tuple(int(r) for r in found_rows),
+                magnitudes=tuple(float(e) for e in mags),
+            )
+        raise UnrecoverableError(
+            f"column {col}: modified syndromes not explainable by "
+            f"<= {t_max} unknown errors beyond {len(erased)} erasures"
+        )
 
     # -- syndrome decoding ----------------------------------------------------------
 
@@ -228,7 +387,7 @@ class MultiErrorCodec:
         self, s: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray] | None:
         """Candidate k-error explanation from 2k syndromes, or None."""
-        if 2 * k > self.n_checksums:
+        if 2 * k > s.shape[0]:
             return None
         hankel = np.empty((k, k))
         rhs = np.empty(k)

@@ -29,7 +29,7 @@ def _online_loop(run: SchemeRun) -> None:
     nb = run.nb
     run.encode()
     prev_trsm: Task | None = None
-    for j in range(nb):
+    for j in range(run.start_iteration, nb):
         upd.begin_iteration(j, deps=deps_of(prev_trsm))
         panel = [(i, j) for i in range(j + 1, nb)]
 
@@ -108,6 +108,7 @@ def _online_loop(run: SchemeRun) -> None:
         # The unprotected window: a storage error landing here is not seen
         # until the corrupted tile feeds a later operation.
         run.fire(Hook.STORAGE_WINDOW, j)
+        run.publish(j)
 
 
 def online_potrf(
@@ -118,8 +119,20 @@ def online_potrf(
     config: AbftConfig | None = None,
     injector: FaultInjector | None = None,
     numerics: str = "real",
+    start_iteration: int = 0,
+    progress=None,
 ) -> FtPotrfResult:
     """Factor with Online-ABFT protection (post-update verification)."""
     return run_with_recovery(
-        "online", _online_loop, machine, a, n, block_size, config, injector, numerics
+        "online",
+        _online_loop,
+        machine,
+        a,
+        n,
+        block_size,
+        config,
+        injector,
+        numerics,
+        start_iteration=start_iteration,
+        progress=progress,
     )

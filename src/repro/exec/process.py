@@ -48,8 +48,9 @@ from repro.exec.base import AttemptRequest, Executor, _SlotTimer
 from repro.exec.worker import worker_main
 from repro.faults.injector import FiredFault
 from repro.hetero.memory import SharedArena
+from repro.recovery.snapshot import SnapshotLayout, read_snapshot, zero_epochs
 from repro.service.metrics import MetricsRegistry
-from repro.service.policy import AttemptOutcome, job_matrix
+from repro.service.policy import RESUMABLE_SCHEMES, AttemptOutcome, job_matrix
 from repro.util.exceptions import (
     ExecutorError,
     ShmIntegrityError,
@@ -265,6 +266,26 @@ class ProcessExecutor(Executor):
         """
         self._arm({"corrupt_shm": True}, count)
 
+    def inject_midrun_crash(
+        self, after_iteration: int = 0, count: int = 1, corrupt_rows: tuple = ()
+    ) -> None:
+        """Arm worker death at an iteration boundary, snapshot published first.
+
+        Unlike :meth:`inject_crash` (which dies before any work), the
+        worker factors through iteration *after_iteration*, publishes the
+        snapshot, and only then ``os._exit``\\ s — the deterministic
+        stand-in for an OOM kill mid-attempt with salvageable state.
+        *corrupt_rows* additionally scribbles those global matrix rows of
+        the surviving snapshot before the parent reads it, turning them
+        into CRC-detected known-location erasures (rows sharing one block
+        row beyond the ``m``-erasure capacity force backward recovery).
+        """
+        require(after_iteration >= 0, "after_iteration must be >= 0")
+        overlay: dict = {"crash_after": int(after_iteration)}
+        if corrupt_rows:
+            overlay["corrupt_snapshot"] = tuple(int(r) for r in corrupt_rows)
+        self._arm(overlay, count)
+
     def _next_chaos(self) -> dict:
         with self._lock:
             return self._chaos.popleft() if self._chaos else {}
@@ -315,6 +336,8 @@ class ProcessExecutor(Executor):
     ) -> list[AttemptOutcome | BaseException]:
         views: list[np.ndarray | None] = []
         descs = []
+        snaps: list[np.ndarray | None] = []
+        snap_descs = []
         overlays: list[dict] = []
         items: list[dict] = []
         budget = 0.0
@@ -322,25 +345,46 @@ class ProcessExecutor(Executor):
             job = request.job
             chaos = self._next_chaos()
             view = desc = None
+            snap_view = snap_desc = None
             if job.numerics == "real":
                 view, desc = handle.arena.lease((job.n, job.n))
                 self._note_arena_lease(handle.arena.last_lease_reused)
                 np.copyto(view, job_matrix(job))
                 if chaos.get("truncate_shm"):
                     handle.arena.unlink_backing(desc.name)
+                if (
+                    request.kind == "attempt"
+                    and job.scheme in RESUMABLE_SCHEMES
+                    and job.n % job.block_size == 0
+                ):
+                    # Bad geometry is deliberately NOT caught here: the
+                    # job still ships (snapshot-less) so the scheme's own
+                    # typed error crosses the boundary from the worker.
+                    # Snapshot segment for forward recovery.  Not counted
+                    # as an arena op: it is transport plumbing for the
+                    # attempt's lease, not a second attempt.  The epoch
+                    # words are zeroed because the warm free-list reuses
+                    # segments byte-for-byte — a stale snapshot from a
+                    # previous job must never validate.
+                    layout = SnapshotLayout(job.n, job.block_size)
+                    snap_view, snap_desc = handle.arena.lease(layout.shape)
+                    zero_epochs(snap_view)
             item = {
                 "job": job,
                 "preset": request.preset,
                 "kind": request.kind,
                 "retry": request.retry,
                 "input": desc,
+                "snapshot": snap_desc,
             }
-            for key in ("crash", "wedge"):
+            for key in ("crash", "wedge", "crash_after"):
                 if key in chaos:
                     item[key] = chaos[key]
             items.append(item)
             views.append(view)
             descs.append(desc)
+            snaps.append(snap_view)
+            snap_descs.append(snap_desc)
             overlays.append(chaos)
             budget += request.timeout_s if request.timeout_s is not None else _DEFAULT_DEADLINE_S
         # Trimmed segment names ride along so the worker can drop the
@@ -365,9 +409,16 @@ class ProcessExecutor(Executor):
                     # The worker died (or wedged past its deadline) with
                     # these items unanswered: each gets its own error so
                     # every affected job re-enters the retry ladder; the
-                    # batch's already-settled survivors are untouched.
+                    # batch's already-streamed survivors are untouched.
+                    # Whatever iteration-boundary state the dead worker
+                    # published is salvaged off the error so the service
+                    # can attempt forward recovery before restarting.
                     for index in sorted(pending):
-                        results[index] = WorkerCrashedError(str(exc))
+                        err = WorkerCrashedError(str(exc))
+                        err.salvage = self._salvage_snapshot(
+                            requests[index].job, snaps[index], overlays[index]
+                        )
+                        results[index] = err
                     pending.clear()
                     clean = False
                     break
@@ -375,7 +426,13 @@ class ProcessExecutor(Executor):
                 if index not in pending:
                     continue  # duplicate/stale reply: drop it
                 settled = self._settle_item(
-                    handle, requests[index], reply, views[index], descs[index], overlays[index]
+                    handle,
+                    requests[index],
+                    reply,
+                    views[index],
+                    descs[index],
+                    overlays[index],
+                    snaps[index],
                 )
                 results[index], exec_wall = settled
                 if exec_wall is None:
@@ -384,7 +441,7 @@ class ProcessExecutor(Executor):
                     exec_wall_total += exec_wall
                 pending.discard(index)
         finally:
-            for desc in descs:
+            for desc in itertools.chain(descs, snap_descs):
                 if desc is not None:
                     handle.arena.end_lease(desc)
         if clean:
@@ -403,6 +460,7 @@ class ProcessExecutor(Executor):
         view: np.ndarray | None,
         desc,
         chaos: dict,
+        snap_view: np.ndarray | None = None,
     ) -> tuple[AttemptOutcome | BaseException, float | None]:
         """Turn one streamed item reply into an outcome or exception value.
 
@@ -439,17 +497,39 @@ class ProcessExecutor(Executor):
                 view[0, -1] += 1.0  # scribble between the worker's CRC stamp and our read
             if expected_crc is not None and zlib.crc32(view) != expected_crc:
                 self._note_transport_error("corrupt_factor")
-                return (
-                    ShmIntegrityError(
-                        f"worker {handle.worker_id}'s factor failed its CRC check crossing "
-                        "shared memory; result discarded, attempt requeued"
-                    ),
-                    None,
+                err = ShmIntegrityError(
+                    f"worker {handle.worker_id}'s factor failed its CRC check crossing "
+                    "shared memory; result discarded, attempt requeued"
                 )
+                # The factor bytes are untrusted, but the attempt's own
+                # iteration-boundary snapshots are independently CRC'd —
+                # salvage the freshest so recovery can resume forward.
+                err.salvage = self._salvage_snapshot(request.job, snap_view, chaos)
+                return err, None
             outcome.factor = np.array(view)  # detach from the arena before reuse
         else:
             outcome.extras.pop("factor_crc", None)
         return outcome, exec_wall
+
+    def _salvage_snapshot(self, job, snap_view: np.ndarray | None, chaos: dict):
+        """Read the freshest decodable snapshot off a failed item's segment.
+
+        Returns a :class:`~repro.recovery.salvage.Salvage` (parent-owned
+        copies; the lease may end immediately after) or ``None`` when the
+        attempt never published.  The ``corrupt_snapshot`` chaos overlay
+        scribbles the named matrix rows first, so their CRCs fail and the
+        reader classifies them as known-location erasures.
+        """
+        if snap_view is None:
+            return None
+        layout = SnapshotLayout(job.n, job.block_size)
+        for row in chaos.get("corrupt_snapshot", ()):
+            for slot in range(2):
+                layout.matrix_view(snap_view[slot])[row, :] += 1.0
+        salvage = read_snapshot(snap_view, layout)
+        if salvage is not None and (salvage.bad_matrix_rows or salvage.bad_chk_rows):
+            self._note_transport_error("snapshot_rows")
+        return salvage
 
     @staticmethod
     def _sync_injector(job, state: dict | None) -> None:

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.hetero.machine import Machine
 from repro.hetero.memory import ShmDescriptor, attach_shared_array
+from repro.recovery.snapshot import SnapshotLayout, SnapshotWriter
 from repro.service.policy import execute_attempt, execute_fallback
 from repro.util.exceptions import ReproError
 
@@ -136,7 +137,7 @@ def injector_state(payload: dict, fired_before: int) -> dict | None:
     }
 
 
-def run_task(payload: dict, state: WorkerState) -> Any:
+def run_task(payload: dict, state: WorkerState, outbox: Any = None) -> Any:
     """Execute one attempt/fallback payload; returns the reply outcome.
 
     Real-mode matrices arrive and leave through the payload's shm
@@ -144,14 +145,40 @@ def run_task(payload: dict, state: WorkerState) -> Any:
     and the factored bytes are written back into the same segment (the
     outcome's ``factor`` field is stripped before pickling —
     ``extras["factor_in_shm"]`` tells the parent to reattach it).
+
+    When the payload carries a ``snapshot`` descriptor, the attempt's
+    driver publishes iteration-boundary state into that segment
+    (:class:`~repro.recovery.snapshot.SnapshotWriter`) so the parent can
+    salvage a crashed attempt forward instead of restarting it.  The
+    ``crash_after`` chaos key kills the process at the first boundary at
+    or past that iteration — *after* the publish, so the snapshot is the
+    deterministic survivor.
     """
     job = payload["job"]
     machine = state.machine(payload["preset"])
     desc: ShmDescriptor | None = payload.get("input")
     a = state.view(desc) if desc is not None else None
     scratch = state.scratch_for(a.shape) if a is not None else None
+    progress = None
+    snap_desc: ShmDescriptor | None = payload.get("snapshot")
+    if snap_desc is not None and payload["kind"] == "attempt" and a is not None:
+        writer = SnapshotWriter(state.view(snap_desc), SnapshotLayout(job.n, job.block_size))
+        crash_after = payload.get("crash_after")
+
+        def progress(iteration: int, matrix: np.ndarray, chk: np.ndarray) -> None:
+            writer.publish(iteration, matrix, chk)
+            if crash_after is not None and iteration >= crash_after:
+                # Chaos hook: die at a deterministic iteration boundary.
+                # Flush the outbox feeder first (same discipline as the
+                # batch-level crash hook) so already-streamed replies
+                # survive; the snapshot just published is the salvage.
+                if outbox is not None:
+                    outbox.close()
+                    outbox.join_thread()
+                os._exit(44)
+
     if payload["kind"] == "attempt":
-        outcome = execute_attempt(job, machine, a=a, scratch=scratch)
+        outcome = execute_attempt(job, machine, a=a, scratch=scratch, progress=progress)
     else:
         outcome = execute_fallback(job, machine, payload["retry"], a=a, scratch=scratch)
     if desc is not None and outcome.factor is not None:
@@ -175,7 +202,7 @@ def _run_item(batch_id: int, index: int, payload: dict, state: WorkerState, outb
     # BaseExceptions mean this process should die and let the parent's
     # respawn path take over, not keep serving in an unknown state.
     try:
-        reply = run_task(payload, state)
+        reply = run_task(payload, state, outbox)
         # The parent pops this before anyone compares extras: it feeds
         # the dispatch-overhead EWMA (wire+pickle time = round-trip
         # minus the compute the worker actually did).

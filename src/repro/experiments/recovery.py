@@ -1,0 +1,202 @@
+"""Forward-recovery benchmark: what does a crash cost with salvage vs without?
+
+Two curves make the erasure-recovery layer's case:
+
+- **capacity vs overhead** — each extra checksum row buys one more
+  survivable erasure (and half an unknown error) per tile column, at a
+  linear recalculation and storage cost.  This is the knob that sets how
+  many simultaneous row losses a salvaged snapshot can decode through.
+- **forward vs backward** — a worker crash after iteration *j* leaves a
+  snapshot holding iterations ``0..j``.  Forward recovery replays only
+  the remaining iterations; backward recovery (a full retry) replays
+  everything.  The recomputed-work ratio falls with *j* exactly as the
+  trailing-flops fraction predicts, and the resumed factor is
+  bit-identical to the uninterrupted run.
+
+``python -m repro recovery`` regenerates ``results/BENCH_recovery.json``
+(same stamp/history conventions as the hotpath and chaos documents); the
+exit code gates on bit-identity and on forward work staying strictly
+below a restart for every crash point past iteration 0.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.multierror import MultiErrorCodec, recalc_flops
+from repro.experiments.stamp import run_stamp
+from repro.hetero.machine import Machine
+from repro.recovery import (
+    SnapshotLayout,
+    SnapshotWriter,
+    choose_recovery,
+    execute_resume,
+    read_snapshot,
+    zero_epochs,
+)
+from repro.service.job import Job
+from repro.service.policy import execute_attempt
+from repro.util.formatting import render_table
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_positive
+
+SCHEMA_VERSION = 1
+
+#: checksum counts on the capacity/overhead curve
+COUNTS = (2, 3, 4, 6, 8)
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def _capacity_curve(block_size: int, repeats: int) -> list[dict[str, Any]]:
+    tile = resolve_rng(0).standard_normal((block_size, block_size))
+    rows = []
+    for m in COUNTS:
+        codec = MultiErrorCodec(block_size, n_checksums=m)
+        strip = codec.encode(tile)
+        rows.append(
+            {
+                "checksums": m,
+                "correct_unknown": codec.correctable_unknown,
+                "correct_erasures": codec.correctable_erasures,
+                "recalc_flops": recalc_flops(block_size, m),
+                "space_overhead": m / block_size,
+                "verify_s": _median_seconds(
+                    lambda: codec.verify_and_correct(tile.copy(), strip), repeats
+                ),
+            }
+        )
+    return rows
+
+
+def run(
+    n: int = 256,
+    block_size: int = 32,
+    machine: str = "tardis",
+    scheme: str = "enhanced",
+    seed: int = 11,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Measure the forward-recovery trade across every crash iteration."""
+    check_positive("repeats", repeats)
+    mach = Machine.preset(machine)
+    job = Job(job_id=1, n=n, block_size=block_size, scheme=scheme, seed=seed)
+    nb = n // block_size
+    layout = SnapshotLayout(n, block_size)
+
+    # One uninterrupted run, capturing the snapshot state after every
+    # iteration — each capture is exactly what a crash at that point
+    # would leave behind for the parent to salvage.
+    captures: list[np.ndarray] = []
+    buf = np.zeros(layout.shape)
+    zero_epochs(buf)
+    writer = SnapshotWriter(buf, layout)
+
+    def capture(iteration: int, matrix: np.ndarray, chk: np.ndarray) -> None:
+        writer.publish(iteration, matrix, chk)
+        captures.append(buf.copy())
+
+    ref = execute_attempt(job, mach, progress=capture)
+    backward_s = _median_seconds(lambda: execute_attempt(job, mach), repeats)
+
+    crash_grid: list[dict[str, Any]] = []
+    bit_identical = True
+    for j, snap in enumerate(captures[:-1]):  # a crash after the last
+        # iteration leaves nothing to resume
+        salvage = read_snapshot(snap, layout)
+        decision = choose_recovery(job, mach, salvage)
+        forward_s = _median_seconds(
+            lambda: execute_resume(job, mach, read_snapshot(snap, layout)), repeats
+        )
+        out = execute_resume(job, mach, read_snapshot(snap, layout))
+        identical = bool(np.array_equal(out.factor, ref.factor))
+        bit_identical = bit_identical and identical
+        crash_grid.append(
+            {
+                "crash_after_iteration": j,
+                "resume_iteration": salvage.resume_iteration,
+                "recovered_fraction": decision.recovered_fraction,
+                "recomputed_fraction": 1.0 - decision.recovered_fraction,
+                "forward": decision.forward,
+                "forward_s": forward_s,
+                "backward_s": backward_s,
+                "wall_ratio": forward_s / backward_s,
+                "bit_identical": identical,
+            }
+        )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "python -m repro recovery",
+        "stamp": run_stamp(),
+        "machine": machine,
+        "scheme": scheme,
+        "n": n,
+        "block_size": block_size,
+        "nb": nb,
+        "seed": seed,
+        "repeats": repeats,
+        "capacity": _capacity_curve(block_size, repeats),
+        "crash_grid": crash_grid,
+        "backward_s": backward_s,
+        "bit_identical": bit_identical,
+    }
+
+
+def render(doc: dict[str, Any]) -> str:
+    cap = render_table(
+        ["checksums", "erasures", "unknown", "recalc flops/tile", "space", "verify s"],
+        [
+            (
+                r["checksums"],
+                r["correct_erasures"],
+                r["correct_unknown"],
+                r["recalc_flops"],
+                f"{r['space_overhead']:.4f}",
+                f"{r['verify_s']:.2e}",
+            )
+            for r in doc["capacity"]
+        ],
+        title=f"erasure capacity vs overhead — B={doc['block_size']}",
+    )
+    grid = render_table(
+        ["crash after", "resume at", "banked", "recomputed", "fwd s", "bwd s", "ratio", "bits"],
+        [
+            (
+                r["crash_after_iteration"],
+                r["resume_iteration"],
+                f"{r['recovered_fraction']:.2f}",
+                f"{r['recomputed_fraction']:.2f}",
+                f"{r['forward_s']:.3f}",
+                f"{r['backward_s']:.3f}",
+                f"{r['wall_ratio']:.2f}",
+                "=" if r["bit_identical"] else "DIVERGED",
+            )
+            for r in doc["crash_grid"]
+        ],
+        title=(
+            f"forward vs backward recovery — {doc['scheme']}, "
+            f"n={doc['n']}, nb={doc['nb']}"
+        ),
+    )
+    return cap + "\n\n" + grid
+
+
+def write(doc: dict[str, Any], path: str | Path) -> Path:
+    """Write the bench document as stable, diffable JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

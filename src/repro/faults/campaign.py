@@ -99,6 +99,71 @@ def sample_injector(
     return FaultInjector([sample_plan(spec, block_size, gen) for _ in range(count)])
 
 
+def sample_burst(
+    spec: CampaignSpec,
+    block_size: int,
+    rng: np.random.Generator | int | None = None,
+    count: int = 2,
+    iteration: int | None = None,
+    same_column: bool = False,
+) -> list[FaultPlan]:
+    """*count* storage faults sharing ONE vulnerability window (a burst).
+
+    The window's iteration is sampled once (or pinned by *iteration*), then
+    each fault gets its own victim site.  ``same_column=True`` stacks the
+    whole burst into one tile column at distinct rows — the adversarial
+    pattern that defeats a per-column code once ``count`` exceeds its
+    correction capacity, which the beyond-capacity tests rely on to force
+    detection-then-restart.  Like :func:`sample_plan`, all randomness
+    comes from *rng* alone, so schedule interleaving cannot change where
+    a burst lands.
+    """
+    check_positive("count", count)
+    require(spec.kind == "storage", "bursts strike the storage window")
+    gen = resolve_rng(rng)
+    nb = spec.nb
+    window = int(gen.integers(0, max(nb - 1, 1))) if iteration is None else int(iteration)
+    require(0 <= window < nb, "burst iteration out of range")
+    plans: list[FaultPlan] = []
+    if same_column:
+        i = int(gen.integers(0, nb))
+        j = int(gen.integers(0, i + 1))
+        col = int(gen.integers(0, block_size))
+        rows = gen.choice(block_size, size=min(count, block_size), replace=False)
+        for r in sorted(int(r) for r in rows):
+            plans.append(
+                FaultPlan(
+                    hook=Hook.STORAGE_WINDOW,
+                    iteration=window,
+                    kind="storage",
+                    block=(i, j),
+                    coord=(0, col) if spec.target == "checksum" else (r, col),
+                    target=spec.target,
+                    bit=int(gen.choice(spec.bits)),
+                )
+            )
+        return plans
+    seen: set[tuple] = set()
+    while len(plans) < count:
+        plan = sample_plan(spec, block_size, gen)
+        site = (plan.block, plan.coord)
+        if site in seen:
+            continue  # distinct sites: two flips on one cell can cancel
+        seen.add(site)
+        plans.append(
+            FaultPlan(
+                hook=Hook.STORAGE_WINDOW,
+                iteration=window,
+                kind="storage",
+                block=plan.block,
+                coord=plan.coord,
+                target=plan.target,
+                bit=plan.bit,
+            )
+        )
+    return plans
+
+
 @dataclass
 class CampaignOutcome:
     """Aggregated results of one campaign."""

@@ -241,4 +241,38 @@ def single_storage_fault(
         ]
     )
 
+def burst_storage_faults(
+    sites: "list[tuple[tuple[int, int], tuple[int, int]]]",
+    iteration: int = 0,
+    bit: int | None = None,
+    target: str = "matrix",
+) -> FaultInjector:
+    """A multi-fault burst: every *site* struck in ONE vulnerability window.
+
+    *sites* is a list of ``(block, coord)`` victims; all of them flip in
+    the same iteration's post-verification storage window — the "multiple
+    errors between two verifications" regime the multi-checksum code
+    (:mod:`repro.core.multierror`) exists for.  Because every plan shares
+    one hook anchor, serial, threaded, and tile-DAG schedules all fire
+    the burst at the identical dataflow point (see
+    :func:`repro.runtime.cholesky.anchored_plans`), and the one-shot
+    ``fired`` flags keep the whole burst from replaying on retries.
+    """
+    require(len(sites) >= 1, "a burst needs at least one site")
+    return FaultInjector(
+        [
+            FaultPlan(
+                hook=Hook.STORAGE_WINDOW,
+                iteration=iteration,
+                kind="storage",
+                block=tuple(block),
+                coord=tuple(coord),
+                bit=bit,
+                target=target,
+            )
+            for block, coord in sites
+        ]
+    )
+
+
 _TaintState = TaintState  # re-export convenience for type checkers

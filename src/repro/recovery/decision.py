@@ -1,0 +1,111 @@
+"""Forward-vs-backward recovery: the cost model behind the ladder rung.
+
+Following the forward/backward-recovery analysis of the PCG paper,
+recovering *forward* (reconstruct the erased rows from checksum
+redundancy, re-verify, resume at the snapshot's iteration) is compared
+against recovering *backward* (throw the attempt away and restart from
+the beginning — the existing retry rung):
+
+``forward  ≈ T_potrf · remaining_flops/total_flops + T_repair``
+``backward ≈ T_potrf``
+
+with ``T_potrf`` from :meth:`~repro.hetero.costmodel.CostModel.
+potrf_seconds` and the left-looking per-iteration flop profile deciding
+how much of the factorization the snapshot already banked.  Forward is
+chosen only when the salvage is decodable at all (scheme resumable,
+erasure pattern within the ``m``-per-block-row capacity) *and* cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blas import flops as fl
+from repro.core.multierror import recalc_flops
+from repro.hetero.machine import Machine
+from repro.recovery.salvage import Salvage
+from repro.service.job import Job
+from repro.service.policy import RESUMABLE_SCHEMES
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """Outcome of one forward-vs-backward deliberation."""
+
+    forward: bool
+    reason: str
+    forward_cost_s: float
+    backward_cost_s: float
+    #: fraction of the factorization's flops the snapshot already holds
+    recovered_fraction: float = 0.0
+
+
+def iteration_flops(j: int, nb: int, block_size: int) -> int:
+    """Left-looking iteration *j*'s flops (SYRK + GEMM + POTF2 + TRSM)."""
+    b = block_size
+    total = fl.potrf_flops(b)
+    if j > 0:
+        total += (nb - j) * fl.gemm_flops(b, b, j * b)  # SYRK row + GEMM panel
+    if j + 1 < nb:
+        total += (nb - j - 1) * fl.trsm_flops(b, b)
+    return total
+
+
+def completed_fraction(start_iteration: int, nb: int, block_size: int) -> float:
+    """Fraction of total factorization flops in iterations < *start_iteration*."""
+    require(0 <= start_iteration <= nb, "start_iteration out of range")
+    per = [iteration_flops(j, nb, block_size) for j in range(nb)]
+    total = sum(per)
+    if total == 0:
+        return 1.0
+    return sum(per[:start_iteration]) / total
+
+
+def choose_recovery(job: Job, machine: Machine, salvage: Salvage | None) -> RecoveryDecision:
+    """Decide whether to decode forward from *salvage* or restart."""
+    if salvage is None:
+        return RecoveryDecision(False, "no salvageable snapshot", 0.0, 0.0)
+    if job.numerics != "real":
+        return RecoveryDecision(False, "shadow attempts carry no bytes to salvage", 0.0, 0.0)
+    if job.scheme not in RESUMABLE_SCHEMES:
+        return RecoveryDecision(
+            False, f"scheme {job.scheme!r} does not support mid-run resume", 0.0, 0.0
+        )
+    if (salvage.n, salvage.block_size) != (job.n, job.block_size):
+        return RecoveryDecision(False, "snapshot geometry does not match the job", 0.0, 0.0)
+    ok, why = salvage.feasibility()
+    cost = machine.context(numerics="shadow").cost
+    full = cost.potrf_seconds(job.n, job.block_size, scheme=job.scheme)
+    if not ok:
+        return RecoveryDecision(False, why, full, full)
+    nb = salvage.nb
+    done = completed_fraction(salvage.resume_iteration, nb, job.block_size)
+    # Repair = one strip recalculation per lower-triangle tile (the salvage
+    # verification sweep) plus the per-erasure Vandermonde solves; both run
+    # at BLAS-3-ish rates, so bill them at the sustained GEMM rate.
+    n_lower = nb * (nb + 1) // 2
+    erased_tiles = sum(
+        i + 1 for i in salvage.erasures()
+    )  # every tile of an affected block row is re-solved
+    repair_flops = n_lower * recalc_flops(job.block_size, salvage.n_checksums)
+    repair_flops += erased_tiles * 2 * salvage.n_checksums**2 * job.block_size
+    repair_s = repair_flops / (cost.gpu_sustained_gflops("gemm") * 1e9)
+    forward_cost = full * (1.0 - done) + repair_s
+    backward_cost = full
+    if forward_cost < backward_cost:
+        return RecoveryDecision(
+            True,
+            f"resume at iteration {salvage.resume_iteration}/{nb} "
+            f"({done:.0%} of the work already banked)",
+            forward_cost,
+            backward_cost,
+            recovered_fraction=done,
+        )
+    return RecoveryDecision(
+        False,
+        "snapshot too young: reconstruct + resume costs no less than a restart",
+        forward_cost,
+        backward_cost,
+        recovered_fraction=done,
+    )

@@ -1,0 +1,165 @@
+"""Iteration-boundary snapshots over shared memory (seqlock + row CRCs).
+
+The worker publishes a snapshot after each outer iteration's storage
+window closes: the full matrix (columns ``0..j`` final L, the rest still
+the original A), the maintained checksum strips, one CRC32 per row of
+each, and an 8-word header.  Two slots alternate so a crash mid-write
+tears at most the slot being written — the previous epoch survives
+intact in the other slot.
+
+Write ordering is the seqlock discipline: payload first, row CRCs next,
+header fields, and the **epoch word last**.  The parent zeroes both
+epoch words before every dispatch (:func:`zero_epochs`) because the
+arena's warm free-list reuses segments byte-for-byte — a stale epoch
+from a previous job must never validate.
+
+The reader (:func:`read_snapshot`) only runs once the worker is dead or
+the attempt has been settled, so there is no live concurrency; the CRCs
+exist to *localize* damage, not to synchronize.  Rows whose CRC does not
+match are reported as known-location erasures for
+:mod:`repro.recovery.salvage` to reconstruct.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.config import AbftConfig
+from repro.recovery.salvage import Salvage
+from repro.util.validation import check_block_size, check_positive, require
+
+#: Header words: epoch, iteration, n, block_size, n_checksums, plus spares.
+HEADER_LEN = 8
+
+
+class SnapshotLayout:
+    """Float64 offsets of one snapshot slot (two slots per segment)."""
+
+    def __init__(self, n: int, block_size: int, n_checksums: int | None = None) -> None:
+        check_positive("n", n)
+        nb = check_block_size(n, block_size)
+        if n_checksums is None:
+            n_checksums = AbftConfig().n_checksums
+        self.n = n
+        self.block_size = block_size
+        self.n_checksums = n_checksums
+        self.nb = nb
+        self.chk_rows = n_checksums * nb
+        self.mat_crc_off = HEADER_LEN
+        self.chk_crc_off = self.mat_crc_off + n
+        self.mat_off = self.chk_crc_off + self.chk_rows
+        self.chk_off = self.mat_off + n * n
+        self.slot_len = self.chk_off + self.chk_rows * n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The (slots, floats-per-slot) geometry an arena lease needs."""
+        return (2, self.slot_len)
+
+    def matrix_view(self, slot: np.ndarray) -> np.ndarray:
+        return slot[self.mat_off : self.mat_off + self.n * self.n].reshape(self.n, self.n)
+
+    def chk_view(self, slot: np.ndarray) -> np.ndarray:
+        return slot[self.chk_off : self.chk_off + self.chk_rows * self.n].reshape(
+            self.chk_rows, self.n
+        )
+
+
+def row_crcs(array: np.ndarray) -> np.ndarray:
+    """One CRC32 per row, as exactly representable float64 values."""
+    out = np.empty(array.shape[0], dtype=np.float64)
+    for r in range(array.shape[0]):
+        out[r] = float(zlib.crc32(np.ascontiguousarray(array[r])))
+    return out
+
+
+def zero_epochs(buf: np.ndarray) -> None:
+    """Invalidate both slots before a dispatch (stale-reuse guard)."""
+    buf[0, 0] = 0.0
+    buf[1, 0] = 0.0
+
+
+class SnapshotWriter:
+    """Publishes iteration-boundary state into a leased snapshot segment.
+
+    The epoch counter is the writer's own monotone sequence (not the
+    iteration number): an in-scheme restart replays iterations from the
+    resume point, and the freshest *publish* must still win the
+    two-slot race regardless.
+    """
+
+    def __init__(self, buf: np.ndarray, layout: SnapshotLayout) -> None:
+        require(buf.shape == layout.shape, "snapshot buffer/layout mismatch")
+        self.buf = buf
+        self.layout = layout
+        self._epoch = 0
+
+    def publish(self, iteration: int, matrix: np.ndarray, chk: np.ndarray) -> None:
+        lay = self.layout
+        require(matrix.shape == (lay.n, lay.n), "snapshot matrix shape mismatch")
+        require(chk.shape == (lay.chk_rows, lay.n), "snapshot strip shape mismatch")
+        self._epoch += 1
+        slot = self.buf[self._epoch % 2]
+        slot[0] = 0.0  # invalidate while this slot is torn
+        lay.matrix_view(slot)[:] = matrix
+        lay.chk_view(slot)[:] = chk
+        slot[lay.mat_crc_off : lay.mat_crc_off + lay.n] = row_crcs(matrix)
+        slot[lay.chk_crc_off : lay.chk_crc_off + lay.chk_rows] = row_crcs(chk)
+        slot[1] = float(iteration)
+        slot[2] = float(lay.n)
+        slot[3] = float(lay.block_size)
+        slot[4] = float(lay.n_checksums)
+        slot[5:HEADER_LEN] = 0.0
+        slot[0] = float(self._epoch)  # epoch last: slot is now claimable
+
+
+def _read_slot(slot: np.ndarray, lay: SnapshotLayout) -> Salvage | None:
+    """Decode one slot, or ``None`` when its header cannot be trusted."""
+    header = slot[:HEADER_LEN]
+    if not np.isfinite(header).all():
+        return None
+    epoch = int(header[0])
+    iteration = int(header[1])
+    if epoch < 1 or not 0 <= iteration < lay.nb:
+        return None
+    if (int(header[2]), int(header[3]), int(header[4])) != (
+        lay.n,
+        lay.block_size,
+        lay.n_checksums,
+    ):
+        return None
+    matrix = np.array(lay.matrix_view(slot))
+    chk = np.array(lay.chk_view(slot))
+    want_mat = slot[lay.mat_crc_off : lay.mat_crc_off + lay.n]
+    want_chk = slot[lay.chk_crc_off : lay.chk_crc_off + lay.chk_rows]
+    bad_matrix = tuple(int(r) for r in np.nonzero(row_crcs(matrix) != want_mat)[0])
+    bad_chk = tuple(int(r) for r in np.nonzero(row_crcs(chk) != want_chk)[0])
+    return Salvage(
+        iteration=iteration,
+        n=lay.n,
+        block_size=lay.block_size,
+        n_checksums=lay.n_checksums,
+        matrix=matrix,
+        chk=chk,
+        bad_matrix_rows=bad_matrix,
+        bad_chk_rows=bad_chk,
+        epoch=epoch,
+    )
+
+
+def read_snapshot(buf: np.ndarray, layout: SnapshotLayout) -> Salvage | None:
+    """Salvage the freshest decodable snapshot, or ``None`` if none exists.
+
+    Slots are tried newest-epoch first; a slot torn by a mid-write crash
+    (header invalid) falls back to the other.  The returned
+    :class:`~repro.recovery.salvage.Salvage` owns copies of the payload —
+    callers may end the arena lease immediately after.
+    """
+    order = sorted(range(2), key=lambda s: buf[s, 0], reverse=True)
+    for s in order:
+        got = _read_slot(buf[s], layout)
+        if got is not None:
+            return got
+    return None

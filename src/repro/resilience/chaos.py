@@ -46,13 +46,15 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.experiments.stamp import run_stamp
+from repro.faults.injector import burst_storage_faults
 from repro.hetero.machine import Machine
+from repro.magma.host import factorization_residual
 from repro.resilience.breaker import BreakerPolicy, BreakerState
 from repro.resilience.journal import incomplete_jobs, read_journal
 from repro.service.core import ServiceConfig, SolveService
 from repro.service.job import Job, JobStatus
 from repro.service.metrics import counter_regressions
-from repro.service.policy import execute_attempt
+from repro.service.policy import execute_attempt, job_matrix
 from repro.runtime.task import TASK_KINDS
 from repro.util.validation import require
 
@@ -191,6 +193,20 @@ def _evaluate(
         m.histogram(f"runtime_task_seconds_{kind}").count
         == m["runtime_task_total"].value(kind=kind)
         for kind in TASK_KINDS
+    )
+    # Forward-recovery consistency: every salvage deliberation (forward or
+    # backward) was provoked by a worker death or a transport fault — the
+    # ladder never invents recovery work — and erasure reconstructions only
+    # happen inside successful forward resumes.
+    recoveries = m["recovery_forward_total"].value() + m["recovery_backward_total"].value()
+    faults_seen = (
+        m["executor_worker_restarts_total"].value()
+        + m["executor_transport_errors_total"].value()
+    )
+    executor_ok = executor_ok and recoveries <= faults_seen
+    executor_ok = executor_ok and (
+        m["recovery_erasure_tiles_total"].value() == 0
+        or m["recovery_forward_total"].value() >= 1
     )
 
     invariants = {
@@ -725,6 +741,164 @@ def scenario_dag_worker_stall(cfg: ChaosConfig) -> ScenarioResult:
     )
 
 
+def scenario_erasure_forward_recovery(cfg: ChaosConfig) -> ScenarioResult:
+    """A worker dies mid-attempt with a scribbled snapshot row; the parent
+    salvages the surviving tiles, reconstructs the CRC-failing row from the
+    checksum strips (a known-location erasure), and resumes from the crashed
+    iteration — banked work is kept, a full restart is never paid."""
+    workdir = (
+        Path(cfg.workdir) if cfg.workdir is not None else Path(tempfile.mkdtemp(prefix="chaos-"))
+    )
+    journal_path = workdir / "erasure_forward.journal.jsonl"
+    if journal_path.exists():
+        journal_path.unlink()
+    jobs = _jobs(cfg)
+    refs = _reference_factors(jobs)
+    service = _service(cfg, journal_path=journal_path)
+    t0 = time.monotonic()
+
+    async def run() -> dict:
+        # Queue first so the armed overlay deterministically hits job 0.
+        for job in jobs:
+            service.submit(job)
+        await service.start_executor()
+        try:
+            service.executor.inject_midrun_crash(after_iteration=0, count=1, corrupt_rows=(3,))
+            service.start()
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
+
+    mid = asyncio.run(run())
+    m = service.metrics
+    forward = int(m["recovery_forward_total"].value())
+    erasure_tiles = int(m["recovery_erasure_tiles_total"].value())
+    # An erasure-reconstructed factor is correct to rounding, not bit-identical;
+    # hold it to the residual gate and keep bit-identity for everyone else.
+    exact_refs: dict[int, np.ndarray] = {}
+    repaired = 0
+    repaired_ok = True
+    for job in jobs:
+        result = service.results.get(job.job_id)
+        ref = refs[job.job_id]
+        if result is None or result.factor is None:
+            continue
+        if np.array_equal(result.factor, ref):
+            exact_refs[job.job_id] = ref
+            continue
+        repaired += 1
+        close = np.allclose(np.tril(result.factor), np.tril(ref), atol=1e-8)
+        gate = factorization_residual(job_matrix(job), result.factor) < 1e-9
+        repaired_ok = repaired_ok and close and gate
+    recovery_records = [
+        r for r in read_journal(journal_path) if r["event"] == "recovery" and r.get("forward")
+    ]
+    # Forward recovery must bank work: every resume starts past iteration 0,
+    # so the recomputed span is strictly smaller than a restart from scratch.
+    work_banked = bool(recovery_records) and all(
+        r.get("resume_iteration", -1) >= 1 for r in recovery_records
+    )
+    return _evaluate(
+        "erasure_forward_recovery",
+        cfg,
+        service,
+        jobs,
+        exact_refs,
+        mid,
+        time.monotonic() - t0,
+        extra={
+            "all_completed": _all_completed(service, jobs),
+            "forward_recovered": forward >= 1,
+            "erasure_reconstructed": erasure_tiles >= 1,
+            "repaired_factor_within_gate": repaired <= 1 and repaired_ok,
+            "resume_banked_work": work_banked,
+        },
+        notes={
+            "forward": forward,
+            "erasure_tiles": erasure_tiles,
+            "repaired_jobs": repaired,
+            "resume_iterations": [r.get("resume_iteration") for r in recovery_records],
+        },
+    )
+
+
+def scenario_burst_beyond_capacity(cfg: ChaosConfig) -> ScenarioResult:
+    """Losses past code capacity escalate loudly — never a silently wrong factor.
+
+    Two jobs carry same-column storage bursts that defeat the per-column
+    code inside the scheme (detection forces a clean in-attempt restart),
+    and one worker dies mid-attempt with TWO scribbled rows in one block
+    row — more erasures than the snapshot's strips can solve, so salvage
+    must decline and the retry ladder escalates backward to a full,
+    fault-free retry.  Every job still completes bit-identically:
+    beyond-capacity damage costs time, never correctness.
+    """
+    jobs = _jobs(cfg)
+    burst_ids = []
+    for offset, sites in enumerate(
+        ([((1, 0), (3, 5)), ((1, 0), (9, 5))], [((1, 1), (2, 4)), ((1, 1), (11, 4))])
+    ):
+        job_id = cfg.jobs + offset
+        burst_ids.append(job_id)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                n=cfg.n,
+                scheme=cfg.scheme,
+                block_size=cfg.block_size,
+                seed=cfg.seed,
+                injector=burst_storage_faults(sites, iteration=0),
+            )
+        )
+    refs = _reference_factors(jobs)  # specs drop injectors: fault-free oracles
+    service = _service(cfg)
+    t0 = time.monotonic()
+
+    async def run() -> dict:
+        # Queue first: the beyond-capacity crash overlay lands on job 0
+        # (injector-free), the burst jobs ride in the same load behind it.
+        for job in jobs:
+            service.submit(job)
+        await service.start_executor()
+        try:
+            service.executor.inject_midrun_crash(
+                after_iteration=0, count=1, corrupt_rows=(1, 5)
+            )
+            service.start()
+            return service.metrics.counters_snapshot()
+        finally:
+            await service.stop()
+
+    mid = asyncio.run(run())
+    m = service.metrics
+    forward = int(m["recovery_forward_total"].value())
+    backward = int(m["recovery_backward_total"].value(reason="declined"))
+    burst_restarts = [
+        (r := service.results.get(job_id)) is not None and r.restarts >= 1
+        for job_id in burst_ids
+    ]
+    return _evaluate(
+        "burst_beyond_capacity",
+        cfg,
+        service,
+        jobs,
+        refs,
+        mid,
+        time.monotonic() - t0,
+        extra={
+            "all_completed": _all_completed(service, jobs),
+            "salvage_escalated_backward": backward >= 1,
+            "no_forward_past_capacity": forward == 0,
+            "bursts_detected_in_scheme": all(burst_restarts),
+        },
+        notes={
+            "backward_declined": backward,
+            "burst_jobs": burst_ids,
+            "burst_restarts": burst_restarts,
+        },
+    )
+
+
 # -- cluster scenarios ---------------------------------------------------------
 
 
@@ -1015,14 +1189,23 @@ SCENARIOS: dict[str, Callable[[ChaosConfig], ScenarioResult]] = {
     "breaker_failover": scenario_breaker_failover,
     "kill_restart": scenario_kill_restart,
     "dag_worker_stall": scenario_dag_worker_stall,
+    "erasure_forward_recovery": scenario_erasure_forward_recovery,
+    "burst_beyond_capacity": scenario_burst_beyond_capacity,
     "cluster_shard_kill": scenario_cluster_shard_kill,
     "cluster_partition": scenario_cluster_partition,
     "cluster_rejoin": scenario_cluster_rejoin,
 }
 
 #: the CI smoke subset: one crash-retry path, the breaker degradation
-#: path, and the kill-and-restart journal recovery proof.
-QUICK_SCENARIOS = ("worker_crash", "breaker_failover", "kill_restart")
+#: path, the kill-and-restart journal recovery proof, and both sides of
+#: the erasure-recovery ladder (forward resume, beyond-capacity escalation).
+QUICK_SCENARIOS = (
+    "worker_crash",
+    "breaker_failover",
+    "kill_restart",
+    "erasure_forward_recovery",
+    "burst_beyond_capacity",
+)
 
 
 def run_chaos(

@@ -198,6 +198,15 @@ class SolveService:
         self._restarts = m.counter("service_restarts_total", "scheme-level restarts/rollbacks")
         self._retries = m.counter("service_retries_total", "service-level retries")
         self._fallbacks = m.counter("service_fallbacks_total", "checkpoint-baseline fallbacks")
+        self._recovery_forward = m.counter(
+            "recovery_forward_total", "attempts recovered forward from salvaged snapshots"
+        )
+        self._recovery_backward = m.counter(
+            "recovery_backward_total", "salvage deliberations that escalated to restart"
+        )
+        self._recovery_erasure_tiles = m.counter(
+            "recovery_erasure_tiles_total", "tiles reconstructed from known-row erasures"
+        )
         self._timeouts = m.counter("service_timeouts_total", "attempts cancelled by timeout")
         self._incorrect = m.counter(
             "service_incorrect_results_total", "completed factorizations failing the residual gate"
@@ -484,6 +493,7 @@ class SolveService:
                         worker,
                         first_error=f"attempt 1: {outcomes[index]}",
                         started_at=started,
+                        first_salvage=getattr(outcomes[index], "salvage", None),
                     )
                     for index in laggards
                 )
@@ -498,6 +508,7 @@ class SolveService:
         worker: Worker,
         first_error: str | None = None,
         started_at: float | None = None,
+        first_salvage=None,
     ) -> JobResult:
         """Run one admitted job to a terminal state (the timeout-guarded handler).
 
@@ -505,7 +516,9 @@ class SolveService:
         (already executed and journaled by :meth:`_run_batch`) enter the
         ladder as if rung 1 just failed here — the backoff, injector
         disarm, fallback, and journal records from attempt 2 on are
-        byte-identical to a singleton dispatch.
+        byte-identical to a singleton dispatch; ``first_salvage`` carries
+        that attempt's salvaged snapshot, if any, into the
+        erasure-recover rung.
         """
         # Deferred: repro.exec.base imports service modules, so a module-level
         # import here would be circular when repro.exec loads first.
@@ -519,6 +532,7 @@ class SolveService:
         outcome = None
         error: str | None = None
         pending_error = first_error
+        salvage = first_salvage
         if pending_error is not None:
             attempts = 1
             error = pending_error
@@ -529,6 +543,7 @@ class SolveService:
                 # without re-journaling or re-executing it.
                 pending_error = None
             else:
+                salvage = None
                 attempts += 1
                 self._journal_record("attempt", job, number=attempts, kind="attempt")
                 try:
@@ -543,8 +558,17 @@ class SolveService:
                 except ReproError as exc:
                     # Scheme-level failures AND executor infrastructure failures
                     # (a crashed pool worker) land here: the attempt is requeued
-                    # through the same backoff ladder either way.
+                    # through the same backoff ladder either way.  A crashed
+                    # worker's salvaged snapshot rides on the exception.
                     error = f"attempt {attempts}: {exc}"
+                    salvage = getattr(exc, "salvage", None)
+            if salvage is not None:
+                # Erasure-recover rung: try to decode the failure forward
+                # before paying for a from-scratch restart.
+                outcome = await self._try_forward_recovery(job, worker, salvage, timeout)
+                salvage = None
+                if outcome is not None:
+                    break
             delay = self.config.retry.backoff_s(retries + 1)
             if delay is None:
                 break
@@ -596,6 +620,51 @@ class SolveService:
             # Trace files can reach megabytes; keep the write off the loop.
             await asyncio.to_thread(self._dump_job_trace, job, result)
         return result
+
+    async def _try_forward_recovery(
+        self, job: Job, worker: Worker, salvage, timeout: float
+    ) -> AttemptOutcome | None:
+        """One erasure-recover deliberation: repair + resume, or decline.
+
+        Sits between a failed attempt and its backoff/restart: the
+        forward-vs-backward cost model (:func:`repro.recovery.decision.
+        choose_recovery`) decides whether the salvaged snapshot is worth
+        decoding; the blocking repair + resume then runs off the event
+        loop under the job's own attempt timeout.  Any decline, decode
+        failure, or timeout returns ``None`` — the ordinary restart rungs
+        take over, so forward recovery can only ever *save* work, never
+        lose correctness.
+        """
+        from repro.recovery import choose_recovery, execute_resume
+
+        decision = choose_recovery(job, worker.machine, salvage)
+        self._journal_record(
+            "recovery",
+            job,
+            forward=decision.forward,
+            reason=decision.reason,
+            resume_iteration=salvage.resume_iteration,
+            erased_rows=len(salvage.bad_matrix_rows) + len(salvage.bad_chk_rows),
+        )
+        if not decision.forward:
+            self._recovery_backward.inc(reason="declined")
+            return None
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.to_thread(execute_resume, job, worker.machine, salvage), timeout
+            )
+        except asyncio.TimeoutError:
+            self._timeouts.inc()
+            self._recovery_backward.inc(reason="timeout")
+            return None
+        except ReproError:
+            # Undecodable after all (SalvageError) or the resumed run
+            # itself failed; restart from scratch — never guess forward.
+            self._recovery_backward.inc(reason="failed")
+            return None
+        self._recovery_forward.inc()
+        self._recovery_erasure_tiles.inc(outcome.extras.get("erasure_tiles", 0))
+        return outcome
 
     def _finish_job(
         self,

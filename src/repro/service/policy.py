@@ -45,6 +45,12 @@ _SCHEMES = {
     "dag": dag_potrf,
 }
 
+#: Schemes whose serial drivers support iteration-boundary snapshot /
+#: resume (``start_iteration``/``progress`` on their ``*_potrf``).  The
+#: erasure-recovery layer only attempts forward recovery for these;
+#: ``offline`` and ``dag`` escalate to the ordinary restart rungs.
+RESUMABLE_SCHEMES = frozenset({"online", "enhanced"})
+
 #: spawn-key namespace for the per-job matrix generator (fault plans use 0)
 MATRIX_RNG_KEY = 1
 
@@ -124,6 +130,7 @@ def execute_attempt(
     machine: Machine,
     a: np.ndarray | None = None,
     scratch: np.ndarray | None = None,
+    progress=None,
 ) -> AttemptOutcome:
     """Run *job* once under its ABFT scheme on *machine* (blocking).
 
@@ -135,6 +142,10 @@ def execute_attempt(
     the factored bytes — that in-place write is the output half of the
     zero-copy transport.
 
+    *progress* (real mode, resumable schemes only) is handed to the
+    driver as its iteration-boundary snapshot sink; non-resumable
+    schemes ignore it, so passing one is always safe.
+
     Raises the scheme's own exceptions (``RestartExhaustedError`` etc.) on
     unrecoverable outcomes; the async layer turns those into retries.
     """
@@ -143,11 +154,21 @@ def execute_attempt(
         verify_interval=job.verify_interval, dag_workers=job.intra_workers
     )
     injector = job.injector
+    extra_kwargs = {}
+    if progress is not None and job.scheme in RESUMABLE_SCHEMES and job.numerics == "real":
+        extra_kwargs["progress"] = progress
     if job.numerics == "real":
         if a is None:
             a = job_matrix(job)
         pristine = _pristine_copy(a, scratch)
-        res = potrf(machine, a=a, block_size=job.block_size, config=config, injector=injector)
+        res = potrf(
+            machine,
+            a=a,
+            block_size=job.block_size,
+            config=config,
+            injector=injector,
+            **extra_kwargs,
+        )
         residual = factorization_residual(pristine, res.factor)
         factor = res.factor
     else:

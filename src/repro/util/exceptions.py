@@ -114,6 +114,17 @@ class ShmIntegrityError(ExecutorError):
     """
 
 
+class SalvageError(ReproError, RuntimeError):
+    """Mid-attempt state could not be salvaged into a forward recovery.
+
+    Raised by the erasure-recovery layer (:mod:`repro.recovery`) when a
+    snapshot is unreadable, its loss pattern exceeds the checksum code's
+    erasure capacity, or reconstruction fails re-verification.  The
+    service answers it by falling back to the ordinary retry ladder —
+    a full restart — never by returning the damaged state.
+    """
+
+
 class JournalError(ReproError, RuntimeError):
     """The durable job journal could not be written or replayed."""
 

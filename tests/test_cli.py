@@ -188,3 +188,23 @@ class TestLoadgenCommand:
         )
         assert rc == 0
         assert "throughput" in capsys.readouterr().out
+
+
+class TestRecovery:
+    def test_bench_writes_doc_and_history(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_recovery.json"
+        history = tmp_path / "history.jsonl"
+        rc = main(
+            ["recovery", "--n", "96", "--block-size", "32", "--repeats", "1",
+             "--out", str(out), "--history", str(history)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "forward vs backward recovery" in text
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["bit_identical"]
+        assert all(r["recomputed_fraction"] < 1.0 for r in doc["crash_grid"])
+        line = json.loads(history.read_text().splitlines()[0])
+        assert line["bench"] == "recovery"

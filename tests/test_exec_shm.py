@@ -108,7 +108,9 @@ class TestPoolLeaks:
         assert outcome.factor is not None
         # The respawn swapped queues/processes but reused the slot arena:
         # nothing beyond the live segments existed before is left behind.
-        assert len(_residue() - before) <= 1  # at most the live slot arena
+        # An attempt leases two slots — the matrix slot and the recovery
+        # snapshot slot — both parked warm on the arena free-list.
+        assert len(_residue() - before) <= 2
 
     def test_failed_pool_start_cleans_up(self, monkeypatch):
         before = _residue()

@@ -136,3 +136,51 @@ class TestComputingCampaign:
         )
         assert len(out.records) == 3
         assert all("restarts" in r for r in out.records)
+
+
+class TestSampleBurst:
+    def test_deterministic_by_seed(self):
+        from repro.faults.campaign import sample_burst
+
+        spec = CampaignSpec(nb=8)
+        a = sample_burst(spec, 64, rng=9, count=3)
+        b = sample_burst(spec, 64, rng=9, count=3)
+        assert [(p.block, p.coord, p.bit) for p in a] == [
+            (p.block, p.coord, p.bit) for p in b
+        ]
+
+    def test_burst_shares_one_window(self):
+        from repro.faults.campaign import sample_burst
+
+        plans = sample_burst(CampaignSpec(nb=8), 64, rng=4, count=4)
+        assert len({p.iteration for p in plans}) == 1
+        assert all(p.hook is Hook.STORAGE_WINDOW for p in plans)
+
+    def test_distinct_sites(self):
+        from repro.faults.campaign import sample_burst
+
+        plans = sample_burst(CampaignSpec(nb=4), 32, rng=5, count=6)
+        sites = {(p.block, p.coord) for p in plans}
+        assert len(sites) == 6
+
+    def test_same_column_stacks_one_tile_column(self):
+        from repro.faults.campaign import sample_burst
+
+        plans = sample_burst(
+            CampaignSpec(nb=4), 32, rng=6, count=3, same_column=True
+        )
+        assert len({p.block for p in plans}) == 1
+        assert len({p.coord[1] for p in plans}) == 1
+        assert len({p.coord[0] for p in plans}) == 3  # distinct rows
+
+    def test_pinned_iteration(self):
+        from repro.faults.campaign import sample_burst
+
+        plans = sample_burst(CampaignSpec(nb=8), 64, rng=7, count=2, iteration=3)
+        assert all(p.iteration == 3 for p in plans)
+
+    def test_computing_spec_rejected(self):
+        from repro.faults.campaign import sample_burst
+
+        with pytest.raises(ValueError):
+            sample_burst(CampaignSpec(nb=4, kind="computing"), 32, rng=0)

@@ -8,6 +8,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultPlan,
     Hook,
+    burst_storage_faults,
     no_faults,
     single_computing_fault,
     single_storage_fault,
@@ -138,3 +139,97 @@ class TestFactories:
         inj = single_storage_fault(block=(2, 1), iteration=4, target="checksum")
         plan = inj.plans[0]
         assert plan.target == "checksum" and plan.hook is Hook.STORAGE_WINDOW
+
+
+class TestBursts:
+    """Multi-fault bursts: k faults in one vulnerability window."""
+
+    def test_burst_builds_one_plan_per_site(self):
+        inj = burst_storage_faults(
+            [((1, 0), (2, 3)), ((1, 0), (0, 1)), ((0, 0), (3, 3))], iteration=1
+        )
+        assert len(inj.plans) == 3
+        assert all(p.hook is Hook.STORAGE_WINDOW for p in inj.plans)
+        assert all(p.iteration == 1 for p in inj.plans)
+
+    def test_whole_burst_fires_in_one_window(self):
+        inj = burst_storage_faults([((1, 0), (2, 3)), ((1, 0), (0, 1))], iteration=1)
+        inj.bind("matrix", make_buffer())
+        assert inj.fire(Hook.STORAGE_WINDOW, 0) == []
+        fired = inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert len(fired) == 2
+        assert not inj.armed
+
+    def test_burst_is_one_shot_across_retries(self):
+        inj = burst_storage_faults([((1, 0), (2, 3)), ((0, 0), (1, 1))], iteration=1)
+        inj.bind("matrix", make_buffer())
+        inj.fire(Hook.STORAGE_WINDOW, 1)
+        assert inj.fire(Hook.STORAGE_WINDOW, 1) == []  # retry replays clean
+        inj.disarm()
+        assert not inj.armed
+
+    def test_empty_burst_rejected(self):
+        with pytest.raises(ValidationError):
+            burst_storage_faults([])
+
+
+class TestBurstRecovery:
+    """End-to-end burst behavior: correct within capacity, detect beyond."""
+
+    def _spd(self):
+        from repro.blas.spd import random_spd
+
+        return random_spd(128, rng=5)
+
+    def test_within_capacity_burst_corrected(self, tardis):
+        # Two faults in DIFFERENT columns of one tile: one error per column,
+        # well inside the m+1-checksum code even at its weakest (m = 1).
+        from repro.core import enhanced_potrf
+        from repro.magma.host import factorization_residual
+
+        a = self._spd()
+        inj = burst_storage_faults(
+            [((2, 1), (3, 5)), ((2, 1), (7, 11))], iteration=1
+        )
+        res = enhanced_potrf(tardis, a=a.copy(), block_size=32, injector=inj)
+        assert res.restarts == 0
+        assert res.stats.data_corrections >= 2
+        assert factorization_residual(a, res.factor) < 1e-9
+
+    def test_same_column_burst_beyond_capacity_restarts(self, tardis):
+        # Two faults stacked in ONE column defeat the default two-checksum
+        # code's single-error correction; detection must force a restart,
+        # and the burst's one-shot plans keep the re-run clean.
+        from repro.core import enhanced_potrf
+        from repro.magma.host import factorization_residual
+
+        a = self._spd()
+        inj = burst_storage_faults(
+            [((2, 1), (3, 5)), ((2, 1), (9, 5))], iteration=1
+        )
+        res = enhanced_potrf(tardis, a=a.copy(), block_size=32, injector=inj)
+        assert res.restarts == 1
+        assert factorization_residual(a, res.factor) < 1e-9
+
+    def test_burst_is_schedule_invariant_under_dag(self, tardis):
+        # The same burst, anchored to the same dataflow point, produces
+        # bit-identical factors on serial and 4-worker DAG schedules.
+        from repro.core.config import AbftConfig
+        from repro.runtime import dag_potrf
+
+        a = self._spd()
+        sites = [((2, 1), (3, 5)), ((3, 2), (7, 11))]
+
+        def run(workers):
+            inj = burst_storage_faults(sites, iteration=1)
+            return dag_potrf(
+                tardis,
+                a=a.copy(),
+                block_size=32,
+                config=AbftConfig(dag_workers=workers),
+                injector=inj,
+            )
+
+        serial, threaded = run(1), run(4)
+        assert np.array_equal(serial.factor, threaded.factor)
+        assert serial.stats == threaded.stats

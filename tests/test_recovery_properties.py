@@ -1,0 +1,156 @@
+"""Hypothesis property tests for errors-and-erasures decoding.
+
+The forward-recovery layer's decode contract, stated as properties over
+random tiles: encode → erase up to ``m`` known rows and add up to
+``t ≤ ⌊(m+1−k)/2⌋`` unknown errors → :meth:`MultiErrorCodec.correct_mixed`
+round-trips the tile exactly (within the lstsq solve's rounding); and any
+loss beyond the ``k + 2t ≤ m+1`` capacity raises
+:class:`~repro.util.exceptions.UnrecoverableError` — detected, never
+miscorrected into a silently wrong tile.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.multierror import MultiErrorCodec
+from repro.util.exceptions import UnrecoverableError
+from repro.util.rng import resolve_rng
+
+_B = 8  # block size
+
+_prop = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+seeds = st.integers(min_value=0, max_value=2**20)
+checksums = st.integers(min_value=2, max_value=6)
+magnitudes = st.floats(min_value=1e2, max_value=1e6)
+signs = st.sampled_from([-1.0, 1.0])
+
+
+def _codec(n_checksums: int) -> MultiErrorCodec:
+    return MultiErrorCodec(_B, n_checksums, rtol=1e-8, atol=1e-10)
+
+
+def _tile_and_strip(seed: int, codec: MultiErrorCodec) -> tuple[np.ndarray, np.ndarray]:
+    gen = resolve_rng(seed)
+    tile = gen.standard_normal((_B, _B))
+    return tile, codec.encode(tile)
+
+
+def _damage(draw_rng, tile, k, t, mag, sign):
+    """Erase *k* whole rows (zeroed, locations known) + *t* unknown errors.
+
+    The unknown errors land in one column at rows distinct from the
+    erasures — the hardest same-column case for the modified-syndrome
+    decode.  Each error gets its own random scale: equal-magnitude errors
+    placed symmetrically about an integer row alias *exactly* onto a
+    lighter error pattern (the code's distance is m+2, so beyond-capacity
+    detection is only guaranteed off that measure-zero set, which real
+    bit flips never hit).  Returns (erased_rows, error_sites).
+    """
+    rows = list(draw_rng.choice(_B, size=k + t, replace=False))
+    erased = sorted(int(r) for r in rows[:k])
+    for r in erased:
+        tile[r, :] = 0.0
+    col = int(draw_rng.integers(0, _B))
+    sites = []
+    for r in rows[k:]:
+        tile[int(r), col] += sign * mag * float(draw_rng.uniform(1.0, 9.0))
+        sites.append((int(r), col))
+    return erased, sites
+
+
+@_prop
+@given(seed=seeds, r=checksums, mag=magnitudes, sign=signs)
+def test_mixed_roundtrip_at_capacity(seed, r, mag, sign):
+    """k erasures + t unknown errors with k + 2t ≤ m+1 decode exactly."""
+    codec = _codec(r)
+    gen = resolve_rng(seed + 1)
+    k = int(gen.integers(0, r))  # up to m = r - 1 erasures
+    t = int(gen.integers(0, codec.mixed_capacity(k) + 1))
+    tile, strip = _tile_and_strip(seed, codec)
+    pristine = tile.copy()
+    erased, sites = _damage(gen, tile, k, t, mag, sign)
+    changed, corrections = codec.correct_mixed(tile, strip, erased)
+    np.testing.assert_allclose(tile, pristine, rtol=1e-7, atol=1e-7)
+    assert len(corrections) == (1 if t else 0)
+    if t:
+        got = {row for corr in corrections for row in corr.rows}
+        assert got == {row for row, _ in sites}
+
+
+@_prop
+@given(seed=seeds, r=checksums)
+def test_pure_erasures_up_to_m(seed, r):
+    """All-erasure damage (t = 0) reconstructs every erased row exactly."""
+    codec = _codec(r)
+    gen = resolve_rng(seed + 2)
+    k = int(gen.integers(1, r))
+    tile, strip = _tile_and_strip(seed, codec)
+    pristine = tile.copy()
+    erased, _ = _damage(gen, tile, k, 0, 0.0, 1.0)
+    codec.correct_mixed(tile, strip, erased)
+    np.testing.assert_allclose(tile, pristine, rtol=1e-9, atol=1e-9)
+
+
+@_prop
+@given(seed=seeds, r=checksums, mag=magnitudes, sign=signs)
+def test_beyond_capacity_is_detected_never_miscorrected(seed, r, mag, sign):
+    """k + 2t > m+1 in one column must raise, not return a wrong tile."""
+    codec = _codec(r)
+    gen = resolve_rng(seed + 3)
+    k = int(gen.integers(0, r))
+    t = codec.mixed_capacity(k) + 1  # one unknown error past capacity
+    if k + t > _B:
+        k = _B - t
+    tile, strip = _tile_and_strip(seed, codec)
+    erased, sites = _damage(gen, tile, k, t, mag, sign)
+    with pytest.raises(UnrecoverableError):
+        codec.correct_mixed(tile, strip, erased)
+
+
+@_prop
+@given(seed=seeds, r=checksums)
+def test_beyond_capacity_erasures_always_detected(seed, r):
+    """More than m *known* erasures always raise — no aliasing possible."""
+    codec = _codec(r)
+    gen = resolve_rng(seed + 4)
+    k = min(r, _B)  # one past the m = r − 1 capacity
+    tile, strip = _tile_and_strip(seed, codec)
+    erased, _ = _damage(gen, tile, k, 0, 0.0, 1.0)
+    with pytest.raises(UnrecoverableError):
+        codec.correct_mixed(tile, strip, erased)
+
+
+@_prop
+@given(seed=seeds, r=checksums)
+def test_clean_tile_is_untouched(seed, r):
+    codec = _codec(r)
+    tile, strip = _tile_and_strip(seed, codec)
+    pristine = tile.copy()
+    changed, corrections = codec.correct_mixed(tile, strip, [])
+    assert changed == 0
+    assert corrections == []
+    np.testing.assert_array_equal(tile, pristine)
+
+
+def test_mixed_capacity_table():
+    """k + 2t ≤ m+1, enumerated for every supported checksum count."""
+    for r in range(2, 7):
+        codec = _codec(r)
+        assert codec.correctable_erasures == r - 1
+        for k in range(r):
+            assert codec.mixed_capacity(k) == (r - k) // 2
+        assert codec.mixed_capacity(r) == 0
+
+
+def test_erasures_beyond_m_raise():
+    codec = _codec(3)
+    tile, strip = _tile_and_strip(11, codec)
+    for r in (0, 2, 5):
+        tile[r, :] = 0.0
+    with pytest.raises(UnrecoverableError):
+        codec.correct_mixed(tile, strip, [0, 2, 5])

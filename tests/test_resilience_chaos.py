@@ -33,7 +33,12 @@ class TestScenarioRegistry:
 
     def test_dag_worker_stall_is_registered(self):
         assert "dag_worker_stall" in chaos.SCENARIOS
-        assert len(chaos.SCENARIOS) == 13
+        assert len(chaos.SCENARIOS) == 15
+
+    def test_recovery_pair_is_registered_and_quick(self):
+        # Both sides of the erasure-recovery ladder run in the CI smoke.
+        assert "erasure_forward_recovery" in chaos.QUICK_SCENARIOS
+        assert "burst_beyond_capacity" in chaos.QUICK_SCENARIOS
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValidationError):
